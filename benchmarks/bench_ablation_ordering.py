@@ -1,0 +1,90 @@
+"""Ablation — contraction-order heuristics (QTensor's core design choice).
+
+Measures the contraction width and estimated cost that min-fill, min-degree,
+randomized-greedy-restarts, and random orders achieve on QAOA energy
+networks of growing size. The claim being exercised: heuristic PEO search
+"substantially reduces the simulation cost by minimizing the contraction
+width" (§2.2) — widths should be far below qubit count and below random
+orders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import render_table
+from repro.experiments.records import ExperimentRecord
+from repro.graphs.generators import random_regular_graph
+from repro.qaoa.ansatz import build_qaoa_ansatz
+from repro.qtensor.network import TensorNetwork, interaction_graph
+from repro.qtensor.ordering import (
+    greedy_random_restarts,
+    min_degree_order,
+    min_fill_order,
+    random_order,
+)
+
+CASES = [(12, 1), (16, 1), (16, 2), (20, 2)]  # (nodes, p)
+
+
+def _energy_network(n, p, *, lightcone=True):
+    from repro.qtensor.lightcone import lightcone_circuit
+
+    graph = random_regular_graph(n, 3, seed=7)
+    bound = build_qaoa_ansatz(graph, p).bind([0.1 * (i + 1) for i in range(2 * p)])
+    u, v = graph.edges[0]
+    circuit = lightcone_circuit(bound, [u, v]) if lightcone else bound
+    return TensorNetwork.expectation(
+        circuit, [((u, v), np.array([0, 1, 1, 0], dtype=complex))], initial_state="0"
+    )
+
+
+def bench_ablation_ordering(once):
+    def run():
+        rows = []
+        for n, p in CASES:
+            net = _energy_network(n, p)  # lightcone-pruned: what we contract
+            g = interaction_graph(net.tensors)
+            fill = min_fill_order(g)
+            degree = min_degree_order(g)
+            restarts = greedy_random_restarts(g, n_restarts=8, seed=0)
+            rand = min(
+                (random_order(g, seed=s) for s in range(5)),
+                key=lambda o: o.width,
+            )
+            # unpruned width, for contrast: the cost the lightcone avoids
+            full = min_fill_order(
+                interaction_graph(_energy_network(n, p, lightcone=False).tensors)
+            )
+            rows.append(
+                [f"n={n},p={p}", fill.width, degree.width, restarts.width,
+                 rand.width, full.width, f"{fill.log2_cost:.1f}"]
+            )
+        return rows
+
+    rows = once(run)
+
+    print("\n=== Ablation: PEO heuristic -> contraction width (lightcone networks) ===")
+    print(
+        render_table(
+            ["case", "min_fill", "min_degree", "restarts", "best_random",
+             "no-lightcone", "fill log2cost"],
+            rows,
+        )
+    )
+
+    for row in rows:
+        case, fill_w, degree_w, restarts_w, random_w, full_w = row[:6]
+        n = int(case.split(",")[0][2:])
+        assert fill_w <= random_w, f"min-fill must beat random on {case}"
+        assert restarts_w <= fill_w, "restarts never worse than plain greedy"
+        assert fill_w < n, "pruned width must stay below the qubit count"
+        assert fill_w <= full_w, "lightcone pruning must not increase width"
+
+    ExperimentRecord(
+        experiment="ablation_ordering",
+        paper_claim="heuristic contraction orders substantially reduce contraction width vs naive orders",
+        parameters={"cases": [f"n={n},p={p}" for n, p in CASES]},
+        measured={"rows": rows},
+        verdict="min-fill <= best-of-5 random on every case; restarts <= greedy",
+    ).save()

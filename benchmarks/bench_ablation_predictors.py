@@ -1,0 +1,92 @@
+"""Ablation — predictor strategies under an equal evaluation budget.
+
+The released paper uses random search and cites Li & Talwalkar (2020) for
+its strength; the architecture diagram promises a DNN predictor. This bench
+gives random search, the epsilon-greedy bandit, and the LSTM/REINFORCE
+controller the same number of candidate evaluations on the same workload
+and compares the best reward each finds — the experiment that justifies (or
+indicts) learning-based proposal at this search-space size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.alphabet import GateAlphabet
+from repro.core.controller import ControllerPredictor, PolicyController
+from repro.core.evaluator import EvaluationConfig, Evaluator
+from repro.core.predictor import EpsilonGreedyPredictor, RandomPredictor
+from repro.experiments.figures import render_table
+from repro.experiments.records import ExperimentRecord
+from repro.experiments.scale import get_scale
+from repro.graphs.datasets import paper_er_dataset
+
+BUDGET_BATCHES = 8
+BATCH = 8
+
+
+def _drive(predictor, evaluator, p=1):
+    """Closed Fig.-1 loop for a fixed budget; returns best-so-far curve."""
+    best = 0.0
+    curve = []
+    for _ in range(BUDGET_BATCHES):
+        proposals = predictor.propose(BATCH)
+        for tokens in proposals:
+            reward = evaluator.reward(tokens, p)
+            predictor.update(tuple(tokens), reward)
+            best = max(best, reward)
+        curve.append(best)
+    return curve
+
+
+def bench_ablation_predictors(once):
+    scale = get_scale()
+    graphs = paper_er_dataset(2)
+    alphabet = GateAlphabet()
+    config = EvaluationConfig(
+        max_steps=min(scale.max_steps, 40), seed=0,
+        metric="best_sampled", shots=64,
+    )
+
+    def run():
+        results = {}
+        evaluator = Evaluator(graphs, config)  # shared cache across arms
+        results["random"] = _drive(RandomPredictor(alphabet, 3, seed=1), evaluator)
+        results["epsilon_greedy"] = _drive(
+            EpsilonGreedyPredictor(alphabet, 3, epsilon=0.4, seed=1), evaluator
+        )
+        controller = PolicyController(alphabet, max_gates=3, seed=1, learning_rate=0.05)
+        results["controller"] = _drive(
+            ControllerPredictor(controller, batch_size=BATCH, seed=1), evaluator
+        )
+        return results, evaluator.cache_hits
+
+    results, cache_hits = once(run)
+
+    print("\n=== Ablation: predictor -> best reward vs evaluation budget ===")
+    rows = [
+        [name, curve[0], curve[len(curve) // 2], curve[-1]]
+        for name, curve in results.items()
+    ]
+    print(render_table(["predictor", f"after {BATCH}", "mid", "final"], rows))
+    print(f"(budget={BUDGET_BATCHES * BATCH} proposals/arm, cache hits={cache_hits})")
+
+    # Shape assertions: all arms find a strong mixer with this budget on a
+    # 3-token space, and no learner collapses below random's floor.
+    final = {name: curve[-1] for name, curve in results.items()}
+    for name, value in final.items():
+        assert value > 0.9, f"{name} failed to find a strong mixer"
+    assert final["epsilon_greedy"] >= final["random"] - 0.05
+    assert final["controller"] >= final["random"] - 0.05
+
+    ExperimentRecord(
+        experiment="ablation_predictors",
+        paper_claim="random search is a strong baseline; DNN predictor is the roadmap",
+        parameters={"budget": BUDGET_BATCHES * BATCH, "k_max": 3,
+                    "metric": "best_sampled(64)"},
+        measured={name: [float(v) for v in curve] for name, curve in results.items()},
+        verdict=(
+            "final best rewards: "
+            + ", ".join(f"{k}={v:.4f}" for k, v in final.items())
+        ),
+    ).save()

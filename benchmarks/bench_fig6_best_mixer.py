@@ -1,0 +1,96 @@
+"""Fig. 6 — the best searched mixer circuit.
+
+Paper result (§3.2): the search returns the mixer applying ``RX(2 beta)``
+then ``RY(2 beta)`` to every qubit — the ``('rx', 'ry')`` combination —
+drawn as a 10-qubit circuit. The candidate space matching the paper's
+Figs. 6-7 panel is the two-gate combinations of A_R.
+
+Degeneracy note surfaced by this reproduction: pairs whose *second* gate is
+Z-diagonal (``('rx','rz')``, ``('rx','p')``) are exactly equivalent to the
+plain RX mixer at p=1 — a trailing diagonal commutes with the cost
+observable — so they score as the baseline in disguise. The paper's winner
+``('rx','ry')`` is asserted to be the best *non-degenerate* pair; the raw
+ranking (including the disguised-baseline pairs) is printed and recorded.
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluator import EvaluationConfig
+from repro.core.search import SearchConfig
+from repro.experiments.discovery import draw_mixer, run_fig6
+from repro.experiments.records import ExperimentRecord
+from repro.experiments.scale import get_scale
+from repro.graphs.datasets import paper_er_dataset
+from repro.parallel.executor import MultiprocessingExecutor
+
+#: pairs equivalent to the baseline RX mixer at p=1 (trailing Z-diagonal)
+DEGENERATE_PAIRS = {("rx", "rz"), ("rx", "p")}
+
+
+def bench_fig6_best_mixer(once):
+    scale = get_scale()
+    train_graphs = paper_er_dataset(scale.num_graphs)
+    config = SearchConfig(
+        p_max=min(scale.p_max, 2),
+        k_min=2,
+        k_max=2,
+        mode="combinations",  # the Figs. 6-7 candidate convention
+        evaluation=EvaluationConfig(
+            max_steps=scale.max_steps, restarts=2, seed=0,
+            metric="best_sampled", shots=64,
+        ),
+    )
+
+    def run():
+        with MultiprocessingExecutor() as executor:
+            return run_fig6(train_graphs, config=config, executor=executor)
+
+    result = once(run)
+
+    print("\n=== Fig. 6: best searched mixer ===")
+    print(
+        f"winner: {result.best_tokens} at p={result.search.best_p} "
+        f"(mean ratio {result.search.best_ratio:.4f} on {len(train_graphs)} ER graphs)"
+    )
+    ranked_p1 = result.search.depth_results[0].ranked()
+    print("\nfull p=1 ranking (two-gate pairs):")
+    for e in ranked_p1:
+        note = "  [= baseline RX at p=1]" if e.tokens in DEGENERATE_PAIRS else ""
+        print(f"  {e.tokens}: ratio={e.ratio:.4f}{note}")
+    print("\npaper's winning circuit, ('rx', 'ry') on 10 qubits:")
+    print(draw_mixer(("rx", "ry"), 10))
+
+    # Shape assertions: the winner leads with the transverse-field rotation,
+    # and ('rx','ry') is the best pair that is not baseline-in-disguise.
+    assert result.best_tokens[0] == "rx"
+    non_degenerate = [e for e in ranked_p1 if e.tokens not in DEGENERATE_PAIRS]
+    assert non_degenerate[0].tokens == ("rx", "ry"), (
+        f"best genuine two-gate mixer should be ('rx','ry'), "
+        f"got {non_degenerate[0].tokens}"
+    )
+
+    ExperimentRecord(
+        experiment="fig6",
+        paper_claim="search returns the ('rx','ry') mixer: RX(2b) RY(2b) on every qubit",
+        parameters={
+            "scale": scale.name,
+            "num_graphs": len(train_graphs),
+            "space": "two-gate combinations of A_R",
+            "max_steps": config.evaluation.max_steps,
+            "metric": "best_sampled(64)",
+        },
+        measured={
+            "winner": list(result.best_tokens),
+            "best_p": result.search.best_p,
+            "best_ratio": result.search.best_ratio,
+            "p1_ranking": [
+                {"tokens": list(e.tokens), "ratio": e.ratio,
+                 "degenerate_baseline": e.tokens in DEGENERATE_PAIRS}
+                for e in ranked_p1
+            ],
+        },
+        verdict=(
+            f"best non-degenerate pair: {non_degenerate[0].tokens} "
+            f"(paper: ('rx','ry')); raw winner {result.best_tokens}"
+        ),
+    ).save()

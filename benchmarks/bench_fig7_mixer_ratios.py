@@ -1,0 +1,57 @@
+"""Fig. 7 — approximation ratios of four candidate mixers at p=1.
+
+Paper result (§3.2): on 20 ten-node random 4-regular graphs, the mixers
+('ry','p'), ('rx','h'), ('h','p'), ('rx','ry') are compared at p=1; the
+searched winner ('rx','ry') attains the highest approximation ratio, and
+('h','p') — with no beta-dependent gate reaching the cost landscape — is
+far below the rotation pairs.
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluator import EvaluationConfig
+from repro.experiments.discovery import PAPER_FIG7_MIXERS, run_fig7
+from repro.experiments.figures import render_bars
+from repro.experiments.records import ExperimentRecord
+from repro.experiments.scale import get_scale
+from repro.graphs.datasets import paper_regular_dataset
+from repro.qaoa.mixers import mixer_label
+
+
+def bench_fig7_mixer_ratios(once):
+    scale = get_scale()
+    eval_graphs = paper_regular_dataset(scale.num_graphs)
+    # Eq. (3) metric: expected best cut over a fixed measurement budget
+    config = EvaluationConfig(
+        max_steps=scale.max_steps, restarts=2, seed=0,
+        metric="best_sampled", shots=64,
+    )
+
+    result = once(lambda: run_fig7(eval_graphs, p=1, config=config))
+
+    print("\n=== Fig. 7: approximation ratio at p=1, 4-regular graphs ===")
+    print(render_bars(result.labels, result.ratios, vmin=0.0, vmax=1.0))
+    print(f"(graphs={len(eval_graphs)}, steps={config.max_steps}, scale={scale.name})")
+
+    ratios = dict(zip(result.mixers, result.ratios))
+    # Shape assertions per the paper's bar chart: the searched ('rx','ry')
+    # mixer wins, by a clear margin over the rest of the panel.
+    assert result.winner == ("rx", "ry"), (
+        f"expected ('rx','ry') to win, got {result.winner}"
+    )
+    others = [r for m, r in ratios.items() if m != ("rx", "ry")]
+    assert ratios[("rx", "ry")] > max(others) + 0.01
+    assert all(0.0 < r <= 1.0 + 1e-9 for r in result.ratios)
+
+    ExperimentRecord(
+        experiment="fig7",
+        paper_claim="('rx','ry') highest ratio at p=1; ordering (ry,p) ~ (rx,h) > (h,p)",
+        parameters={
+            "scale": scale.name,
+            "num_graphs": len(eval_graphs),
+            "max_steps": config.max_steps,
+            "mixers": [list(m) for m in PAPER_FIG7_MIXERS],
+        },
+        measured={mixer_label(m): r for m, r in zip(result.mixers, result.ratios)},
+        verdict=f"winner {result.winner} with ratio {max(result.ratios):.4f}",
+    ).save()

@@ -1,0 +1,63 @@
+"""HPC scaling projection: from measured tasks to a Polaris-like cluster.
+
+Measures the real per-candidate training times of a search workload on this
+machine, then (1) replays them through the core-count scheduler that
+reproduces Fig. 5, and (2) projects the full two-level scheme — graphs
+across nodes, gate combinations across cores, optional GPU offload — on a
+modelled 4-node Polaris slice (Fig. 2's architecture).
+
+    python examples/cluster_scaling.py
+"""
+
+import numpy as np
+
+from repro.core.alphabet import GateAlphabet
+from repro.core.evaluator import EvaluationConfig
+from repro.experiments.figures import render_series, render_table
+from repro.experiments.profiling import candidate_bag, measure_candidate_durations
+from repro.graphs.datasets import paper_er_dataset
+from repro.parallel.cluster import ClusterModel
+from repro.parallel.scheduler import OverheadModel, simulate_core_sweep
+
+# --- measure the real task bag --------------------------------------------
+graphs = paper_er_dataset(4)
+candidates = candidate_bag(GateAlphabet(), 2, 12)
+config = EvaluationConfig(max_steps=30, seed=0)
+print(f"measuring {len(candidates)} candidates x {len(graphs)} graphs ...")
+per_graph_durations = [
+    measure_candidate_durations(g, 2, candidates, config) for g in graphs
+]
+flat = [d for ds in per_graph_durations for d in ds]
+print(f"measured {len(flat)} tasks, total serial time {sum(flat):.1f}s\n")
+
+# --- Fig. 5-style single-node core sweep -----------------------------------
+core_counts = [8, 16, 24, 32, 40, 48, 56, 64]
+overhead = OverheadModel(worker_startup=0.15, dispatch_per_task=0.002)
+sweep = simulate_core_sweep(flat, core_counts, overhead=overhead)
+print("single node, cores swept (replayed measured durations):")
+print(
+    render_series(
+        "cores",
+        core_counts,
+        {
+            "makespan (s)": [r.makespan for r in sweep],
+            "speedup": [sum(flat) / r.makespan for r in sweep],
+            "utilization": [r.utilization for r in sweep],
+        },
+    )
+)
+
+# --- two-level Polaris projection --------------------------------------------
+print("\ntwo-level schedule on a modelled 4-node Polaris slice:")
+cluster = ClusterModel.polaris(num_nodes=4)
+rows = []
+for use_gpus in (False, True):
+    result = cluster.schedule_two_level(per_graph_durations, use_gpus=use_gpus)
+    rows.append([
+        "CPU+GPU offload" if use_gpus else "CPU only",
+        result.makespan,
+        result.imbalance,
+    ])
+print(render_table(["configuration", "makespan (s)", "node imbalance"], rows))
+print("\n(graphs spread across nodes; each node fans its gate combinations "
+      "over 32 cores; GPU rows model 8x offload on the four A100s)")

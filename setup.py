@@ -1,0 +1,11 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package.
+
+The offline environment here ships setuptools 65.5 without `wheel`, so PEP
+660 editable installs fail with `invalid command 'bdist_wheel'`. Keeping a
+setup.py lets both `pip install -e .` (legacy code path) and
+`python setup.py develop` succeed. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""QArchSearch reproduction: scalable quantum architecture search.
+
+Reimplementation of Kulshrestha, Lykov, Safro & Alexeev, "QArchSearch: A
+Scalable Quantum Architecture Search Package" (SC 2023 workshops,
+arXiv:2310.07858), together with every substrate it runs on: a circuit
+library, a state-vector simulator, a QTensor-style tensor-network
+simulator, the QAOA/max-cut application, classical optimizers, a NumPy RL
+controller, and the two-level parallel execution layer.
+
+Quickstart::
+
+    from repro import search_mixer, SearchConfig, paper_er_dataset
+
+    result = search_mixer(paper_er_dataset(3), SearchConfig(p_max=2, k_max=2))
+    print(result.best_tokens, result.best_ratio)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+figure-by-figure reproduction record.
+"""
+
+from repro.core import (
+    ControllerPredictor,
+    EvaluationConfig,
+    Evaluator,
+    GateAlphabet,
+    PolicyController,
+    QBuilder,
+    RandomPredictor,
+    SearchConfig,
+    SearchResult,
+    search_mixer,
+    search_with_predictor,
+)
+from repro.graphs import (
+    Graph,
+    erdos_renyi_graph,
+    paper_er_dataset,
+    paper_regular_dataset,
+    random_regular_graph,
+)
+from repro.qaoa import AnsatzEnergy, approximation_ratio, build_qaoa_ansatz
+from repro.qtensor import QTensorSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "search_mixer",
+    "search_with_predictor",
+    "SearchConfig",
+    "SearchResult",
+    "EvaluationConfig",
+    "Evaluator",
+    "GateAlphabet",
+    "QBuilder",
+    "RandomPredictor",
+    "PolicyController",
+    "ControllerPredictor",
+    "Graph",
+    "erdos_renyi_graph",
+    "random_regular_graph",
+    "paper_er_dataset",
+    "paper_regular_dataset",
+    "build_qaoa_ansatz",
+    "AnsatzEnergy",
+    "approximation_ratio",
+    "QTensorSimulator",
+    "__version__",
+]

@@ -1,0 +1,105 @@
+"""Directed-acyclic-graph view of a circuit.
+
+The DAG exposes the *dependency* structure a gate list hides: two gates on
+disjoint qubits commute trivially and sit in parallel layers. The transpiler
+passes walk wire-neighbourhoods (previous/next gate on a qubit), and the
+scheduling simulator uses layers to reason about intra-circuit parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+
+__all__ = ["DagNode", "CircuitDag"]
+
+
+@dataclass
+class DagNode:
+    """One gate occurrence in the DAG."""
+
+    index: int
+    instruction: Instruction
+    #: per-qubit predecessor node indices (None at wire input)
+    preds: Dict[int, Optional[int]] = field(default_factory=dict)
+    #: per-qubit successor node indices (None at wire output)
+    succs: Dict[int, Optional[int]] = field(default_factory=dict)
+
+    @property
+    def qubits(self) -> Tuple[int, ...]:
+        return self.instruction.qubits
+
+    @property
+    def gate_name(self) -> str:
+        return self.instruction.gate.name
+
+
+class CircuitDag:
+    """Wire-linked DAG built in one pass over the instruction list."""
+
+    def __init__(self, circuit: QuantumCircuit) -> None:
+        self.num_qubits = circuit.num_qubits
+        self.nodes: List[DagNode] = []
+        #: last node index seen on each wire while building
+        last_on_wire: Dict[int, int] = {}
+        for idx, instr in enumerate(circuit.instructions):
+            node = DagNode(idx, instr)
+            for q in instr.qubits:
+                prev = last_on_wire.get(q)
+                node.preds[q] = prev
+                node.succs[q] = None
+                if prev is not None:
+                    self.nodes[prev].succs[q] = idx
+                last_on_wire[q] = idx
+            self.nodes.append(node)
+        self._wire_outputs = last_on_wire
+
+    # -- queries -------------------------------------------------------------
+
+    def predecessor(self, node_index: int, qubit: int) -> Optional[DagNode]:
+        """The previous gate on ``qubit`` before ``node_index``, if any."""
+        prev = self.nodes[node_index].preds.get(qubit)
+        return None if prev is None else self.nodes[prev]
+
+    def successor(self, node_index: int, qubit: int) -> Optional[DagNode]:
+        """The next gate on ``qubit`` after ``node_index``, if any."""
+        nxt = self.nodes[node_index].succs.get(qubit)
+        return None if nxt is None else self.nodes[nxt]
+
+    def layers(self) -> List[List[DagNode]]:
+        """Greedy ASAP layering: gates whose predecessors all sit in earlier
+        layers. Layer count equals circuit depth."""
+        depth_of: Dict[int, int] = {}
+        layers: List[List[DagNode]] = []
+        for node in self.nodes:
+            level = 0
+            for q in node.qubits:
+                prev = node.preds[q]
+                if prev is not None:
+                    level = max(level, depth_of[prev] + 1)
+            depth_of[node.index] = level
+            while len(layers) <= level:
+                layers.append([])
+            layers[level].append(node)
+        return layers
+
+    def topological_order(self) -> List[DagNode]:
+        """Nodes in dependency order (construction order is already one)."""
+        return list(self.nodes)
+
+    def to_circuit(self, skip: Sequence[int] = ()) -> QuantumCircuit:
+        """Rebuild a circuit, optionally dropping the node indices in ``skip``.
+
+        Used by transpile passes that delete or replace gates.
+        """
+        drop = set(skip)
+        out = QuantumCircuit(self.num_qubits)
+        for node in self.nodes:
+            if node.index not in drop:
+                out.append(node.instruction.gate, node.instruction.qubits)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.nodes)

@@ -1,0 +1,114 @@
+"""Single-qubit unitary decomposition and run fusion.
+
+Candidate mixers stack several single-qubit rotations per qubit; once
+parameters are bound, any such run collapses to one ``u3`` gate. This
+module provides the ZYZ (Euler-angle) decomposition
+
+``U = e^{i phase} * RZ(phi) RY(theta) RZ(lam)``
+
+(matching our ``u3(theta, phi, lam)`` up to global phase) and the
+:func:`fuse_single_qubit_runs` pass that rewrites maximal 1q-gate runs —
+the depth-reduction a compiler would apply before running a discovered
+circuit on hardware.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.gates import make_gate
+
+__all__ = ["zyz_decompose", "fuse_single_qubit_runs"]
+
+
+def zyz_decompose(matrix: np.ndarray) -> Tuple[float, float, float, float]:
+    """Euler angles ``(theta, phi, lam, phase)`` of a 2x2 unitary.
+
+    Satisfies ``matrix = exp(i*phase) * u3(theta, phi, lam)`` exactly (to
+    float precision). Handles the gimbal-locked diagonal/antidiagonal cases
+    explicitly.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (2, 2):
+        raise ValueError(f"expected a 2x2 matrix, got {matrix.shape}")
+    if not np.allclose(matrix @ matrix.conj().T, np.eye(2), atol=1e-9):
+        raise ValueError("matrix is not unitary")
+
+    # strip determinant phase: U = e^{i delta} V with det V = 1
+    det = matrix[0, 0] * matrix[1, 1] - matrix[0, 1] * matrix[1, 0]
+    delta = cmath.phase(det) / 2.0
+    v = matrix * cmath.exp(-1j * delta)
+
+    # V = [[cos(t/2) e^{-i(phi+lam)/2}, -sin(t/2) e^{-i(phi-lam)/2}],
+    #      [sin(t/2) e^{+i(phi-lam)/2},  cos(t/2) e^{+i(phi+lam)/2}]]
+    cos_half = abs(v[0, 0])
+    cos_half = min(1.0, max(0.0, cos_half))
+    theta = 2.0 * math.acos(cos_half)
+    if abs(v[0, 0]) > 1e-12 and abs(v[1, 0]) > 1e-12:
+        plus = -2.0 * cmath.phase(v[0, 0])  # phi + lam
+        minus = 2.0 * cmath.phase(v[1, 0])  # phi - lam
+        phi = (plus + minus) / 2.0
+        lam = (plus - minus) / 2.0
+    elif abs(v[1, 0]) <= 1e-12:  # diagonal: theta ~ 0, only phi+lam fixed
+        phi = -2.0 * cmath.phase(v[0, 0])
+        lam = 0.0
+        theta = 0.0
+    else:  # antidiagonal: theta ~ pi, only phi-lam fixed
+        phi = 2.0 * cmath.phase(v[1, 0])
+        lam = 0.0
+        theta = math.pi
+    # u3's (0,0) entry is real cos(theta/2); adjust the global phase so the
+    # reconstruction is exact including phase
+    u3 = make_gate("u3", theta, phi, lam).matrix()
+    # phase = angle between matrix and u3 on the largest entry
+    idx = np.unravel_index(np.argmax(np.abs(u3)), (2, 2))
+    phase = cmath.phase(matrix[idx] / u3[idx])
+    return theta, phi, lam, phase
+
+
+def fuse_single_qubit_runs(
+    circuit: QuantumCircuit, *, min_run: int = 2
+) -> QuantumCircuit:
+    """Collapse maximal runs of >= ``min_run`` bound single-qubit gates on a
+    wire into one ``u3``.
+
+    Runs containing symbolic parameters are left untouched (they cannot be
+    multiplied out). Global phases of fused runs are dropped — harmless for
+    states and expectations, which is how circuits are consumed here.
+    """
+    out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    pending: List[Optional[List[Instruction]]] = [None] * circuit.num_qubits
+
+    def flush(qubit: int) -> None:
+        run = pending[qubit]
+        pending[qubit] = None
+        if run is None:
+            return
+        if len(run) < min_run:
+            for instr in run:
+                out.append(instr.gate, instr.qubits)
+            return
+        matrix = np.eye(2, dtype=complex)
+        for instr in run:
+            matrix = instr.gate.matrix() @ matrix
+        theta, phi, lam, _ = zyz_decompose(matrix)
+        out.append_named("u3", [qubit], theta, phi, lam)
+
+    for instr in circuit.instructions:
+        if instr.gate.num_qubits == 1 and not instr.gate.parameters:
+            q = instr.qubits[0]
+            if pending[q] is None:
+                pending[q] = []
+            pending[q].append(instr)
+        else:
+            for q in instr.qubits:
+                flush(q)
+            out.append(instr.gate, instr.qubits)
+    for q in range(circuit.num_qubits):
+        flush(q)
+    return out

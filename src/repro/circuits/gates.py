@@ -1,0 +1,303 @@
+"""Gate definitions with exact unitary matrices.
+
+Each gate is a lightweight immutable description: a name, qubit count,
+parameter slots, and a matrix factory. Matrices follow the standard physics
+conventions used by Qiskit:
+
+* ``RX(t) = exp(-i t X / 2)``, likewise RY/RZ,
+* ``P(t) = diag(1, e^{it})`` (phase gate),
+* two-qubit matrices are given in little-endian qubit order — for a gate on
+  ``(q0, q1)`` the basis ordering is ``|q1 q0>`` — matching the simulator's
+  axis convention (qubit ``k`` is tensor axis ``k`` counted from the left of
+  the statevector reshape, see :mod:`repro.simulators.statevector`).
+
+Diagonal gates are flagged (``is_diagonal``) because the tensor-network
+layer exploits diagonality to avoid rank-4 tensors (Lykov & Alexeev 2021,
+"Importance of Diagonal Gates in Tensor Network Simulations").
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.parameters import Parameter, ParameterValue, bind_value
+
+__all__ = [
+    "GateSpec",
+    "Gate",
+    "GATE_REGISTRY",
+    "gate_matrix",
+    "make_gate",
+    "I",
+    "X",
+    "Y",
+    "Z",
+    "H",
+    "S",
+    "SDG",
+    "T",
+    "TDG",
+    "RX",
+    "RY",
+    "RZ",
+    "P",
+    "U3",
+    "CX",
+    "CZ",
+    "CP",
+    "RZZ",
+    "RXX",
+    "SWAP",
+]
+
+_SQ2 = 1.0 / math.sqrt(2.0)
+
+
+def _mat_i(_: Sequence[float]) -> np.ndarray:
+    return np.eye(2, dtype=complex)
+
+
+def _mat_x(_: Sequence[float]) -> np.ndarray:
+    return np.array([[0, 1], [1, 0]], dtype=complex)
+
+
+def _mat_y(_: Sequence[float]) -> np.ndarray:
+    return np.array([[0, -1j], [1j, 0]], dtype=complex)
+
+
+def _mat_z(_: Sequence[float]) -> np.ndarray:
+    return np.array([[1, 0], [0, -1]], dtype=complex)
+
+
+def _mat_h(_: Sequence[float]) -> np.ndarray:
+    return np.array([[_SQ2, _SQ2], [_SQ2, -_SQ2]], dtype=complex)
+
+
+def _mat_s(_: Sequence[float]) -> np.ndarray:
+    return np.array([[1, 0], [0, 1j]], dtype=complex)
+
+
+def _mat_sdg(_: Sequence[float]) -> np.ndarray:
+    return np.array([[1, 0], [0, -1j]], dtype=complex)
+
+
+def _mat_t(_: Sequence[float]) -> np.ndarray:
+    return np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]], dtype=complex)
+
+
+def _mat_tdg(_: Sequence[float]) -> np.ndarray:
+    return np.array([[1, 0], [0, cmath.exp(-1j * math.pi / 4)]], dtype=complex)
+
+
+def _mat_rx(params: Sequence[float]) -> np.ndarray:
+    (theta,) = params
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def _mat_ry(params: Sequence[float]) -> np.ndarray:
+    (theta,) = params
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def _mat_rz(params: Sequence[float]) -> np.ndarray:
+    (theta,) = params
+    return np.array(
+        [[cmath.exp(-0.5j * theta), 0], [0, cmath.exp(0.5j * theta)]], dtype=complex
+    )
+
+
+def _mat_p(params: Sequence[float]) -> np.ndarray:
+    (lam,) = params
+    return np.array([[1, 0], [0, cmath.exp(1j * lam)]], dtype=complex)
+
+
+def _mat_u3(params: Sequence[float]) -> np.ndarray:
+    theta, phi, lam = params
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array(
+        [
+            [c, -cmath.exp(1j * lam) * s],
+            [cmath.exp(1j * phi) * s, cmath.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+# Two-qubit matrices. Convention: for a gate applied to (q0, q1) the 4x4
+# matrix acts on basis |q1 q0> (second listed qubit is the high bit). For CX
+# the first listed qubit is the control.
+
+
+def _mat_cx(_: Sequence[float]) -> np.ndarray:
+    # control = q0 (low bit), target = q1 (high bit): |q1 q0> basis 00,01,10,11
+    # 01 (q0=1) -> 11 ; 11 -> 01.
+    return np.array(
+        [[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0], [0, 1, 0, 0]], dtype=complex
+    )
+
+
+def _mat_cz(_: Sequence[float]) -> np.ndarray:
+    return np.diag([1, 1, 1, -1]).astype(complex)
+
+
+def _mat_cp(params: Sequence[float]) -> np.ndarray:
+    (lam,) = params
+    return np.diag([1, 1, 1, cmath.exp(1j * lam)]).astype(complex)
+
+
+def _mat_rzz(params: Sequence[float]) -> np.ndarray:
+    (theta,) = params
+    e_m = cmath.exp(-0.5j * theta)
+    e_p = cmath.exp(0.5j * theta)
+    return np.diag([e_m, e_p, e_p, e_m]).astype(complex)
+
+
+def _mat_rxx(params: Sequence[float]) -> np.ndarray:
+    (theta,) = params
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    m = np.eye(4, dtype=complex) * c
+    anti = -1j * s
+    m[0, 3] = m[1, 2] = m[2, 1] = m[3, 0] = anti
+    return m
+
+
+def _mat_swap(_: Sequence[float]) -> np.ndarray:
+    return np.array(
+        [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+    )
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of a gate type."""
+
+    name: str
+    num_qubits: int
+    num_params: int
+    matrix_fn: Callable[[Sequence[float]], np.ndarray]
+    is_diagonal: bool = False
+    is_self_inverse: bool = False
+    #: name of the gate implementing the inverse with negated parameters,
+    #: if that pattern applies (all rotation gates).
+    negate_params_inverts: bool = False
+
+
+GATE_REGISTRY: Dict[str, GateSpec] = {}
+
+
+def _register(spec: GateSpec) -> GateSpec:
+    GATE_REGISTRY[spec.name] = spec
+    return spec
+
+
+I = _register(GateSpec("id", 1, 0, _mat_i, is_diagonal=True, is_self_inverse=True))
+X = _register(GateSpec("x", 1, 0, _mat_x, is_self_inverse=True))
+Y = _register(GateSpec("y", 1, 0, _mat_y, is_self_inverse=True))
+Z = _register(GateSpec("z", 1, 0, _mat_z, is_diagonal=True, is_self_inverse=True))
+H = _register(GateSpec("h", 1, 0, _mat_h, is_self_inverse=True))
+S = _register(GateSpec("s", 1, 0, _mat_s, is_diagonal=True))
+SDG = _register(GateSpec("sdg", 1, 0, _mat_sdg, is_diagonal=True))
+T = _register(GateSpec("t", 1, 0, _mat_t, is_diagonal=True))
+TDG = _register(GateSpec("tdg", 1, 0, _mat_tdg, is_diagonal=True))
+RX = _register(GateSpec("rx", 1, 1, _mat_rx, negate_params_inverts=True))
+RY = _register(GateSpec("ry", 1, 1, _mat_ry, negate_params_inverts=True))
+RZ = _register(GateSpec("rz", 1, 1, _mat_rz, is_diagonal=True, negate_params_inverts=True))
+P = _register(GateSpec("p", 1, 1, _mat_p, is_diagonal=True, negate_params_inverts=True))
+U3 = _register(GateSpec("u3", 1, 3, _mat_u3))
+CX = _register(GateSpec("cx", 2, 0, _mat_cx, is_self_inverse=True))
+CZ = _register(GateSpec("cz", 2, 0, _mat_cz, is_diagonal=True, is_self_inverse=True))
+CP = _register(GateSpec("cp", 2, 1, _mat_cp, is_diagonal=True, negate_params_inverts=True))
+RZZ = _register(GateSpec("rzz", 2, 1, _mat_rzz, is_diagonal=True, negate_params_inverts=True))
+RXX = _register(GateSpec("rxx", 2, 1, _mat_rxx, negate_params_inverts=True))
+SWAP = _register(GateSpec("swap", 2, 0, _mat_swap, is_self_inverse=True))
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A gate instance: a spec plus (possibly symbolic) parameter values."""
+
+    spec: GateSpec
+    params: Tuple[ParameterValue, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.params) != self.spec.num_params:
+            raise ValueError(
+                f"gate '{self.spec.name}' takes {self.spec.num_params} parameter(s), "
+                f"got {len(self.params)}"
+            )
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def num_qubits(self) -> int:
+        return self.spec.num_qubits
+
+    @property
+    def is_diagonal(self) -> bool:
+        return self.spec.is_diagonal
+
+    @property
+    def parameters(self) -> frozenset:
+        """Free symbolic parameters of this gate."""
+        out: set = set()
+        for p in self.params:
+            if hasattr(p, "parameters"):
+                out |= p.parameters
+        return frozenset(out)
+
+    def bind(self, bindings: Mapping[Parameter, float]) -> "Gate":
+        """Return a copy with (a subset of) parameters substituted."""
+        new_params = []
+        for p in self.params:
+            if hasattr(p, "bind"):
+                bound = p.bind(bindings)
+                new_params.append(bound.constant_value() if bound.is_constant() else bound)
+            else:
+                new_params.append(p)
+        return Gate(self.spec, tuple(new_params))
+
+    def matrix(self, bindings: Mapping[Parameter, float] | None = None) -> np.ndarray:
+        """Concrete unitary matrix; raises if parameters remain unbound."""
+        values = [bind_value(p, bindings or {}) for p in self.params]
+        return self.spec.matrix_fn(values)
+
+    def inverse(self) -> "Gate":
+        """The inverse gate, when expressible in the registry."""
+        if self.spec.is_self_inverse:
+            return self
+        if self.spec.negate_params_inverts:
+            return Gate(self.spec, tuple(-p for p in self.params))
+        inverse_names = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t"}
+        if self.spec.name in inverse_names:
+            return Gate(GATE_REGISTRY[inverse_names[self.spec.name]], ())
+        raise NotImplementedError(f"no registry inverse for gate '{self.spec.name}'")
+
+    def __repr__(self) -> str:
+        if not self.params:
+            return self.spec.name
+        inner = ", ".join(repr(p) for p in self.params)
+        return f"{self.spec.name}({inner})"
+
+
+def make_gate(name: str, *params: ParameterValue) -> Gate:
+    """Construct a gate by registry name — the QBuilder entry point."""
+    try:
+        spec = GATE_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(GATE_REGISTRY))
+        raise KeyError(f"unknown gate '{name}'; known gates: {known}") from None
+    return Gate(spec, tuple(params))
+
+
+def gate_matrix(name: str, *params: float) -> np.ndarray:
+    """Convenience: concrete matrix for a named gate with float parameters."""
+    return make_gate(name, *params).matrix()

@@ -1,0 +1,202 @@
+"""Symbolic circuit parameters.
+
+Variational circuits carry symbolic angles that are bound to floats only at
+simulation time: QAOA's ``gamma_k``/``beta_k``, and — central to the paper —
+a *shared* mixer parameter (Fig. 6/7: "All parameterized gates in the mixer
+circuit share the same parameter"). Sharing falls out naturally here because
+a :class:`Parameter` is a value object: appending ``RX(2*beta)`` to every
+qubit reuses one symbol, and binding ``beta`` once updates all of them.
+
+Only linear expressions (``a * p + b``, summed over parameters) are
+supported. That is exactly what QAOA ansätze need (angles like ``2*beta``)
+and keeps binding vectorizable and exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Parameter", "ParameterExpression", "ParameterValue", "bind_value"]
+
+Number = Union[int, float, np.floating]
+
+
+class ParameterExpression:
+    """A linear combination ``sum_i coeff_i * param_i + offset``.
+
+    Immutable. Supports ``+``, ``-``, ``*`` (by scalars), negation, and
+    binding. Two expressions are equal iff they have identical coefficient
+    maps and offsets.
+    """
+
+    __slots__ = ("_terms", "_offset")
+
+    def __init__(
+        self,
+        terms: Mapping["Parameter", float] | None = None,
+        offset: float = 0.0,
+    ) -> None:
+        cleaned = {p: float(c) for p, c in (terms or {}).items() if c != 0.0}
+        self._terms: Dict[Parameter, float] = cleaned
+        self._offset = float(offset)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def parameters(self) -> frozenset["Parameter"]:
+        """The free parameters appearing with nonzero coefficient."""
+        return frozenset(self._terms)
+
+    @property
+    def terms(self) -> Dict["Parameter", float]:
+        return dict(self._terms)
+
+    @property
+    def offset(self) -> float:
+        return self._offset
+
+    def is_constant(self) -> bool:
+        return not self._terms
+
+    def constant_value(self) -> float:
+        """The float value of a fully-constant expression."""
+        if self._terms:
+            names = sorted(p.name for p in self._terms)
+            raise ValueError(f"expression still depends on parameters {names}")
+        return self._offset
+
+    # -- binding -----------------------------------------------------------
+
+    def bind(self, values: Mapping["Parameter", Number]) -> "ParameterExpression":
+        """Substitute floats for (a subset of) the free parameters."""
+        remaining: Dict[Parameter, float] = {}
+        offset = self._offset
+        for param, coeff in self._terms.items():
+            if param in values:
+                offset += coeff * float(values[param])
+            else:
+                remaining[param] = coeff
+        return ParameterExpression(remaining, offset)
+
+    # -- algebra -----------------------------------------------------------
+
+    def _as_expression(self, other) -> "ParameterExpression | None":
+        if isinstance(other, ParameterExpression):
+            return other
+        if isinstance(other, (int, float, np.floating)):
+            return ParameterExpression({}, float(other))
+        return None
+
+    def __add__(self, other) -> "ParameterExpression":
+        rhs = self._as_expression(other)
+        if rhs is None:
+            return NotImplemented
+        terms = dict(self._terms)
+        for p, c in rhs._terms.items():
+            terms[p] = terms.get(p, 0.0) + c
+        return ParameterExpression(terms, self._offset + rhs._offset)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "ParameterExpression":
+        rhs = self._as_expression(other)
+        if rhs is None:
+            return NotImplemented
+        return self + (-rhs)
+
+    def __rsub__(self, other) -> "ParameterExpression":
+        rhs = self._as_expression(other)
+        if rhs is None:
+            return NotImplemented
+        return rhs + (-self)
+
+    def __mul__(self, scalar) -> "ParameterExpression":
+        if not isinstance(scalar, (int, float, np.floating)):
+            return NotImplemented
+        s = float(scalar)
+        return ParameterExpression(
+            {p: c * s for p, c in self._terms.items()}, self._offset * s
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar) -> "ParameterExpression":
+        if not isinstance(scalar, (int, float, np.floating)):
+            return NotImplemented
+        return self * (1.0 / float(scalar))
+
+    def __neg__(self) -> "ParameterExpression":
+        return self * -1.0
+
+    # -- equality / hashing --------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (int, float, np.floating)):
+            return self.is_constant() and self._offset == float(other)
+        if not isinstance(other, ParameterExpression):
+            return NotImplemented
+        return self._terms == other._terms and self._offset == other._offset
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._terms.items()), self._offset))
+
+    def __repr__(self) -> str:
+        if self.is_constant():
+            return f"{self._offset:g}"
+        parts = []
+        for p, c in sorted(self._terms.items(), key=lambda t: t[0].name):
+            parts.append(p.name if c == 1.0 else f"{c:g}*{p.name}")
+        expr = " + ".join(parts)
+        if self._offset:
+            expr += f" + {self._offset:g}"
+        return expr
+
+
+class Parameter(ParameterExpression):
+    """A named free parameter (leaf expression with coefficient one).
+
+    Identity is by object, not by name: two ``Parameter("beta")`` objects are
+    distinct symbols. This mirrors Qiskit and prevents accidental capture
+    when composing circuits from different sources. The experiment layer
+    always threads explicit Parameter objects, so sharing is intentional.
+    """
+
+    __slots__ = ("_name", "_uuid")
+
+    _counter = 0
+
+    def __init__(self, name: str) -> None:
+        if not name or not isinstance(name, str):
+            raise ValueError(f"parameter name must be a non-empty string, got {name!r}")
+        Parameter._counter += 1
+        self._name = name
+        self._uuid = Parameter._counter
+        super().__init__({self: 1.0}, 0.0)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Parameter):
+            return self is other
+        return ParameterExpression.__eq__(self, other)
+
+    def __hash__(self) -> int:
+        return object.__hash__(self)
+
+    def __repr__(self) -> str:
+        return self._name
+
+
+ParameterValue = Union[Number, ParameterExpression]
+
+
+def bind_value(value: ParameterValue, bindings: Mapping[Parameter, Number]) -> float:
+    """Resolve a gate angle to a float, raising if parameters remain free."""
+    if isinstance(value, ParameterExpression):
+        bound = value.bind(bindings)
+        return bound.constant_value()
+    return float(value)

@@ -1,0 +1,130 @@
+"""Circuit simplification passes.
+
+The search emits many structurally redundant candidates (e.g. two RX gates
+in a row when the controller repeats a token). These passes normalize
+circuits before simulation so the evaluator never pays for gates that do
+nothing, and so structurally-equal candidates hash to the same cache key:
+
+* :func:`merge_rotations` — adjacent same-axis rotations on a wire fuse by
+  angle addition (``RX(a) RX(b) -> RX(a+b)``); works on symbolic angles
+  because :class:`ParameterExpression` is closed under addition.
+* :func:`cancel_inverse_pairs` — adjacent self-inverse pairs (H–H, X–X,
+  CX–CX on the same qubits) annihilate.
+* :func:`drop_identities` — removes ``id`` gates and zero-angle rotations.
+* :func:`simplify` — runs the passes to a fixed point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.dag import CircuitDag
+from repro.circuits.gates import Gate, make_gate
+from repro.circuits.parameters import ParameterExpression
+
+__all__ = [
+    "merge_rotations",
+    "cancel_inverse_pairs",
+    "drop_identities",
+    "simplify",
+]
+
+_ROTATIONS = {"rx", "ry", "rz", "p", "rzz", "rxx", "cp"}
+
+
+def _is_zero_angle(gate: Gate) -> bool:
+    if gate.name not in _ROTATIONS:
+        return False
+    (angle,) = gate.params
+    if isinstance(angle, ParameterExpression):
+        return angle.is_constant() and angle.constant_value() == 0.0
+    return float(angle) == 0.0
+
+
+def drop_identities(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Remove ``id`` gates and rotations by exactly zero."""
+    out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for instr in circuit.instructions:
+        if instr.gate.name == "id" or _is_zero_angle(instr.gate):
+            continue
+        out.append(instr.gate, instr.qubits)
+    return out
+
+
+def merge_rotations(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Fuse chains of same-name rotations acting on identical qubit tuples.
+
+    A single left-to-right sweep with a per-wire pending slot: when the next
+    gate on all wires of a pending rotation is the same rotation on the same
+    qubit tuple, add the angles and keep sweeping.
+    """
+    out: List[Instruction] = []
+    # index into `out` of the last gate on each wire, for adjacency checks
+    last_on_wire: List[Optional[int]] = [None] * circuit.num_qubits
+    for instr in circuit.instructions:
+        prev_idx = None
+        if instr.gate.name in _ROTATIONS:
+            candidates = {last_on_wire[q] for q in instr.qubits}
+            if len(candidates) == 1:
+                (idx,) = candidates
+                if idx is not None:
+                    prev = out[idx]
+                    if (
+                        prev.gate.name == instr.gate.name
+                        and prev.qubits == instr.qubits
+                    ):
+                        prev_idx = idx
+        if prev_idx is not None:
+            merged_angle = out[prev_idx].gate.params[0] + instr.gate.params[0]
+            merged = make_gate(instr.gate.name, merged_angle)
+            out[prev_idx] = Instruction(merged, instr.qubits)
+        else:
+            out.append(instr)
+            for q in instr.qubits:
+                last_on_wire[q] = len(out) - 1
+    result = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for instr in out:
+        result.append(instr.gate, instr.qubits)
+    return result
+
+
+def cancel_inverse_pairs(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Delete adjacent self-inverse pairs (same gate, same qubit tuple).
+
+    Adjacency means: on *every* wire the two gates touch, they are wire
+    neighbours — checked on the DAG so interleaved gates on other qubits
+    don't block the cancellation.
+    """
+    dag = CircuitDag(circuit)
+    dead: Set[int] = set()
+    for node in dag.nodes:
+        if node.index in dead or not node.instruction.gate.spec.is_self_inverse:
+            continue
+        succ_indices = {node.succs[q] for q in node.qubits}
+        if len(succ_indices) != 1:
+            continue
+        (succ_idx,) = succ_indices
+        if succ_idx is None or succ_idx in dead:
+            continue
+        succ = dag.nodes[succ_idx]
+        if (
+            succ.instruction.gate == node.instruction.gate
+            and succ.instruction.qubits == node.instruction.qubits
+        ):
+            dead.add(node.index)
+            dead.add(succ_idx)
+    return dag.to_circuit(skip=dead)
+
+
+def simplify(circuit: QuantumCircuit, *, max_rounds: int = 20) -> QuantumCircuit:
+    """Apply all passes until the circuit stops changing."""
+    current = circuit
+    for _ in range(max_rounds):
+        next_circuit = drop_identities(
+            cancel_inverse_pairs(merge_rotations(current))
+        )
+        if next_circuit == current:
+            return current
+        current = next_circuit
+    return current

@@ -1,0 +1,152 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the workflows a user runs repeatedly:
+
+* ``search`` — Algorithm 1 on a seeded dataset, optionally parallel,
+  optionally saving the JSON result;
+* ``evaluate`` — score one named mixer on a dataset (quick what-if);
+* ``draw`` — render a mixer circuit as ASCII (Fig. 6 on demand).
+
+All stochastic inputs are seeded so runs are reproducible and scriptable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.evaluator import EvaluationConfig, Evaluator
+from repro.core.search import SearchConfig, search_mixer
+from repro.experiments.discovery import draw_mixer
+from repro.experiments.figures import render_table
+from repro.graphs.datasets import paper_er_dataset, paper_regular_dataset
+from repro.parallel.executor import MultiprocessingExecutor, SerialExecutor, available_cores
+
+__all__ = ["main", "build_parser"]
+
+
+def _dataset(name: str, count: int, seed: int):
+    if name == "er":
+        return paper_er_dataset(count, dataset_seed=seed)
+    if name == "regular":
+        return paper_regular_dataset(count, dataset_seed=seed)
+    raise ValueError(f"unknown dataset {name!r}; options: er, regular")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="er", choices=["er", "regular"],
+                        help="seeded dataset family (default: er)")
+    parser.add_argument("--graphs", type=int, default=3, help="graphs in the workload")
+    parser.add_argument("--dataset-seed", type=int, default=2023)
+    parser.add_argument("--steps", type=int, default=60, help="optimizer budget")
+    parser.add_argument("--restarts", type=int, default=2)
+    parser.add_argument("--metric", default="best_sampled",
+                        choices=["energy", "best_sampled"])
+    parser.add_argument("--shots", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="QArchSearch reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    search = sub.add_parser("search", help="run Algorithm 1 on a dataset")
+    _add_common(search)
+    search.add_argument("--p-max", type=int, default=2)
+    search.add_argument("--k-min", type=int, default=2)
+    search.add_argument("--k-max", type=int, default=2)
+    search.add_argument("--mode", default="combinations",
+                        choices=["combinations", "sequences", "permutations"])
+    search.add_argument("--workers", type=int, default=0,
+                        help="0 = serial, -1 = all cores")
+    search.add_argument("--out", default=None, help="save SearchResult JSON")
+
+    evaluate = sub.add_parser("evaluate", help="score one mixer")
+    _add_common(evaluate)
+    evaluate.add_argument("mixer", help="comma-separated tokens, e.g. rx,ry")
+    evaluate.add_argument("--p", type=int, default=1)
+
+    draw = sub.add_parser("draw", help="draw a mixer circuit")
+    draw.add_argument("mixer", help="comma-separated tokens, e.g. rx,ry")
+    draw.add_argument("--qubits", type=int, default=10)
+
+    return parser
+
+
+def _eval_config(args) -> EvaluationConfig:
+    return EvaluationConfig(
+        max_steps=args.steps,
+        restarts=args.restarts,
+        seed=args.seed,
+        metric=args.metric,
+        shots=args.shots,
+    )
+
+
+def _cmd_search(args) -> int:
+    graphs = _dataset(args.dataset, args.graphs, args.dataset_seed)
+    config = SearchConfig(
+        p_max=args.p_max, k_min=args.k_min, k_max=args.k_max,
+        mode=args.mode, evaluation=_eval_config(args),
+    )
+    workers = available_cores() if args.workers == -1 else args.workers
+    if workers and workers > 1:
+        with MultiprocessingExecutor(workers) as executor:
+            result = search_mixer(graphs, config, executor=executor)
+    else:
+        result = search_mixer(graphs, config)
+
+    rows = [
+        [d.p, str(d.best.tokens), d.best.ratio, f"{d.seconds:.1f}s"]
+        for d in result.depth_results
+    ]
+    print(render_table(["p", "best mixer", "ratio", "time"], rows))
+    print(f"\nwinner: {result.best_tokens} at p={result.best_p} "
+          f"(ratio {result.best_ratio:.4f}; "
+          f"{result.num_candidates} candidates, {result.total_seconds:.1f}s)")
+    if args.out:
+        result.save(args.out)
+        print(f"saved to {args.out}")
+    return 0
+
+
+def _parse_mixer(spec: str) -> tuple:
+    tokens = tuple(t.strip() for t in spec.split(",") if t.strip())
+    if not tokens:
+        raise SystemExit(f"empty mixer spec {spec!r}")
+    return tokens
+
+
+def _cmd_evaluate(args) -> int:
+    tokens = _parse_mixer(args.mixer)
+    graphs = _dataset(args.dataset, args.graphs, args.dataset_seed)
+    evaluator = Evaluator(graphs, _eval_config(args))
+    result = evaluator.evaluate(tokens, args.p)
+    rows = [
+        [i, f"{e:.4f}", f"{r:.4f}"]
+        for i, (e, r) in enumerate(zip(result.per_graph_energy, result.per_graph_ratio))
+    ]
+    print(render_table(["graph", "energy", "ratio"], rows))
+    print(f"\nmixer {tokens} at p={args.p}: "
+          f"mean energy {result.energy:.4f}, mean ratio {result.ratio:.4f} "
+          f"({result.nfev} evaluations, {result.seconds:.1f}s)")
+    return 0
+
+
+def _cmd_draw(args) -> int:
+    tokens = _parse_mixer(args.mixer)
+    print(draw_mixer(tokens, args.qubits))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"search": _cmd_search, "evaluate": _cmd_evaluate, "draw": _cmd_draw}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""QArchSearch core: predictor → QBuilder → evaluator → reward loop.
+
+This package is the paper's contribution (Fig. 1 / Algorithm 1). The three
+modules of §2.1 map to :mod:`~repro.core.predictor` (+
+:mod:`~repro.core.controller` for the DNN variant),
+:mod:`~repro.core.qbuilder`, and :mod:`~repro.core.evaluator`;
+:func:`~repro.core.search.search_mixer` drives them across depths, serial
+or parallel.
+"""
+
+from repro.core.alphabet import (
+    DEFAULT_TOKENS,
+    GateAlphabet,
+    count_sequences,
+    enumerate_search_space,
+    gate_sequences,
+    paper_space_size,
+)
+from repro.core.constraints import (
+    ConstrainedPredictor,
+    Constraint,
+    ConstraintSet,
+    ForbiddenTokens,
+    MaxGates,
+    MaxMixerDepth,
+    MinGates,
+    NoAdjacentRepeats,
+    PredicateConstraint,
+    RequiredTokens,
+    RequiresParameterizedGate,
+)
+from repro.core.controller import ControllerPredictor, PolicyController
+from repro.core.depth_sweep import DepthPoint, noisy_score, warm_started_sweep
+from repro.core.encoding import (
+    PAD_INDEX,
+    decode_encoding,
+    encode_sequence,
+    encoding_shape,
+    is_valid_encoding,
+    random_encoding,
+)
+from repro.core.evaluator import EvaluationConfig, Evaluator, evaluate_candidate
+from repro.core.predictor import (
+    EpsilonGreedyPredictor,
+    ExhaustivePredictor,
+    Predictor,
+    RandomPredictor,
+)
+from repro.core.qbuilder import QBuilder
+from repro.core.results import CandidateEvaluation, DepthResult, SearchResult
+from repro.core.search import SearchConfig, search_mixer, search_with_predictor
+
+__all__ = [
+    "GateAlphabet",
+    "DEFAULT_TOKENS",
+    "gate_sequences",
+    "count_sequences",
+    "enumerate_search_space",
+    "paper_space_size",
+    "encode_sequence",
+    "decode_encoding",
+    "encoding_shape",
+    "random_encoding",
+    "is_valid_encoding",
+    "PAD_INDEX",
+    "QBuilder",
+    "Predictor",
+    "RandomPredictor",
+    "ExhaustivePredictor",
+    "EpsilonGreedyPredictor",
+    "PolicyController",
+    "ControllerPredictor",
+    "EvaluationConfig",
+    "Evaluator",
+    "evaluate_candidate",
+    "SearchConfig",
+    "search_mixer",
+    "search_with_predictor",
+    "CandidateEvaluation",
+    "DepthResult",
+    "SearchResult",
+    "Constraint",
+    "ConstraintSet",
+    "ConstrainedPredictor",
+    "MaxGates",
+    "MinGates",
+    "ForbiddenTokens",
+    "RequiredTokens",
+    "RequiresParameterizedGate",
+    "NoAdjacentRepeats",
+    "MaxMixerDepth",
+    "PredicateConstraint",
+    "DepthPoint",
+    "warm_started_sweep",
+    "noisy_score",
+]

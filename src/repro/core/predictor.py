@@ -1,0 +1,169 @@
+"""Predictor module: proposes candidate circuits, consumes rewards.
+
+The released paper's search is "an instance of random search which has
+shown to be a strong baseline in neural architecture search [Li &
+Talwalkar 2020]" (§2.1) — :class:`RandomPredictor`. The serial profiling
+run of §3.1 examines *every* combination — :class:`ExhaustivePredictor`.
+:class:`EpsilonGreedyPredictor` adds a cheap bandit between random search
+and the full RL controller (:mod:`repro.core.controller`).
+
+The interface is deliberately tiny: ``propose(n)`` yields token tuples,
+``update(tokens, reward)`` closes Fig. 1's reward-propagation arrow.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.alphabet import GateAlphabet, enumerate_search_space
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "Predictor",
+    "RandomPredictor",
+    "ExhaustivePredictor",
+    "EpsilonGreedyPredictor",
+]
+
+
+class Predictor(abc.ABC):
+    """Candidate-architecture proposal strategy."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def propose(self, num: int) -> List[Tuple[str, ...]]:
+        """Next ``num`` candidate token sequences (may repeat across calls)."""
+
+    def update(self, tokens: Tuple[str, ...], reward: float) -> None:
+        """Feed back the evaluator's reward (no-op for open-loop searches)."""
+
+    def exhausted(self) -> bool:
+        """True when the predictor has nothing new to propose."""
+        return False
+
+
+class RandomPredictor(Predictor):
+    """Uniform random search over sequences of 1..k_max alphabet gates."""
+
+    name = "random"
+
+    def __init__(self, alphabet: GateAlphabet, k_max: int, *, seed=None) -> None:
+        check_positive(k_max, "k_max")
+        self.alphabet = alphabet
+        self.k_max = k_max
+        self._rng = as_rng(seed)
+
+    def propose(self, num: int) -> List[Tuple[str, ...]]:
+        check_positive(num, "num")
+        out = []
+        for _ in range(num):
+            length = int(self._rng.integers(1, self.k_max + 1))
+            out.append(self.alphabet.sample_sequence(length, self._rng))
+        return out
+
+
+class ExhaustivePredictor(Predictor):
+    """Enumerates the full search space once, in a deterministic order."""
+
+    name = "exhaustive"
+
+    def __init__(
+        self,
+        alphabet: GateAlphabet,
+        k_max: int,
+        *,
+        mode: str = "sequences",
+    ) -> None:
+        self._space = enumerate_search_space(alphabet, k_max, mode=mode)
+        self._cursor = 0
+
+    @property
+    def space_size(self) -> int:
+        return len(self._space)
+
+    def propose(self, num: int) -> List[Tuple[str, ...]]:
+        check_positive(num, "num")
+        batch = self._space[self._cursor : self._cursor + num]
+        self._cursor += len(batch)
+        return list(batch)
+
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._space)
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+
+class EpsilonGreedyPredictor(Predictor):
+    """Positional bandit: per (position, token) running mean rewards.
+
+    With probability epsilon a position is explored uniformly; otherwise
+    the best-scoring token so far is chosen. Lengths are drawn from the
+    empirical distribution of rewards by length. A lightweight learner to
+    sit between random search and the LSTM controller in the predictor
+    ablation.
+    """
+
+    name = "epsilon_greedy"
+
+    def __init__(
+        self,
+        alphabet: GateAlphabet,
+        k_max: int,
+        *,
+        epsilon: float = 0.3,
+        seed=None,
+    ) -> None:
+        check_positive(k_max, "k_max")
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+        self.alphabet = alphabet
+        self.k_max = k_max
+        self.epsilon = epsilon
+        self._rng = as_rng(seed)
+        self._sum = np.zeros((k_max, alphabet.size))
+        self._count = np.zeros((k_max, alphabet.size), dtype=np.int64)
+        self._length_sum = np.zeros(k_max)
+        self._length_count = np.zeros(k_max, dtype=np.int64)
+
+    def _pick_length(self) -> int:
+        if self._rng.random() < self.epsilon or not self._length_count.any():
+            return int(self._rng.integers(1, self.k_max + 1))
+        means = np.where(
+            self._length_count > 0, self._length_sum / np.maximum(self._length_count, 1), -np.inf
+        )
+        return int(np.argmax(means)) + 1
+
+    def _pick_token(self, position: int) -> str:
+        if self._rng.random() < self.epsilon or not self._count[position].any():
+            return self.alphabet.token(int(self._rng.integers(self.alphabet.size)))
+        means = np.where(
+            self._count[position] > 0,
+            self._sum[position] / np.maximum(self._count[position], 1),
+            -np.inf,
+        )
+        return self.alphabet.token(int(np.argmax(means)))
+
+    def propose(self, num: int) -> List[Tuple[str, ...]]:
+        check_positive(num, "num")
+        out = []
+        for _ in range(num):
+            length = self._pick_length()
+            out.append(tuple(self._pick_token(t) for t in range(length)))
+        return out
+
+    def update(self, tokens: Tuple[str, ...], reward: float) -> None:
+        length = len(tokens)
+        if not 1 <= length <= self.k_max:
+            return
+        self._length_sum[length - 1] += reward
+        self._length_count[length - 1] += 1
+        for position, token in enumerate(tokens):
+            idx = self.alphabet.index(token)
+            self._sum[position, idx] += reward
+            self._count[position, idx] += 1

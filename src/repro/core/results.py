@@ -1,0 +1,131 @@
+"""Result records for evaluations and searches, with JSON persistence.
+
+Everything the experiment harness reports is assembled from these records,
+and every figure in EXPERIMENTS.md can be regenerated from a saved JSON
+run without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["CandidateEvaluation", "DepthResult", "SearchResult"]
+
+
+@dataclass(frozen=True)
+class CandidateEvaluation:
+    """One trained candidate mixer on one workload (graph or dataset)."""
+
+    tokens: Tuple[str, ...]
+    p: int
+    #: mean trained max-cut energy over the workload graphs
+    energy: float
+    #: mean approximation ratio (Eq. 3) over the workload graphs
+    ratio: float
+    #: per-graph trained energies
+    per_graph_energy: Tuple[float, ...] = ()
+    #: per-graph approximation ratios
+    per_graph_ratio: Tuple[float, ...] = ()
+    #: total objective evaluations spent training this candidate
+    nfev: int = 0
+    #: wall-clock seconds spent training this candidate
+    seconds: float = 0.0
+
+    @property
+    def reward(self) -> float:
+        """The scalar the search maximizes (the approximation ratio — scale
+        free across graphs, unlike raw energy)."""
+        return self.ratio
+
+
+@dataclass(frozen=True)
+class DepthResult:
+    """Algorithm 1's inner loop at one depth p: all candidates, ranked."""
+
+    p: int
+    evaluations: Tuple[CandidateEvaluation, ...]
+    seconds: float = 0.0
+
+    @property
+    def best(self) -> CandidateEvaluation:
+        if not self.evaluations:
+            raise ValueError(f"no evaluations recorded at p={self.p}")
+        return max(self.evaluations, key=lambda e: e.reward)
+
+    def ranked(self) -> List[CandidateEvaluation]:
+        return sorted(self.evaluations, key=lambda e: -e.reward)
+
+
+@dataclass
+class SearchResult:
+    """Full output of Algorithm 1 (``U_B^best`` and ``<C_best>``)."""
+
+    best_tokens: Tuple[str, ...]
+    best_p: int
+    best_energy: float
+    best_ratio: float
+    depth_results: List[DepthResult] = field(default_factory=list)
+    total_seconds: float = 0.0
+    config: Dict = field(default_factory=dict)
+
+    @property
+    def num_candidates(self) -> int:
+        return sum(len(d.evaluations) for d in self.depth_results)
+
+    # -- persistence -------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "format": "repro-search-result-v1",
+            "best_tokens": list(self.best_tokens),
+            "best_p": self.best_p,
+            "best_energy": self.best_energy,
+            "best_ratio": self.best_ratio,
+            "total_seconds": self.total_seconds,
+            "config": self.config,
+            "depth_results": [
+                {
+                    "p": d.p,
+                    "seconds": d.seconds,
+                    "evaluations": [asdict(e) | {"tokens": list(e.tokens)} for e in d.evaluations],
+                }
+                for d in self.depth_results
+            ],
+        }
+
+    def save(self, path: "str | Path") -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "SearchResult":
+        data = json.loads(Path(path).read_text())
+        if data.get("format") != "repro-search-result-v1":
+            raise ValueError(f"unrecognized search result format in {path}")
+        depth_results = []
+        for d in data["depth_results"]:
+            evals = tuple(
+                CandidateEvaluation(
+                    tokens=tuple(e["tokens"]),
+                    p=e["p"],
+                    energy=e["energy"],
+                    ratio=e["ratio"],
+                    per_graph_energy=tuple(e.get("per_graph_energy", ())),
+                    per_graph_ratio=tuple(e.get("per_graph_ratio", ())),
+                    nfev=e.get("nfev", 0),
+                    seconds=e.get("seconds", 0.0),
+                )
+                for e in d["evaluations"]
+            )
+            depth_results.append(DepthResult(d["p"], evals, d.get("seconds", 0.0)))
+        return cls(
+            best_tokens=tuple(data["best_tokens"]),
+            best_p=data["best_p"],
+            best_energy=data["best_energy"],
+            best_ratio=data["best_ratio"],
+            depth_results=depth_results,
+            total_seconds=data.get("total_seconds", 0.0),
+            config=data.get("config", {}),
+        )

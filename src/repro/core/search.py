@@ -1,0 +1,158 @@
+"""Algorithm 1: the QArchSearch driver loop.
+
+For each depth ``p = 1..p_max``: obtain candidate gate combinations from
+the predictor (line 5), build + train each on the workload graphs (lines
+6–8; the Evaluator), collect energies (line 9), and keep the best mixer
+seen across depths (line 10). Candidate evaluations within a depth are
+independent, which is exactly the parallelism of Fig. 3 — ``executor``
+decides whether they run serially or fan out over a process pool.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.alphabet import GateAlphabet, enumerate_search_space
+from repro.core.constraints import ConstraintSet
+from repro.core.evaluator import EvaluationConfig, Evaluator, evaluate_candidate
+from repro.core.predictor import ExhaustivePredictor, Predictor, RandomPredictor
+from repro.core.results import CandidateEvaluation, DepthResult, SearchResult
+from repro.graphs.generators import Graph
+from repro.parallel.executor import Executor, SerialExecutor
+from repro.utils.validation import check_positive
+
+__all__ = ["SearchConfig", "search_mixer", "search_with_predictor"]
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Knobs of Algorithm 1."""
+
+    alphabet: GateAlphabet = GateAlphabet()
+    #: maximum QAOA depth swept (paper: 4)
+    p_max: int = 4
+    #: maximum gates per mixer combination (paper: 4)
+    k_max: int = 4
+    #: minimum gates per mixer (2 restricts to the Figs. 6-7 pair space)
+    k_min: int = 1
+    #: candidate enumeration convention (see enumerate_search_space)
+    mode: str = "sequences"
+    #: candidates per depth for sampling predictors; None = whole space
+    num_samples: Optional[int] = None
+    #: seed for sampling predictors
+    seed: int = 11
+    evaluation: EvaluationConfig = field(default_factory=EvaluationConfig)
+    #: optional admissibility constraints (§6's "arbitrary constraints")
+    constraints: Optional[ConstraintSet] = None
+
+    def __post_init__(self) -> None:
+        check_positive(self.p_max, "p_max")
+        check_positive(self.k_max, "k_max")
+
+
+def search_mixer(
+    graphs: Sequence[Graph],
+    config: SearchConfig = SearchConfig(),
+    *,
+    executor: Optional[Executor] = None,
+) -> SearchResult:
+    """Exhaustive Algorithm 1 (the paper's profiled configuration).
+
+    Every candidate in the space is trained at every depth; with a parallel
+    executor the per-depth candidate bag fans out across workers.
+    """
+    candidates = enumerate_search_space(
+        config.alphabet, config.k_max, k_min=config.k_min, mode=config.mode
+    )
+    if config.constraints is not None:
+        candidates = config.constraints.filter(candidates)
+    if config.num_samples is not None:
+        candidates = candidates[: config.num_samples]
+    return _run_depth_sweep(graphs, config, [list(candidates)] * config.p_max, executor)
+
+
+def search_with_predictor(
+    graphs: Sequence[Graph],
+    predictor: Predictor,
+    config: SearchConfig = SearchConfig(),
+    *,
+    candidates_per_depth: int = 32,
+    executor: Optional[Executor] = None,
+) -> SearchResult:
+    """Algorithm 1 with a closed-loop predictor (random / bandit / RL).
+
+    The predictor proposes ``candidates_per_depth`` sequences per depth and
+    receives every reward back, so learning predictors improve across the
+    depth sweep. Proposals are deduplicated within a depth (the evaluator
+    cache would make repeats free anyway, but rewards should not be
+    double-counted by learners).
+    """
+    check_positive(candidates_per_depth, "candidates_per_depth")
+    per_depth: List[List[Tuple[str, ...]]] = []
+    for _ in range(config.p_max):
+        proposals = predictor.propose(candidates_per_depth)
+        unique = list(dict.fromkeys(proposals))
+        if config.constraints is not None:
+            unique = config.constraints.filter(unique)
+        per_depth.append(unique)
+    return _run_depth_sweep(graphs, config, per_depth, executor, predictor=predictor)
+
+
+def _run_depth_sweep(
+    graphs: Sequence[Graph],
+    config: SearchConfig,
+    candidates_per_depth: Sequence[Sequence[Tuple[str, ...]]],
+    executor: Optional[Executor],
+    *,
+    predictor: Optional[Predictor] = None,
+) -> SearchResult:
+    executor = executor or SerialExecutor()
+    graphs = list(graphs)
+    best: Optional[CandidateEvaluation] = None
+    depth_results: List[DepthResult] = []
+    total_start = time.perf_counter()
+
+    for depth_index in range(config.p_max):
+        p = depth_index + 1
+        candidates = list(candidates_per_depth[depth_index])
+        depth_start = time.perf_counter()
+        jobs = [(graphs, tokens, p, config.evaluation) for tokens in candidates]
+        evaluations: List[CandidateEvaluation] = executor.starmap(evaluate_candidate, jobs)
+        depth_seconds = time.perf_counter() - depth_start
+
+        if predictor is not None:
+            for evaluation in evaluations:
+                predictor.update(evaluation.tokens, evaluation.reward)
+
+        depth_result = DepthResult(p, tuple(evaluations), depth_seconds)
+        depth_results.append(depth_result)
+        if evaluations:
+            depth_best = depth_result.best
+            # Line 10: SELECT_BEST against the best of previous depths.
+            if best is None or depth_best.reward > best.reward:
+                best = depth_best
+
+    if best is None:
+        raise ValueError("search produced no evaluations (empty candidate sets)")
+    return SearchResult(
+        best_tokens=best.tokens,
+        best_p=best.p,
+        best_energy=best.energy,
+        best_ratio=best.ratio,
+        depth_results=depth_results,
+        total_seconds=time.perf_counter() - total_start,
+        config={
+            "p_max": config.p_max,
+            "k_max": config.k_max,
+            "mode": config.mode,
+            "num_samples": config.num_samples,
+            "optimizer": config.evaluation.optimizer,
+            "max_steps": config.evaluation.max_steps,
+            "engine": config.evaluation.engine,
+            "executor": executor.name,
+            "num_workers": executor.num_workers,
+            "predictor": predictor.name if predictor is not None else "exhaustive",
+        },
+    )

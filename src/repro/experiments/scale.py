@@ -1,0 +1,61 @@
+"""Workload scaling presets for the benches.
+
+The paper's workloads (20 graphs x 2500 candidates x 200 COBYLA steps) ran
+on Polaris nodes; regenerating every figure at that scale on a laptop CI
+box would take days. Each bench therefore reads a scale preset:
+
+* ``ci``      — minutes on 2 cores; enough to reproduce every *shape*;
+* ``laptop``  — tens of minutes; tighter statistics;
+* ``paper``   — the full §3 workload (needs a real node).
+
+Select via the ``QARCH_BENCH_SCALE`` environment variable (default ``ci``).
+EXPERIMENTS.md records which preset produced the committed numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ExperimentScale", "get_scale", "SCALES"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Per-figure workload knobs."""
+
+    name: str
+    #: graphs per dataset (paper: 20)
+    num_graphs: int
+    #: optimizer steps per candidate (paper: 200)
+    max_steps: int
+    #: candidate mixers per depth in profiling runs (paper: 625 sequences)
+    num_candidates: int
+    #: independent repetitions for averaged figures (paper: 5)
+    num_runs: int
+    #: maximum QAOA depth in the Fig. 4 sweep (paper: 4)
+    p_max: int
+
+
+SCALES = {
+    "ci": ExperimentScale(
+        name="ci", num_graphs=3, max_steps=30, num_candidates=10, num_runs=2, p_max=3
+    ),
+    "laptop": ExperimentScale(
+        name="laptop", num_graphs=8, max_steps=60, num_candidates=40, num_runs=3, p_max=4
+    ),
+    "paper": ExperimentScale(
+        name="paper", num_graphs=20, max_steps=200, num_candidates=625, num_runs=5, p_max=4
+    ),
+}
+
+
+def get_scale(override: str | None = None) -> ExperimentScale:
+    """Resolve the active preset (env ``QARCH_BENCH_SCALE`` unless overridden)."""
+    name = override or os.environ.get("QARCH_BENCH_SCALE", "ci")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; options: {sorted(SCALES)}"
+        ) from None

@@ -1,0 +1,140 @@
+"""NumPy neural-network layers with manual backward passes.
+
+Just enough deep learning to run the paper's Fig. 1 loop — an LSTM
+controller emitting gate tokens, trained by policy gradient. Layers own
+their parameters and gradient buffers as plain dicts of arrays, and their
+``backward`` methods *accumulate* into the gradient buffers so one episode
+can be backpropagated step by step (BPTT) before a single optimizer update.
+
+All backward passes are verified against central finite differences in the
+test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.ml.activations import dsigmoid, dtanh, sigmoid, tanh
+from repro.utils.rng import as_rng
+
+__all__ = ["Dense", "Embedding", "LSTMCell"]
+
+Array = np.ndarray
+
+
+class _Layer:
+    """Parameter/gradient bookkeeping shared by all layers."""
+
+    def __init__(self) -> None:
+        self.params: Dict[str, Array] = {}
+        self.grads: Dict[str, Array] = {}
+
+    def _add_param(self, name: str, value: Array) -> None:
+        self.params[name] = value
+        self.grads[name] = np.zeros_like(value)
+
+    def zero_grad(self) -> None:
+        for g in self.grads.values():
+            g[...] = 0.0
+
+
+class Dense(_Layer):
+    """Affine map ``y = x W + b`` (inputs are row vectors / batches)."""
+
+    def __init__(self, in_dim: int, out_dim: int, *, seed=None) -> None:
+        super().__init__()
+        rng = as_rng(seed)
+        scale = np.sqrt(2.0 / (in_dim + out_dim))  # Glorot
+        self._add_param("W", rng.normal(0.0, scale, size=(in_dim, out_dim)))
+        self._add_param("b", np.zeros(out_dim))
+
+    def forward(self, x: Array) -> Tuple[Array, Array]:
+        """Returns ``(y, cache)``; cache is just the input."""
+        return x @ self.params["W"] + self.params["b"], x
+
+    def backward(self, dy: Array, cache: Array) -> Array:
+        """Accumulate parameter grads, return ``dx``."""
+        x = cache
+        if x.ndim == 1:
+            self.grads["W"] += np.outer(x, dy)
+            self.grads["b"] += dy
+        else:
+            self.grads["W"] += x.T @ dy
+            self.grads["b"] += dy.sum(axis=0)
+        return dy @ self.params["W"].T
+
+
+class Embedding(_Layer):
+    """Token id → dense vector lookup table."""
+
+    def __init__(self, vocab_size: int, dim: int, *, seed=None) -> None:
+        super().__init__()
+        rng = as_rng(seed)
+        self._add_param("E", rng.normal(0.0, 0.1, size=(vocab_size, dim)))
+
+    def forward(self, token: int) -> Tuple[Array, int]:
+        return self.params["E"][token].copy(), token
+
+    def backward(self, dvec: Array, cache: int) -> None:
+        """Accumulate into the looked-up row (no input gradient exists)."""
+        self.grads["E"][cache] += dvec
+
+
+class LSTMCell(_Layer):
+    """Single LSTM step with the standard i/f/g/o gate layout.
+
+    Gate pre-activations ``z = x Wx + h Wh + b`` are split into input,
+    forget, cell and output gates; the forget bias starts at +1 (the usual
+    trick so early training doesn't wash out state).
+    """
+
+    def __init__(self, in_dim: int, hidden_dim: int, *, seed=None) -> None:
+        super().__init__()
+        rng = as_rng(seed)
+        self.hidden_dim = hidden_dim
+        scale = 1.0 / np.sqrt(in_dim + hidden_dim)
+        self._add_param("Wx", rng.normal(0.0, scale, size=(in_dim, 4 * hidden_dim)))
+        self._add_param("Wh", rng.normal(0.0, scale, size=(hidden_dim, 4 * hidden_dim)))
+        bias = np.zeros(4 * hidden_dim)
+        bias[hidden_dim : 2 * hidden_dim] = 1.0  # forget-gate bias
+        self._add_param("b", bias)
+
+    def initial_state(self) -> Tuple[Array, Array]:
+        return np.zeros(self.hidden_dim), np.zeros(self.hidden_dim)
+
+    def forward(self, x: Array, h_prev: Array, c_prev: Array):
+        """One step; returns ``(h, c, cache)``."""
+        hd = self.hidden_dim
+        z = x @ self.params["Wx"] + h_prev @ self.params["Wh"] + self.params["b"]
+        i = sigmoid(z[:hd])
+        f = sigmoid(z[hd : 2 * hd])
+        g = tanh(z[2 * hd : 3 * hd])
+        o = sigmoid(z[3 * hd :])
+        c = f * c_prev + i * g
+        tanh_c = tanh(c)
+        h = o * tanh_c
+        cache = (x, h_prev, c_prev, i, f, g, o, c, tanh_c)
+        return h, c, cache
+
+    def backward(self, dh: Array, dc: Array, cache) -> Tuple[Array, Array, Array]:
+        """Backprop one step: given upstream ``dh``/``dc``, accumulate
+        parameter grads and return ``(dx, dh_prev, dc_prev)``."""
+        x, h_prev, c_prev, i, f, g, o, c, tanh_c = cache
+        hd = self.hidden_dim
+        do = dh * tanh_c
+        dc_total = dc + dh * o * dtanh(tanh_c)
+        di = dc_total * g
+        df = dc_total * c_prev
+        dg = dc_total * i
+        dc_prev = dc_total * f
+        dz = np.concatenate(
+            [di * dsigmoid(i), df * dsigmoid(f), dg * dtanh(g), do * dsigmoid(o)]
+        )
+        self.grads["Wx"] += np.outer(x, dz)
+        self.grads["Wh"] += np.outer(h_prev, dz)
+        self.grads["b"] += dz
+        dx = dz @ self.params["Wx"].T
+        dh_prev = dz @ self.params["Wh"].T
+        return dx, dh_prev, dc_prev

@@ -1,0 +1,110 @@
+"""REINFORCE policy-gradient machinery.
+
+Implements the "Reward Propagation" arrow of the paper's Fig. 1: episodes
+are token sequences sampled from a policy, rewards come from the Evaluator,
+and the policy ascends ``E[(R - b) * grad log pi(a|s)]`` with a moving
+baseline ``b`` for variance reduction and an entropy bonus against
+premature collapse (Zoph & Le 2016 style).
+
+The module is policy-agnostic: anything exposing ``sample_episode`` /
+``backprop_episode`` (see :class:`repro.core.controller.PolicyController`)
+can be trained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Episode", "MovingBaseline", "ReinforceTrainer"]
+
+
+@dataclass(frozen=True)
+class Episode:
+    """One sampled action sequence with its per-step log-probabilities and
+    the policy caches needed for backprop."""
+
+    actions: Tuple[int, ...]
+    log_prob: float
+    caches: tuple
+
+
+class MovingBaseline:
+    """Exponential-moving-average reward baseline."""
+
+    def __init__(self, decay: float = 0.8) -> None:
+        if not 0.0 <= decay < 1.0:
+            raise ValueError(f"decay must be in [0, 1), got {decay}")
+        self.decay = decay
+        self._value: Optional[float] = None
+
+    @property
+    def value(self) -> float:
+        return 0.0 if self._value is None else self._value
+
+    def update(self, reward: float) -> float:
+        """Fold in a new reward; returns the advantage ``reward - baseline``
+        computed *before* the update (unbiased at step one)."""
+        advantage = reward - self.value
+        if self._value is None:
+            self._value = reward
+        else:
+            self._value = self.decay * self._value + (1.0 - self.decay) * reward
+        return advantage
+
+
+class _Policy(Protocol):  # pragma: no cover - typing helper
+    def sample_episode(self, rng: np.random.Generator) -> Episode: ...
+
+    def backprop_episode(self, episode: Episode, scale: float, entropy_weight: float) -> None: ...
+
+    def zero_grad(self) -> None: ...
+
+    def apply_gradients(self) -> None: ...
+
+
+@dataclass
+class ReinforceTrainer:
+    """Batch REINFORCE: sample a batch, score it, take one policy step.
+
+    ``reward_fn`` maps an action tuple to a scalar reward (the Evaluator).
+    History tracks mean reward / best reward per update for the benches.
+    """
+
+    policy: "_Policy"
+    reward_fn: Callable[[Tuple[int, ...]], float]
+    batch_size: int = 8
+    entropy_weight: float = 0.01
+    baseline: MovingBaseline = field(default_factory=MovingBaseline)
+    mean_rewards: List[float] = field(default_factory=list)
+    best_reward: float = float("-inf")
+    best_actions: Optional[Tuple[int, ...]] = None
+
+    def step(self, rng: np.random.Generator) -> float:
+        """One policy update; returns the batch mean reward."""
+        episodes = [self.policy.sample_episode(rng) for _ in range(self.batch_size)]
+        rewards = np.array([self.reward_fn(ep.actions) for ep in episodes])
+        for episode, reward in zip(episodes, rewards):
+            if reward > self.best_reward:
+                self.best_reward = float(reward)
+                self.best_actions = episode.actions
+        mean_reward = float(rewards.mean())
+        self.policy.zero_grad()
+        for episode, reward in zip(episodes, rewards):
+            advantage = reward - self.baseline.value
+            # ascend advantage * grad log pi  ==  descend with scale -adv
+            self.policy.backprop_episode(
+                episode,
+                scale=-advantage / self.batch_size,
+                entropy_weight=self.entropy_weight / self.batch_size,
+            )
+        self.baseline.update(mean_reward)
+        self.policy.apply_gradients()
+        self.mean_rewards.append(mean_reward)
+        return mean_reward
+
+    def train(self, num_updates: int, rng: np.random.Generator) -> None:
+        for _ in range(num_updates):
+            self.step(rng)

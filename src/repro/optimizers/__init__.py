@@ -1,0 +1,39 @@
+"""Classical optimizers for the variational training loop.
+
+:class:`Cobyla` is the paper's choice (200 steps); :class:`NelderMead`,
+:class:`SPSA` and :class:`Adam` support the ablation benches and noisy /
+gradient-based training modes.
+"""
+
+from repro.optimizers.adam import Adam
+from repro.optimizers.base import ObjectiveTracer, OptimizeResult, Optimizer
+from repro.optimizers.cobyla import Cobyla
+from repro.optimizers.nelder_mead import NelderMead
+from repro.optimizers.spsa import SPSA
+
+__all__ = [
+    "Optimizer",
+    "OptimizeResult",
+    "ObjectiveTracer",
+    "Cobyla",
+    "NelderMead",
+    "SPSA",
+    "Adam",
+    "make_optimizer",
+]
+
+
+def make_optimizer(name: str, **kwargs) -> Optimizer:
+    """Factory used by experiment configs (``"cobyla"``, ``"nelder_mead"``,
+    ``"spsa"``; ``"adam"`` requires a ``gradient`` kwarg)."""
+    registry = {
+        "cobyla": Cobyla,
+        "nelder_mead": NelderMead,
+        "spsa": SPSA,
+        "adam": Adam,
+    }
+    try:
+        cls = registry[name]
+    except KeyError:
+        raise ValueError(f"unknown optimizer {name!r}; options: {sorted(registry)}") from None
+    return cls(**kwargs)

@@ -1,0 +1,77 @@
+"""Adam for exact-gradient variational training.
+
+Pairs with the parameter-shift gradients of
+:meth:`repro.qaoa.energy.AnsatzEnergy.gradient` — the gradient-based
+alternative the optimizer ablation bench measures against the paper's
+derivative-free COBYLA.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.optimizers.base import (
+    GradientFn,
+    Objective,
+    ObjectiveTracer,
+    OptimizeResult,
+    Optimizer,
+)
+
+__all__ = ["Adam"]
+
+
+class Adam(Optimizer):
+    """Standard Adam (Kingma & Ba) with bias correction and optional
+    gradient-norm stopping."""
+
+    name = "adam"
+
+    def __init__(
+        self,
+        gradient: GradientFn,
+        maxiter: int = 100,
+        learning_rate: float = 0.05,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        gtol: float = 1e-6,
+    ) -> None:
+        self.gradient = gradient
+        self.maxiter = int(maxiter)
+        self.learning_rate = float(learning_rate)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.gtol = float(gtol)
+
+    def minimize(self, fn: Objective, x0: Sequence[float]) -> OptimizeResult:
+        tracer = ObjectiveTracer(fn)
+        x = np.asarray(x0, dtype=float).copy()
+        m = np.zeros_like(x)
+        v = np.zeros_like(x)
+        tracer(x)
+        converged = False
+        nit = 0
+        for nit in range(1, self.maxiter + 1):
+            grad = np.asarray(self.gradient(x), dtype=float)
+            if np.linalg.norm(grad) < self.gtol:
+                converged = True
+                break
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad**2
+            m_hat = m / (1 - self.beta1**nit)
+            v_hat = v / (1 - self.beta2**nit)
+            x = x - self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+            tracer(x)
+        return OptimizeResult(
+            x=tracer.best_x,
+            fun=tracer.best,
+            nfev=tracer.nfev,
+            nit=nit,
+            converged=converged,
+            message="gradient norm below gtol" if converged else "maxiter reached",
+            history=tracer.trace,
+        )

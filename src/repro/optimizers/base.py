@@ -1,0 +1,72 @@
+"""Common optimizer interface.
+
+Every optimizer minimizes a scalar function of a flat parameter vector and
+returns an :class:`OptimizeResult` carrying the trace the experiment layer
+plots. The Evaluator maximizes the cut energy by minimizing its negation,
+so "loss" below is ``-<C>`` in the QAOA context.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["OptimizeResult", "Optimizer", "ObjectiveTracer"]
+
+Objective = Callable[[np.ndarray], float]
+GradientFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class OptimizeResult:
+    """Outcome of a minimization run."""
+
+    x: np.ndarray
+    fun: float
+    nfev: int
+    nit: int
+    converged: bool
+    message: str = ""
+    #: best-so-far objective after each iteration (monotone non-increasing)
+    history: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=float)
+
+
+class ObjectiveTracer:
+    """Wraps an objective to count calls and record the best-so-far trace."""
+
+    def __init__(self, fn: Objective) -> None:
+        self._fn = fn
+        self.nfev = 0
+        self.best = np.inf
+        self.best_x: Optional[np.ndarray] = None
+        self.trace: List[float] = []
+
+    def __call__(self, x) -> float:
+        x = np.asarray(x, dtype=float)
+        value = float(self._fn(x))
+        self.nfev += 1
+        if value < self.best:
+            self.best = value
+            self.best_x = x.copy()
+        self.trace.append(self.best)
+        return value
+
+
+class Optimizer(abc.ABC):
+    """Abstract minimizer. Subclasses set ``name`` and implement
+    :meth:`minimize`."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def minimize(self, fn: Objective, x0: Sequence[float]) -> OptimizeResult:
+        """Minimize ``fn`` starting from ``x0``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

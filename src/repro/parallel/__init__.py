@@ -1,0 +1,40 @@
+"""Parallel execution layer: real executors, measured-replay schedulers,
+and the two-level cluster model (Fig. 2 / Fig. 3 / Fig. 5 substrate)."""
+
+from repro.parallel.cluster import ClusterModel, NodeSpec, TwoLevelResult
+from repro.parallel.executor import (
+    Executor,
+    MultiprocessingExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    available_cores,
+    make_executor,
+)
+from repro.parallel.scheduler import (
+    OverheadModel,
+    ScheduleResult,
+    simulate_core_sweep,
+    simulate_makespan,
+    speedup_curve,
+)
+from repro.parallel.timing import Timer, TimingLog, time_call
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "MultiprocessingExecutor",
+    "ThreadExecutor",
+    "available_cores",
+    "make_executor",
+    "OverheadModel",
+    "ScheduleResult",
+    "simulate_makespan",
+    "simulate_core_sweep",
+    "speedup_curve",
+    "ClusterModel",
+    "NodeSpec",
+    "TwoLevelResult",
+    "Timer",
+    "TimingLog",
+    "time_call",
+]

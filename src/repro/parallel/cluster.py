@@ -1,0 +1,120 @@
+"""Two-level cluster scheduling model (the Fig. 2 architecture).
+
+The paper's deployment on Polaris distributes *graphs* (outer level) across
+nodes and *gate combinations* (inner level) across the CPUs of each node,
+with GPUs reserved for circuit simulation offload. :class:`ClusterModel`
+replays measured task durations through that hierarchy so the scaling
+story can be told — and stress-tested (load imbalance across nodes, GPU
+speedup factors) — without owning a supercomputer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.parallel.scheduler import OverheadModel, ScheduleResult, simulate_makespan
+from repro.utils.validation import check_positive
+
+__all__ = ["NodeSpec", "ClusterModel", "TwoLevelResult"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One node's resources."""
+
+    cores: int = 32
+    gpus: int = 4
+    #: multiplicative speedup a GPU-offloaded simulation enjoys over a core
+    gpu_speedup: float = 8.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.cores, "cores")
+        check_positive(self.gpus, "gpus", strict=False)
+
+
+@dataclass
+class TwoLevelResult:
+    """Outcome of a two-level schedule."""
+
+    makespan: float
+    node_makespans: List[float]
+    node_assignments: List[List[int]]  # node -> list of outer-task indices
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean node makespan — 1.0 is perfectly balanced."""
+        mean = float(np.mean(self.node_makespans))
+        return float(max(self.node_makespans) / mean) if mean > 0 else 1.0
+
+
+@dataclass(frozen=True)
+class ClusterModel:
+    """A homogeneous cluster of :class:`NodeSpec` nodes.
+
+    ``polaris()`` pins the configuration the paper names: ALCF Polaris
+    nodes carry one 32-core AMD EPYC Milan and four A100 GPUs.
+    """
+
+    num_nodes: int
+    node: NodeSpec = field(default_factory=NodeSpec)
+    overhead: OverheadModel = field(default_factory=OverheadModel)
+
+    @classmethod
+    def polaris(cls, num_nodes: int = 4) -> "ClusterModel":
+        return cls(num_nodes=num_nodes, node=NodeSpec(cores=32, gpus=4, gpu_speedup=8.0))
+
+    def schedule_two_level(
+        self,
+        outer_tasks: Sequence[Sequence[float]],
+        *,
+        use_gpus: bool = False,
+    ) -> TwoLevelResult:
+        """Outer tasks (graphs) round-robin across nodes; each outer task's
+        inner durations (gate combinations) are list-scheduled on the node's
+        cores. With ``use_gpus`` the inner durations shrink by the GPU
+        speedup on as many concurrent tasks as there are GPUs (a coarse
+        model of simulation offload)."""
+        check_positive(self.num_nodes, "num_nodes")
+        node_assignments: List[List[int]] = [[] for _ in range(self.num_nodes)]
+        # Outer level: greedy least-loaded assignment by total inner work.
+        node_load = [0.0] * self.num_nodes
+        order = sorted(
+            range(len(outer_tasks)), key=lambda i: -float(np.sum(outer_tasks[i]))
+        )
+        for task_idx in order:
+            target = int(np.argmin(node_load))
+            node_assignments[target].append(task_idx)
+            node_load[target] += float(np.sum(outer_tasks[task_idx]))
+
+        node_makespans: List[float] = []
+        for node_idx in range(self.num_nodes):
+            durations: List[float] = []
+            for task_idx in node_assignments[node_idx]:
+                durations.extend(float(d) for d in outer_tasks[task_idx])
+            if use_gpus and self.node.gpus > 0:
+                durations = self._offload(durations)
+            schedule = simulate_makespan(
+                durations, self.node.cores, overhead=self.overhead
+            )
+            node_makespans.append(schedule.makespan)
+        return TwoLevelResult(
+            makespan=max(node_makespans) if node_makespans else 0.0,
+            node_makespans=node_makespans,
+            node_assignments=node_assignments,
+        )
+
+    def _offload(self, durations: List[float]) -> List[float]:
+        """Shrink the longest tasks by the GPU speedup, one per GPU 'slot'
+        per scheduling wave (longest tasks benefit most from offload)."""
+        if not durations:
+            return durations
+        out = list(durations)
+        order = sorted(range(len(out)), key=lambda i: -out[i])
+        waves = max(1, len(out) // max(self.node.cores, 1))
+        budget = self.node.gpus * waves
+        for i in order[:budget]:
+            out[i] = out[i] / self.node.gpu_speedup
+        return out

@@ -1,0 +1,124 @@
+"""Task-bag scheduling simulation — the Fig. 5 substrate.
+
+The paper sweeps 8–64 cores on a Polaris node; this box has two. Per the
+substitution policy (DESIGN.md): task *durations are measured* by really
+running the candidate evaluations, and only their *placement* onto W
+workers is simulated. The simulator is a faithful model of what
+``Pool.starmap_async`` does with an embarrassingly-parallel task bag —
+greedy dispatch of the next task to the earliest-free worker, plus explicit
+overhead knobs — so the makespan-vs-cores curve keeps the real shape
+(near-linear scaling, then a plateau governed by task-count granularity and
+the longest task).
+
+The model is validated where it can be: on this machine the W=1 and W=2
+predictions are checked against real executor timings in the test suite.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "OverheadModel",
+    "ScheduleResult",
+    "simulate_makespan",
+    "simulate_core_sweep",
+    "speedup_curve",
+]
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """Fixed costs of process-pool execution.
+
+    * ``worker_startup`` — fork/import cost per worker, paid once (seconds);
+    * ``dispatch_per_task`` — pickling + queue round-trip per task;
+    * ``serial_fraction`` — part of the total work that never parallelizes
+      (result collection, bookkeeping in the parent), as a fraction of the
+      sum of task durations.
+    """
+
+    worker_startup: float = 0.0
+    dispatch_per_task: float = 0.0
+    serial_fraction: float = 0.0
+
+
+@dataclass
+class ScheduleResult:
+    """A simulated schedule of a task bag on ``num_workers`` workers."""
+
+    num_workers: int
+    makespan: float
+    worker_finish_times: List[float]
+    assignments: List[int]  # task index -> worker index
+    policy: str
+
+    @property
+    def utilization(self) -> float:
+        """Mean busy fraction across workers."""
+        if self.makespan == 0.0:
+            return 1.0
+        return float(np.mean(self.worker_finish_times) / self.makespan)
+
+
+def simulate_makespan(
+    durations: Sequence[float],
+    num_workers: int,
+    *,
+    overhead: OverheadModel = OverheadModel(),
+    policy: str = "fifo",
+) -> ScheduleResult:
+    """Greedy list scheduling of ``durations`` onto ``num_workers`` workers.
+
+    ``policy="fifo"`` dispatches in submission order (what a process pool
+    does); ``"lpt"`` sorts longest-first (the classic makespan heuristic,
+    used by the ablation to show how much ordering matters).
+    """
+    check_positive(num_workers, "num_workers")
+    order = list(range(len(durations)))
+    if policy == "lpt":
+        order.sort(key=lambda i: -durations[i])
+    elif policy != "fifo":
+        raise ValueError(f"unknown policy {policy!r}; options: fifo, lpt")
+
+    # (finish_time, worker_index) min-heap
+    heap: List[Tuple[float, int]] = [
+        (overhead.worker_startup, w) for w in range(num_workers)
+    ]
+    heapq.heapify(heap)
+    assignments = [0] * len(durations)
+    finish = [overhead.worker_startup] * num_workers
+    for task in order:
+        available_at, worker = heapq.heappop(heap)
+        done = available_at + overhead.dispatch_per_task + float(durations[task])
+        assignments[task] = worker
+        finish[worker] = done
+        heapq.heappush(heap, (done, worker))
+    serial_tail = overhead.serial_fraction * float(np.sum(durations))
+    makespan = (max(finish) if durations else overhead.worker_startup) + serial_tail
+    return ScheduleResult(num_workers, makespan, finish, assignments, policy)
+
+
+def simulate_core_sweep(
+    durations: Sequence[float],
+    worker_counts: Sequence[int],
+    *,
+    overhead: OverheadModel = OverheadModel(),
+    policy: str = "fifo",
+) -> List[ScheduleResult]:
+    """Fig. 5's x-axis: the same measured task bag on each core count."""
+    return [
+        simulate_makespan(durations, w, overhead=overhead, policy=policy)
+        for w in worker_counts
+    ]
+
+
+def speedup_curve(results: Sequence[ScheduleResult], serial_time: float) -> Dict[int, float]:
+    """``serial_time / makespan`` per worker count."""
+    return {r.num_workers: serial_time / r.makespan for r in results}

@@ -1,0 +1,65 @@
+"""Wall-clock instrumentation for the profiling experiments."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple, TypeVar
+
+__all__ = ["Timer", "time_call", "TimingLog"]
+
+T = TypeVar("T")
+
+
+class Timer:
+    """Context-manager stopwatch (``perf_counter`` based)::
+
+        with Timer() as t:
+            work()
+        print(t.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+
+def time_call(fn: Callable[..., T], *args, **kwargs) -> Tuple[T, float]:
+    """Run ``fn`` and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+@dataclass
+class TimingLog:
+    """Named duration accumulator (per-phase breakdowns in the harness)."""
+
+    entries: Dict[str, List[float]] = field(default_factory=dict)
+
+    def record(self, name: str, seconds: float) -> None:
+        self.entries.setdefault(name, []).append(seconds)
+
+    def total(self, name: str) -> float:
+        return sum(self.entries.get(name, ()))
+
+    def mean(self, name: str) -> float:
+        values = self.entries.get(name, ())
+        return sum(values) / len(values) if values else 0.0
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        return {
+            name: {
+                "total": self.total(name),
+                "mean": self.mean(name),
+                "count": float(len(values)),
+            }
+            for name, values in self.entries.items()
+        }

@@ -1,0 +1,95 @@
+"""The p-layer QAOA ansatz of Eq. (2).
+
+``|gamma, beta> = e^{-i beta_p B} e^{-i gamma_p C} ... e^{-i beta_1 B}
+e^{-i gamma_1 C} |s>`` with ``|s> = |+>^n``. The mixer slot accepts any
+token sequence from :mod:`repro.qaoa.mixers`, which is where the searched
+architectures plug in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameters import Parameter
+from repro.graphs.generators import Graph
+from repro.qaoa.cost_operator import append_cost_layer
+from repro.qaoa.mixers import append_mixer_layer, mixer_label
+from repro.utils.validation import check_positive
+
+__all__ = ["QAOAAnsatz", "build_qaoa_ansatz"]
+
+
+@dataclass(frozen=True)
+class QAOAAnsatz:
+    """A built ansatz: the symbolic circuit plus its parameter vectors.
+
+    ``parameters`` concatenates ``gammas + betas`` — the flat layout the
+    optimizers see. ``initial_hadamard`` records whether the circuit
+    prepares ``|+>^n`` itself (H column) or expects the simulator to start
+    from the plus state.
+    """
+
+    circuit: QuantumCircuit
+    gammas: Tuple[Parameter, ...]
+    betas: Tuple[Parameter, ...]
+    graph: Graph
+    mixer_tokens: Tuple[str, ...]
+    initial_hadamard: bool
+
+    @property
+    def p(self) -> int:
+        return len(self.gammas)
+
+    @property
+    def parameters(self) -> List[Parameter]:
+        return list(self.gammas) + list(self.betas)
+
+    @property
+    def num_parameters(self) -> int:
+        return 2 * self.p
+
+    def bind(self, values: Sequence[float]) -> QuantumCircuit:
+        """Bind a flat ``[gammas..., betas...]`` vector."""
+        if len(values) != self.num_parameters:
+            raise ValueError(
+                f"expected {self.num_parameters} values (p={self.p}), got {len(values)}"
+            )
+        mapping = dict(zip(self.parameters, values))
+        return self.circuit.bind_parameters(mapping)
+
+    @property
+    def initial_state_label(self) -> str:
+        """What the simulator should start from: ``"0"`` if the circuit has
+        its own Hadamard column, else ``"+"``."""
+        return "0" if self.initial_hadamard else "+"
+
+
+def build_qaoa_ansatz(
+    graph: Graph,
+    p: int,
+    mixer_tokens: Sequence[str] = ("rx",),
+    *,
+    initial_hadamard: bool = True,
+) -> QAOAAnsatz:
+    """Construct the Eq. (2) ansatz for ``graph`` at depth ``p``.
+
+    One ``gamma_k``/``beta_k`` pair per layer; within a layer every
+    parameterized mixer gate shares ``beta_k`` (the paper's weight-sharing
+    choice, which keeps the parameter count at ``2p`` regardless of mixer
+    length).
+    """
+    check_positive(p, "p")
+    tokens = tuple(mixer_tokens)
+    n = graph.num_nodes
+    circuit = QuantumCircuit(n, name=f"qaoa_p{p}_{mixer_label(tokens)}")
+    if initial_hadamard:
+        for q in range(n):
+            circuit.h(q)
+    gammas = tuple(Parameter(f"gamma_{k}") for k in range(p))
+    betas = tuple(Parameter(f"beta_{k}") for k in range(p))
+    for k in range(p):
+        append_cost_layer(circuit, graph, gammas[k])
+        append_mixer_layer(circuit, tokens, betas[k])
+    return QAOAAnsatz(circuit, gammas, betas, graph, tokens, initial_hadamard)

@@ -1,0 +1,34 @@
+"""The QAOA cost operator ``e^{-i gamma C}`` for max-cut.
+
+With ``C = sum_e w_e (1 - Z_u Z_v)/2``, the phase separator factors into
+one two-qubit diagonal per edge:
+
+``e^{-i gamma C} = prod_e e^{-i gamma w_e / 2} * e^{+i gamma w_e Z_u Z_v / 2}``.
+
+The scalar prefactor is a global phase and is dropped; the remaining factor
+is ``RZZ(-gamma * w_e)`` in our convention ``RZZ(t) = exp(-i t ZZ / 2)``.
+Being diagonal, the whole layer stays rank-preserving in the tensor network
+and commutes with the cut observable (which the lightcone pruner exploits).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameters import ParameterValue
+from repro.graphs.generators import Graph
+
+__all__ = ["append_cost_layer", "cost_layer"]
+
+
+def append_cost_layer(
+    circuit: QuantumCircuit, graph: Graph, gamma: ParameterValue
+) -> QuantumCircuit:
+    """Append ``e^{-i gamma C}`` (up to global phase) for ``graph``."""
+    for (u, v), w in zip(graph.edges, graph.weights):
+        circuit.rzz(gamma * (-w), u, v)
+    return circuit
+
+
+def cost_layer(graph: Graph, gamma: ParameterValue) -> QuantumCircuit:
+    """The cost layer as a standalone circuit on ``graph.num_nodes`` qubits."""
+    return append_cost_layer(QuantumCircuit(graph.num_nodes, name="cost"), graph, gamma)

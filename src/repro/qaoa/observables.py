@@ -1,0 +1,242 @@
+"""General Pauli-sum observables.
+
+The paper frames QArchSearch as finding "the best model given a task and
+input quantum state" — max-cut is only the driver application. This module
+supplies the observable abstraction that lets the same search loop target
+other Hamiltonians: weighted sums of Pauli strings, with exact expectation
+values on the state-vector engine and, for Z-only terms, on the
+tensor-network engine through the existing diagonal machinery.
+
+Includes the two standard model Hamiltonians used by the VQE-style example
+and tests: the transverse-field Ising model (TFIM) and general Ising/QUBO
+cost Hamiltonians.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.generators import Graph
+from repro.simulators.expectation import bit_table, pauli_expectation
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "PauliTerm",
+    "PauliSum",
+    "ising_hamiltonian",
+    "maxcut_hamiltonian",
+    "tfim_hamiltonian",
+    "qubo_to_ising",
+]
+
+
+@dataclass(frozen=True)
+class PauliTerm:
+    """``coefficient * P`` where ``P`` is a Pauli string like ``"XIZ"``.
+
+    Character ``j`` acts on qubit ``j`` (little-endian, as everywhere in the
+    package).
+    """
+
+    pauli: str
+    coefficient: float
+
+    def __post_init__(self) -> None:
+        if not self.pauli or any(c not in "IXYZ" for c in self.pauli.upper()):
+            raise ValueError(f"invalid Pauli string {self.pauli!r}")
+        object.__setattr__(self, "pauli", self.pauli.upper())
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.pauli)
+
+    @property
+    def is_diagonal(self) -> bool:
+        return all(c in "IZ" for c in self.pauli)
+
+    def __repr__(self) -> str:
+        return f"{self.coefficient:+g}*{self.pauli}"
+
+
+class PauliSum:
+    """A Hermitian observable ``sum_k c_k P_k`` on a fixed register width.
+
+    Terms with identical strings are merged; zero terms dropped.
+    """
+
+    def __init__(
+        self, terms: Iterable[PauliTerm], *, num_qubits: int | None = None
+    ) -> None:
+        merged: Dict[str, float] = {}
+        width = num_qubits
+        for term in terms:
+            if width is None:
+                width = term.num_qubits
+            elif term.num_qubits != width:
+                raise ValueError(
+                    f"mixed term widths: {term.num_qubits} vs {width}"
+                )
+            merged[term.pauli] = merged.get(term.pauli, 0.0) + term.coefficient
+        if width is None:
+            raise ValueError(
+                "PauliSum needs at least one term or an explicit num_qubits"
+            )
+        self.num_qubits = width
+        # terms cancelling to zero are dropped; an empty PauliSum is the
+        # zero observable on `num_qubits` qubits
+        self.terms: Tuple[PauliTerm, ...] = tuple(
+            PauliTerm(p, c) for p, c in sorted(merged.items()) if c != 0.0
+        )
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def is_diagonal(self) -> bool:
+        return all(t.is_diagonal for t in self.terms)
+
+    def expectation(self, state: np.ndarray) -> float:
+        """``<psi| H |psi>`` on the dense engine (any Pauli content)."""
+        if self.is_diagonal:
+            probs = np.abs(state) ** 2
+            return float(probs @ self.diagonal())
+        return sum(
+            t.coefficient * pauli_expectation(state, t.pauli) for t in self.terms
+        )
+
+    def diagonal(self) -> np.ndarray:
+        """The ``2^n`` diagonal of a Z/I-only observable (raises otherwise).
+
+        This is the representation the tensor-network engine consumes.
+        """
+        if not self.is_diagonal:
+            raise ValueError("observable has off-diagonal (X/Y) terms")
+        bits = bit_table(self.num_qubits)
+        z = 1.0 - 2.0 * bits.astype(np.float64)  # (2^n, n)
+        out = np.zeros(2**self.num_qubits)
+        for term in self.terms:
+            factor = np.ones(2**self.num_qubits)
+            for qubit, label in enumerate(term.pauli):
+                if label == "Z":
+                    factor = factor * z[:, qubit]
+            out += term.coefficient * factor
+        return out
+
+    def ground_energy(self) -> float:
+        """Exact minimum eigenvalue (diagonal: vector min; general: dense
+        eigensolve, intended for small n)."""
+        if self.is_diagonal:
+            return float(self.diagonal().min())
+        return float(np.linalg.eigvalsh(self.matrix()).min())
+
+    def matrix(self) -> np.ndarray:
+        """Dense ``2^n x 2^n`` matrix (testing / small n)."""
+        paulis = {
+            "I": np.eye(2, dtype=complex),
+            "X": np.array([[0, 1], [1, 0]], dtype=complex),
+            "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+            "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+        }
+        total = np.zeros((2**self.num_qubits,) * 2, dtype=complex)
+        for term in self.terms:
+            op = np.eye(1, dtype=complex)
+            # qubit 0 is the low bit: build kron from high qubit down
+            for label in reversed(term.pauli):
+                op = np.kron(op, paulis[label])
+            total += term.coefficient * op
+        return total
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __repr__(self) -> str:
+        inner = " ".join(repr(t) for t in self.terms[:4])
+        more = f" ... ({len(self.terms)} terms)" if len(self.terms) > 4 else ""
+        return f"PauliSum[{inner}{more}]"
+
+
+def _z_string(num_qubits: int, qubits: Sequence[int]) -> str:
+    chars = ["I"] * num_qubits
+    for q in qubits:
+        chars[q] = "Z"
+    return "".join(chars)
+
+
+def ising_hamiltonian(
+    num_qubits: int,
+    couplings: Mapping[Tuple[int, int], float],
+    fields: Mapping[int, float] | None = None,
+    offset: float = 0.0,
+) -> PauliSum:
+    """``H = sum J_ij Z_i Z_j + sum h_i Z_i + offset`` (offset via I...I)."""
+    check_positive(num_qubits, "num_qubits")
+    terms = [
+        PauliTerm(_z_string(num_qubits, [i, j]), float(v))
+        for (i, j), v in couplings.items()
+    ]
+    for i, h in (fields or {}).items():
+        terms.append(PauliTerm(_z_string(num_qubits, [i]), float(h)))
+    if offset:
+        terms.append(PauliTerm("I" * num_qubits, float(offset)))
+    return PauliSum(terms, num_qubits=num_qubits)
+
+
+def maxcut_hamiltonian(graph: Graph) -> PauliSum:
+    """Eq. (1) as a PauliSum: ``C = sum_e w_e (1 - Z_u Z_v) / 2``."""
+    couplings = {
+        (u, v): -w / 2.0 for (u, v), w in zip(graph.edges, graph.weights)
+    }
+    return ising_hamiltonian(
+        graph.num_nodes, couplings, offset=graph.total_weight() / 2.0
+    )
+
+
+def tfim_hamiltonian(num_qubits: int, j: float = 1.0, h: float = 1.0) -> PauliSum:
+    """Transverse-field Ising chain: ``-J sum Z_i Z_{i+1} - h sum X_i``.
+
+    Open boundary. The standard non-diagonal benchmark Hamiltonian for
+    VQE-style search (ground state is entangled for h ~ J).
+    """
+    check_positive(num_qubits, "num_qubits")
+    terms = [
+        PauliTerm(_z_string(num_qubits, [i, i + 1]), -float(j))
+        for i in range(num_qubits - 1)
+    ]
+    for i in range(num_qubits):
+        chars = ["I"] * num_qubits
+        chars[i] = "X"
+        terms.append(PauliTerm("".join(chars), -float(h)))
+    return PauliSum(terms)
+
+
+def qubo_to_ising(q_matrix: np.ndarray) -> PauliSum:
+    """Convert a QUBO ``min x^T Q x`` (x in {0,1}^n) to an Ising PauliSum.
+
+    Uses ``x_i = (1 - z_i) / 2``; the returned Hamiltonian's expectation on
+    a computational-basis state equals the QUBO objective of the
+    corresponding bitstring, constant included.
+    """
+    q_matrix = np.asarray(q_matrix, dtype=float)
+    if q_matrix.ndim != 2 or q_matrix.shape[0] != q_matrix.shape[1]:
+        raise ValueError(f"QUBO matrix must be square, got {q_matrix.shape}")
+    n = q_matrix.shape[0]
+    sym = (q_matrix + q_matrix.T) / 2.0
+    couplings: Dict[Tuple[int, int], float] = {}
+    fields: Dict[int, float] = {}
+    offset = 0.0
+    for i in range(n):
+        offset += sym[i, i] / 2.0
+        fields[i] = fields.get(i, 0.0) - sym[i, i] / 2.0
+        for j2 in range(i + 1, n):
+            w = 2.0 * sym[i, j2]  # Q_ij + Q_ji
+            if w == 0.0:
+                continue
+            offset += w / 4.0
+            fields[i] = fields.get(i, 0.0) - w / 4.0
+            fields[j2] = fields.get(j2, 0.0) - w / 4.0
+            couplings[(i, j2)] = couplings.get((i, j2), 0.0) + w / 4.0
+    fields = {i: h for i, h in fields.items() if h != 0.0}
+    return ising_hamiltonian(n, couplings, fields, offset)

@@ -1,0 +1,198 @@
+"""VQE-style ansatz search — the "any task" generalization.
+
+The paper positions QArchSearch as task-agnostic ("the best model given a
+task and input quantum state", §1; VQE via Ostaszewski et al. in §5). This
+module turns the same searched token sequences into *hardware-efficient
+layered ansätze* for ground-state problems over arbitrary
+:class:`~repro.qaoa.observables.PauliSum` Hamiltonians:
+
+* each layer applies the token sequence to every qubit, parameterized
+  tokens sharing one fresh angle per (token, layer) — the paper's
+  weight-sharing, one level finer than QAOA's single beta;
+* an optional CX entangling chain closes each layer (without it, product
+  ansätze cannot reach entangled ground states such as TFIM's).
+
+:func:`search_vqe_ansatz` reuses the Algorithm-1 skeleton: enumerate or
+sample candidates, train each with COBYLA, keep the lowest energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameters import Parameter
+from repro.optimizers import Cobyla, Optimizer
+from repro.qaoa.mixers import FIXED_TOKENS, PARAMETERIZED_TOKENS
+from repro.qaoa.observables import PauliSum
+from repro.simulators.statevector import simulate, zero_state
+from repro.utils.rng import as_rng, stable_seed
+from repro.utils.validation import check_positive
+
+__all__ = ["VQEAnsatz", "build_vqe_ansatz", "VQEEnergy", "train_vqe", "search_vqe_ansatz"]
+
+
+@dataclass(frozen=True)
+class VQEAnsatz:
+    """A layered ansatz and its free parameters (one per token-layer)."""
+
+    circuit: QuantumCircuit
+    parameters: Tuple[Parameter, ...]
+    tokens: Tuple[str, ...]
+    layers: int
+
+    @property
+    def num_parameters(self) -> int:
+        return len(self.parameters)
+
+    def bind(self, values: Sequence[float]) -> QuantumCircuit:
+        if len(values) != self.num_parameters:
+            raise ValueError(
+                f"expected {self.num_parameters} values, got {len(values)}"
+            )
+        return self.circuit.bind_parameters(dict(zip(self.parameters, values)))
+
+
+def build_vqe_ansatz(
+    num_qubits: int,
+    tokens: Sequence[str],
+    layers: int,
+    *,
+    entangle: bool = True,
+) -> VQEAnsatz:
+    """Layered hardware-efficient ansatz from a searched token sequence.
+
+    Layer ``l``: for each token, apply it to every qubit (parameterized
+    tokens get angle ``theta_{token_index, l}``, shared across qubits); then
+    a CX chain ``0->1->...->n-1`` if ``entangle``.
+    """
+    check_positive(num_qubits, "num_qubits")
+    check_positive(layers, "layers")
+    tokens = tuple(tokens)
+    if not tokens:
+        raise ValueError("ansatz needs at least one token")
+    circuit = QuantumCircuit(num_qubits, name=f"vqe_{'-'.join(tokens)}_x{layers}")
+    params: List[Parameter] = []
+    for layer in range(layers):
+        for t_index, token in enumerate(tokens):
+            if token in PARAMETERIZED_TOKENS:
+                theta = Parameter(f"theta_{layer}_{t_index}")
+                params.append(theta)
+                for q in range(num_qubits):
+                    circuit.append_named(token, [q], theta)
+            elif token in FIXED_TOKENS:
+                for q in range(num_qubits):
+                    circuit.append_named(token, [q])
+            else:
+                raise ValueError(
+                    f"token {token!r} not usable in a VQE layer "
+                    f"(use {PARAMETERIZED_TOKENS + FIXED_TOKENS})"
+                )
+        if entangle:
+            for q in range(num_qubits - 1):
+                circuit.cx(q, q + 1)
+    return VQEAnsatz(circuit, tuple(params), tokens, layers)
+
+
+class VQEEnergy:
+    """``<psi(x)| H |psi(x)>`` from |0...0> on the dense engine."""
+
+    def __init__(self, ansatz: VQEAnsatz, hamiltonian: PauliSum) -> None:
+        if hamiltonian.num_qubits != ansatz.circuit.num_qubits:
+            raise ValueError(
+                f"Hamiltonian width {hamiltonian.num_qubits} != "
+                f"circuit width {ansatz.circuit.num_qubits}"
+            )
+        self.ansatz = ansatz
+        self.hamiltonian = hamiltonian
+        self.num_evaluations = 0
+
+    def value(self, x: Sequence[float]) -> float:
+        self.num_evaluations += 1
+        state = simulate(self.ansatz.bind(list(x)))
+        return self.hamiltonian.expectation(state)
+
+    __call__ = value
+
+
+@dataclass
+class VQEResult:
+    """One trained candidate ansatz."""
+
+    tokens: Tuple[str, ...]
+    layers: int
+    energy: float
+    params: np.ndarray
+    nfev: int
+    #: energy error relative to the exact ground state
+    error: float
+
+
+def train_vqe(
+    hamiltonian: PauliSum,
+    tokens: Sequence[str],
+    layers: int,
+    *,
+    optimizer: Optional[Optimizer] = None,
+    restarts: int = 2,
+    seed: int = 0,
+    entangle: bool = True,
+) -> VQEResult:
+    """Train one candidate ansatz; energy is minimized (ground-state VQE)."""
+    ansatz = build_vqe_ansatz(hamiltonian.num_qubits, tokens, layers, entangle=entangle)
+    energy = VQEEnergy(ansatz, hamiltonian)
+    optimizer = optimizer or Cobyla(maxiter=200)
+    best_fun, best_x, nfev = np.inf, np.zeros(ansatz.num_parameters), 0
+    for restart in range(max(1, restarts)):
+        rng = as_rng(stable_seed(seed, "vqe", restart, layers, *tokens))
+        if ansatz.num_parameters:
+            x0 = rng.uniform(-0.5, 0.5, ansatz.num_parameters)
+        else:
+            x0 = np.zeros(0)
+        if ansatz.num_parameters == 0:
+            value = energy.value(x0)
+            if value < best_fun:
+                best_fun, best_x = value, x0
+            nfev += 1
+            continue
+        result = optimizer.minimize(energy.value, x0)
+        nfev += result.nfev
+        if result.fun < best_fun:
+            best_fun, best_x = result.fun, result.x
+    exact = hamiltonian.ground_energy()
+    return VQEResult(
+        tokens=tuple(tokens),
+        layers=layers,
+        energy=float(best_fun),
+        params=np.asarray(best_x),
+        nfev=nfev,
+        error=float(best_fun - exact),
+    )
+
+
+def search_vqe_ansatz(
+    hamiltonian: PauliSum,
+    candidates: Sequence[Sequence[str]],
+    layers: int,
+    *,
+    optimizer_steps: int = 120,
+    restarts: int = 2,
+    seed: int = 0,
+) -> List[VQEResult]:
+    """Score every candidate token sequence; returns results sorted by
+    energy ascending (best first) — Algorithm 1's inner loop for VQE."""
+    results = [
+        train_vqe(
+            hamiltonian,
+            tokens,
+            layers,
+            optimizer=Cobyla(maxiter=optimizer_steps),
+            restarts=restarts,
+            seed=seed,
+        )
+        for tokens in candidates
+    ]
+    return sorted(results, key=lambda r: r.energy)

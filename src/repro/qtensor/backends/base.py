@@ -1,0 +1,98 @@
+"""Contraction backend protocol.
+
+A backend owns the two numeric kernels of bucket elimination:
+
+* :meth:`ContractionBackend.contract_bucket` — multiply all tensors in a
+  bucket (einsum over the union of their indices) and sum out one variable;
+* :meth:`ContractionBackend.combine` — multiply leftover tensors into the
+  final result over the requested open-variable order.
+
+Everything above the backend (bucketing, ordering, slicing) is pure index
+bookkeeping, so swapping NumPy for a device library — the GPU integration
+the paper's future-work section describes — touches only this layer.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.qtensor.tensor import Tensor
+from repro.qtensor.variables import Variable
+
+__all__ = ["ContractionBackend", "einsum_bucket", "einsum_combine"]
+
+#: einsum accepts at most 32 operands; we chunk well below that.
+_MAX_OPERANDS = 16
+
+
+def _einsum_subscripts(
+    operands: Sequence[Tensor], out_vars: Sequence[Variable]
+) -> List:
+    """Build the integer-subscript argument list for ``np.einsum``."""
+    local: Dict[Variable, int] = {}
+    args: List = []
+    for tensor in operands:
+        labels = []
+        for v in tensor.indices:
+            labels.append(local.setdefault(v, len(local)))
+        args.extend([tensor.data, labels])
+    args.append([local[v] for v in out_vars])
+    return args
+
+
+def einsum_bucket(
+    einsum_fn, operands: Sequence[Tensor], sum_var: Variable, name: str
+) -> Tensor:
+    """Contract a bucket with the given einsum implementation.
+
+    Output indices are the union of the operands' indices minus ``sum_var``,
+    ordered by variable id (deterministic across runs and processes). Wide
+    buckets are folded in chunks to respect einsum's operand limit.
+    """
+    while len(operands) > _MAX_OPERANDS:
+        chunk, operands = operands[:_MAX_OPERANDS], operands[_MAX_OPERANDS:]
+        chunk_out = sorted({v for t in chunk for v in t.indices})
+        merged = einsum_fn(*_einsum_subscripts(chunk, chunk_out))
+        operands = [Tensor(f"{name}_chunk", merged, chunk_out)] + list(operands)
+    out_vars = sorted({v for t in operands for v in t.indices} - {sum_var})
+    data = einsum_fn(*_einsum_subscripts(operands, out_vars))
+    return Tensor(name, data, out_vars)
+
+
+def einsum_combine(
+    einsum_fn, operands: Sequence[Tensor], out_vars: Sequence[Variable], name: str
+) -> Tensor:
+    """Multiply leftover tensors into a tensor over exactly ``out_vars``."""
+    if not operands:
+        return Tensor(name, np.asarray(1.0 + 0.0j), [])
+    while len(operands) > _MAX_OPERANDS:
+        chunk, operands = operands[:_MAX_OPERANDS], operands[_MAX_OPERANDS:]
+        chunk_out = sorted({v for t in chunk for v in t.indices})
+        merged = einsum_fn(*_einsum_subscripts(chunk, chunk_out))
+        operands = [Tensor(f"{name}_chunk", merged, chunk_out)] + list(operands)
+    data = einsum_fn(*_einsum_subscripts(operands, list(out_vars)))
+    return Tensor(name, data, list(out_vars))
+
+
+class ContractionBackend(abc.ABC):
+    """Abstract contraction engine."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def contract_bucket(self, operands: Sequence[Tensor], sum_var: Variable) -> Tensor:
+        """Product of ``operands`` summed over ``sum_var``."""
+
+    @abc.abstractmethod
+    def combine(self, operands: Sequence[Tensor], out_vars: Sequence[Variable]) -> Tensor:
+        """Product of ``operands`` arranged over ``out_vars``."""
+
+    def reset_stats(self) -> None:  # pragma: no cover - default no-op
+        """Clear any accumulated instrumentation."""
+
+    def stats(self) -> Dict[str, float]:  # pragma: no cover - default no-op
+        """Backend-specific counters (flops, bytes moved, device time)."""
+        return {}

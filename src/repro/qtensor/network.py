@@ -1,0 +1,260 @@
+"""Circuit → tensor network conversion.
+
+The QTensor construction (Lykov & Alexeev 2021): every qubit wire segment
+is a :class:`Variable`; a gate becomes a tensor connecting its input and
+output segments. The crucial optimization is the treatment of **diagonal
+gates** — a gate diagonal in the computational basis (RZ, P, CZ, CP, RZZ,
+...) does not mix its input and output wire, so it is stored as a rank-``m``
+*diagonal* tensor attached to the current wire variables without creating
+new ones. QAOA cost layers are entirely diagonal, which is why tensor
+networks simulate QAOA so much more cheaply than generic circuits.
+
+Axis conventions follow :mod:`repro.circuits.gates`: matrix index bit ``j``
+corresponds to the gate's ``j``-th qubit, so reshaped gate axes are ordered
+high-bit-first, ``(out_{m-1}..out_0, in_{m-1}..in_0)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameters import Parameter
+from repro.qtensor.tensor import Tensor
+from repro.qtensor.variables import Variable, VariableFactory
+
+__all__ = ["TensorNetwork", "interaction_graph", "product_state_vectors"]
+
+_SQ2 = 1.0 / math.sqrt(2.0)
+
+#: named single-qubit product states accepted as ``initial_state``
+_NAMED_STATES = {
+    "0": np.array([1.0, 0.0], dtype=complex),
+    "1": np.array([0.0, 1.0], dtype=complex),
+    "+": np.array([_SQ2, _SQ2], dtype=complex),
+    "-": np.array([_SQ2, -_SQ2], dtype=complex),
+}
+
+
+def product_state_vectors(
+    spec: Union[str, Sequence[np.ndarray]], num_qubits: int
+) -> List[np.ndarray]:
+    """Resolve an initial-state spec into per-qubit 2-vectors.
+
+    ``spec`` is either a named state applied to every qubit (``"0"``,
+    ``"+"``, ...) or an explicit sequence of ``n`` single-qubit vectors.
+    Tensor networks need *product* inputs; entangled initial states would
+    require an MPS front-end, which none of the paper's workloads use.
+    """
+    if isinstance(spec, str):
+        if spec not in _NAMED_STATES:
+            raise ValueError(f"unknown initial state {spec!r}; options: {sorted(_NAMED_STATES)}")
+        return [_NAMED_STATES[spec].copy() for _ in range(num_qubits)]
+    vectors = [np.asarray(v, dtype=complex) for v in spec]
+    if len(vectors) != num_qubits:
+        raise ValueError(f"got {len(vectors)} qubit states for {num_qubits} qubits")
+    for i, v in enumerate(vectors):
+        if v.shape != (2,):
+            raise ValueError(f"qubit state {i} has shape {v.shape}, expected (2,)")
+    return vectors
+
+
+@dataclass
+class TensorNetwork:
+    """A bag of tensors plus the variables that must stay open.
+
+    ``open_vars`` are excluded from elimination; the contraction result is a
+    tensor over them (a scalar when empty).
+    """
+
+    tensors: List[Tensor] = field(default_factory=list)
+    open_vars: Tuple[Variable, ...] = ()
+    num_qubits: int = 0
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_circuit(
+        cls,
+        circuit: QuantumCircuit,
+        *,
+        bindings: Optional[Mapping[Parameter, float]] = None,
+        initial_state: Union[str, Sequence[np.ndarray]] = "0",
+        output_bitstring: Optional[int] = None,
+    ) -> "TensorNetwork":
+        """Network for ``U|init>`` (open outputs) or ``<b|U|init>`` (scalar).
+
+        ``output_bitstring`` is a basis index with qubit ``k`` at bit ``k``;
+        when given, every output wire is capped by the corresponding basis
+        vector and the contraction yields the amplitude ``<b|U|init>``.
+        """
+        builder = _NetworkBuilder(circuit.num_qubits)
+        builder.add_input_state(product_state_vectors(initial_state, circuit.num_qubits))
+        builder.add_circuit(circuit, bindings or {}, conjugate=False)
+        if output_bitstring is None:
+            open_vars = tuple(builder.current[q] for q in range(circuit.num_qubits))
+            return cls(builder.tensors, open_vars, circuit.num_qubits)
+        if not 0 <= output_bitstring < 2**circuit.num_qubits:
+            raise ValueError(f"bitstring {output_bitstring} out of range")
+        for q in range(circuit.num_qubits):
+            bit = (output_bitstring >> q) & 1
+            cap = np.zeros(2, dtype=complex)
+            cap[bit] = 1.0
+            builder.add_tensor(Tensor(f"out{q}", cap, [builder.current[q]]))
+        return cls(builder.tensors, (), circuit.num_qubits)
+
+    @classmethod
+    def expectation(
+        cls,
+        circuit: QuantumCircuit,
+        diagonal_terms: Sequence[Tuple[Sequence[int], np.ndarray]],
+        *,
+        bindings: Optional[Mapping[Parameter, float]] = None,
+        initial_state: Union[str, Sequence[np.ndarray]] = "0",
+    ) -> "TensorNetwork":
+        """Closed network for ``<init|U^+ (prod_k D_k) U|init>``.
+
+        Each term is ``(qubits, diag)`` where ``diag`` has ``2^m`` entries in
+        the usual bit convention (bit ``j`` of the index = ``qubits[j]``).
+        Since the observable factors are diagonal, the forward and backward
+        halves share their output-wire variables — the observable tensors
+        simply sit on those shared wires. This is the construction QAOA
+        energy evaluation uses with ``D = Z_u Z_v``.
+        """
+        n = circuit.num_qubits
+        builder = _NetworkBuilder(n)
+        vectors = product_state_vectors(initial_state, n)
+        builder.add_input_state(vectors)
+        builder.add_circuit(circuit, bindings or {}, conjugate=False)
+        final = {q: builder.current[q] for q in range(n)}
+
+        # Observable tensors sit on the shared output wires.
+        for term_idx, (qubits, diag) in enumerate(diagonal_terms):
+            qubits = list(qubits)
+            diag = np.asarray(diag, dtype=complex)
+            if diag.shape != (2 ** len(qubits),):
+                raise ValueError(
+                    f"diagonal term {term_idx} has {diag.shape[0]} entries "
+                    f"for {len(qubits)} qubits"
+                )
+            data = diag.reshape((2,) * len(qubits))  # axes high-bit-first
+            indices = [final[q] for q in reversed(qubits)]
+            builder.add_tensor(Tensor(f"obs{term_idx}", data, indices))
+
+        # Backward (conjugated) half, sharing the final wire variables.
+        builder.add_circuit_reversed(circuit, bindings or {}, start=final)
+        for q in range(n):
+            builder.add_tensor(
+                Tensor(f"in{q}*", vectors[q].conj(), [builder.current[q]])
+            )
+        return cls(builder.tensors, (), n)
+
+    # -- queries ------------------------------------------------------------
+
+    def all_vars(self) -> Set[Variable]:
+        out: Set[Variable] = set()
+        for t in self.tensors:
+            out.update(t.indices)
+        return out
+
+    def closed(self) -> bool:
+        return not self.open_vars
+
+    def __len__(self) -> int:
+        return len(self.tensors)
+
+
+def interaction_graph(tensors: Iterable[Tensor]) -> Dict[Variable, Set[Variable]]:
+    """Adjacency over variables: two variables are adjacent iff they share a
+    tensor. This is the graph whose tree-width controls contraction cost
+    (QTensor's "line graph" of the circuit)."""
+    adj: Dict[Variable, Set[Variable]] = {}
+    for tensor in tensors:
+        for v in tensor.indices:
+            adj.setdefault(v, set())
+        for i, u in enumerate(tensor.indices):
+            for w in tensor.indices[i + 1 :]:
+                adj[u].add(w)
+                adj[w].add(u)
+    return adj
+
+
+class _NetworkBuilder:
+    """Stateful helper tracking the current wire variable per qubit."""
+
+    def __init__(self, num_qubits: int) -> None:
+        self.num_qubits = num_qubits
+        self.factory = VariableFactory()
+        self.current: Dict[int, Variable] = {
+            q: self.factory.fresh(f"q{q}_0") for q in range(num_qubits)
+        }
+        self._wire_step = {q: 0 for q in range(num_qubits)}
+        self.tensors: List[Tensor] = []
+
+    def add_tensor(self, tensor: Tensor) -> None:
+        self.tensors.append(tensor)
+
+    def add_input_state(self, vectors: Sequence[np.ndarray]) -> None:
+        for q, vec in enumerate(vectors):
+            self.add_tensor(Tensor(f"in{q}", np.asarray(vec, dtype=complex), [self.current[q]]))
+
+    def _advance(self, qubit: int) -> Variable:
+        self._wire_step[qubit] += 1
+        var = self.factory.fresh(f"q{qubit}_{self._wire_step[qubit]}")
+        self.current[qubit] = var
+        return var
+
+    def _gate_tensor(self, instr, bindings, conjugate: bool) -> None:
+        """Append one gate tensor.
+
+        The conjugate (bra) network is the elementwise conjugate of the ket
+        network with the *same* in/out index roles — tensor contraction has
+        no row/column distinction, so ``conj(psi)`` is built from
+        ``conj(G)`` tensors wired exactly like the forward ones, just along
+        a separate wire chain. When walking backwards (``conjugate=True``),
+        "current" holds the later-time segment, so the fresh variable is the
+        gate's *input*.
+        """
+        gate = instr.gate
+        qubits = instr.qubits
+        m = len(qubits)
+        matrix = gate.matrix(bindings)
+        if conjugate:
+            matrix = matrix.conj()
+        if gate.is_diagonal:
+            diag = np.ascontiguousarray(np.diagonal(matrix))
+            data = diag.reshape((2,) * m)
+            indices = [self.current[q] for q in reversed(qubits)]
+            self.add_tensor(Tensor(gate.name, data, indices))
+            return
+        if conjugate:
+            out_vars = [self.current[q] for q in qubits]
+            in_vars = [self._advance(q) for q in qubits]
+        else:
+            in_vars = [self.current[q] for q in qubits]
+            out_vars = [self._advance(q) for q in qubits]
+        data = matrix.reshape((2,) * (2 * m))
+        indices = list(reversed(out_vars)) + list(reversed(in_vars))
+        self.add_tensor(Tensor(gate.name, data, indices))
+
+    def add_circuit(self, circuit: QuantumCircuit, bindings, *, conjugate: bool) -> None:
+        for instr in circuit.instructions:
+            self._gate_tensor(instr, bindings, conjugate)
+
+    def add_circuit_reversed(
+        self, circuit: QuantumCircuit, bindings, *, start: Dict[int, Variable]
+    ) -> None:
+        """Append the bra half ``conj(U|init>)`` walking the gates backwards.
+
+        Starting from the shared output-wire variables ``start``, each gate
+        contributes ``conj(G)`` wired with its output on the later-time
+        segment and its input on a fresh earlier-time segment — the mirror
+        image of the forward chain, sharing only the output wires.
+        """
+        self.current = dict(start)
+        for instr in reversed(circuit.instructions):
+            self._gate_tensor(instr, bindings, conjugate=True)

@@ -1,0 +1,61 @@
+"""Quantum circuit simulators.
+
+* :mod:`repro.simulators.statevector` — exact dense simulation, the
+  package's reference engine.
+* :mod:`repro.simulators.expectation` — vectorized observable evaluation
+  (max-cut cost, Pauli strings).
+* :mod:`repro.simulators.noise` — Kraus channels + density-matrix engine
+  for noisy candidate ranking.
+"""
+
+from repro.simulators.expectation import (
+    bit_table,
+    cut_values,
+    maxcut_expectation,
+    pauli_expectation,
+    z_expectations,
+    zz_expectation,
+)
+from repro.simulators.noise import (
+    DensityMatrixSimulator,
+    KrausChannel,
+    NoiseModel,
+    amplitude_damping_channel,
+    bit_flip_channel,
+    depolarizing_channel,
+    phase_flip_channel,
+)
+from repro.simulators.statevector import (
+    StatevectorSimulator,
+    apply_gate,
+    basis_state,
+    circuit_unitary,
+    plus_state,
+    sample_counts,
+    simulate,
+    zero_state,
+)
+
+__all__ = [
+    "StatevectorSimulator",
+    "simulate",
+    "circuit_unitary",
+    "apply_gate",
+    "zero_state",
+    "plus_state",
+    "basis_state",
+    "sample_counts",
+    "bit_table",
+    "cut_values",
+    "maxcut_expectation",
+    "z_expectations",
+    "zz_expectation",
+    "pauli_expectation",
+    "DensityMatrixSimulator",
+    "NoiseModel",
+    "KrausChannel",
+    "depolarizing_channel",
+    "bit_flip_channel",
+    "phase_flip_channel",
+    "amplitude_damping_channel",
+]

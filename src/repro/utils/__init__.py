@@ -1,0 +1,19 @@
+"""Shared utilities: RNG management, logging, validation helpers."""
+
+from repro.utils.rng import as_rng, spawn_rngs, stable_seed
+from repro.utils.validation import (
+    check_integer,
+    check_positive,
+    check_probability,
+    check_qubit_index,
+)
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "stable_seed",
+    "check_integer",
+    "check_positive",
+    "check_probability",
+    "check_qubit_index",
+]

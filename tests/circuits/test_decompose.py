@@ -1,0 +1,108 @@
+"""ZYZ decomposition and single-qubit run fusion."""
+
+import cmath
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.decompose import fuse_single_qubit_runs, zyz_decompose
+from repro.circuits.gates import GATE_REGISTRY, make_gate
+from repro.circuits.parameters import Parameter
+from repro.simulators.statevector import circuit_unitary
+from tests.conftest import random_circuit
+
+
+def _reconstruct(theta, phi, lam, phase):
+    return cmath.exp(1j * phase) * make_gate("u3", theta, phi, lam).matrix()
+
+
+def _random_unitary(rng):
+    a = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+    q, r = np.linalg.qr(a)
+    return q @ np.diag(np.diag(r) / np.abs(np.diag(r)))
+
+
+def assert_same_up_to_phase(u1, u2, atol=1e-8):
+    idx = np.unravel_index(np.argmax(np.abs(u1)), u1.shape)
+    ratio = u1[idx] / u2[idx]
+    assert abs(abs(ratio) - 1) < atol
+    np.testing.assert_allclose(u1, ratio * u2, atol=atol)
+
+
+class TestZYZ:
+    def test_random_unitaries_exact(self, rng):
+        for _ in range(25):
+            u = _random_unitary(rng)
+            np.testing.assert_allclose(_reconstruct(*zyz_decompose(u)), u, atol=1e-9)
+
+    @pytest.mark.parametrize("name", ["id", "x", "y", "z", "h", "s", "t", "sdg"])
+    def test_named_gates(self, name):
+        m = make_gate(name).matrix()
+        np.testing.assert_allclose(_reconstruct(*zyz_decompose(m)), m, atol=1e-9)
+
+    @pytest.mark.parametrize("name", ["rx", "ry", "rz", "p"])
+    def test_rotations(self, name):
+        for angle in (0.0, 0.3, np.pi, -2.1, 2 * np.pi):
+            m = make_gate(name, angle).matrix()
+            np.testing.assert_allclose(_reconstruct(*zyz_decompose(m)), m, atol=1e-9)
+
+    def test_diagonal_gimbal_lock(self):
+        m = np.diag([np.exp(0.4j), np.exp(-0.9j)])
+        np.testing.assert_allclose(_reconstruct(*zyz_decompose(m)), m, atol=1e-9)
+
+    def test_antidiagonal_gimbal_lock(self):
+        m = np.array([[0, np.exp(0.3j)], [np.exp(-0.7j), 0]])
+        np.testing.assert_allclose(_reconstruct(*zyz_decompose(m)), m, atol=1e-9)
+
+    def test_non_unitary_rejected(self):
+        with pytest.raises(ValueError, match="unitary"):
+            zyz_decompose(np.array([[1.0, 0.0], [0.0, 2.0]]))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError, match="2x2"):
+            zyz_decompose(np.eye(4))
+
+
+class TestFusion:
+    def test_run_collapses_to_one_u3(self):
+        qc = QuantumCircuit(1).h(0).t(0).s(0).x(0)
+        fused = fuse_single_qubit_runs(qc)
+        assert fused.size() == 1
+        assert fused.instructions[0].gate.name == "u3"
+        assert_same_up_to_phase(circuit_unitary(qc), circuit_unitary(fused))
+
+    def test_two_qubit_gate_breaks_runs(self):
+        qc = QuantumCircuit(2).h(0).h(1).cx(0, 1).h(0).h(1)
+        fused = fuse_single_qubit_runs(qc)
+        # four length-1 runs survive (below min_run), cx in the middle
+        assert fused.count_ops()["cx"] == 1
+        assert_same_up_to_phase(circuit_unitary(qc), circuit_unitary(fused))
+
+    def test_min_run_respected(self):
+        qc = QuantumCircuit(1).h(0)
+        assert fuse_single_qubit_runs(qc).instructions[0].gate.name == "h"
+
+    def test_symbolic_gates_left_alone(self):
+        beta = Parameter("beta")
+        qc = QuantumCircuit(1).rx(2 * beta, 0).h(0).t(0)
+        fused = fuse_single_qubit_runs(qc)
+        assert "rx" in fused.count_ops()
+        assert fused.parameters == frozenset({beta})
+
+    def test_random_circuits_preserved(self):
+        for seed in range(5):
+            qc = random_circuit(3, 30, seed=300 + seed)
+            fused = fuse_single_qubit_runs(qc)
+            assert fused.size() <= qc.size()
+            assert_same_up_to_phase(circuit_unitary(qc), circuit_unitary(fused))
+
+    def test_fusion_reduces_bound_mixer_depth(self):
+        """A bound two-rotation mixer column fuses to one u3 per qubit."""
+        from repro.qaoa.mixers import mixer_layer
+
+        beta = Parameter("beta")
+        bound = mixer_layer(4, ("rx", "ry"), beta).bind_parameters({beta: 0.37})
+        fused = fuse_single_qubit_runs(bound)
+        assert fused.count_ops() == {"u3": 4}
+        assert_same_up_to_phase(circuit_unitary(bound), circuit_unitary(fused))

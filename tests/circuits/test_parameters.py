@@ -1,0 +1,152 @@
+"""Parameter and ParameterExpression algebra."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.parameters import Parameter, ParameterExpression, bind_value
+
+
+class TestParameter:
+    def test_name(self):
+        assert Parameter("beta").name == "beta"
+
+    def test_identity_not_name_equality(self):
+        a, b = Parameter("beta"), Parameter("beta")
+        assert a != b
+        assert a == a
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Parameter("")
+
+    def test_rejects_non_string_name(self):
+        with pytest.raises(ValueError):
+            Parameter(3)
+
+    def test_is_its_own_expression(self):
+        p = Parameter("x")
+        assert p.parameters == frozenset({p})
+        assert p.terms == {p: 1.0}
+        assert p.offset == 0.0
+
+    def test_hashable_distinct(self):
+        params = {Parameter("a"), Parameter("a"), Parameter("b")}
+        assert len(params) == 3
+
+
+class TestExpressionAlgebra:
+    def test_scalar_multiply(self):
+        beta = Parameter("beta")
+        expr = 2 * beta
+        assert expr.terms == {beta: 2.0}
+
+    def test_right_and_left_multiply_agree(self):
+        beta = Parameter("beta")
+        assert 2 * beta == beta * 2
+
+    def test_add_constant(self):
+        beta = Parameter("beta")
+        expr = beta + 1.5
+        assert expr.offset == 1.5
+        assert expr.terms == {beta: 1.0}
+
+    def test_radd_constant(self):
+        beta = Parameter("beta")
+        assert (1.5 + beta) == (beta + 1.5)
+
+    def test_add_two_parameters(self):
+        a, b = Parameter("a"), Parameter("b")
+        expr = a + b
+        assert expr.terms == {a: 1.0, b: 1.0}
+
+    def test_subtract_cancels(self):
+        a = Parameter("a")
+        expr = (2 * a) - (2 * a)
+        assert expr.is_constant()
+        assert expr.constant_value() == 0.0
+
+    def test_rsub(self):
+        a = Parameter("a")
+        expr = 1.0 - a
+        assert expr.terms == {a: -1.0}
+        assert expr.offset == 1.0
+
+    def test_negation(self):
+        a = Parameter("a")
+        assert (-a).terms == {a: -1.0}
+
+    def test_division(self):
+        a = Parameter("a")
+        assert (a / 2).terms == {a: 0.5}
+
+    def test_zero_coefficient_dropped(self):
+        a = Parameter("a")
+        expr = 0 * a
+        assert expr.is_constant()
+        assert expr.parameters == frozenset()
+
+    def test_multiply_by_non_scalar_rejected(self):
+        a, b = Parameter("a"), Parameter("b")
+        with pytest.raises(TypeError):
+            _ = a * b  # nonlinear terms are out of scope
+
+
+class TestBinding:
+    def test_full_binding(self):
+        beta = Parameter("beta")
+        expr = 2 * beta + 1
+        assert expr.bind({beta: 0.5}).constant_value() == 2.0
+
+    def test_partial_binding(self):
+        a, b = Parameter("a"), Parameter("b")
+        expr = a + 3 * b
+        bound = expr.bind({b: 2.0})
+        assert bound.terms == {a: 1.0}
+        assert bound.offset == 6.0
+
+    def test_constant_value_raises_when_free(self):
+        a = Parameter("a")
+        with pytest.raises(ValueError, match="depends on parameters"):
+            (a + 1).constant_value()
+
+    def test_bind_value_float_passthrough(self):
+        assert bind_value(1.25, {}) == 1.25
+
+    def test_bind_value_expression(self):
+        a = Parameter("a")
+        assert bind_value(2 * a, {a: 3.0}) == 6.0
+
+    def test_bind_value_unbound_raises(self):
+        a = Parameter("a")
+        with pytest.raises(ValueError):
+            bind_value(2 * a, {})
+
+    def test_numpy_scalar_binding(self):
+        a = Parameter("a")
+        assert (2 * a).bind({a: np.float64(0.25)}).constant_value() == 0.5
+
+
+class TestEqualityAndRepr:
+    def test_expression_equality(self):
+        a = Parameter("a")
+        assert (2 * a + 1) == (a * 2 + 1)
+
+    def test_constant_expression_equals_number(self):
+        a = Parameter("a")
+        assert (0 * a + 2.0) == 2.0
+
+    def test_hash_consistency(self):
+        a = Parameter("a")
+        assert hash(2 * a) == hash(a * 2)
+
+    def test_repr_mentions_name_and_coeff(self):
+        beta = Parameter("beta")
+        assert "beta" in repr(2 * beta)
+        assert "2" in repr(2 * beta)
+
+    def test_shared_parameter_across_expressions(self):
+        beta = Parameter("beta")
+        e1, e2 = 2 * beta, 4 * beta
+        bound = {beta: 0.5}
+        assert e1.bind(bound).constant_value() == 1.0
+        assert e2.bind(bound).constant_value() == 2.0

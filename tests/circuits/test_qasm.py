@@ -1,0 +1,86 @@
+"""OpenQASM 2 export / import round-trips."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameters import Parameter
+from repro.circuits.qasm import QasmError, from_qasm, to_qasm
+from repro.simulators.statevector import circuit_unitary
+from tests.conftest import random_circuit
+
+
+class TestExport:
+    def test_header_and_register(self):
+        text = to_qasm(QuantumCircuit(3).h(0))
+        assert "OPENQASM 2.0;" in text
+        assert "qreg q[3];" in text
+        assert "h q[0];" in text
+
+    def test_parameterized_gate_formatting(self):
+        text = to_qasm(QuantumCircuit(1).rx(0.5, 0))
+        assert "rx(0.5) q[0];" in text
+
+    def test_two_qubit_gate(self):
+        text = to_qasm(QuantumCircuit(2).cx(1, 0))
+        assert "cx q[1],q[0];" in text
+
+    def test_unbound_parameters_rejected(self):
+        beta = Parameter("beta")
+        with pytest.raises(QasmError, match="beta"):
+            to_qasm(QuantumCircuit(1).rx(beta, 0))
+
+
+class TestImport:
+    def test_parses_pi_expressions(self):
+        qc = from_qasm('OPENQASM 2.0;\nqreg q[1];\nrx(pi/2) q[0];\n')
+        assert qc.instructions[0].gate.params[0] == pytest.approx(math.pi / 2)
+
+    def test_comments_and_blank_lines_ignored(self):
+        qc = from_qasm(
+            "OPENQASM 2.0;\n// a comment\n\nqreg q[2];\nh q[0]; // trailing\ncx q[0],q[1];\n"
+        )
+        assert qc.size() == 2
+
+    def test_missing_qreg(self):
+        with pytest.raises(QasmError, match="qreg"):
+            from_qasm("OPENQASM 2.0;\nh q[0];\n")
+
+    def test_gate_before_qreg(self):
+        with pytest.raises(QasmError):
+            from_qasm("h q[0];\nqreg q[1];\n")
+
+    def test_unknown_gate(self):
+        with pytest.raises(QasmError, match="unknown gate"):
+            from_qasm("qreg q[1];\nfoo q[0];\n")
+
+    def test_malformed_line(self):
+        with pytest.raises(QasmError, match="cannot parse"):
+            from_qasm("qreg q[1];\nthis is not qasm\n")
+
+    def test_evil_parameter_expression_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("qreg q[1];\nrx(__import__) q[0];\n")
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).rz(0.25, 1)
+        rebuilt = from_qasm(to_qasm(qc))
+        assert rebuilt == qc
+
+    def test_random_circuit_roundtrip_semantics(self):
+        for seed in range(4):
+            qc = random_circuit(3, 20, seed=seed)
+            rebuilt = from_qasm(to_qasm(qc))
+            np.testing.assert_allclose(
+                circuit_unitary(rebuilt), circuit_unitary(qc), atol=1e-12
+            )
+
+    def test_angle_precision_survives(self):
+        angle = 0.12345678901234567
+        qc = QuantumCircuit(1).rx(angle, 0)
+        rebuilt = from_qasm(to_qasm(qc))
+        assert rebuilt.instructions[0].gate.params[0] == pytest.approx(angle, abs=1e-16)

@@ -1,0 +1,136 @@
+"""Transpile passes preserve semantics while shrinking circuits."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameters import Parameter
+from repro.circuits.transpile import (
+    cancel_inverse_pairs,
+    drop_identities,
+    merge_rotations,
+    simplify,
+)
+from repro.simulators.statevector import circuit_unitary
+from tests.conftest import random_circuit
+
+
+def assert_same_unitary(a, b, atol=1e-10):
+    np.testing.assert_allclose(circuit_unitary(a), circuit_unitary(b), atol=atol)
+
+
+class TestMergeRotations:
+    def test_adjacent_rx_merge(self):
+        qc = QuantumCircuit(1).rx(0.3, 0).rx(0.4, 0)
+        merged = merge_rotations(qc)
+        assert merged.size() == 1
+        assert merged.instructions[0].gate.params[0] == pytest.approx(0.7)
+
+    def test_different_axes_do_not_merge(self):
+        qc = QuantumCircuit(1).rx(0.3, 0).ry(0.4, 0)
+        assert merge_rotations(qc).size() == 2
+
+    def test_interleaved_other_qubit_does_not_block(self):
+        qc = QuantumCircuit(2).rx(0.3, 0).h(1).rx(0.4, 0)
+        merged = merge_rotations(qc)
+        assert merged.count_ops()["rx"] == 1
+
+    def test_gate_between_blocks_merge(self):
+        qc = QuantumCircuit(1).rx(0.3, 0).h(0).rx(0.4, 0)
+        assert merge_rotations(qc).count_ops()["rx"] == 2
+
+    def test_rzz_merges_on_same_pair(self):
+        qc = QuantumCircuit(2).rzz(0.2, 0, 1).rzz(0.3, 0, 1)
+        merged = merge_rotations(qc)
+        assert merged.size() == 1
+        assert merged.instructions[0].gate.params[0] == pytest.approx(0.5)
+
+    def test_rzz_different_pairs_do_not_merge(self):
+        qc = QuantumCircuit(3).rzz(0.2, 0, 1).rzz(0.3, 1, 2)
+        assert merge_rotations(qc).size() == 2
+
+    def test_symbolic_angles_merge(self):
+        beta = Parameter("beta")
+        qc = QuantumCircuit(1).rx(2 * beta, 0).rx(2 * beta, 0)
+        merged = merge_rotations(qc)
+        assert merged.size() == 1
+        assert merged.instructions[0].gate.params[0] == 4 * beta
+
+    def test_chain_of_three(self):
+        qc = QuantumCircuit(1).rz(0.1, 0).rz(0.2, 0).rz(0.3, 0)
+        merged = merge_rotations(qc)
+        assert merged.size() == 1
+        assert merged.instructions[0].gate.params[0] == pytest.approx(0.6)
+
+    def test_semantics_preserved(self):
+        qc = QuantumCircuit(2).rx(0.3, 0).rx(0.4, 0).rzz(0.2, 0, 1).rzz(0.1, 0, 1)
+        assert_same_unitary(qc, merge_rotations(qc))
+
+
+class TestCancelInversePairs:
+    def test_hh_cancels(self):
+        qc = QuantumCircuit(1).h(0).h(0)
+        assert cancel_inverse_pairs(qc).size() == 0
+
+    def test_xx_cancels(self):
+        assert cancel_inverse_pairs(QuantumCircuit(1).x(0).x(0)).size() == 0
+
+    def test_cx_cx_cancels(self):
+        qc = QuantumCircuit(2).cx(0, 1).cx(0, 1)
+        assert cancel_inverse_pairs(qc).size() == 0
+
+    def test_cx_reversed_does_not_cancel(self):
+        qc = QuantumCircuit(2).cx(0, 1).cx(1, 0)
+        assert cancel_inverse_pairs(qc).size() == 2
+
+    def test_blocked_by_intervening_gate(self):
+        qc = QuantumCircuit(1).h(0).x(0).h(0)
+        assert cancel_inverse_pairs(qc).size() == 3
+
+    def test_partial_wire_adjacency_blocks(self):
+        # cx pair adjacent on qubit 0 but separated on qubit 1
+        qc = QuantumCircuit(2).cx(0, 1).x(1).cx(0, 1)
+        assert cancel_inverse_pairs(qc).size() == 3
+
+    def test_semantics_preserved(self):
+        qc = QuantumCircuit(2).h(0).h(0).cx(0, 1).x(1).x(1).cx(0, 1)
+        assert_same_unitary(qc, cancel_inverse_pairs(qc))
+
+
+class TestDropIdentities:
+    def test_id_gates_dropped(self):
+        qc = QuantumCircuit(1).id(0).h(0).id(0)
+        assert drop_identities(qc).size() == 1
+
+    def test_zero_rotation_dropped(self):
+        qc = QuantumCircuit(1).rx(0.0, 0).ry(0.1, 0)
+        assert drop_identities(qc).size() == 1
+
+    def test_nonzero_rotation_kept(self):
+        assert drop_identities(QuantumCircuit(1).rx(0.1, 0)).size() == 1
+
+
+class TestSimplifyFixedPoint:
+    def test_opposite_rotations_vanish(self):
+        qc = QuantumCircuit(1).rx(0.4, 0).rx(-0.4, 0)
+        assert simplify(qc).size() == 0
+
+    def test_cascading_cancellation(self):
+        # merging rx(+a) rx(-a) creates rx(0), which drops, exposing h..h
+        qc = QuantumCircuit(1).h(0).rx(0.4, 0).rx(-0.4, 0).h(0)
+        assert simplify(qc).size() == 0
+
+    def test_idempotent(self):
+        qc = random_circuit(4, 30, seed=9)
+        once = simplify(qc)
+        assert simplify(once) == once
+
+    def test_random_circuits_preserve_semantics(self):
+        for seed in range(5):
+            qc = random_circuit(3, 25, seed=seed)
+            assert_same_unitary(qc, simplify(qc))
+
+    def test_simplify_never_grows(self):
+        for seed in range(5):
+            qc = random_circuit(3, 25, seed=100 + seed)
+            assert simplify(qc).size() <= qc.size()

@@ -1,0 +1,60 @@
+"""ASCII circuit drawing."""
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameters import Parameter
+from repro.circuits.visualization import draw_circuit, gate_label
+from repro.qaoa.mixers import mixer_layer
+
+
+class TestGateLabel:
+    def test_plain_gate(self):
+        qc = QuantumCircuit(1).h(0)
+        assert gate_label(qc.instructions[0]) == "H"
+
+    def test_parameterized_gate(self):
+        beta = Parameter("beta")
+        qc = QuantumCircuit(1).rx(2 * beta, 0)
+        assert gate_label(qc.instructions[0]) == "RX(2*beta)"
+
+
+class TestDrawing:
+    def test_one_row_per_qubit(self):
+        text = draw_circuit(QuantumCircuit(3).h(0))
+        assert len(text.splitlines()) == 3
+        assert text.splitlines()[0].startswith("q0:")
+
+    def test_empty_circuit(self):
+        text = draw_circuit(QuantumCircuit(2))
+        assert len(text.splitlines()) == 2
+
+    def test_cx_drawn_with_control_and_target(self):
+        text = draw_circuit(QuantumCircuit(2).cx(0, 1))
+        assert "●" in text.splitlines()[0]
+        assert "⊕" in text.splitlines()[1]
+
+    def test_span_connector_through_middle_qubit(self):
+        text = draw_circuit(QuantumCircuit(3).cx(0, 2))
+        assert "│" in text.splitlines()[1]
+
+    def test_parallel_gates_share_column(self):
+        lines = draw_circuit(QuantumCircuit(2).h(0).h(1)).splitlines()
+        assert lines[0].index("H") == lines[1].index("H")
+
+    def test_fig6_mixer_drawing(self):
+        """The paper's Fig. 6 layout: RX(2*beta) then RY(2*beta) per qubit."""
+        beta = Parameter("beta")
+        text = mixer_layer(10, ("rx", "ry"), beta).draw()
+        lines = text.splitlines()
+        assert len(lines) == 10
+        for line in lines:
+            assert "RX(2*beta)" in line
+            assert "RY(2*beta)" in line
+            assert line.index("RX") < line.index("RY")
+
+    def test_draw_method_on_circuit(self):
+        assert QuantumCircuit(1).h(0).draw() == draw_circuit(QuantumCircuit(1).h(0))
+
+    def test_rows_equal_width(self):
+        qc = QuantumCircuit(3).h(0).cx(0, 1).rx(0.5, 2).cz(1, 2)
+        lines = draw_circuit(qc).splitlines()
+        assert len({len(l) for l in lines}) == 1

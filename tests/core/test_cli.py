@@ -1,0 +1,66 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search"])
+        assert args.p_max == 2
+        assert args.mode == "combinations"
+        assert args.metric == "best_sampled"
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["transmogrify"])
+
+
+class TestDrawCommand:
+    def test_draws_circuit(self, capsys):
+        assert main(["draw", "rx,ry", "--qubits", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "RX(2*beta)" in out
+        assert out.count("q") >= 3
+
+    def test_empty_mixer_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["draw", ",,"])
+
+
+class TestEvaluateCommand:
+    def test_evaluates_mixer(self, capsys):
+        code = main([
+            "evaluate", "rx", "--graphs", "1", "--steps", "8",
+            "--metric", "energy",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean ratio" in out
+
+    def test_regular_dataset_option(self, capsys):
+        code = main([
+            "evaluate", "rx", "--dataset", "regular", "--graphs", "1",
+            "--steps", "8",
+        ])
+        assert code == 0
+
+
+class TestSearchCommand:
+    def test_search_and_save(self, tmp_path, capsys):
+        out_path = tmp_path / "result.json"
+        code = main([
+            "search", "--graphs", "1", "--steps", "8", "--p-max", "1",
+            "--k-min", "1", "--k-max", "1", "--out", str(out_path),
+        ])
+        assert code == 0
+        assert "winner" in capsys.readouterr().out
+        saved = json.loads(out_path.read_text())
+        assert saved["format"] == "repro-search-result-v1"

@@ -1,0 +1,107 @@
+"""Predictor strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.alphabet import GateAlphabet, enumerate_search_space
+from repro.core.predictor import (
+    EpsilonGreedyPredictor,
+    ExhaustivePredictor,
+    RandomPredictor,
+)
+
+
+@pytest.fixture
+def alphabet():
+    return GateAlphabet()
+
+
+class TestRandomPredictor:
+    def test_proposals_valid(self, alphabet):
+        predictor = RandomPredictor(alphabet, k_max=3, seed=0)
+        for tokens in predictor.propose(50):
+            assert 1 <= len(tokens) <= 3
+            assert all(t in alphabet.tokens for t in tokens)
+
+    def test_reproducible(self, alphabet):
+        a = RandomPredictor(alphabet, 3, seed=1).propose(10)
+        b = RandomPredictor(alphabet, 3, seed=1).propose(10)
+        assert a == b
+
+    def test_never_exhausted(self, alphabet):
+        predictor = RandomPredictor(alphabet, 2, seed=0)
+        predictor.propose(100)
+        assert not predictor.exhausted()
+
+    def test_update_is_noop(self, alphabet):
+        RandomPredictor(alphabet, 2, seed=0).update(("rx",), 1.0)
+
+    def test_covers_space_eventually(self, alphabet):
+        predictor = RandomPredictor(alphabet, 1, seed=2)
+        seen = set(predictor.propose(200))
+        assert seen == set(enumerate_search_space(alphabet, 1))
+
+
+class TestExhaustivePredictor:
+    def test_enumerates_whole_space_once(self, alphabet):
+        predictor = ExhaustivePredictor(alphabet, 2)
+        everything = predictor.propose(1000)
+        assert len(everything) == 30
+        assert predictor.exhausted()
+        assert predictor.propose(10) == []
+
+    def test_batching_preserves_order(self, alphabet):
+        a = ExhaustivePredictor(alphabet, 2)
+        batched = a.propose(7) + a.propose(7) + a.propose(100)
+        b = ExhaustivePredictor(alphabet, 2)
+        assert batched == b.propose(1000)
+
+    def test_reset(self, alphabet):
+        predictor = ExhaustivePredictor(alphabet, 1)
+        predictor.propose(5)
+        predictor.reset()
+        assert not predictor.exhausted()
+        assert len(predictor.propose(5)) == 5
+
+    def test_space_size_property(self, alphabet):
+        assert ExhaustivePredictor(alphabet, 2).space_size == 30
+
+    def test_combinations_mode(self, alphabet):
+        predictor = ExhaustivePredictor(alphabet, 2, mode="combinations")
+        assert predictor.space_size == 15
+
+
+class TestEpsilonGreedy:
+    def test_pure_exploration_valid(self, alphabet):
+        predictor = EpsilonGreedyPredictor(alphabet, 3, epsilon=1.0, seed=0)
+        for tokens in predictor.propose(30):
+            assert 1 <= len(tokens) <= 3
+
+    def test_greedy_exploits_learned_token(self, alphabet):
+        predictor = EpsilonGreedyPredictor(alphabet, 1, epsilon=0.0, seed=0)
+        predictor.update(("ry",), 1.0)
+        predictor.update(("rx",), 0.1)
+        proposals = predictor.propose(10)
+        assert all(p == ("ry",) for p in proposals)
+
+    def test_learns_length_preference(self, alphabet):
+        predictor = EpsilonGreedyPredictor(alphabet, 3, epsilon=0.0, seed=0)
+        predictor.update(("rx", "ry"), 1.0)
+        predictor.update(("rx",), 0.0)
+        assert all(len(p) == 2 for p in predictor.propose(10))
+
+    def test_epsilon_validated(self, alphabet):
+        with pytest.raises(ValueError):
+            EpsilonGreedyPredictor(alphabet, 2, epsilon=1.5)
+
+    def test_update_ignores_overlong_sequences(self, alphabet):
+        predictor = EpsilonGreedyPredictor(alphabet, 2, seed=0)
+        predictor.update(("rx",) * 5, 1.0)  # silently ignored
+
+    def test_positional_learning(self, alphabet):
+        """Different tokens can win at different positions."""
+        predictor = EpsilonGreedyPredictor(alphabet, 2, epsilon=0.0, seed=0)
+        predictor.update(("rx", "p"), 1.0)
+        predictor.update(("p", "rx"), 0.2)
+        proposal = predictor.propose(1)[0]
+        assert proposal == ("rx", "p")

@@ -1,0 +1,74 @@
+"""Result records and persistence."""
+
+import pytest
+
+from repro.core.results import CandidateEvaluation, DepthResult, SearchResult
+
+
+def _eval(tokens, p, ratio, energy=1.0):
+    return CandidateEvaluation(
+        tokens=tuple(tokens), p=p, energy=energy, ratio=ratio,
+        per_graph_energy=(energy,), per_graph_ratio=(ratio,), nfev=10, seconds=0.1,
+    )
+
+
+class TestCandidateEvaluation:
+    def test_reward_is_ratio(self):
+        assert _eval(("rx",), 1, 0.9).reward == 0.9
+
+    def test_frozen(self):
+        e = _eval(("rx",), 1, 0.9)
+        with pytest.raises(AttributeError):
+            e.ratio = 0.5
+
+
+class TestDepthResult:
+    def test_best_by_reward(self):
+        d = DepthResult(1, (_eval(("rx",), 1, 0.8), _eval(("ry",), 1, 0.95)))
+        assert d.best.tokens == ("ry",)
+
+    def test_ranked_descending(self):
+        d = DepthResult(1, (_eval(("rx",), 1, 0.8), _eval(("ry",), 1, 0.95), _eval(("p",), 1, 0.5)))
+        ranked = d.ranked()
+        assert [e.tokens for e in ranked] == [("ry",), ("rx",), ("p",)]
+
+    def test_empty_best_raises(self):
+        with pytest.raises(ValueError):
+            DepthResult(1, ()).best
+
+
+class TestSearchResultPersistence:
+    def _result(self):
+        return SearchResult(
+            best_tokens=("rx", "ry"),
+            best_p=1,
+            best_energy=6.5,
+            best_ratio=0.97,
+            depth_results=[
+                DepthResult(1, (_eval(("rx", "ry"), 1, 0.97, 6.5), _eval(("h",), 1, 0.6))),
+                DepthResult(2, (_eval(("rx",), 2, 0.9),), seconds=1.5),
+            ],
+            total_seconds=3.0,
+            config={"p_max": 2},
+        )
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "result.json"
+        original = self._result()
+        original.save(path)
+        loaded = SearchResult.load(path)
+        assert loaded.best_tokens == original.best_tokens
+        assert loaded.best_ratio == original.best_ratio
+        assert len(loaded.depth_results) == 2
+        assert loaded.depth_results[0].best.tokens == ("rx", "ry")
+        assert loaded.depth_results[1].seconds == 1.5
+        assert loaded.config == {"p_max": 2}
+
+    def test_num_candidates(self):
+        assert self._result().num_candidates == 3
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "other"}')
+        with pytest.raises(ValueError, match="format"):
+            SearchResult.load(path)

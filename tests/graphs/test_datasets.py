@@ -1,0 +1,70 @@
+"""Paper dataset pinning."""
+
+import pytest
+
+from repro.graphs.datasets import (
+    ER_PROBABILITIES,
+    paper_er_dataset,
+    paper_regular_dataset,
+    profiling_graph,
+)
+
+
+class TestERDataset:
+    def test_default_matches_paper_shape(self):
+        graphs = paper_er_dataset()
+        assert len(graphs) == 20
+        assert all(g.num_nodes == 10 for g in graphs)
+
+    def test_all_connected(self):
+        assert all(g.is_connected() for g in paper_er_dataset())
+
+    def test_varying_connectivity(self):
+        """'varying degrees of connectivity': densities spread over the ladder."""
+        graphs = paper_er_dataset()
+        counts = sorted({g.num_edges for g in graphs})
+        assert len(counts) >= 5
+        assert counts[-1] - counts[0] >= 8
+
+    def test_deterministic(self):
+        assert paper_er_dataset() == paper_er_dataset()
+
+    def test_seed_changes_instances(self):
+        assert paper_er_dataset(dataset_seed=1) != paper_er_dataset(dataset_seed=2)
+
+    def test_prefix_stability(self):
+        """Requesting fewer graphs yields a prefix of the full dataset, so
+        scaled-down benches use the same instances as the paper-scale run."""
+        assert paper_er_dataset(5) == paper_er_dataset(20)[:5]
+
+    def test_probability_ladder_length(self):
+        assert len(ER_PROBABILITIES) == 5
+
+
+class TestRegularDataset:
+    def test_default_matches_paper_shape(self):
+        graphs = paper_regular_dataset()
+        assert len(graphs) == 20
+        assert all(g.num_nodes == 10 for g in graphs)
+
+    def test_four_regular(self):
+        for g in paper_regular_dataset():
+            assert all(g.degree(v) == 4 for v in range(g.num_nodes))
+
+    def test_deterministic(self):
+        assert paper_regular_dataset() == paper_regular_dataset()
+
+    def test_distinct_instances(self):
+        graphs = paper_regular_dataset()
+        assert len(set(graphs)) == len(graphs)
+
+    def test_disjoint_from_er_dataset(self):
+        """§3.2 calls it 'a separate dataset'."""
+        er = set(paper_er_dataset())
+        regular = set(paper_regular_dataset())
+        assert not (er & regular)
+
+
+class TestProfilingGraph:
+    def test_is_first_er_instance(self):
+        assert profiling_graph() == paper_er_dataset(1)[0]

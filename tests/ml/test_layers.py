@@ -1,0 +1,176 @@
+"""Layer forward/backward passes, gradient-checked by finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.ml.layers import Dense, Embedding, LSTMCell
+
+
+def numerical_grad(fn, param, eps=1e-6):
+    """Central finite differences of scalar fn w.r.t. an ndarray in place."""
+    grad = np.zeros_like(param)
+    it = np.nditer(param, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = param[idx]
+        param[idx] = orig + eps
+        up = fn()
+        param[idx] = orig - eps
+        down = fn()
+        param[idx] = orig
+        grad[idx] = (up - down) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(3, 5, seed=0)
+        y, _ = layer.forward(np.ones(3))
+        assert y.shape == (5,)
+
+    def test_forward_affine(self):
+        layer = Dense(2, 2, seed=0)
+        layer.params["W"] = np.array([[1.0, 2.0], [3.0, 4.0]])
+        layer.params["b"] = np.array([0.5, -0.5])
+        y, _ = layer.forward(np.array([1.0, 1.0]))
+        np.testing.assert_allclose(y, [4.5, 5.5])
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(4, 3, seed=1)
+        x = rng.normal(size=4)
+        weights = rng.normal(size=3)  # project output to scalar
+
+        def loss():
+            y, _ = layer.forward(x)
+            return float(weights @ y)
+
+        y, cache = layer.forward(x)
+        layer.zero_grad()
+        dx = layer.backward(weights, cache)
+        np.testing.assert_allclose(layer.grads["W"], numerical_grad(loss, layer.params["W"]), atol=1e-6)
+        np.testing.assert_allclose(layer.grads["b"], numerical_grad(loss, layer.params["b"]), atol=1e-6)
+        # input gradient
+        def loss_x():
+            y, _ = layer.forward(x)
+            return float(weights @ y)
+        np.testing.assert_allclose(dx, numerical_grad(loss_x, x), atol=1e-6)
+
+    def test_backward_accumulates(self):
+        layer = Dense(2, 2, seed=0)
+        x = np.ones(2)
+        _, cache = layer.forward(x)
+        layer.backward(np.ones(2), cache)
+        first = layer.grads["W"].copy()
+        layer.backward(np.ones(2), cache)
+        np.testing.assert_allclose(layer.grads["W"], 2 * first)
+
+    def test_batched_forward_backward(self):
+        layer = Dense(3, 2, seed=2)
+        x = np.random.default_rng(1).normal(size=(5, 3))
+        y, cache = layer.forward(x)
+        assert y.shape == (5, 2)
+        dx = layer.backward(np.ones((5, 2)), cache)
+        assert dx.shape == (5, 3)
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(4, 3, seed=0)
+        vec, _ = emb.forward(2)
+        np.testing.assert_array_equal(vec, emb.params["E"][2])
+
+    def test_lookup_returns_copy(self):
+        emb = Embedding(4, 3, seed=0)
+        vec, _ = emb.forward(1)
+        vec[:] = 99.0
+        assert not np.any(emb.params["E"][1] == 99.0)
+
+    def test_backward_hits_only_used_row(self):
+        emb = Embedding(4, 3, seed=0)
+        _, cache = emb.forward(2)
+        emb.zero_grad()
+        emb.backward(np.array([1.0, 2.0, 3.0]), cache)
+        np.testing.assert_array_equal(emb.grads["E"][2], [1, 2, 3])
+        assert np.all(emb.grads["E"][[0, 1, 3]] == 0)
+
+
+class TestLSTMCell:
+    def test_state_shapes(self):
+        cell = LSTMCell(3, 5, seed=0)
+        h, c = cell.initial_state()
+        assert h.shape == (5,) and c.shape == (5,)
+        x = np.ones(3)
+        h2, c2, _ = cell.forward(x, h, c)
+        assert h2.shape == (5,) and c2.shape == (5,)
+
+    def test_forget_bias_initialized_positive(self):
+        cell = LSTMCell(2, 4, seed=0)
+        assert np.all(cell.params["b"][4:8] == 1.0)
+
+    def test_gradient_check_parameters(self):
+        rng = np.random.default_rng(3)
+        cell = LSTMCell(3, 4, seed=2)
+        x = rng.normal(size=3)
+        h0 = rng.normal(size=4)
+        c0 = rng.normal(size=4)
+        w_h = rng.normal(size=4)
+        w_c = rng.normal(size=4)
+
+        def loss():
+            h, c, _ = cell.forward(x, h0, c0)
+            return float(w_h @ h + w_c @ c)
+
+        h, c, cache = cell.forward(x, h0, c0)
+        cell.zero_grad()
+        dx, dh_prev, dc_prev = cell.backward(w_h, w_c, cache)
+        for name in ("Wx", "Wh", "b"):
+            np.testing.assert_allclose(
+                cell.grads[name], numerical_grad(loss, cell.params[name]),
+                atol=1e-6, err_msg=name,
+            )
+
+    def test_gradient_check_inputs(self):
+        rng = np.random.default_rng(4)
+        cell = LSTMCell(3, 4, seed=5)
+        x = rng.normal(size=3)
+        h0 = rng.normal(size=4)
+        c0 = rng.normal(size=4)
+        w_h = rng.normal(size=4)
+
+        def loss_of(arr):
+            def fn():
+                h, _, _ = cell.forward(x, h0, c0)
+                return float(w_h @ h)
+            return fn
+
+        _, _, cache = cell.forward(x, h0, c0)
+        cell.zero_grad()
+        dx, dh_prev, dc_prev = cell.backward(w_h, np.zeros(4), cache)
+        np.testing.assert_allclose(dx, numerical_grad(loss_of(x), x), atol=1e-6)
+        np.testing.assert_allclose(dh_prev, numerical_grad(loss_of(h0), h0), atol=1e-6)
+        np.testing.assert_allclose(dc_prev, numerical_grad(loss_of(c0), c0), atol=1e-6)
+
+    def test_two_step_bptt_gradient(self):
+        """Gradients flow through time: unroll two steps, check d loss/d Wx."""
+        rng = np.random.default_rng(6)
+        cell = LSTMCell(2, 3, seed=7)
+        x1, x2 = rng.normal(size=2), rng.normal(size=2)
+        w = rng.normal(size=3)
+
+        def loss():
+            h, c = cell.initial_state()
+            h, c, _ = cell.forward(x1, h, c)
+            h, c, _ = cell.forward(x2, h, c)
+            return float(w @ h)
+
+        h, c = cell.initial_state()
+        h1, c1, cache1 = cell.forward(x1, h, c)
+        h2, c2, cache2 = cell.forward(x2, h1, c1)
+        cell.zero_grad()
+        dx2, dh1, dc1 = cell.backward(w, np.zeros(3), cache2)
+        cell.backward(dh1, dc1, cache1)
+        np.testing.assert_allclose(
+            cell.grads["Wx"], numerical_grad(loss, cell.params["Wx"]), atol=1e-6
+        )

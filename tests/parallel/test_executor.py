@@ -1,0 +1,100 @@
+"""Executor equivalence and lifecycle."""
+
+import os
+import time
+
+import pytest
+
+from repro.parallel.executor import (
+    MultiprocessingExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    available_cores,
+    make_executor,
+)
+
+
+def square_sum(a, b):
+    return a * a + b
+
+
+def get_pid(_):
+    return os.getpid()
+
+
+def slow_square(x, delay):
+    time.sleep(delay)
+    return x * x
+
+
+JOBS = [(i, i + 1) for i in range(10)]
+EXPECTED = [i * i + i + 1 for i in range(10)]
+
+
+class TestSerial:
+    def test_starmap(self):
+        assert SerialExecutor().starmap(square_sum, JOBS) == EXPECTED
+
+    def test_map(self):
+        assert SerialExecutor().map(lambda x: x + 1, range(5)) == [1, 2, 3, 4, 5]
+
+    def test_context_manager(self):
+        with SerialExecutor() as ex:
+            assert ex.starmap(square_sum, JOBS) == EXPECTED
+
+
+class TestMultiprocessing:
+    def test_results_ordered(self):
+        with MultiprocessingExecutor(2) as ex:
+            assert ex.starmap(square_sum, JOBS) == EXPECTED
+
+    def test_work_spread_across_processes(self):
+        with MultiprocessingExecutor(2) as ex:
+            pids = set(ex.starmap(get_pid, [(i,) for i in range(20)]))
+        assert len(pids) >= 2
+
+    def test_chunksize_does_not_change_results(self):
+        with MultiprocessingExecutor(2, chunksize=4) as ex:
+            assert ex.starmap(square_sum, JOBS) == EXPECTED
+
+    def test_default_workers_from_affinity(self):
+        with MultiprocessingExecutor() as ex:
+            assert ex.num_workers == available_cores()
+
+    def test_actual_speedup_on_sleep_tasks(self):
+        """Real parallelism: 8 x 0.1s sleeps on 2 workers beat serial."""
+        jobs = [(i, 0.1) for i in range(8)]
+        start = time.perf_counter()
+        SerialExecutor().starmap(slow_square, jobs)
+        serial_time = time.perf_counter() - start
+        with MultiprocessingExecutor(2) as ex:
+            start = time.perf_counter()
+            ex.starmap(slow_square, jobs)
+            parallel_time = time.perf_counter() - start
+        assert parallel_time < serial_time * 0.8
+
+    def test_empty_jobs(self):
+        with MultiprocessingExecutor(2) as ex:
+            assert ex.starmap(square_sum, []) == []
+
+
+class TestThreads:
+    def test_results_ordered(self):
+        with ThreadExecutor(3) as ex:
+            assert ex.starmap(square_sum, JOBS) == EXPECTED
+
+
+class TestFactory:
+    def test_names(self):
+        assert make_executor("serial").name == "serial"
+        with make_executor("threads", 2) as ex:
+            assert ex.name == "threads"
+        with make_executor("processes", 2) as ex:
+            assert ex.name == "multiprocessing"
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("quantum")
+
+    def test_available_cores_positive(self):
+        assert available_cores() >= 1

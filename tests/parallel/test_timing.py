@@ -1,0 +1,42 @@
+"""Timing instrumentation."""
+
+import time
+
+import pytest
+
+from repro.parallel.timing import Timer, TimingLog, time_call
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.02)
+        assert t.elapsed >= 0.015
+
+    def test_time_call_returns_result(self):
+        result, seconds = time_call(lambda a, b: a + b, 2, 3)
+        assert result == 5
+        assert seconds >= 0.0
+
+
+class TestTimingLog:
+    def test_record_and_aggregate(self):
+        log = TimingLog()
+        log.record("train", 1.0)
+        log.record("train", 3.0)
+        log.record("simulate", 0.5)
+        assert log.total("train") == 4.0
+        assert log.mean("train") == 2.0
+        assert log.total("simulate") == 0.5
+
+    def test_missing_name_zero(self):
+        log = TimingLog()
+        assert log.total("nothing") == 0.0
+        assert log.mean("nothing") == 0.0
+
+    def test_summary_structure(self):
+        log = TimingLog()
+        log.record("a", 1.0)
+        summary = log.summary()
+        assert summary["a"]["count"] == 1.0
+        assert summary["a"]["total"] == 1.0

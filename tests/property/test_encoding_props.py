@@ -1,0 +1,84 @@
+"""Property-based tests: encodings, expressions, scheduling invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.parameters import Parameter
+from repro.core.alphabet import GateAlphabet
+from repro.core.encoding import decode_encoding, encode_sequence, is_valid_encoding
+from repro.parallel.scheduler import OverheadModel, simulate_makespan
+
+ALPHABET = GateAlphabet()
+TOKENS = st.sampled_from(ALPHABET.tokens)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(TOKENS, min_size=1, max_size=4))
+def test_encoding_roundtrip(tokens):
+    enc = encode_sequence(tokens, ALPHABET, 4)
+    assert is_valid_encoding(enc, ALPHABET)
+    assert decode_encoding(enc, ALPHABET) == tuple(tokens)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(TOKENS, min_size=1, max_size=4))
+def test_encoding_is_one_hot(tokens):
+    enc = encode_sequence(tokens, ALPHABET, 4)
+    assert enc.shape == (4, 6)
+    np.testing.assert_array_equal(enc.sum(axis=1), np.ones(4))
+    assert set(np.unique(enc)) <= {0.0, 1.0}
+
+
+FLOATS = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=50, deadline=None)
+@given(FLOATS, FLOATS, FLOATS)
+def test_parameter_expression_linearity(a, b, value):
+    p = Parameter("p")
+    expr = a * p + b
+    assert abs(expr.bind({p: value}).constant_value() - (a * value + b)) < 1e-6 * max(
+        1.0, abs(a * value + b)
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(FLOATS, FLOATS)
+def test_expression_algebra_commutes_with_binding(a, b):
+    p, q = Parameter("p"), Parameter("q")
+    expr = 2 * p - q / 2 + 1
+    bound_then_add = expr.bind({p: a}).bind({q: b}).constant_value()
+    all_at_once = expr.bind({p: a, q: b}).constant_value()
+    assert bound_then_add == all_at_once
+
+
+DURATIONS = st.lists(st.floats(0.001, 10.0, allow_nan=False), min_size=1, max_size=40)
+
+
+@settings(max_examples=50, deadline=None)
+@given(DURATIONS, st.integers(1, 32))
+def test_makespan_lower_bounds(durations, workers):
+    result = simulate_makespan(durations, workers)
+    assert result.makespan >= max(durations) - 1e-12
+    assert result.makespan >= sum(durations) / workers - 1e-9
+    assert result.makespan <= sum(durations) + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(DURATIONS, st.integers(1, 16), st.integers(1, 16))
+def test_makespan_monotone_in_workers(durations, w1, w2):
+    lo, hi = min(w1, w2), max(w1, w2)
+    t_lo = simulate_makespan(durations, lo).makespan
+    t_hi = simulate_makespan(durations, hi).makespan
+    assert t_hi <= t_lo + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(DURATIONS, st.integers(1, 8), st.floats(0, 0.5, allow_nan=False))
+def test_overhead_never_speeds_up(durations, workers, dispatch):
+    clean = simulate_makespan(durations, workers).makespan
+    loaded = simulate_makespan(
+        durations, workers, overhead=OverheadModel(dispatch_per_task=dispatch)
+    ).makespan
+    assert loaded >= clean - 1e-12

@@ -1,0 +1,82 @@
+"""Property-based tests: Pauli-sum observables and VQE invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qaoa.observables import PauliSum, PauliTerm, ising_hamiltonian, qubo_to_ising
+from repro.simulators.statevector import basis_state, simulate
+from tests.property.test_circuit_props import circuits
+
+PAULI_CHARS = st.sampled_from("IXYZ")
+COEFFS = st.floats(-5, 5, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def pauli_sums(draw, num_qubits=3, max_terms=4):
+    terms = []
+    for _ in range(draw(st.integers(1, max_terms))):
+        pauli = "".join(draw(PAULI_CHARS) for _ in range(num_qubits))
+        terms.append(PauliTerm(pauli, draw(COEFFS)))
+    return PauliSum(terms)
+
+
+@settings(max_examples=25, deadline=None)
+@given(pauli_sums(), circuits(max_qubits=3, max_gates=8))
+def test_expectation_matches_dense_matrix(H, qc):
+    if qc.num_qubits != 3:
+        return
+    psi = simulate(qc)
+    direct = H.expectation(psi)
+    via_matrix = float(np.real(psi.conj() @ H.matrix() @ psi))
+    assert abs(direct - via_matrix) < 1e-8
+
+
+@settings(max_examples=30, deadline=None)
+@given(pauli_sums())
+def test_expectation_bounded_by_spectrum(H):
+    eigs = np.linalg.eigvalsh(H.matrix())
+    rng = np.random.default_rng(0)
+    psi = rng.normal(size=8) + 1j * rng.normal(size=8)
+    psi /= np.linalg.norm(psi)
+    value = H.expectation(psi)
+    assert eigs.min() - 1e-8 <= value <= eigs.max() + 1e-8
+
+
+@settings(max_examples=30, deadline=None)
+@given(pauli_sums())
+def test_ground_energy_is_spectral_minimum(H):
+    assert abs(H.ground_energy() - float(np.linalg.eigvalsh(H.matrix()).min())) < 1e-8
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 5), st.data())
+def test_ising_diagonal_matches_classical_energy(n, data):
+    couplings = {}
+    for i in range(n):
+        for j in range(i + 1, n):
+            if data.draw(st.booleans()):
+                couplings[(i, j)] = data.draw(COEFFS)
+    fields = {i: data.draw(COEFFS) for i in range(n) if data.draw(st.booleans())}
+    H = ising_hamiltonian(n, couplings, fields)
+    diag = H.diagonal()
+    for z_int in data.draw(
+        st.lists(st.integers(0, 2**n - 1), min_size=1, max_size=4)
+    ):
+        z = 1.0 - 2.0 * np.array([(z_int >> k) & 1 for k in range(n)])
+        classical = sum(v * z[i] * z[j] for (i, j), v in couplings.items())
+        classical += sum(h * z[i] for i, h in fields.items())
+        assert abs(diag[z_int] - classical) < 1e-8
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 4), st.integers(0, 1000))
+def test_qubo_roundtrip_random_matrices(n, seed):
+    rng = np.random.default_rng(seed)
+    Q = rng.normal(size=(n, n))
+    H = qubo_to_ising(Q)
+    diag = H.diagonal()
+    sym = (Q + Q.T) / 2
+    for x_int in range(2**n):
+        x = np.array([(x_int >> k) & 1 for k in range(n)], dtype=float)
+        assert abs(diag[x_int] - float(x @ sym @ x)) < 1e-8

@@ -1,0 +1,59 @@
+"""Property-based tests: tensor-network engine vs dense simulation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qtensor.contraction import contract_network, contract_sliced, choose_slice_vars
+from repro.qtensor.network import TensorNetwork
+from repro.qtensor.ordering import order_for_tensors
+from repro.qtensor.simulator import QTensorSimulator
+from repro.simulators.statevector import simulate
+from tests.property.test_circuit_props import circuits
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuits(max_qubits=3, max_gates=10), st.integers(0, 7))
+def test_amplitudes_match_dense(qc, bitstring):
+    bitstring = bitstring % (2**qc.num_qubits)
+    psi = simulate(qc)
+    amp = QTensorSimulator().amplitude(qc, bitstring)
+    assert abs(amp - complex(psi[bitstring])) < 1e-8
+
+
+@settings(max_examples=15, deadline=None)
+@given(circuits(max_qubits=3, max_gates=10))
+def test_statevector_matches_dense(qc):
+    np.testing.assert_allclose(
+        QTensorSimulator().statevector(qc), simulate(qc), atol=1e-8
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(circuits(max_qubits=3, max_gates=8), st.integers(0, 4))
+def test_elimination_order_invariance(qc, seed):
+    """Any heuristic/random order contracts to the same amplitude."""
+    net = TensorNetwork.from_circuit(qc, output_bitstring=0)
+    reference = complex(contract_network(net, method="min_fill"))
+    shuffled = complex(contract_network(net, method="random", seed=seed))
+    assert abs(reference - shuffled) < 1e-8
+
+
+@settings(max_examples=10, deadline=None)
+@given(circuits(max_qubits=3, max_gates=8), st.integers(1, 2))
+def test_sliced_contraction_invariance(qc, num_slices):
+    net = TensorNetwork.from_circuit(qc, output_bitstring=0)
+    direct = complex(contract_network(net))
+    slice_vars = choose_slice_vars(net.tensors, num_slices)
+    sliced = contract_sliced(net, slice_vars)
+    assert abs(direct - sliced) < 1e-8
+
+
+@settings(max_examples=15, deadline=None)
+@given(circuits(max_qubits=3, max_gates=10))
+def test_width_positive_and_bounded(qc):
+    net = TensorNetwork.from_circuit(qc, output_bitstring=0)
+    order = order_for_tensors(net.tensors)
+    num_vars = len(net.all_vars())
+    if num_vars:
+        assert 1 <= order.width <= num_vars

@@ -1,0 +1,94 @@
+"""The p=1 closed form is an exact oracle for both engines."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+)
+from repro.qaoa.analytic import edge_energy_p1, grid_search_p1, maxcut_energy_p1
+from repro.qaoa.ansatz import build_qaoa_ansatz
+from repro.qaoa.energy import AnsatzEnergy
+from repro.qtensor.simulator import QTensorSimulator
+
+GAMMAS = np.linspace(-2.0, 2.0, 4)
+BETAS = np.linspace(-1.0, 1.0, 4)
+
+
+@pytest.mark.parametrize(
+    "graph",
+    [
+        cycle_graph(5),
+        cycle_graph(6),
+        complete_graph(4),
+        path_graph(4),
+        star_graph(5),
+        erdos_renyi_graph(6, 0.5, seed=17),
+        random_regular_graph(6, 3, seed=8),
+    ],
+    ids=["C5", "C6", "K4", "P4", "star5", "ER6", "RR6"],
+)
+def test_statevector_matches_closed_form(graph):
+    energy = AnsatzEnergy(build_qaoa_ansatz(graph, 1))
+    for gamma, beta in itertools.product(GAMMAS, BETAS):
+        assert energy.value([gamma, beta]) == pytest.approx(
+            maxcut_energy_p1(graph, gamma, beta), abs=1e-9
+        )
+
+
+def test_qtensor_matches_closed_form():
+    graph = random_regular_graph(8, 3, seed=3)
+    sim = QTensorSimulator()
+    ansatz = build_qaoa_ansatz(graph, 1)
+    for gamma, beta in [(0.4, 0.7), (-1.1, 0.3)]:
+        bound = ansatz.bind([gamma, beta])
+        assert sim.maxcut_energy(bound, graph, initial_state="0") == pytest.approx(
+            maxcut_energy_p1(graph, gamma, beta), abs=1e-9
+        )
+
+
+class TestEdgeTerm:
+    def test_zero_angles_half(self):
+        g = cycle_graph(5)
+        assert edge_energy_p1(g, 0, 1, 0.0, 0.0) == pytest.approx(0.5)
+
+    def test_weighted_graph_rejected(self):
+        g = Graph(2, ((0, 1),), (2.0,))
+        with pytest.raises(ValueError, match="unweighted"):
+            edge_energy_p1(g, 0, 1, 0.1, 0.1)
+
+    def test_triangle_term_active_on_k3(self):
+        """K3 edges share a common neighbour; the lambda term must matter."""
+        k3 = complete_graph(3)
+        c4 = cycle_graph(4)  # no triangles
+        gamma, beta = 0.7, 0.4
+        tri = edge_energy_p1(k3, 0, 1, gamma, beta)
+        # same degrees (2), no triangles -> different energy
+        no_tri = edge_energy_p1(c4, 0, 1, gamma, beta)
+        assert tri != pytest.approx(no_tri)
+
+
+class TestGridSearch:
+    def test_grid_beats_random_guess(self):
+        g = cycle_graph(6)
+        best_e, best_g, best_b = grid_search_p1(g, resolution=32)
+        assert best_e > maxcut_energy_p1(g, 0.123, 0.456)
+
+    def test_even_cycle_p1_known_quality(self):
+        """p=1 QAOA on large even cycles approaches ratio 3/4."""
+        g = cycle_graph(8)
+        best_e, _, _ = grid_search_p1(g, resolution=48)
+        assert best_e / 8.0 == pytest.approx(0.75, abs=0.02)
+
+    def test_returned_angles_achieve_energy(self):
+        g = random_regular_graph(6, 3, seed=1)
+        best_e, gamma, beta = grid_search_p1(g, resolution=32)
+        assert maxcut_energy_p1(g, gamma, beta) == pytest.approx(best_e)

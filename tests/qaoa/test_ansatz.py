@@ -1,0 +1,142 @@
+"""QAOA ansatz construction (Eq. 2) and mixer layers."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.parameters import Parameter
+from repro.graphs.generators import Graph, cycle_graph, path_graph
+from repro.qaoa.ansatz import build_qaoa_ansatz
+from repro.qaoa.cost_operator import cost_layer
+from repro.qaoa.mixers import (
+    append_mixer_layer,
+    baseline_mixer,
+    mixer_label,
+    mixer_layer,
+)
+from repro.simulators.statevector import circuit_unitary, plus_state, simulate
+
+
+class TestCostLayer:
+    def test_one_rzz_per_edge(self):
+        g = cycle_graph(5)
+        layer = cost_layer(g, 0.3)
+        assert layer.count_ops() == {"rzz": 5}
+
+    def test_weights_scale_angles(self):
+        g = Graph(2, ((0, 1),), (2.0,))
+        layer = cost_layer(g, Parameter("gamma"))
+        gamma = next(iter(layer.parameters))
+        bound = layer.bind_parameters({gamma: 0.5})
+        assert bound.instructions[0].gate.params[0] == pytest.approx(-1.0)
+
+    def test_diagonal_phase_only(self):
+        """Cost layer acts diagonally: |+>^n probabilities unchanged."""
+        g = cycle_graph(4)
+        psi = simulate(cost_layer(g, 0.7), plus_state(4))
+        np.testing.assert_allclose(np.abs(psi) ** 2, np.full(16, 1 / 16), atol=1e-12)
+
+
+class TestMixerLayers:
+    def test_baseline_is_rx_on_all(self):
+        m = baseline_mixer(4, Parameter("beta"))
+        assert m.count_ops() == {"rx": 4}
+
+    def test_shared_parameter(self):
+        beta = Parameter("beta")
+        m = mixer_layer(5, ("rx", "ry"), beta)
+        assert m.parameters == frozenset({beta})
+
+    def test_angle_is_two_beta(self):
+        beta = Parameter("beta")
+        m = mixer_layer(2, ("ry",), beta)
+        bound = m.bind_parameters({beta: 0.4})
+        assert bound.instructions[0].gate.params[0] == pytest.approx(0.8)
+
+    def test_h_token_has_no_parameter(self):
+        m = mixer_layer(3, ("h",), Parameter("beta"))
+        assert not m.parameters
+
+    def test_gate_major_ordering(self):
+        """Fig. 6 layout: all RX first, then all RY."""
+        m = mixer_layer(3, ("rx", "ry"), Parameter("b"))
+        names = [i.gate.name for i in m]
+        assert names == ["rx", "rx", "rx", "ry", "ry", "ry"]
+
+    def test_entangler_ring(self):
+        m = mixer_layer(4, ("cz_ring",), Parameter("b"))
+        assert m.count_ops() == {"cz": 4}
+        assert (0, 1) in m.two_qubit_interactions()
+        assert (0, 3) in m.two_qubit_interactions()
+
+    def test_unknown_token(self):
+        with pytest.raises(ValueError, match="unknown mixer token"):
+            mixer_layer(2, ("warp",), Parameter("b"))
+
+    def test_mixer_label_format(self):
+        assert mixer_label(("rx", "ry")) == "('rx', 'ry')"
+
+    def test_qubit_subset(self):
+        from repro.circuits.circuit import QuantumCircuit
+
+        qc = QuantumCircuit(4)
+        append_mixer_layer(qc, ("rx",), Parameter("b"), qubits=[1, 3])
+        assert {i.qubits[0] for i in qc} == {1, 3}
+
+
+class TestAnsatz:
+    def test_parameter_count_is_2p(self):
+        ansatz = build_qaoa_ansatz(cycle_graph(4), 3)
+        assert ansatz.num_parameters == 6
+        assert ansatz.p == 3
+
+    def test_parameter_order_gammas_then_betas(self):
+        ansatz = build_qaoa_ansatz(cycle_graph(4), 2)
+        names = [p.name for p in ansatz.parameters]
+        assert names == ["gamma_0", "gamma_1", "beta_0", "beta_1"]
+
+    def test_layer_structure(self):
+        g = path_graph(3)
+        ansatz = build_qaoa_ansatz(g, 2, ("rx",))
+        ops = ansatz.circuit.count_ops()
+        assert ops["h"] == 3  # initial layer
+        assert ops["rzz"] == 2 * g.num_edges
+        assert ops["rx"] == 2 * 3
+
+    def test_no_initial_hadamard_option(self):
+        ansatz = build_qaoa_ansatz(cycle_graph(4), 1, initial_hadamard=False)
+        assert "h" not in ansatz.circuit.count_ops()
+        assert ansatz.initial_state_label == "+"
+
+    def test_hadamard_and_plus_start_equivalent(self):
+        g = cycle_graph(4)
+        x = [0.4, -0.3]
+        with_h = build_qaoa_ansatz(g, 1)
+        without = build_qaoa_ansatz(g, 1, initial_hadamard=False)
+        psi_h = simulate(with_h.bind(x))
+        psi_plus = simulate(without.bind(x), plus_state(4))
+        np.testing.assert_allclose(psi_h, psi_plus, atol=1e-12)
+
+    def test_bind_length_validated(self):
+        ansatz = build_qaoa_ansatz(cycle_graph(4), 2)
+        with pytest.raises(ValueError, match="expected 4"):
+            ansatz.bind([0.1, 0.2, 0.3])
+
+    def test_bind_produces_concrete_circuit(self):
+        ansatz = build_qaoa_ansatz(cycle_graph(4), 1, ("rx", "ry"))
+        bound = ansatz.bind([0.5, 0.25])
+        assert not bound.parameters
+
+    def test_zero_parameters_give_plus_state(self):
+        """gamma = beta = 0: the ansatz is the identity on |+>^n."""
+        g = cycle_graph(5)
+        ansatz = build_qaoa_ansatz(g, 2)
+        psi = simulate(ansatz.bind([0, 0, 0, 0]))
+        np.testing.assert_allclose(np.abs(psi), np.abs(plus_state(5)), atol=1e-12)
+
+    def test_depth_one_rejected_p_zero(self):
+        with pytest.raises(ValueError):
+            build_qaoa_ansatz(cycle_graph(4), 0)
+
+    def test_mixer_tokens_recorded(self):
+        ansatz = build_qaoa_ansatz(cycle_graph(4), 1, ("ry", "p"))
+        assert ansatz.mixer_tokens == ("ry", "p")

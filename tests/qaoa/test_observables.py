@@ -1,0 +1,170 @@
+"""Pauli-sum observables, Ising/QUBO conversions."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import Graph, cycle_graph, erdos_renyi_graph
+from repro.qaoa.observables import (
+    PauliSum,
+    PauliTerm,
+    ising_hamiltonian,
+    maxcut_hamiltonian,
+    qubo_to_ising,
+    tfim_hamiltonian,
+)
+from repro.simulators.expectation import maxcut_expectation
+from repro.simulators.statevector import basis_state, plus_state, simulate
+from repro.circuits.circuit import QuantumCircuit
+
+
+class TestPauliTerm:
+    def test_normalizes_case(self):
+        assert PauliTerm("xiz", 1.0).pauli == "XIZ"
+
+    def test_rejects_bad_chars(self):
+        with pytest.raises(ValueError):
+            PauliTerm("XQ", 1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PauliTerm("", 1.0)
+
+    def test_diagonal_flag(self):
+        assert PauliTerm("IZZ", 1.0).is_diagonal
+        assert not PauliTerm("XZI", 1.0).is_diagonal
+
+
+class TestPauliSum:
+    def test_merges_duplicate_strings(self):
+        H = PauliSum([PauliTerm("ZZ", 1.0), PauliTerm("ZZ", 0.5)])
+        assert len(H) == 1
+        assert H.terms[0].coefficient == 1.5
+
+    def test_drops_zero_terms(self):
+        H = PauliSum([PauliTerm("ZZ", 1.0), PauliTerm("ZZ", -1.0), PauliTerm("XX", 1.0)])
+        assert len(H) == 1
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError, match="widths"):
+            PauliSum([PauliTerm("Z", 1.0), PauliTerm("ZZ", 1.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PauliSum([])
+
+    def test_expectation_vs_matrix(self):
+        H = PauliSum([PauliTerm("XZ", 0.7), PauliTerm("YY", -0.3), PauliTerm("IZ", 1.1)])
+        qc = QuantumCircuit(2).h(0).cx(0, 1).rz(0.4, 1).ry(0.9, 0)
+        psi = simulate(qc)
+        direct = H.expectation(psi)
+        via_matrix = float(np.real(psi.conj() @ H.matrix() @ psi))
+        assert direct == pytest.approx(via_matrix, abs=1e-10)
+
+    def test_diagonal_fast_path_matches(self):
+        H = PauliSum([PauliTerm("ZZI", 0.5), PauliTerm("IZZ", -1.0), PauliTerm("ZII", 2.0)])
+        assert H.is_diagonal
+        psi = simulate(QuantumCircuit(3).h(0).cx(0, 1).ry(0.3, 2))
+        via_diag = float(np.abs(psi) ** 2 @ H.diagonal())
+        assert H.expectation(psi) == pytest.approx(via_diag, abs=1e-12)
+
+    def test_diagonal_raises_for_offdiagonal(self):
+        with pytest.raises(ValueError, match="off-diagonal"):
+            PauliSum([PauliTerm("X", 1.0)]).diagonal()
+
+    def test_ground_energy_diagonal(self):
+        H = PauliSum([PauliTerm("ZZ", 1.0)])  # min eigenvalue -1
+        assert H.ground_energy() == pytest.approx(-1.0)
+
+    def test_ground_energy_matches_eigensolver(self):
+        H = tfim_hamiltonian(3, 1.0, 0.7)
+        eig = float(np.linalg.eigvalsh(H.matrix()).min())
+        assert H.ground_energy() == pytest.approx(eig, abs=1e-10)
+
+
+class TestModelHamiltonians:
+    def test_maxcut_hamiltonian_matches_cut_expectation(self):
+        g = erdos_renyi_graph(6, 0.5, seed=5)
+        H = maxcut_hamiltonian(g)
+        psi = simulate(QuantumCircuit(6).h(0).cx(0, 3).ry(0.8, 2))
+        assert H.expectation(psi) == pytest.approx(maxcut_expectation(psi, g), abs=1e-10)
+
+    def test_maxcut_hamiltonian_max_is_optimum(self):
+        from repro.qaoa.maxcut import brute_force_maxcut
+
+        g = cycle_graph(5)
+        H = maxcut_hamiltonian(g)
+        assert H.diagonal().max() == pytest.approx(brute_force_maxcut(g).value)
+
+    def test_ising_fields_and_couplings(self):
+        H = ising_hamiltonian(2, {(0, 1): 1.0}, {0: 0.5})
+        # on |00>: Z0 Z1 = +1, Z0 = +1 -> 1.5
+        assert H.expectation(basis_state(2, 0)) == pytest.approx(1.5)
+        # on |01> (q0=1): Z0Z1 = -1, Z0 = -1 -> -1.5
+        assert H.expectation(basis_state(2, 1)) == pytest.approx(-1.5)
+
+    def test_tfim_known_two_qubit_ground(self):
+        """n=2 TFIM, J=h=1: ground energy = -sqrt(J^2 + ...) — check vs
+        dense eigensolve (and that it's below the classical -J)."""
+        H = tfim_hamiltonian(2, 1.0, 1.0)
+        exact = float(np.linalg.eigvalsh(H.matrix()).min())
+        assert H.ground_energy() == pytest.approx(exact)
+        assert H.ground_energy() < -1.0
+
+    def test_tfim_h_zero_is_classical(self):
+        H = tfim_hamiltonian(4, 1.0, 0.0)
+        assert H.is_diagonal
+        assert H.ground_energy() == pytest.approx(-3.0)  # aligned chain
+
+
+class TestQuboConversion:
+    def test_objective_preserved_on_all_bitstrings(self):
+        rng = np.random.default_rng(3)
+        Q = rng.normal(size=(5, 5))
+        H = qubo_to_ising(Q)
+        diag = H.diagonal()
+        sym = (Q + Q.T) / 2
+        for x_int in range(32):
+            x = np.array([(x_int >> k) & 1 for k in range(5)], dtype=float)
+            assert diag[x_int] == pytest.approx(float(x @ sym @ x), abs=1e-9)
+
+    def test_minimum_agrees_with_bruteforce(self):
+        rng = np.random.default_rng(4)
+        Q = rng.normal(size=(6, 6))
+        H = qubo_to_ising(Q)
+        sym = (Q + Q.T) / 2
+        best = min(
+            float(
+                np.array([(z >> k) & 1 for k in range(6)], dtype=float)
+                @ sym
+                @ np.array([(z >> k) & 1 for k in range(6)], dtype=float)
+            )
+            for z in range(64)
+        )
+        assert H.ground_energy() == pytest.approx(best, abs=1e-9)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            qubo_to_ising(np.zeros((2, 3)))
+
+
+class TestZeroObservable:
+    def test_empty_with_width_is_zero(self):
+        H = PauliSum([], num_qubits=3)
+        assert H.num_qubits == 3
+        assert len(H) == 0
+        assert H.expectation(plus_state(3)) == 0.0
+        assert H.ground_energy() == 0.0
+
+    def test_cancelling_terms_leave_zero(self):
+        H = PauliSum([PauliTerm("Z", 1.0), PauliTerm("Z", -1.0)])
+        assert len(H) == 0
+        assert H.expectation(basis_state(1, 0)) == 0.0
+
+    def test_empty_without_width_rejected(self):
+        with pytest.raises(ValueError, match="num_qubits"):
+            PauliSum([])
+
+    def test_zero_ising_hamiltonian(self):
+        H = ising_hamiltonian(4, {})
+        assert H.num_qubits == 4
+        assert np.all(H.diagonal() == 0.0)

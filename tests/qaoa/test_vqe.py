@@ -1,0 +1,125 @@
+"""VQE-style ansatz construction and search on PauliSum Hamiltonians."""
+
+import numpy as np
+import pytest
+
+from repro.optimizers import Cobyla
+from repro.qaoa.observables import PauliSum, PauliTerm, tfim_hamiltonian
+from repro.qaoa.vqe import VQEEnergy, build_vqe_ansatz, search_vqe_ansatz, train_vqe
+
+
+class TestAnsatzConstruction:
+    def test_parameter_count(self):
+        # 2 parameterized tokens x 3 layers
+        ansatz = build_vqe_ansatz(4, ("ry", "rz"), 3)
+        assert ansatz.num_parameters == 6
+
+    def test_fixed_tokens_add_no_parameters(self):
+        ansatz = build_vqe_ansatz(4, ("h", "ry"), 2)
+        assert ansatz.num_parameters == 2
+
+    def test_entangling_chain_present(self):
+        ansatz = build_vqe_ansatz(4, ("ry",), 2, entangle=True)
+        assert ansatz.circuit.count_ops()["cx"] == 3 * 2
+
+    def test_no_entangle_option(self):
+        ansatz = build_vqe_ansatz(4, ("ry",), 2, entangle=False)
+        assert "cx" not in ansatz.circuit.count_ops()
+
+    def test_parameters_shared_across_qubits_within_layer(self):
+        ansatz = build_vqe_ansatz(5, ("ry",), 1)
+        assert ansatz.num_parameters == 1
+        ry_count = ansatz.circuit.count_ops()["ry"]
+        assert ry_count == 5  # one gate per qubit, same parameter
+
+    def test_entangler_tokens_rejected(self):
+        with pytest.raises(ValueError, match="not usable"):
+            build_vqe_ansatz(4, ("cz_ring",), 1)
+
+    def test_empty_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            build_vqe_ansatz(4, (), 1)
+
+    def test_bind_validates_length(self):
+        ansatz = build_vqe_ansatz(3, ("ry",), 2)
+        with pytest.raises(ValueError):
+            ansatz.bind([0.1])
+
+
+class TestVQEEnergy:
+    def test_width_mismatch_rejected(self):
+        H = tfim_hamiltonian(3)
+        ansatz = build_vqe_ansatz(4, ("ry",), 1)
+        with pytest.raises(ValueError, match="width"):
+            VQEEnergy(ansatz, H)
+
+    def test_zero_angles_give_reference_energy(self):
+        H = tfim_hamiltonian(3, 1.0, 1.0)
+        ansatz = build_vqe_ansatz(3, ("ry",), 1, entangle=False)
+        energy = VQEEnergy(ansatz, H)
+        # |000>: ZZ terms give -2J, X terms give 0
+        assert energy.value([0.0]) == pytest.approx(-2.0)
+
+    def test_counts_evaluations(self):
+        H = tfim_hamiltonian(2)
+        energy = VQEEnergy(build_vqe_ansatz(2, ("ry",), 1), H)
+        energy.value([0.1])
+        energy.value([0.2])
+        assert energy.num_evaluations == 2
+
+
+class TestTraining:
+    def test_reaches_near_ground_on_tfim(self):
+        H = tfim_hamiltonian(4, 1.0, 1.0)
+        result = train_vqe(H, ("ry",), layers=3, restarts=2,
+                           optimizer=Cobyla(maxiter=150))
+        assert result.error < 0.2
+        assert result.energy >= H.ground_energy() - 1e-9  # variational bound
+
+    def test_variational_principle_never_violated(self):
+        H = tfim_hamiltonian(3, 1.0, 0.5)
+        for layers in (1, 2):
+            result = train_vqe(H, ("ry", "rz"), layers=layers, restarts=1,
+                               optimizer=Cobyla(maxiter=40))
+            assert result.energy >= H.ground_energy() - 1e-9
+
+    def test_more_layers_never_much_worse(self):
+        H = tfim_hamiltonian(3, 1.0, 1.0)
+        shallow = train_vqe(H, ("ry",), 1, restarts=2, optimizer=Cobyla(maxiter=100))
+        deep = train_vqe(H, ("ry",), 3, restarts=2, optimizer=Cobyla(maxiter=100))
+        assert deep.energy <= shallow.energy + 0.1
+
+    def test_deterministic_given_seed(self):
+        H = tfim_hamiltonian(3)
+        a = train_vqe(H, ("ry",), 2, seed=5, optimizer=Cobyla(maxiter=30))
+        b = train_vqe(H, ("ry",), 2, seed=5, optimizer=Cobyla(maxiter=30))
+        assert a.energy == b.energy
+
+    def test_entanglement_required_for_tfim(self):
+        """Product ansatz cannot reach the entangled ground state."""
+        H = tfim_hamiltonian(4, 1.0, 1.0)
+        product = train_vqe(H, ("ry",), 2, entangle=False,
+                            optimizer=Cobyla(maxiter=120), restarts=2)
+        entangled = train_vqe(H, ("ry",), 2, entangle=True,
+                              optimizer=Cobyla(maxiter=120), restarts=2)
+        assert entangled.energy < product.energy - 0.05
+
+
+class TestSearch:
+    def test_ranking_sorted_ascending(self):
+        H = tfim_hamiltonian(3, 1.0, 1.0)
+        ranking = search_vqe_ansatz(
+            H, [("ry",), ("rz",), ("ry", "rz")], layers=2, optimizer_steps=60
+        )
+        energies = [r.energy for r in ranking]
+        assert energies == sorted(energies)
+
+    def test_rz_only_ansatz_ranks_last(self):
+        """RZ layers act trivially on |0...0> before any X/Y rotation: the
+        search must discover that rz-only cannot train on TFIM."""
+        H = tfim_hamiltonian(3, 1.0, 1.0)
+        ranking = search_vqe_ansatz(
+            H, [("ry",), ("rz",)], layers=2, optimizer_steps=60
+        )
+        assert ranking[0].tokens == ("ry",)
+        assert ranking[-1].tokens == ("rz",)

@@ -1,0 +1,146 @@
+"""Bucket elimination and slicing."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.qtensor.backends import NumpyBackend
+from repro.qtensor.contraction import (
+    bucket_elimination,
+    choose_slice_vars,
+    contract_network,
+    contract_sliced,
+)
+from repro.qtensor.network import TensorNetwork
+from repro.qtensor.ordering import order_for_tensors
+from repro.qtensor.tensor import Tensor
+from repro.qtensor.variables import Variable
+from repro.simulators.statevector import simulate
+from tests.conftest import random_circuit
+
+
+class TestBucketElimination:
+    def test_matrix_chain(self):
+        """A - B - C chain contracts to the matrix product trace."""
+        a, b = Variable(0), Variable(1)
+        m1 = np.random.default_rng(0).normal(size=(2, 2))
+        m2 = np.random.default_rng(1).normal(size=(2, 2))
+        tensors = [Tensor("m1", m1, [a, b]), Tensor("m2", m2, [a, b])]
+        result = bucket_elimination(tensors, [a, b], ())
+        assert result.scalar() == pytest.approx(np.sum(m1 * m2))
+
+    def test_open_variable_kept(self):
+        a, b = Variable(0), Variable(1)
+        m = np.arange(4.0).reshape(2, 2)
+        vec = np.array([1.0, 2.0])
+        tensors = [Tensor("m", m, [a, b]), Tensor("v", vec, [a])]
+        result = bucket_elimination(tensors, [a], [b])
+        assert result.indices == (b,)
+        np.testing.assert_allclose(result.data, m.T @ vec)
+
+    def test_unaccounted_variable_rejected(self):
+        a, b = Variable(0), Variable(1)
+        t = Tensor("t", np.zeros((2, 2)), [a, b])
+        with pytest.raises(ValueError, match="neither ordered nor open"):
+            bucket_elimination([t], [a], ())
+
+    def test_open_var_in_order_rejected(self):
+        a = Variable(0)
+        t = Tensor("t", np.zeros(2), [a])
+        with pytest.raises(ValueError, match="also appear"):
+            bucket_elimination([t], [a], [a])
+
+    def test_disconnected_components_multiply(self):
+        a, b = Variable(0), Variable(1)
+        t1 = Tensor("t1", np.array([1.0, 2.0]), [a])
+        t2 = Tensor("t2", np.array([3.0, 4.0]), [b])
+        result = bucket_elimination([t1, t2], [a, b], ())
+        assert result.scalar() == pytest.approx(3.0 * 7.0)
+
+    def test_empty_network_scalar_one(self):
+        result = bucket_elimination([], [], ())
+        assert result.scalar() == pytest.approx(1.0)
+
+    def test_order_invariance_of_value(self):
+        """Any valid elimination order yields the same scalar."""
+        qc = random_circuit(3, 12, seed=5)
+        net = TensorNetwork.from_circuit(qc, output_bitstring=3)
+        values = []
+        for seed in range(4):
+            order = order_for_tensors(net.tensors, method="random", seed=seed)
+            result = bucket_elimination(net.tensors, order.order, ())
+            values.append(result.scalar())
+        np.testing.assert_allclose(values, values[0], atol=1e-10)
+
+    def test_matches_statevector_amplitudes(self):
+        qc = random_circuit(4, 25, seed=11)
+        psi = simulate(qc)
+        for b in (0, 5, 9, 15):
+            net = TensorNetwork.from_circuit(qc, output_bitstring=b)
+            amp = complex(contract_network(net))
+            assert amp == pytest.approx(complex(psi[b]), abs=1e-10)
+
+
+class TestWideBucketChunking:
+    def test_many_tensors_on_one_variable(self):
+        """More operands than the einsum chunk limit still contract."""
+        v = Variable(0)
+        tensors = [Tensor(f"t{i}", np.array([1.0, 0.5]), [v]) for i in range(40)]
+        result = bucket_elimination(tensors, [v], ())
+        assert result.scalar() == pytest.approx(1.0 + 0.5**40)
+
+
+class TestSlicing:
+    def test_choose_slice_vars_highest_degree(self):
+        qc = QuantumCircuit(3).h(0).cx(0, 1).cx(0, 2).h(0)
+        net = TensorNetwork.from_circuit(qc, output_bitstring=0)
+        sliced = choose_slice_vars(net.tensors, 1)
+        from repro.qtensor.network import interaction_graph
+
+        graph = interaction_graph(net.tensors)
+        max_degree = max(len(nbrs) for nbrs in graph.values())
+        assert len(graph[sliced[0]]) == max_degree
+
+    def test_sliced_equals_unsliced(self):
+        qc = random_circuit(4, 20, seed=2)
+        net = TensorNetwork.from_circuit(qc, output_bitstring=7)
+        direct = complex(contract_network(net))
+        for num_slice in (1, 2):
+            slice_vars = choose_slice_vars(net.tensors, num_slice)
+            value = contract_sliced(net, slice_vars)
+            assert value == pytest.approx(direct, abs=1e-10)
+
+    def test_sliced_rejects_open_networks(self):
+        net = TensorNetwork.from_circuit(QuantumCircuit(2).h(0))
+        with pytest.raises(ValueError, match="closed"):
+            contract_sliced(net, [])
+
+    def test_slicing_with_parallel_map(self):
+        """map_fn injection: slices can run through any mapper."""
+        qc = random_circuit(3, 15, seed=4)
+        net = TensorNetwork.from_circuit(qc, output_bitstring=1)
+        direct = complex(contract_network(net))
+        slice_vars = choose_slice_vars(net.tensors, 2)
+        collected = []
+
+        def tracking_map(fn, jobs):
+            jobs = list(jobs)
+            collected.append(len(jobs))
+            return [fn(j) for j in jobs]
+
+        value = contract_sliced(net, slice_vars, map_fn=tracking_map)
+        assert value == pytest.approx(direct, abs=1e-10)
+        assert collected == [4]  # 2^2 independent slices
+
+
+class TestBackendStats:
+    def test_numpy_backend_counters(self):
+        backend = NumpyBackend()
+        qc = random_circuit(3, 10, seed=6)
+        net = TensorNetwork.from_circuit(qc, output_bitstring=0)
+        contract_network(net, backend=backend)
+        stats = backend.stats()
+        assert stats["buckets"] > 0
+        assert stats["elements_written"] > 0
+        backend.reset_stats()
+        assert backend.stats()["buckets"] == 0

@@ -1,0 +1,143 @@
+"""Circuit -> tensor network conversion."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.qtensor.contraction import contract_network
+from repro.qtensor.network import TensorNetwork, interaction_graph, product_state_vectors
+from repro.simulators.statevector import plus_state, simulate
+from repro.simulators.expectation import maxcut_expectation
+from repro.graphs.generators import cycle_graph
+from tests.conftest import random_circuit
+
+
+class TestProductStates:
+    def test_named_states(self):
+        vecs = product_state_vectors("+", 2)
+        np.testing.assert_allclose(vecs[0], [2**-0.5, 2**-0.5])
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown initial state"):
+            product_state_vectors("magic", 2)
+
+    def test_explicit_vectors(self):
+        vecs = product_state_vectors([np.array([1, 0]), np.array([0, 1])], 2)
+        assert len(vecs) == 2
+
+    def test_count_mismatch(self):
+        with pytest.raises(ValueError, match="qubit states"):
+            product_state_vectors([np.array([1, 0])], 2)
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError, match="shape"):
+            product_state_vectors([np.array([1, 0, 0])], 1)
+
+
+class TestDiagonalOptimization:
+    def test_diagonal_gates_add_no_variables(self):
+        """A purely diagonal circuit keeps one variable per qubit."""
+        qc = QuantumCircuit(3).rz(0.3, 0).cz(0, 1).rzz(0.5, 1, 2).p(0.1, 2)
+        net = TensorNetwork.from_circuit(qc)
+        # 3 input caps + 4 gate tensors, but only the 3 initial wire vars
+        assert len(net.all_vars()) == 3
+
+    def test_nondiagonal_gates_advance_wires(self):
+        qc = QuantumCircuit(1).h(0).h(0)
+        net = TensorNetwork.from_circuit(qc)
+        assert len(net.all_vars()) == 3  # in, mid, out
+
+    def test_diagonal_tensor_rank_matches_qubits(self):
+        qc = QuantumCircuit(2).rzz(0.4, 0, 1)
+        net = TensorNetwork.from_circuit(qc)
+        gate_tensors = [t for t in net.tensors if t.name == "rzz"]
+        assert len(gate_tensors) == 1
+        assert gate_tensors[0].rank == 2  # not 4
+
+
+class TestAmplitudeNetworks:
+    def test_closed_network_has_no_open_vars(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        net = TensorNetwork.from_circuit(qc, output_bitstring=0)
+        assert net.closed()
+
+    def test_bitstring_range_validated(self):
+        qc = QuantumCircuit(2).h(0)
+        with pytest.raises(ValueError, match="out of range"):
+            TensorNetwork.from_circuit(qc, output_bitstring=4)
+
+    def test_bell_amplitudes(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        for b, expected in [(0, 2**-0.5), (1, 0.0), (2, 0.0), (3, 2**-0.5)]:
+            net = TensorNetwork.from_circuit(qc, output_bitstring=b)
+            amp = complex(contract_network(net))
+            assert amp == pytest.approx(expected, abs=1e-12)
+
+    def test_open_network_statevector(self):
+        qc = random_circuit(3, 15, seed=3)
+        net = TensorNetwork.from_circuit(qc)
+        data = contract_network(net)
+        psi = data.transpose(2, 1, 0).reshape(8)
+        np.testing.assert_allclose(psi, simulate(qc), atol=1e-10)
+
+    def test_plus_initial_state(self):
+        qc = QuantumCircuit(2).rzz(0.7, 0, 1)
+        net = TensorNetwork.from_circuit(qc, initial_state="+")
+        data = contract_network(net)
+        psi = data.transpose(1, 0).reshape(4)
+        np.testing.assert_allclose(psi, simulate(qc, plus_state(2)), atol=1e-12)
+
+
+class TestExpectationNetworks:
+    def test_cut_expectation_matches_statevector(self):
+        g = cycle_graph(4)
+        qc = QuantumCircuit(4)
+        for (u, v), w in zip(g.edges, g.weights):
+            qc.rzz(-0.4 * w, u, v)
+        for q in range(4):
+            qc.rx(1.1, q)
+        total = 0.0
+        for u, v in g.edges:
+            net = TensorNetwork.expectation(
+                qc,
+                [((u, v), np.array([0, 1, 1, 0], dtype=complex))],
+                initial_state="+",
+            )
+            total += complex(contract_network(net)).real
+        expected = maxcut_expectation(simulate(qc, plus_state(4)), g)
+        assert total == pytest.approx(expected, abs=1e-10)
+
+    def test_identity_observable_gives_one(self):
+        qc = random_circuit(3, 12, seed=1)
+        net = TensorNetwork.expectation(
+            qc, [((0,), np.array([1.0, 1.0], dtype=complex))]
+        )
+        assert complex(contract_network(net)) == pytest.approx(1.0, abs=1e-10)
+
+    def test_diag_term_shape_validated(self):
+        qc = QuantumCircuit(2).h(0)
+        with pytest.raises(ValueError, match="entries"):
+            TensorNetwork.expectation(qc, [((0, 1), np.array([1.0, -1.0]))])
+
+    def test_z_on_zero_state(self):
+        qc = QuantumCircuit(1).id(0)
+        net = TensorNetwork.expectation(
+            qc, [((0,), np.array([1.0, -1.0], dtype=complex))], initial_state="0"
+        )
+        assert complex(contract_network(net)).real == pytest.approx(1.0)
+
+
+class TestInteractionGraph:
+    def test_vars_sharing_tensor_are_adjacent(self):
+        qc = QuantumCircuit(2).cx(0, 1)
+        net = TensorNetwork.from_circuit(qc)
+        graph = interaction_graph(net.tensors)
+        cx = [t for t in net.tensors if t.name == "cx"][0]
+        a, b = cx.indices[0], cx.indices[1]
+        assert b in graph[a] and a in graph[b]
+
+    def test_no_self_adjacency(self):
+        net = TensorNetwork.from_circuit(QuantumCircuit(2).h(0).cx(0, 1))
+        graph = interaction_graph(net.tensors)
+        for v, nbrs in graph.items():
+            assert v not in nbrs

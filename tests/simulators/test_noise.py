@@ -1,0 +1,117 @@
+"""Kraus channels and the density-matrix simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.simulators.noise import (
+    DensityMatrixSimulator,
+    KrausChannel,
+    NoiseModel,
+    amplitude_damping_channel,
+    bit_flip_channel,
+    depolarizing_channel,
+    phase_flip_channel,
+)
+from repro.simulators.statevector import simulate
+from repro.simulators.expectation import cut_values
+from repro.graphs.generators import path_graph
+
+
+class TestChannels:
+    def test_trace_preservation_enforced(self):
+        bad = (np.eye(2, dtype=complex) * 0.5,)
+        with pytest.raises(ValueError, match="trace preserving"):
+            KrausChannel("bad", bad)
+
+    @pytest.mark.parametrize("factory,arg", [
+        (depolarizing_channel, 0.1),
+        (bit_flip_channel, 0.2),
+        (phase_flip_channel, 0.3),
+        (amplitude_damping_channel, 0.4),
+    ])
+    def test_standard_channels_valid(self, factory, arg):
+        channel = factory(arg)
+        total = sum(k.conj().T @ k for k in channel.operators)
+        np.testing.assert_allclose(total, np.eye(2), atol=1e-12)
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            bit_flip_channel(1.5)
+
+    def test_zero_noise_is_identity_channel(self):
+        channel = depolarizing_channel(0.0)
+        assert len([k for k in channel.operators if np.abs(k).sum() > 1e-12]) == 1
+
+
+class TestDensityMatrixSimulator:
+    def test_noiseless_matches_statevector(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).rz(0.3, 1)
+        rho = DensityMatrixSimulator().run(qc)
+        psi = simulate(qc)
+        np.testing.assert_allclose(rho, np.outer(psi, psi.conj()), atol=1e-12)
+
+    def test_trace_one_under_noise(self):
+        model = NoiseModel(default=depolarizing_channel(0.05))
+        qc = QuantumCircuit(2).h(0).cx(0, 1).rx(0.4, 0)
+        rho = DensityMatrixSimulator(model).run(qc)
+        assert np.trace(rho).real == pytest.approx(1.0, abs=1e-10)
+        assert abs(np.trace(rho).imag) < 1e-12
+
+    def test_hermitian_and_psd(self):
+        model = NoiseModel(default=amplitude_damping_channel(0.2))
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        rho = DensityMatrixSimulator(model).run(qc)
+        np.testing.assert_allclose(rho, rho.conj().T, atol=1e-12)
+        eigs = np.linalg.eigvalsh(rho)
+        assert eigs.min() > -1e-10
+
+    def test_full_depolarizing_gives_maximally_mixed(self):
+        model = NoiseModel(default=depolarizing_channel(1.0))
+        qc = QuantumCircuit(1).h(0)
+        rho = DensityMatrixSimulator(model).run(qc)
+        np.testing.assert_allclose(rho, np.eye(2) / 2, atol=1e-12)
+
+    def test_bit_flip_decays_purity(self):
+        model = NoiseModel(default=bit_flip_channel(0.3))
+        qc = QuantumCircuit(1).x(0)
+        rho = DensityMatrixSimulator(model).run(qc)
+        # after X then 30% bit flip: P(|1>) = 0.7
+        assert rho[1, 1].real == pytest.approx(0.7)
+
+    def test_per_gate_noise_targeting(self):
+        model = NoiseModel(per_gate={"h": bit_flip_channel(0.5)})
+        qc = QuantumCircuit(1).x(0)  # x has no attached noise
+        rho = DensityMatrixSimulator(model).run(qc)
+        assert rho[1, 1].real == pytest.approx(1.0)
+
+    def test_pure_state_initial(self):
+        psi = simulate(QuantumCircuit(1).h(0))
+        rho = DensityMatrixSimulator().run(QuantumCircuit(1).z(0), initial_state=psi)
+        expected = simulate(QuantumCircuit(1).h(0).z(0))
+        np.testing.assert_allclose(rho, np.outer(expected, expected.conj()), atol=1e-12)
+
+    def test_expectation_diagonal(self):
+        g = path_graph(2)
+        qc = QuantumCircuit(2).x(0)
+        rho = DensityMatrixSimulator().run(qc)
+        energy = DensityMatrixSimulator.expectation(rho, cut_values(g))
+        assert energy == pytest.approx(1.0)
+
+    def test_noise_degrades_qaoa_energy(self):
+        """Noisy mixers should lose cut energy — the ranking signal the
+        evaluator would use under noise."""
+        from repro.qaoa.ansatz import build_qaoa_ansatz
+        from repro.graphs.generators import cycle_graph
+
+        g = cycle_graph(4)
+        ansatz = build_qaoa_ansatz(g, 1)
+        bound = ansatz.bind([0.6, -0.4])
+        clean = DensityMatrixSimulator().run(bound)
+        noisy = DensityMatrixSimulator(
+            NoiseModel(default=depolarizing_channel(0.08))
+        ).run(bound)
+        cuts = cut_values(g)
+        e_clean = DensityMatrixSimulator.expectation(clean, cuts)
+        e_noisy = DensityMatrixSimulator.expectation(noisy, cuts)
+        assert abs(e_noisy - g.num_edges / 2) < abs(e_clean - g.num_edges / 2) or e_noisy < e_clean

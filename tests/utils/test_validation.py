@@ -1,0 +1,80 @@
+"""Validation helper behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_integer,
+    check_positive,
+    check_probability,
+    check_qubit_index,
+)
+
+
+class TestCheckInteger:
+    def test_plain_int(self):
+        assert check_integer(5, "x") == 5
+
+    def test_numpy_int(self):
+        assert check_integer(np.int64(7), "x") == 7
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError, match="bool"):
+            check_integer(True, "x")
+
+    def test_float_rejected_even_integral(self):
+        with pytest.raises(TypeError):
+            check_integer(3.0, "x")
+
+    def test_string_rejected(self):
+        with pytest.raises(TypeError):
+            check_integer("3", "x")
+
+    def test_error_names_argument(self):
+        with pytest.raises(TypeError, match="my_arg"):
+            check_integer(1.5, "my_arg")
+
+
+class TestCheckPositive:
+    def test_strict_accepts_positive(self):
+        assert check_positive(1, "x") == 1
+
+    def test_strict_rejects_zero(self):
+        with pytest.raises(ValueError, match="> 0"):
+            check_positive(0, "x")
+
+    def test_nonstrict_accepts_zero(self):
+        assert check_positive(0, "x", strict=False) == 0
+
+    def test_nonstrict_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_positive(-1, "x", strict=False)
+
+
+class TestCheckProbability:
+    def test_bounds_inclusive(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_probability(1.01, "p")
+        with pytest.raises(ValueError):
+            check_probability(-0.01, "p")
+
+    def test_non_numeric(self):
+        with pytest.raises(TypeError):
+            check_probability("half", "p")
+
+
+class TestCheckQubitIndex:
+    def test_valid_range(self):
+        assert check_qubit_index(2, 3) == 2
+
+    def test_upper_bound_exclusive(self):
+        with pytest.raises(ValueError):
+            check_qubit_index(3, 3)
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            check_qubit_index(-1, 3)
