@@ -11,8 +11,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-
 from repro.core.evaluator import EvaluationConfig, Evaluator
 from repro.experiments.figures import render_table
 from repro.experiments.records import ExperimentRecord

@@ -10,8 +10,6 @@ indicts) learning-based proposal at this search-space size.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.alphabet import GateAlphabet
 from repro.core.controller import ControllerPredictor, PolicyController
 from repro.core.evaluator import EvaluationConfig, Evaluator

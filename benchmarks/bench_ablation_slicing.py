@@ -11,8 +11,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-
 from repro.experiments.figures import render_table
 from repro.experiments.records import ExperimentRecord
 from repro.graphs.generators import random_regular_graph

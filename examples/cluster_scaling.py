@@ -9,8 +9,6 @@ modelled 4-node Polaris slice (Fig. 2's architecture).
     python examples/cluster_scaling.py
 """
 
-import numpy as np
-
 from repro.core.alphabet import GateAlphabet
 from repro.core.evaluator import EvaluationConfig
 from repro.experiments.figures import render_series, render_table

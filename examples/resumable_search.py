@@ -1,0 +1,53 @@
+"""Fault-tolerant, resumable search with a persistent result cache.
+
+Runs the same search twice through the SearchRuntime substrate: the first
+(cold) run trains every candidate and persists each result + a per-depth
+checkpoint under ``cache_dir``; the second (warm) run is served entirely
+from the cache — zero trainings, identical winner. Kill the script partway
+through the cold run and re-run it to see checkpoint resume in action.
+
+    python examples/resumable_search.py
+
+Equivalent CLI:
+
+    python -m repro search --cache-dir /tmp/qarch-cache --resume ...
+"""
+
+import tempfile
+import time
+
+from repro import EvaluationConfig, RuntimeConfig, SearchConfig, paper_er_dataset, search_mixer
+
+graphs = paper_er_dataset(2)
+config = SearchConfig(
+    p_max=2,
+    k_min=2,
+    k_max=2,
+    mode="combinations",
+    evaluation=EvaluationConfig(max_steps=40, seed=0),
+)
+
+with tempfile.TemporaryDirectory() as cache_dir:
+    # Persistent cache + checkpointing + per-job retry, all via RuntimeConfig.
+    # (job_timeout would also abandon + resubmit pathological candidates,
+    # but only with a parallel executor — serial jobs run inline.)
+    runtime = RuntimeConfig(
+        cache_dir=cache_dir,  # results + checkpoint live here
+        resume=True,          # restore any finished depths on restart
+        max_retries=2,        # tolerate transient worker failures
+    )
+
+    start = time.perf_counter()
+    cold = search_mixer(graphs, config, runtime=runtime)
+    print(f"cold run: {cold.num_candidates} candidates trained in "
+          f"{time.perf_counter() - start:.1f}s -> "
+          f"{cold.best_tokens} at p={cold.best_p} (ratio {cold.best_ratio:.4f})")
+
+    start = time.perf_counter()
+    warm = search_mixer(graphs, config, runtime=runtime)
+    print(f"warm run: {warm.config['restored_depths']} depths restored from "
+          f"checkpoint in {time.perf_counter() - start:.2f}s "
+          f"({warm.config['jobs_submitted']} jobs submitted)")
+
+    assert warm.best_tokens == cold.best_tokens
+    print("identical winner — repeat sweeps are free")

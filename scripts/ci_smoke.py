@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Benchmark-smoke: one tiny end-to-end search, cold then warm.
+
+Runs the full Algorithm 1 stack (enumeration → QBuilder → training →
+selection) at a scale well under examples/quickstart.py, through the
+fault-tolerant runtime with a persistent cache, and asserts:
+
+* the search finds a winner with a sane approximation ratio,
+* a repeated run with the warm cache performs zero candidate trainings,
+* the cold run stays inside a generous wall-clock budget, so order-of-
+  magnitude runtime regressions fail CI without full-bench cost.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+
+REPO_SRC = "src"
+sys.path.insert(0, REPO_SRC)
+
+from repro.core.evaluator import EvaluationConfig  # noqa: E402
+from repro.core.runtime import RuntimeConfig  # noqa: E402
+from repro.core.search import SearchConfig, search_mixer  # noqa: E402
+from repro.graphs.datasets import paper_er_dataset  # noqa: E402
+
+#: generous ceiling — the run takes ~5 s on 2 CPU-throttled CI cores
+COLD_BUDGET_SECONDS = 120.0
+
+
+def main() -> int:
+    graphs = paper_er_dataset(2)
+    config = SearchConfig(
+        p_max=2,
+        k_min=2,
+        k_max=2,
+        mode="combinations",
+        evaluation=EvaluationConfig(max_steps=20, seed=0),
+    )
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        runtime = RuntimeConfig(cache_dir=cache_dir)
+
+        start = time.perf_counter()
+        cold = search_mixer(graphs, config, runtime=runtime)
+        cold_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = search_mixer(graphs, config, runtime=runtime)
+        warm_seconds = time.perf_counter() - start
+
+    print(
+        f"cold: {cold.num_candidates} candidates in {cold_seconds:.1f}s; "
+        f"winner {cold.best_tokens} at p={cold.best_p} "
+        f"(ratio {cold.best_ratio:.4f})"
+    )
+    print(
+        f"warm: {warm.config['cache_hits']} hits in {warm_seconds:.2f}s "
+        f"({warm.config['jobs_submitted']} jobs submitted)"
+    )
+
+    assert cold.best_tokens, "search must produce a winner"
+    assert 0.0 < cold.best_ratio <= 1.0 + 1e-9, "ratio out of range"
+    assert cold_seconds < COLD_BUDGET_SECONDS, (
+        f"cold search took {cold_seconds:.1f}s — runtime regression "
+        f"(budget {COLD_BUDGET_SECONDS:.0f}s)"
+    )
+    assert warm.config["cache_hits"] == warm.num_candidates, (
+        "warm run must be served entirely from cache"
+    )
+    assert warm.config["jobs_submitted"] == 0
+    assert warm.best_tokens == cold.best_tokens
+    print("benchmark smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

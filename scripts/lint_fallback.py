@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Offline approximation of the CI ruff job (F401/F811/E711/E712/E722/E9).
+
+CI runs real ruff (see .github/workflows/ci.yml). This script exists so
+`scripts/run_ci_locally.sh` can gate the same rule families on machines
+without network access to install ruff: unused imports, duplicate
+definitions from imports, comparisons to None/True/False with ==, bare
+excepts, and syntax errors. It intentionally implements a *subset* — a
+clean ruff run implies a clean run here, not vice versa.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+ROOTS = ("src", "tests", "benchmarks", "examples", "scripts")
+
+
+class ImportUsage(ast.NodeVisitor):
+    def __init__(self) -> None:
+        self.imported: dict[str, int] = {}  # name -> lineno
+        self.used: set[str] = set()
+        self.exported: set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            name = alias.asname or alias.name.split(".")[0]
+            self.imported[name] = node.lineno
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            self.imported[alias.asname or alias.name] = node.lineno
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.used.add(node.id)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                value = node.value
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    for element in value.elts:
+                        if isinstance(element, ast.Constant):
+                            self.exported.add(str(element.value))
+        self.generic_visit(node)
+
+
+def check_file(path: Path) -> list[str]:
+    source = path.read_text()
+    lines = source.splitlines()
+    problems: list[str] = []
+
+    def report(lineno: int, message: str) -> None:
+        if 0 < lineno <= len(lines) and "noqa" in lines[lineno - 1]:
+            return
+        problems.append(f"{path}:{lineno}: {message}")
+
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:  # E9
+        return [f"{path}:{error.lineno}: E999 syntax error: {error.msg}"]
+
+    usage = ImportUsage()
+    usage.visit(tree)
+    # Names used inside string annotations / docstring doctests are not
+    # tracked; treat any textual occurrence outside the import block as use.
+    text_body = "\n".join(
+        line for number, line in enumerate(source.splitlines(), 1)
+        if number not in set(usage.imported.values())
+    )
+    for name, lineno in sorted(usage.imported.items(), key=lambda kv: kv[1]):
+        if name == "annotations" or name.startswith("_"):
+            continue
+        if name in usage.used or name in usage.exported:
+            continue
+        if name in text_body:
+            continue
+        report(lineno, f"F401 {name!r} imported but unused")
+
+    # Format specs (the ":.4f" in f"{x:.4f}") are themselves JoinedStr
+    # nodes with no placeholders; they are not F541 candidates.
+    format_specs = {
+        id(node.format_spec)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.FormattedValue) and node.format_spec is not None
+    }
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            problems.extend(
+                f"{path}:{lineno}: {message}"
+                for lineno, message in _unused_locals(node)
+                if "noqa" not in lines[lineno - 1]
+            )
+        if isinstance(node, ast.JoinedStr) and id(node) not in format_specs:  # F541
+            if not any(isinstance(v, ast.FormattedValue) for v in node.values):
+                report(node.lineno, "F541 f-string without placeholders")
+        if isinstance(node, ast.Compare):  # F632
+            for op, comparator in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.Is, ast.IsNot)) and isinstance(
+                    comparator, ast.Constant
+                ) and comparator.value not in (None, True, False):
+                    report(node.lineno, "F632 `is` comparison with a literal")
+        if isinstance(node, ast.ExceptHandler) and node.type is None:  # E722
+            report(node.lineno, "E722 bare except")
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+            targets = node.targets
+            if any(isinstance(t, ast.Name) for t in targets):  # E731
+                report(node.lineno, "E731 lambda assigned to a name")
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            if node.id in ("l", "O", "I"):  # E741
+                report(node.lineno, f"E741 ambiguous variable name {node.id!r}")
+        if isinstance(node, ast.Compare):
+            for op, comparator in zip(node.ops, node.comparators):
+                if not isinstance(comparator, ast.Constant):
+                    continue
+                if comparator.value is None and isinstance(op, (ast.Eq, ast.NotEq)):
+                    report(node.lineno, "E711 comparison to None with ==")
+                if isinstance(comparator.value, bool) and isinstance(
+                    op, (ast.Eq, ast.NotEq)
+                ):
+                    report(
+                        node.lineno,
+                        f"E712 comparison to {comparator.value} with ==",
+                    )
+    return problems
+
+
+def _unused_locals(func: ast.AST) -> list:
+    """Approximate F841: simple ``name = ...`` bindings never loaded.
+
+    Tuple unpacking, augmented assignment, and underscore names are left
+    alone, matching pyflakes' default behaviour.
+    """
+    assigned: dict[str, int] = {}
+    loaded: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                    assigned.setdefault(target.id, node.lineno)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            loaded.add(node.id)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            for name in node.names:
+                loaded.add(name)
+    return [
+        (lineno, f"F841 local variable {name!r} assigned but never used")
+        for name, lineno in sorted(assigned.items(), key=lambda kv: kv[1])
+        if name not in loaded
+    ]
+
+
+def main() -> int:
+    repo = Path(__file__).resolve().parents[1]
+    problems: list[str] = []
+    for root in ROOTS:
+        for path in sorted((repo / root).rglob("*.py")):
+            problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(f"lint_fallback: {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

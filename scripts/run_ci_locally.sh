@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Run the same three jobs as .github/workflows/ci.yml on this machine.
+#
+#   lint        ruff check . (falls back to scripts/lint_fallback.py when
+#               ruff is not installed — e.g. offline dev containers)
+#   tests       CLI smoke + tier-1 pytest
+#   bench-smoke tiny end-to-end search with warm-cache assertions
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "=== job: lint ==="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check .
+else
+    echo "(ruff not installed; running offline fallback linter)"
+    python scripts/lint_fallback.py
+fi
+
+echo "=== job: tests (CLI smoke) ==="
+python -m repro --help >/dev/null
+python -m repro draw rx,ry --qubits 3 >/dev/null
+echo "CLI smoke OK"
+
+echo "=== job: tests (tier-1 pytest) ==="
+python -m pytest -x -q
+
+echo "=== job: bench-smoke ==="
+python scripts/ci_smoke.py
+
+echo "=== all CI jobs green ==="

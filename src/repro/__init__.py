@@ -26,8 +26,10 @@ from repro.core import (
     PolicyController,
     QBuilder,
     RandomPredictor,
+    RuntimeConfig,
     SearchConfig,
     SearchResult,
+    SearchRuntime,
     search_mixer,
     search_with_predictor,
 )
@@ -48,6 +50,8 @@ __all__ = [
     "search_with_predictor",
     "SearchConfig",
     "SearchResult",
+    "RuntimeConfig",
+    "SearchRuntime",
     "EvaluationConfig",
     "Evaluator",
     "GateAlphabet",

@@ -15,10 +15,10 @@ least-significant bit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Mapping, Sequence, Set, Tuple
 
-from repro.circuits.gates import GATE_REGISTRY, Gate, make_gate
-from repro.circuits.parameters import Parameter, ParameterExpression, ParameterValue
+from repro.circuits.gates import Gate, make_gate
+from repro.circuits.parameters import Parameter, ParameterValue
 from repro.utils.validation import check_positive, check_qubit_index
 
 __all__ = ["Instruction", "QuantumCircuit"]

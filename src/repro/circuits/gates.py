@@ -197,7 +197,9 @@ def _register(spec: GateSpec) -> GateSpec:
     return spec
 
 
-I = _register(GateSpec("id", 1, 0, _mat_i, is_diagonal=True, is_self_inverse=True))
+I = _register(  # noqa: E741 - the identity gate's conventional name
+    GateSpec("id", 1, 0, _mat_i, is_diagonal=True, is_self_inverse=True)
+)
 X = _register(GateSpec("x", 1, 0, _mat_x, is_self_inverse=True))
 Y = _register(GateSpec("y", 1, 0, _mat_y, is_self_inverse=True))
 Z = _register(GateSpec("z", 1, 0, _mat_z, is_diagonal=True, is_self_inverse=True))

@@ -14,7 +14,7 @@ and keeps binding vectorizable and exact.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Tuple, Union
+from typing import Dict, Mapping, Union
 
 import numpy as np
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Dict, List
+from typing import List
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import GATE_REGISTRY

@@ -16,7 +16,7 @@ nothing, and so structurally-equal candidates hash to the same cache key:
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import List, Optional, Set
 
 from repro.circuits.circuit import Instruction, QuantumCircuit
 from repro.circuits.dag import CircuitDag

@@ -14,14 +14,15 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.evaluator import EvaluationConfig, Evaluator
+from repro.core.runtime import RuntimeConfig
 from repro.core.search import SearchConfig, search_mixer
 from repro.experiments.discovery import draw_mixer
 from repro.experiments.figures import render_table
 from repro.graphs.datasets import paper_er_dataset, paper_regular_dataset
-from repro.parallel.executor import MultiprocessingExecutor, SerialExecutor, available_cores
+from repro.parallel.executor import MultiprocessingExecutor, available_cores
 
 __all__ = ["main", "build_parser"]
 
@@ -63,6 +64,16 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--workers", type=int, default=0,
                         help="0 = serial, -1 = all cores")
     search.add_argument("--out", default=None, help="save SearchResult JSON")
+    search.add_argument("--cache-dir", default=None,
+                        help="persist candidate results + checkpoints here; "
+                             "repeat runs become cache lookups")
+    search.add_argument("--resume", action="store_true",
+                        help="restore finished depths from the checkpoint "
+                             "in --cache-dir")
+    search.add_argument("--retries", type=int, default=2,
+                        help="extra attempts per candidate on worker failure")
+    search.add_argument("--job-timeout", type=float, default=None,
+                        help="per-candidate wall-clock limit in seconds")
 
     evaluate = sub.add_parser("evaluate", help="score one mixer")
     _add_common(evaluate)
@@ -92,12 +103,26 @@ def _cmd_search(args) -> int:
         p_max=args.p_max, k_min=args.k_min, k_max=args.k_max,
         mode=args.mode, evaluation=_eval_config(args),
     )
+    if args.resume and not args.cache_dir:
+        raise SystemExit("--resume requires --cache-dir")
+    runtime = RuntimeConfig(
+        cache_dir=args.cache_dir,
+        resume=args.resume,
+        max_retries=args.retries,
+        job_timeout=args.job_timeout,
+    )
     workers = available_cores() if args.workers == -1 else args.workers
     if workers and workers > 1:
         with MultiprocessingExecutor(workers) as executor:
-            result = search_mixer(graphs, config, executor=executor)
+            result = search_mixer(graphs, config, executor=executor, runtime=runtime)
     else:
-        result = search_mixer(graphs, config)
+        if args.job_timeout is not None:
+            print(
+                "warning: --job-timeout has no effect with the serial "
+                "executor (jobs run inline); use --workers >= 2",
+                file=sys.stderr,
+            )
+        result = search_mixer(graphs, config, runtime=runtime)
 
     rows = [
         [d.p, str(d.best.tokens), d.best.ratio, f"{d.seconds:.1f}s"]
@@ -107,6 +132,11 @@ def _cmd_search(args) -> int:
     print(f"\nwinner: {result.best_tokens} at p={result.best_p} "
           f"(ratio {result.best_ratio:.4f}; "
           f"{result.num_candidates} candidates, {result.total_seconds:.1f}s)")
+    if args.cache_dir:
+        print(f"cache: {result.config['cache_hits']} hits, "
+              f"{result.config['cache_misses']} misses, "
+              f"{result.config['restored_depths']} depths restored "
+              f"({args.cache_dir})")
     if args.out:
         result.save(args.out)
         print(f"saved to {args.out}")

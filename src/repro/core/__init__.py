@@ -39,7 +39,13 @@ from repro.core.encoding import (
     is_valid_encoding,
     random_encoding,
 )
-from repro.core.evaluator import EvaluationConfig, Evaluator, evaluate_candidate
+from repro.core.cache import ResultCache, SweepCheckpoint
+from repro.core.evaluator import (
+    EvaluationConfig,
+    Evaluator,
+    classical_optima,
+    evaluate_candidate,
+)
 from repro.core.predictor import (
     EpsilonGreedyPredictor,
     ExhaustivePredictor,
@@ -48,6 +54,7 @@ from repro.core.predictor import (
 )
 from repro.core.qbuilder import QBuilder
 from repro.core.results import CandidateEvaluation, DepthResult, SearchResult
+from repro.core.runtime import RuntimeConfig, SearchRuntime
 from repro.core.search import SearchConfig, search_mixer, search_with_predictor
 
 __all__ = [
@@ -72,7 +79,12 @@ __all__ = [
     "ControllerPredictor",
     "EvaluationConfig",
     "Evaluator",
+    "classical_optima",
     "evaluate_candidate",
+    "ResultCache",
+    "SweepCheckpoint",
+    "RuntimeConfig",
+    "SearchRuntime",
     "SearchConfig",
     "search_mixer",
     "search_with_predictor",

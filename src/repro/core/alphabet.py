@@ -15,7 +15,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Tuple
 
 from repro.qaoa.mixers import MIXER_TOKENS
 from repro.utils.rng import as_rng

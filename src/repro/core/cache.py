@@ -1,0 +1,229 @@
+"""Persistent candidate-result cache and depth-sweep checkpoints.
+
+The search runtime treats a candidate evaluation as a pure function of
+
+* the workload graphs (node/edge/weight content),
+* the mixer tokens and QAOA depth ``p``,
+* the full :class:`~repro.core.evaluator.EvaluationConfig`
+
+so its result can be keyed by a stable fingerprint and stored on disk.
+Repeat proposals within a search, repeated depths, and whole re-runs then
+cost a lookup instead of a training loop. Storage is a single sqlite file
+under ``cache_dir`` (WAL mode, one writer — the parent search process),
+which survives kills without corruption and is cheap to ship between
+machines.
+
+:class:`SweepCheckpoint` lives in the same directory and records finished
+*depths* of a sweep keyed by a fingerprint of everything that defines the
+depth (workload + config + candidate list + p), so a killed search resumes
+exactly where it stopped and a checkpoint can never be replayed against a
+different search.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from repro.core.evaluator import EvaluationConfig
+from repro.core.results import CandidateEvaluation, DepthResult
+from repro.graphs.generators import Graph
+
+__all__ = [
+    "ResultCache",
+    "SweepCheckpoint",
+    "candidate_key",
+    "config_fingerprint",
+    "depth_fingerprint",
+    "workload_fingerprint",
+]
+
+
+def _digest(payload: object) -> str:
+    """Stable sha256 hex digest of a JSON-serializable payload."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def workload_fingerprint(graphs: Sequence[Graph]) -> str:
+    """Content hash of the workload: node counts, edges, and weights."""
+    return _digest(
+        [
+            [g.num_nodes, [list(e) for e in g.edges], list(g.weights)]
+            for g in graphs
+        ]
+    )
+
+
+def config_fingerprint(config: EvaluationConfig) -> str:
+    """Hash of every field that fixes how a candidate is trained/scored."""
+    return _digest(asdict(config))
+
+
+def candidate_key(
+    workload_fp: str,
+    tokens: Sequence[str],
+    p: int,
+    config_fp: str,
+) -> str:
+    """Cache key of one candidate evaluation."""
+    return _digest([workload_fp, list(tokens), int(p), config_fp])
+
+
+def depth_fingerprint(
+    workload_fp: str,
+    config_fp: str,
+    candidates: Sequence[Sequence[str]],
+    p: int,
+) -> str:
+    """Checkpoint key of one finished depth of a sweep (order-sensitive)."""
+    return _digest([workload_fp, config_fp, [list(c) for c in candidates], int(p)])
+
+
+def _serialize_evaluation(evaluation: CandidateEvaluation) -> Dict:
+    return asdict(evaluation) | {"tokens": list(evaluation.tokens)}
+
+
+def _deserialize_evaluation(data: Dict) -> CandidateEvaluation:
+    return CandidateEvaluation(
+        tokens=tuple(data["tokens"]),
+        p=int(data["p"]),
+        energy=data["energy"],
+        ratio=data["ratio"],
+        per_graph_energy=tuple(data.get("per_graph_energy", ())),
+        per_graph_ratio=tuple(data.get("per_graph_ratio", ())),
+        nfev=data.get("nfev", 0),
+        seconds=data.get("seconds", 0.0),
+    )
+
+
+class ResultCache:
+    """On-disk candidate-evaluation store with hit/miss accounting.
+
+    One sqlite file per ``cache_dir``; keys are the fingerprints above, so
+    any change to the workload, the tokens, the depth, or the evaluation
+    config invalidates naturally (the key changes, nothing is ever stale).
+    """
+
+    SCHEMA_VERSION = 1
+
+    def __init__(self, cache_dir: "str | Path") -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.cache_dir / "results.sqlite"
+        self._conn = sqlite3.connect(str(self.path))
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS results ("
+            " key TEXT PRIMARY KEY,"
+            " value TEXT NOT NULL,"
+            " schema INTEGER NOT NULL)"
+        )
+        self._conn.commit()
+        self.hits = 0
+        self.misses = 0
+
+    # -- mapping interface -------------------------------------------------
+
+    def get(self, key: str) -> Optional[CandidateEvaluation]:
+        row = self._conn.execute(
+            "SELECT value FROM results WHERE key = ? AND schema = ?",
+            (key, self.SCHEMA_VERSION),
+        ).fetchone()
+        if row is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return _deserialize_evaluation(json.loads(row[0]))
+
+    def put(self, key: str, evaluation: CandidateEvaluation) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO results (key, value, schema) VALUES (?, ?, ?)",
+            (key, json.dumps(_serialize_evaluation(evaluation)), self.SCHEMA_VERSION),
+        )
+        self._conn.commit()
+
+    def __len__(self) -> int:
+        return int(self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0])
+
+    def __contains__(self, key: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM results WHERE key = ? AND schema = ?",
+            (key, self.SCHEMA_VERSION),
+        ).fetchone()
+        return row is not None
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SweepCheckpoint:
+    """Depth-level checkpoint of a sweep, one JSON file per cache dir.
+
+    ``save_depth`` is atomic (write-temp + rename), so a search killed
+    mid-write leaves the previous checkpoint intact. Entries are keyed by
+    :func:`depth_fingerprint`; loading with a key that does not match —
+    because the workload, config, or candidate list changed — simply
+    misses, it can never resurrect results for a different search.
+    """
+
+    FILENAME = "checkpoint.json"
+
+    def __init__(self, cache_dir: "str | Path") -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.cache_dir / self.FILENAME
+        self._entries: Dict[str, Dict] = {}
+        if self.path.exists():
+            try:
+                data = json.loads(self.path.read_text())
+            except (json.JSONDecodeError, OSError):
+                data = {}
+            if data.get("format") == "repro-sweep-checkpoint-v1":
+                self._entries = data.get("depths", {})
+
+    def load_depth(self, key: str) -> Optional[DepthResult]:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        evaluations = tuple(
+            _deserialize_evaluation(e) for e in entry["evaluations"]
+        )
+        return DepthResult(entry["p"], evaluations, entry.get("seconds", 0.0))
+
+    def save_depth(self, key: str, depth_result: DepthResult) -> None:
+        self._entries[key] = {
+            "p": depth_result.p,
+            "seconds": depth_result.seconds,
+            "evaluations": [
+                _serialize_evaluation(e) for e in depth_result.evaluations
+            ],
+        }
+        self._flush()
+
+    def clear(self) -> None:
+        self._entries = {}
+        if self.path.exists():
+            self.path.unlink()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _flush(self) -> None:
+        payload = {
+            "format": "repro-sweep-checkpoint-v1",
+            "depths": self._entries,
+        }
+        tmp = self.path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(self.path)

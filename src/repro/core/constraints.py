@@ -18,10 +18,10 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Sequence, Tuple
 
 from repro.core.predictor import Predictor
-from repro.qaoa.mixers import ENTANGLER_TOKENS, FIXED_TOKENS, PARAMETERIZED_TOKENS
+from repro.qaoa.mixers import ENTANGLER_TOKENS, PARAMETERIZED_TOKENS
 from repro.utils.validation import check_positive
 
 __all__ = [

@@ -13,13 +13,13 @@ the START input symbol (never an output).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.alphabet import GateAlphabet
 from repro.core.predictor import Predictor
-from repro.ml.activations import log_softmax, softmax
+from repro.ml.activations import softmax
 from repro.ml.layers import Dense, Embedding, LSTMCell
 from repro.ml.optim import AdamUpdater, clip_gradients
 from repro.ml.reinforce import Episode, MovingBaseline

@@ -15,7 +15,7 @@ worker process needs no shared state.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -24,13 +24,27 @@ from repro.core.qbuilder import QBuilder
 from repro.core.results import CandidateEvaluation
 from repro.graphs.generators import Graph
 from repro.optimizers import Adam, Cobyla, NelderMead, SPSA, Optimizer
-from repro.qaoa.ansatz import QAOAAnsatz
 from repro.qaoa.energy import AnsatzEnergy
 from repro.qaoa.maxcut import approximation_ratio, brute_force_maxcut
 from repro.utils.rng import as_rng, stable_seed
 from repro.utils.validation import check_positive
 
-__all__ = ["EvaluationConfig", "Evaluator", "evaluate_candidate"]
+__all__ = [
+    "EvaluationConfig",
+    "Evaluator",
+    "classical_optima",
+    "evaluate_candidate",
+]
+
+
+def classical_optima(graphs: Sequence[Graph]) -> Tuple[float, ...]:
+    """Brute-force max-cut value of every workload graph.
+
+    This is the expensive, candidate-independent part of scoring (``2^n``
+    per graph): compute it once per search and ship the values to workers
+    instead of paying it inside every candidate evaluation.
+    """
+    return tuple(brute_force_maxcut(g).value for g in graphs)
 
 
 @dataclass(frozen=True)
@@ -107,13 +121,22 @@ class Evaluator:
         config: EvaluationConfig = EvaluationConfig(),
         *,
         builder: Optional[QBuilder] = None,
+        classical_values: Optional[Sequence[float]] = None,
     ) -> None:
         if not graphs:
             raise ValueError("evaluator needs at least one graph")
         self.graphs = list(graphs)
         self.config = config
         self.builder = builder or QBuilder()
-        self._classical = [brute_force_maxcut(g).value for g in self.graphs]
+        if classical_values is not None:
+            if len(classical_values) != len(self.graphs):
+                raise ValueError(
+                    f"got {len(classical_values)} classical values for "
+                    f"{len(self.graphs)} graphs"
+                )
+            self._classical = [float(v) for v in classical_values]
+        else:
+            self._classical = list(classical_optima(self.graphs))
         self._cache: Dict[Tuple[Tuple[str, ...], int], CandidateEvaluation] = {}
         self.cache_hits = 0
 
@@ -221,7 +244,15 @@ def evaluate_candidate(
     tokens: Sequence[str],
     p: int,
     config: EvaluationConfig,
+    classical_values: Optional[Sequence[float]] = None,
 ) -> CandidateEvaluation:
     """Stateless worker entry point for process pools (Fig. 3's unit of
-    parallel work): builds a fresh Evaluator and scores one candidate."""
-    return Evaluator(graphs, config).evaluate(tokens, p)
+    parallel work): builds a fresh Evaluator and scores one candidate.
+
+    Pass ``classical_values`` (from :func:`classical_optima`, computed once
+    in the parent) to spare every worker the per-candidate brute-force
+    max-cut solve.
+    """
+    return Evaluator(graphs, config, classical_values=classical_values).evaluate(
+        tokens, p
+    )

@@ -14,7 +14,7 @@ The interface is deliberately tiny: ``propose(n)`` yields token tuples,
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

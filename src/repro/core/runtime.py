@@ -1,0 +1,274 @@
+"""The fault-tolerant, cache-aware search runtime (Algorithm 1's engine).
+
+``search_mixer``/``search_with_predictor`` used to drive a blocking
+``starmap`` batch per depth: no result reuse across depths or runs, no
+checkpointing, and a single lost worker stalled the sweep. This module is
+the replacement substrate:
+
+* **Streaming execution** — candidate evaluations go through
+  :class:`~repro.parallel.jobs.JobScheduler` (``submit`` + as-completed)
+  with per-job retry and timeout, so worker failures cost one job's
+  latency, not the search.
+* **Persistent result cache** — with a ``cache_dir``, every evaluation is
+  stored in :class:`~repro.core.cache.ResultCache` keyed by
+  workload/tokens/p/config fingerprints. Repeat proposals (RL predictors
+  re-propose good sequences constantly), repeated depths, and whole
+  re-runs are lookups instead of training loops.
+* **Checkpoint/resume** — each finished depth is checkpointed
+  (atomically); a killed search restarted with ``resume=True`` skips the
+  depths it already completed.
+* **Hoisted classical optima** — the brute-force max-cut solve (the
+  candidate-independent ``2^n`` part of scoring) runs once per search and
+  ships to workers in the job payload instead of once per candidate.
+
+The runtime is deliberately independent of how candidates are chosen: the
+search front-ends hand it a per-depth candidate list and an optional
+predictor to feed rewards back to.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.cache import (
+    ResultCache,
+    SweepCheckpoint,
+    candidate_key,
+    config_fingerprint,
+    depth_fingerprint,
+    workload_fingerprint,
+)
+from repro.core.evaluator import classical_optima, evaluate_candidate
+from repro.core.predictor import Predictor
+from repro.core.results import CandidateEvaluation, DepthResult, SearchResult
+from repro.graphs.generators import Graph
+from repro.parallel.executor import Executor, SerialExecutor
+from repro.parallel.jobs import JobScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (search imports us)
+    from repro.core.search import SearchConfig
+
+__all__ = ["RuntimeConfig", "SearchRuntime"]
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Fault-tolerance and persistence knobs of one search run."""
+
+    #: directory for the result cache + checkpoint; None disables both
+    cache_dir: Optional[str] = None
+    #: restore finished depths from the checkpoint in ``cache_dir``
+    resume: bool = False
+    #: extra attempts per candidate evaluation after the first
+    max_retries: int = 2
+    #: per-attempt wall-clock limit in seconds (None = unlimited)
+    job_timeout: Optional[float] = None
+
+
+class SearchRuntime:
+    """Runs depth sweeps of Algorithm 1 on top of cache + job scheduler.
+
+    One instance corresponds to one workload + evaluation config; its
+    classical optima are computed exactly once, and its cache handles stay
+    open across depths. Use as a context manager (or call :meth:`close`)
+    so the sqlite handle is released deterministically.
+    """
+
+    def __init__(
+        self,
+        graphs: Sequence[Graph],
+        config: "SearchConfig",
+        *,
+        executor: Optional[Executor] = None,
+        runtime: RuntimeConfig = RuntimeConfig(),
+    ) -> None:
+        if not graphs:
+            raise ValueError("search runtime needs at least one graph")
+        self.graphs = list(graphs)
+        self.config = config
+        self.runtime = runtime
+        self.executor = executor or SerialExecutor()
+        self.scheduler = JobScheduler(
+            self.executor,
+            max_retries=runtime.max_retries,
+            timeout=runtime.job_timeout,
+        )
+        # Hot-path fix: the candidate-independent brute-force solve happens
+        # here, once, and rides along in every job payload.
+        self.classical_values = classical_optima(self.graphs)
+        self._workload_fp = workload_fingerprint(self.graphs)
+        self._config_fp = config_fingerprint(config.evaluation)
+        self.cache: Optional[ResultCache] = None
+        self.checkpoint: Optional[SweepCheckpoint] = None
+        if runtime.cache_dir is not None:
+            self.cache = ResultCache(runtime.cache_dir)
+            self.checkpoint = SweepCheckpoint(runtime.cache_dir)
+        self.restored_depths = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self.cache is not None:
+            self.cache.close()
+
+    def __enter__(self) -> "SearchRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        return self.cache.hits if self.cache is not None else 0
+
+    @property
+    def cache_misses(self) -> int:
+        return self.cache.misses if self.cache is not None else 0
+
+    # -- the sweep ---------------------------------------------------------
+
+    def run(
+        self,
+        candidates_per_depth: Union[
+            Sequence[Sequence[Tuple[str, ...]]],
+            Callable[[int], Sequence[Tuple[str, ...]]],
+        ],
+        *,
+        num_depths: Optional[int] = None,
+        predictor: Optional[Predictor] = None,
+    ) -> SearchResult:
+        """Algorithm 1's depth loop.
+
+        ``candidates_per_depth`` is either concrete per-depth candidate
+        lists, or a callable ``depth_index -> candidates`` evaluated lazily
+        *after* the previous depth's rewards were fed back — the closed
+        loop that lets a learning predictor steer its own later proposals
+        (pass ``num_depths`` in that case).
+        """
+        if callable(candidates_per_depth):
+            if num_depths is None:
+                raise ValueError("num_depths is required with a candidate provider")
+            provider = candidates_per_depth
+            depth_count = num_depths
+        else:
+            concrete = [list(c) for c in candidates_per_depth]
+            provider = concrete.__getitem__
+            depth_count = len(concrete)
+
+        best: Optional[CandidateEvaluation] = None
+        depth_results: List[DepthResult] = []
+        total_start = time.perf_counter()
+
+        for depth_index in range(depth_count):
+            p = depth_index + 1
+            depth_result = self._run_depth(p, list(provider(depth_index)))
+            depth_results.append(depth_result)
+            if predictor is not None:
+                # Checkpointed/cached evaluations feed the predictor too:
+                # after a kill its in-memory state is gone, so replaying
+                # recorded rewards is what reconstructs it on resume.
+                for evaluation in depth_result.evaluations:
+                    predictor.update(evaluation.tokens, evaluation.reward)
+            if depth_result.evaluations:
+                depth_best = depth_result.best
+                # Line 10: SELECT_BEST against the best of previous depths.
+                if best is None or depth_best.reward > best.reward:
+                    best = depth_best
+
+        if best is None:
+            raise ValueError("search produced no evaluations (empty candidate sets)")
+        return SearchResult(
+            best_tokens=best.tokens,
+            best_p=best.p,
+            best_energy=best.energy,
+            best_ratio=best.ratio,
+            depth_results=depth_results,
+            total_seconds=time.perf_counter() - total_start,
+            config=self._result_config(predictor),
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _run_depth(self, p: int, candidates: List[Tuple[str, ...]]) -> DepthResult:
+        depth_fp = depth_fingerprint(
+            self._workload_fp, self._config_fp, candidates, p
+        )
+        if self.runtime.resume and self.checkpoint is not None:
+            restored = self.checkpoint.load_depth(depth_fp)
+            if restored is not None:
+                self.restored_depths += 1
+                return restored
+
+        depth_start = time.perf_counter()
+        evaluations: List[Optional[CandidateEvaluation]] = [None] * len(candidates)
+        # key -> positions awaiting its result; repeat proposals within a
+        # depth (RL predictors re-propose good sequences constantly) are
+        # trained once and fanned out. Insertion order doubles as job order.
+        miss_positions: Dict[str, List[int]] = {}
+        for position, tokens in enumerate(candidates):
+            key = candidate_key(self._workload_fp, tokens, p, self._config_fp)
+            if key in miss_positions:
+                miss_positions[key].append(position)
+                if self.cache is not None:
+                    self.cache.hits += 1  # repeat served without retraining
+                continue
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                evaluations[position] = cached
+            else:
+                miss_positions[key] = [position]
+
+        if miss_positions:
+            miss_keys = list(miss_positions)
+            jobs = [
+                (
+                    self.graphs,
+                    candidates[miss_positions[key][0]],
+                    p,
+                    self.config.evaluation,
+                    self.classical_values,
+                )
+                for key in miss_keys
+            ]
+            for job_index, result in self.scheduler.as_completed(
+                evaluate_candidate, jobs
+            ):
+                key = miss_keys[job_index]
+                for position in miss_positions[key]:
+                    evaluations[position] = result
+                if self.cache is not None:
+                    self.cache.put(key, result)
+
+        depth_result = DepthResult(
+            p,
+            tuple(e for e in evaluations if e is not None),
+            time.perf_counter() - depth_start,
+        )
+        if self.checkpoint is not None:
+            self.checkpoint.save_depth(depth_fp, depth_result)
+        return depth_result
+
+    def _result_config(self, predictor: Optional[Predictor]) -> dict:
+        stats = self.scheduler.stats
+        return {
+            "p_max": self.config.p_max,
+            "k_max": self.config.k_max,
+            "mode": self.config.mode,
+            "num_samples": self.config.num_samples,
+            "optimizer": self.config.evaluation.optimizer,
+            "max_steps": self.config.evaluation.max_steps,
+            "engine": self.config.evaluation.engine,
+            "executor": self.executor.name,
+            "num_workers": self.executor.num_workers,
+            "predictor": predictor.name if predictor is not None else "exhaustive",
+            "cache_dir": self.runtime.cache_dir,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "restored_depths": self.restored_depths,
+            "jobs_submitted": stats.submitted,
+            "jobs_retried": stats.retried,
+        }

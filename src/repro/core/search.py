@@ -6,21 +6,26 @@ the predictor (line 5), build + train each on the workload graphs (lines
 seen across depths (line 10). Candidate evaluations within a depth are
 independent, which is exactly the parallelism of Fig. 3 — ``executor``
 decides whether they run serially or fan out over a process pool.
+
+Execution itself lives in :class:`~repro.core.runtime.SearchRuntime`:
+evaluations stream back as they complete with per-job retry/timeout, and a
+``runtime=RuntimeConfig(cache_dir=...)`` makes results persistent (repeat
+runs are cache lookups) and the sweep checkpointed/resumable.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.alphabet import GateAlphabet, enumerate_search_space
 from repro.core.constraints import ConstraintSet
-from repro.core.evaluator import EvaluationConfig, Evaluator, evaluate_candidate
-from repro.core.predictor import ExhaustivePredictor, Predictor, RandomPredictor
-from repro.core.results import CandidateEvaluation, DepthResult, SearchResult
+from repro.core.evaluator import EvaluationConfig
+from repro.core.predictor import Predictor
+from repro.core.results import SearchResult
+from repro.core.runtime import RuntimeConfig, SearchRuntime
 from repro.graphs.generators import Graph
-from repro.parallel.executor import Executor, SerialExecutor
+from repro.parallel.executor import Executor
 from repro.utils.validation import check_positive
 
 __all__ = ["SearchConfig", "search_mixer", "search_with_predictor"]
@@ -57,11 +62,13 @@ def search_mixer(
     config: SearchConfig = SearchConfig(),
     *,
     executor: Optional[Executor] = None,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> SearchResult:
     """Exhaustive Algorithm 1 (the paper's profiled configuration).
 
     Every candidate in the space is trained at every depth; with a parallel
-    executor the per-depth candidate bag fans out across workers.
+    executor the per-depth candidate bag fans out across workers. Pass
+    ``runtime`` to enable the persistent cache and checkpoint/resume.
     """
     candidates = enumerate_search_space(
         config.alphabet, config.k_max, k_min=config.k_min, mode=config.mode
@@ -70,7 +77,9 @@ def search_mixer(
         candidates = config.constraints.filter(candidates)
     if config.num_samples is not None:
         candidates = candidates[: config.num_samples]
-    return _run_depth_sweep(graphs, config, [list(candidates)] * config.p_max, executor)
+    return _run_depth_sweep(
+        graphs, config, [list(candidates)] * config.p_max, executor, runtime=runtime
+    )
 
 
 def search_with_predictor(
@@ -80,24 +89,32 @@ def search_with_predictor(
     *,
     candidates_per_depth: int = 32,
     executor: Optional[Executor] = None,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> SearchResult:
     """Algorithm 1 with a closed-loop predictor (random / bandit / RL).
 
     The predictor proposes ``candidates_per_depth`` sequences per depth and
-    receives every reward back, so learning predictors improve across the
-    depth sweep. Proposals are deduplicated within a depth (the evaluator
-    cache would make repeats free anyway, but rewards should not be
-    double-counted by learners).
+    receives every reward back *before the next depth proposes*, so
+    learning predictors steer their own later proposals within one sweep.
+    Proposals are deduplicated within a depth (the result cache makes
+    repeats free anyway, but rewards should not be double-counted by
+    learners).
     """
     check_positive(candidates_per_depth, "candidates_per_depth")
-    per_depth: List[List[Tuple[str, ...]]] = []
-    for _ in range(config.p_max):
+
+    def propose_depth(_depth_index: int) -> List[Tuple[str, ...]]:
         proposals = predictor.propose(candidates_per_depth)
         unique = list(dict.fromkeys(proposals))
         if config.constraints is not None:
             unique = config.constraints.filter(unique)
-        per_depth.append(unique)
-    return _run_depth_sweep(graphs, config, per_depth, executor, predictor=predictor)
+        return unique
+
+    with SearchRuntime(
+        graphs, config, executor=executor, runtime=runtime or RuntimeConfig()
+    ) as search_runtime:
+        return search_runtime.run(
+            propose_depth, num_depths=config.p_max, predictor=predictor
+        )
 
 
 def _run_depth_sweep(
@@ -107,52 +124,9 @@ def _run_depth_sweep(
     executor: Optional[Executor],
     *,
     predictor: Optional[Predictor] = None,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> SearchResult:
-    executor = executor or SerialExecutor()
-    graphs = list(graphs)
-    best: Optional[CandidateEvaluation] = None
-    depth_results: List[DepthResult] = []
-    total_start = time.perf_counter()
-
-    for depth_index in range(config.p_max):
-        p = depth_index + 1
-        candidates = list(candidates_per_depth[depth_index])
-        depth_start = time.perf_counter()
-        jobs = [(graphs, tokens, p, config.evaluation) for tokens in candidates]
-        evaluations: List[CandidateEvaluation] = executor.starmap(evaluate_candidate, jobs)
-        depth_seconds = time.perf_counter() - depth_start
-
-        if predictor is not None:
-            for evaluation in evaluations:
-                predictor.update(evaluation.tokens, evaluation.reward)
-
-        depth_result = DepthResult(p, tuple(evaluations), depth_seconds)
-        depth_results.append(depth_result)
-        if evaluations:
-            depth_best = depth_result.best
-            # Line 10: SELECT_BEST against the best of previous depths.
-            if best is None or depth_best.reward > best.reward:
-                best = depth_best
-
-    if best is None:
-        raise ValueError("search produced no evaluations (empty candidate sets)")
-    return SearchResult(
-        best_tokens=best.tokens,
-        best_p=best.p,
-        best_energy=best.energy,
-        best_ratio=best.ratio,
-        depth_results=depth_results,
-        total_seconds=time.perf_counter() - total_start,
-        config={
-            "p_max": config.p_max,
-            "k_max": config.k_max,
-            "mode": config.mode,
-            "num_samples": config.num_samples,
-            "optimizer": config.evaluation.optimizer,
-            "max_steps": config.evaluation.max_steps,
-            "engine": config.evaluation.engine,
-            "executor": executor.name,
-            "num_workers": executor.num_workers,
-            "predictor": predictor.name if predictor is not None else "exhaustive",
-        },
-    )
+    with SearchRuntime(
+        graphs, config, executor=executor, runtime=runtime or RuntimeConfig()
+    ) as search_runtime:
+        return search_runtime.run(candidates_per_depth, predictor=predictor)

@@ -16,7 +16,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.circuits.parameters import Parameter
-from repro.core.alphabet import GateAlphabet
 from repro.core.evaluator import EvaluationConfig, Evaluator
 from repro.core.results import SearchResult
 from repro.core.search import SearchConfig, search_mixer

@@ -8,7 +8,7 @@ decide whether to print or persist).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 __all__ = ["render_table", "render_bars", "render_grouped_bars", "render_series"]
 
@@ -57,7 +57,7 @@ def render_bars(
     lo = min(values) if vmin is None else vmin
     hi = max(values) if vmax is None else vmax
     span = hi - lo or 1.0
-    label_width = max(len(l) for l in labels)
+    label_width = max(len(label) for label in labels)
     lines = []
     for label, value in zip(labels, values):
         filled = int(round((value - lo) / span * width))

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.alphabet import GateAlphabet, enumerate_search_space
-from repro.core.evaluator import EvaluationConfig, evaluate_candidate
+from repro.core.evaluator import EvaluationConfig, classical_optima, evaluate_candidate
 from repro.graphs.generators import Graph
 from repro.parallel.executor import (
     MultiprocessingExecutor,
@@ -61,10 +61,11 @@ def measure_candidate_durations(
     config: EvaluationConfig,
 ) -> List[float]:
     """Serial per-candidate training times — the task bag Fig. 5 replays."""
+    classical = classical_optima([graph])
     durations = []
     for tokens in candidates:
         start = time.perf_counter()
-        evaluate_candidate([graph], tokens, p, config)
+        evaluate_candidate([graph], tokens, p, config, classical)
         durations.append(time.perf_counter() - start)
     return durations
 
@@ -108,9 +109,12 @@ def run_fig4(
 
     serial = SerialExecutor()
     for graph in run_graphs:
+        # Hoisted once per graph — the brute-force solve is candidate-
+        # independent and must not be re-paid inside every task.
+        classical = classical_optima([graph])
         row = []
         for p in p_values:
-            jobs = [([graph], tokens, p, config) for tokens in candidates]
+            jobs = [([graph], tokens, p, config, classical) for tokens in candidates]
             start = time.perf_counter()
             serial.starmap(evaluate_candidate, jobs)
             row.append(time.perf_counter() - start)
@@ -118,9 +122,12 @@ def run_fig4(
 
     with MultiprocessingExecutor(num_workers) as pool:
         for graph in run_graphs:
+            classical = classical_optima([graph])
             row = []
             for p in p_values:
-                jobs = [([graph], tokens, p, config) for tokens in candidates]
+                jobs = [
+                    ([graph], tokens, p, config, classical) for tokens in candidates
+                ]
                 start = time.perf_counter()
                 pool.starmap(evaluate_candidate, jobs)
                 row.append(time.perf_counter() - start)
@@ -175,9 +182,10 @@ def run_fig5(
 
     if validate_workers is None:
         validate_workers = [w for w in (2,) if w <= available_cores()]
+    classical = classical_optima([graph])
     validation: Dict[int, Tuple[float, float]] = {}
     for workers in validate_workers:
-        jobs = [([graph], tokens, p, config) for tokens in candidates]
+        jobs = [([graph], tokens, p, config, classical) for tokens in candidates]
         start = time.perf_counter()
         with MultiprocessingExecutor(workers) as pool:
             pool.starmap(evaluate_candidate, jobs)

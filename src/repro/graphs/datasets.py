@@ -15,8 +15,6 @@ from __future__ import annotations
 
 from typing import List
 
-import numpy as np
-
 from repro.graphs.generators import Graph, erdos_renyi_graph, random_regular_graph
 from repro.utils.rng import stable_seed
 from repro.utils.validation import check_positive

@@ -122,7 +122,6 @@ class LSTMCell(_Layer):
         """Backprop one step: given upstream ``dh``/``dc``, accumulate
         parameter grads and return ``(dx, dh_prev, dc_prev)``."""
         x, h_prev, c_prev, i, f, g, o, c, tanh_c = cache
-        hd = self.hidden_dim
         do = dh * tanh_c
         dc_total = dc + dh * o * dtanh(tanh_c)
         di = dc_total * g

@@ -14,7 +14,7 @@ can be trained.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Protocol, Sequence, Tuple
+from typing import Callable, List, Optional, Protocol, Tuple
 
 import numpy as np
 

@@ -8,7 +8,7 @@ derivative-free COBYLA.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -10,6 +10,7 @@ from repro.parallel.executor import (
     available_cores,
     make_executor,
 )
+from repro.parallel.jobs import JobFailedError, JobScheduler, JobStats
 from repro.parallel.scheduler import (
     OverheadModel,
     ScheduleResult,
@@ -26,6 +27,9 @@ __all__ = [
     "ThreadExecutor",
     "available_cores",
     "make_executor",
+    "JobScheduler",
+    "JobStats",
+    "JobFailedError",
     "OverheadModel",
     "ScheduleResult",
     "simulate_makespan",

@@ -11,11 +11,11 @@ speedup factors) — without owning a supercomputer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
-from repro.parallel.scheduler import OverheadModel, ScheduleResult, simulate_makespan
+from repro.parallel.scheduler import OverheadModel, simulate_makespan
 from repro.utils.validation import check_positive
 
 __all__ = ["NodeSpec", "ClusterModel", "TwoLevelResult"]

@@ -7,8 +7,10 @@ that. :class:`SerialExecutor` is the baseline the speedup figures compare
 against, and :class:`ThreadExecutor` exists for tests and for workloads
 dominated by NumPy calls that release the GIL.
 
-All executors expose the same ``starmap`` contract (ordered results) and
-are context managers; worker functions must be module-level for pickling.
+All executors expose the same ``starmap`` contract (ordered results) plus a
+``submit`` contract (one job, one :class:`concurrent.futures.Future`) used
+by the fault-tolerant job scheduler in :mod:`repro.parallel.jobs`, and are
+context managers; worker functions must be module-level for pickling.
 """
 
 from __future__ import annotations
@@ -16,7 +18,7 @@ from __future__ import annotations
 import abc
 import multiprocessing as mp
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -42,10 +44,27 @@ class Executor(abc.ABC):
 
     name: str = "abstract"
     num_workers: int = 1
+    #: set by the job scheduler when an in-flight task was abandoned (timed
+    #: out or its worker died); a tainted pool must not be joined gracefully
+    tainted: bool = False
 
     @abc.abstractmethod
     def starmap(self, fn: Callable, jobs: Sequence[Tuple]) -> List[Any]:
         """Apply ``fn(*job)`` to every job, preserving input order."""
+
+    def submit(self, fn: Callable, *args) -> "Future":
+        """Run one job, returning a future.
+
+        The default executes inline (correct for serial execution and any
+        executor without native async dispatch); pool executors override
+        this with real asynchronous submission.
+        """
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as exc:  # noqa: BLE001 - routed into the future
+            future.set_exception(exc)
+        return future
 
     def map(self, fn: Callable, items: Iterable) -> List[Any]:
         return self.starmap(_apply_single, [(fn, item) for item in items])
@@ -79,7 +98,9 @@ class MultiprocessingExecutor(Executor):
 
     A persistent pool amortizes fork cost across search depths. ``chunksize``
     trades dispatch overhead against load balance — the knob
-    ``bench_ablation_chunksize`` sweeps.
+    ``bench_ablation_chunksize`` sweeps. ``initializer``/``initargs`` run
+    once per worker at fork, the hook for shipping per-search state (e.g.
+    precomputed classical optima) or synchronization primitives to workers.
     """
 
     name = "multiprocessing"
@@ -90,18 +111,54 @@ class MultiprocessingExecutor(Executor):
         *,
         chunksize: int = 1,
         start_method: Optional[str] = None,
+        initializer: Optional[Callable] = None,
+        initargs: Tuple = (),
     ) -> None:
         self.num_workers = num_workers or available_cores()
         self.chunksize = max(1, int(chunksize))
         context = mp.get_context(start_method) if start_method else mp.get_context()
-        self._pool = context.Pool(processes=self.num_workers)
+        self._pool = context.Pool(
+            processes=self.num_workers, initializer=initializer, initargs=initargs
+        )
 
     def starmap(self, fn: Callable, jobs: Sequence[Tuple]) -> List[Any]:
         async_result = self._pool.starmap_async(fn, jobs, chunksize=self.chunksize)
         return async_result.get()
 
+    def submit(self, fn: Callable, *args) -> Future:
+        """One job through ``apply_async``, surfaced as a standard future."""
+        future: Future = Future()
+
+        def _settle(setter: Callable) -> Callable:
+            # The job scheduler may cancel an abandoned (timed-out) future;
+            # a late pool callback must not then crash the pool's
+            # result-handler thread with InvalidStateError.
+            def _callback(value) -> None:
+                try:
+                    setter(value)
+                except InvalidStateError:
+                    pass
+
+            return _callback
+
+        self._pool.apply_async(
+            fn,
+            args,
+            callback=_settle(future.set_result),
+            error_callback=_settle(future.set_exception),
+        )
+        return future
+
     def close(self) -> None:
-        self._pool.close()
+        # A pool that lost a task (worker killed mid-job, or a task
+        # abandoned at its deadline) can never be join()ed gracefully —
+        # the result handler waits forever for the missing result. All
+        # results the caller wanted were collected synchronously before
+        # close(), so terminating is safe and prompt.
+        if self.tainted:
+            self._pool.terminate()
+        else:
+            self._pool.close()
         self._pool.join()
 
 
@@ -118,8 +175,13 @@ class ThreadExecutor(Executor):
         futures = [self._pool.submit(fn, *job) for job in jobs]
         return [f.result() for f in futures]
 
+    def submit(self, fn: Callable, *args) -> Future:
+        return self._pool.submit(fn, *args)
+
     def close(self) -> None:
-        self._pool.shutdown(wait=True)
+        # Same contract as the process pool: an abandoned job may still be
+        # running on a thread that will never finish — don't wait on it.
+        self._pool.shutdown(wait=not self.tainted)
 
 
 def make_executor(name: str, num_workers: Optional[int] = None, **kwargs) -> Executor:

@@ -1,0 +1,186 @@
+"""Fault-tolerant job scheduling: submit / as-completed with retry + timeout.
+
+``Executor.starmap`` is a barrier — one lost worker or one pathological
+candidate stalls the whole depth. :class:`JobScheduler` replaces it for the
+search runtime: every job becomes a future (``Executor.submit``), results
+stream back in completion order, and each job carries its own retry budget
+and wall-clock deadline. A job whose worker raises is resubmitted; a job
+whose future never completes (worker killed — ``multiprocessing.Pool``
+repopulates the process but silently drops the task) is abandoned at its
+deadline and resubmitted the same way. Only when a job exhausts
+``max_retries`` does the scheduler raise :class:`JobFailedError`, so
+transient faults cost one job's latency instead of the search.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.parallel.executor import Executor, SerialExecutor
+
+__all__ = ["JobFailedError", "JobStats", "JobScheduler"]
+
+
+class JobFailedError(RuntimeError):
+    """A job failed (or timed out) on every allowed attempt."""
+
+    def __init__(self, job_index: int, attempts: int, cause: BaseException) -> None:
+        super().__init__(
+            f"job {job_index} failed after {attempts} attempt(s): {cause!r}"
+        )
+        self.job_index = job_index
+        self.attempts = attempts
+        self.cause = cause
+
+
+@dataclass
+class JobStats:
+    """What the scheduler did on one ``run``/``as_completed`` pass."""
+
+    submitted: int = 0
+    completed: int = 0
+    retried: int = 0
+    timed_out: int = 0
+    failed: int = 0
+
+
+@dataclass
+class _Pending:
+    """Book-keeping for one in-flight attempt."""
+
+    index: int
+    attempt: int
+    deadline: Optional[float]
+
+
+class JobScheduler:
+    """Streams ``fn(*job)`` results as they complete, tolerating faults.
+
+    Parameters
+    ----------
+    executor:
+        Any :class:`~repro.parallel.executor.Executor`; its ``submit``
+        method provides the futures. Defaults to serial execution.
+    max_retries:
+        Extra attempts per job after the first (0 = fail fast).
+    timeout:
+        Per-attempt wall-clock deadline in seconds; ``None`` disables.
+        On expiry the attempt is abandoned (its late result, if any, is
+        discarded) and the job is resubmitted.
+    """
+
+    def __init__(
+        self,
+        executor: Optional[Executor] = None,
+        *,
+        max_retries: int = 2,
+        timeout: Optional[float] = None,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.executor = executor or SerialExecutor()
+        self.max_retries = int(max_retries)
+        self.timeout = timeout
+        self.stats = JobStats()
+
+    # -- public API --------------------------------------------------------
+
+    def as_completed(
+        self, fn: Callable, jobs: Sequence[Tuple]
+    ) -> Iterator[Tuple[int, Any]]:
+        """Yield ``(job_index, result)`` pairs in completion order."""
+        jobs = list(jobs)
+        pending: Dict[Future, _Pending] = {}
+        for index, job in enumerate(jobs):
+            self._submit(pending, fn, jobs, index, attempt=1)
+
+        while pending:
+            wait_timeout = self._next_wait(pending)
+            done, _ = wait(
+                set(pending), timeout=wait_timeout, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                entry = pending.pop(future)
+                error = future.exception()
+                if error is None:
+                    self.stats.completed += 1
+                    yield entry.index, future.result()
+                else:
+                    self._retry_or_fail(pending, fn, jobs, entry, error)
+            self._expire(pending, fn, jobs)
+
+    def run(self, fn: Callable, jobs: Sequence[Tuple]) -> List[Any]:
+        """Ordered results — a fault-tolerant drop-in for ``starmap``."""
+        results: List[Any] = [None] * len(jobs)
+        for index, result in self.as_completed(fn, jobs):
+            results[index] = result
+        return results
+
+    # -- internals ---------------------------------------------------------
+
+    def _submit(
+        self,
+        pending: Dict[Future, _Pending],
+        fn: Callable,
+        jobs: Sequence[Tuple],
+        index: int,
+        attempt: int,
+    ) -> None:
+        deadline = None if self.timeout is None else time.monotonic() + self.timeout
+        future = self.executor.submit(fn, *jobs[index])
+        pending[future] = _Pending(index, attempt, deadline)
+        self.stats.submitted += 1
+
+    def _retry_or_fail(
+        self,
+        pending: Dict[Future, _Pending],
+        fn: Callable,
+        jobs: Sequence[Tuple],
+        entry: _Pending,
+        cause: BaseException,
+    ) -> None:
+        if entry.attempt <= self.max_retries:
+            self.stats.retried += 1
+            self._submit(pending, fn, jobs, entry.index, attempt=entry.attempt + 1)
+        else:
+            self.stats.failed += 1
+            raise JobFailedError(entry.index, entry.attempt, cause) from cause
+
+    def _expire(
+        self, pending: Dict[Future, _Pending], fn: Callable, jobs: Sequence[Tuple]
+    ) -> None:
+        now = time.monotonic()
+        expired = [
+            future
+            for future, entry in pending.items()
+            if entry.deadline is not None and now >= entry.deadline and not future.done()
+        ]
+        for future in expired:
+            entry = pending.pop(future)
+            future.cancel()  # best effort; a running pool task cannot be cancelled
+            # The abandoned attempt may still occupy (or have killed) a
+            # worker — the pool can no longer be joined gracefully.
+            self.executor.tainted = True
+            self.stats.timed_out += 1
+            self._retry_or_fail(
+                pending,
+                fn,
+                jobs,
+                entry,
+                TimeoutError(
+                    f"job {entry.index} attempt {entry.attempt} exceeded "
+                    f"{self.timeout}s"
+                ),
+            )
+
+    def _next_wait(self, pending: Dict[Future, _Pending]) -> Optional[float]:
+        """Seconds until the earliest deadline (None = wait indefinitely)."""
+        deadlines = [e.deadline for e in pending.values() if e.deadline is not None]
+        if not deadlines:
+            return None
+        return max(0.0, min(deadlines) - time.monotonic())

@@ -1,14 +1,26 @@
 """Task-bag scheduling simulation — the Fig. 5 substrate.
 
-The paper sweeps 8–64 cores on a Polaris node; this box has two. Per the
-substitution policy (DESIGN.md): task *durations are measured* by really
-running the candidate evaluations, and only their *placement* onto W
-workers is simulated. The simulator is a faithful model of what
-``Pool.starmap_async`` does with an embarrassingly-parallel task bag —
-greedy dispatch of the next task to the earliest-free worker, plus explicit
-overhead knobs — so the makespan-vs-cores curve keeps the real shape
-(near-linear scaling, then a plateau governed by task-count granularity and
-the longest task).
+Where this sits in the two-level parallelization scheme (Fig. 2/Fig. 3):
+
+* **Level 1 — candidates across cores.** Within one node, the candidate
+  gate combinations of a depth fan out over a process pool. The real
+  implementation is :mod:`repro.parallel.executor` (``starmap_async``
+  batches and per-job ``submit`` futures) driven fault-tolerantly by
+  :class:`repro.parallel.jobs.JobScheduler`, which the search runtime
+  (:mod:`repro.core.runtime`) uses for retry/timeout/streaming.
+* **Level 2 — graphs across nodes.** The outer workload distributes
+  whole graphs to cluster nodes; :class:`repro.parallel.cluster.ClusterModel`
+  models that hierarchy (including GPU offload) on top of this module.
+
+This module is the *simulation* half of level 1: the paper sweeps 8–64
+cores on a Polaris node; this box has two. Per the substitution policy
+(DESIGN.md): task *durations are measured* by really running the candidate
+evaluations, and only their *placement* onto W workers is simulated. The
+simulator is a faithful model of what ``Pool.starmap_async`` does with an
+embarrassingly-parallel task bag — greedy dispatch of the next task to the
+earliest-free worker, plus explicit overhead knobs — so the
+makespan-vs-cores curve keeps the real shape (near-linear scaling, then a
+plateau governed by task-count granularity and the longest task).
 
 The model is validated where it can be: on this machine the W=1 and W=2
 predictions are checked against real executor timings in the test suite.
@@ -17,7 +29,7 @@ predictions are checked against real executor timings in the test suite.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np

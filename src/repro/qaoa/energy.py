@@ -19,7 +19,7 @@ and chain-rules through the linear angle expressions (``2*beta``,
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

@@ -13,12 +13,12 @@ greedy/local-search heuristics below keep the approximation ratio defined.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.graphs.generators import Graph
-from repro.simulators.expectation import bit_table, cut_values
+from repro.simulators.expectation import cut_values
 from repro.utils.rng import as_rng
 
 __all__ = [

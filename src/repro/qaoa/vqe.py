@@ -18,7 +18,7 @@ sample candidates, train each with COBYLA, keep the lowest energy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -28,7 +28,7 @@ from repro.circuits.parameters import Parameter
 from repro.optimizers import Cobyla, Optimizer
 from repro.qaoa.mixers import FIXED_TOKENS, PARAMETERIZED_TOKENS
 from repro.qaoa.observables import PauliSum
-from repro.simulators.statevector import simulate, zero_state
+from repro.simulators.statevector import simulate
 from repro.utils.rng import as_rng, stable_seed
 from repro.utils.validation import check_positive
 

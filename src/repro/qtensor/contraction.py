@@ -16,7 +16,7 @@ circuits, lives in :mod:`repro.parallel`).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

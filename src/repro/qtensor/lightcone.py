@@ -22,7 +22,7 @@ machine below never drops a gate the stronger analysis would keep.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Iterable, List, Sequence, Set
+from typing import Iterable, List, Set
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.utils.validation import check_qubit_index

@@ -13,14 +13,14 @@ contraction backend behind the three calls the rest of the package uses:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.parameters import Parameter
 from repro.graphs.generators import Graph
-from repro.qtensor.backends import ContractionBackend, NumpyBackend, get_backend
+from repro.qtensor.backends import ContractionBackend, get_backend
 from repro.qtensor.contraction import bucket_elimination, contract_network
 from repro.qtensor.lightcone import lightcone_circuit
 from repro.qtensor.network import TensorNetwork

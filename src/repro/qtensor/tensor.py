@@ -8,7 +8,7 @@ touched by the backend's einsum calls.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence, Tuple
+from typing import Mapping, Sequence
 
 import numpy as np
 

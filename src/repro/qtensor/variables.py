@@ -9,7 +9,6 @@ orderings reproducible and lets bucket elimination sort deterministically.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator
 
 __all__ = ["Variable", "VariableFactory"]
 

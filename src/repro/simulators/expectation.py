@@ -16,7 +16,6 @@ bit ``k`` of the basis index.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Sequence
 
 import numpy as np
 

@@ -11,7 +11,6 @@ workers via :func:`spawn_rngs`.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Sequence
 
 import numpy as np
 

@@ -1,7 +1,5 @@
 """CircuitDag wiring and layering."""
 
-import pytest
-
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.dag import CircuitDag
 

@@ -57,4 +57,4 @@ class TestDrawing:
     def test_rows_equal_width(self):
         qc = QuantumCircuit(3).h(0).cx(0, 1).rx(0.5, 2).cz(1, 2)
         lines = draw_circuit(qc).splitlines()
-        assert len({len(l) for l in lines}) == 1
+        assert len({len(line) for line in lines}) == 1

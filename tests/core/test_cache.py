@@ -1,0 +1,143 @@
+"""Persistent result cache: fingerprints, hit/miss accounting, checkpoints."""
+
+import json
+
+import pytest
+
+from repro.core.cache import (
+    ResultCache,
+    SweepCheckpoint,
+    candidate_key,
+    config_fingerprint,
+    depth_fingerprint,
+    workload_fingerprint,
+)
+from repro.core.evaluator import EvaluationConfig
+from repro.core.results import CandidateEvaluation, DepthResult
+from repro.graphs.generators import erdos_renyi_graph
+
+
+@pytest.fixture
+def graphs():
+    return [erdos_renyi_graph(5, 0.6, seed=s, require_connected=True) for s in (3, 4)]
+
+
+def make_evaluation(tokens=("rx",), p=1, ratio=0.9):
+    return CandidateEvaluation(
+        tokens=tuple(tokens),
+        p=p,
+        energy=3.5,
+        ratio=ratio,
+        per_graph_energy=(3.4, 3.6),
+        per_graph_ratio=(ratio, ratio),
+        nfev=17,
+        seconds=0.25,
+    )
+
+
+class TestFingerprints:
+    def test_workload_fingerprint_stable(self, graphs):
+        assert workload_fingerprint(graphs) == workload_fingerprint(list(graphs))
+
+    def test_workload_fingerprint_sees_content(self, graphs):
+        other = [erdos_renyi_graph(5, 0.6, seed=9, require_connected=True)]
+        assert workload_fingerprint(graphs) != workload_fingerprint(other)
+        assert workload_fingerprint(graphs) != workload_fingerprint(graphs[:1])
+
+    def test_config_fingerprint_sees_every_field(self):
+        base = EvaluationConfig(max_steps=10)
+        assert config_fingerprint(base) == config_fingerprint(EvaluationConfig(max_steps=10))
+        changed = [
+            EvaluationConfig(max_steps=11),
+            EvaluationConfig(max_steps=10, optimizer="spsa"),
+            EvaluationConfig(max_steps=10, seed=8),
+            EvaluationConfig(max_steps=10, restarts=2),
+            EvaluationConfig(max_steps=10, metric="best_sampled"),
+            EvaluationConfig(max_steps=10, init_strategy="ramp"),
+        ]
+        for config in changed:
+            assert config_fingerprint(config) != config_fingerprint(base)
+
+    def test_candidate_key_invalidation(self, graphs):
+        wfp = workload_fingerprint(graphs)
+        cfp = config_fingerprint(EvaluationConfig())
+        base = candidate_key(wfp, ("rx", "ry"), 2, cfp)
+        assert base == candidate_key(wfp, ("rx", "ry"), 2, cfp)
+        assert base != candidate_key(wfp, ("ry", "rx"), 2, cfp)  # order matters
+        assert base != candidate_key(wfp, ("rx", "ry"), 3, cfp)
+        assert base != candidate_key("other", ("rx", "ry"), 2, cfp)
+        assert base != candidate_key(wfp, ("rx", "ry"), 2, "other")
+
+    def test_depth_fingerprint_sees_candidate_list(self):
+        a = depth_fingerprint("w", "c", [("rx",), ("ry",)], 1)
+        assert a == depth_fingerprint("w", "c", [("rx",), ("ry",)], 1)
+        assert a != depth_fingerprint("w", "c", [("ry",), ("rx",)], 1)
+        assert a != depth_fingerprint("w", "c", [("rx",)], 1)
+        assert a != depth_fingerprint("w", "c", [("rx",), ("ry",)], 2)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        with ResultCache(tmp_path) as cache:
+            assert cache.get("k") is None
+            assert (cache.hits, cache.misses) == (0, 1)
+            cache.put("k", make_evaluation())
+            roundtrip = cache.get("k")
+            assert (cache.hits, cache.misses) == (1, 1)
+        assert roundtrip == make_evaluation()
+
+    def test_persists_across_reopen(self, tmp_path):
+        with ResultCache(tmp_path) as cache:
+            cache.put("k", make_evaluation(tokens=("rx", "ry"), p=2))
+        with ResultCache(tmp_path) as cache:
+            assert len(cache) == 1
+            assert "k" in cache
+            restored = cache.get("k")
+        assert restored.tokens == ("rx", "ry")
+        assert restored.p == 2
+
+    def test_put_overwrites(self, tmp_path):
+        with ResultCache(tmp_path) as cache:
+            cache.put("k", make_evaluation(ratio=0.5))
+            cache.put("k", make_evaluation(ratio=0.7))
+            assert len(cache) == 1
+            assert cache.get("k").ratio == 0.7
+
+    def test_creates_cache_dir(self, tmp_path):
+        target = tmp_path / "nested" / "cache"
+        with ResultCache(target):
+            pass
+        assert (target / "results.sqlite").exists()
+
+
+class TestSweepCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        depth = DepthResult(1, (make_evaluation(), make_evaluation(("ry",))), 1.5)
+        checkpoint = SweepCheckpoint(tmp_path)
+        checkpoint.save_depth("fp1", depth)
+
+        reloaded = SweepCheckpoint(tmp_path)
+        restored = reloaded.load_depth("fp1")
+        assert restored.p == 1
+        assert restored.seconds == 1.5
+        assert restored.evaluations == depth.evaluations
+
+    def test_unknown_key_misses(self, tmp_path):
+        checkpoint = SweepCheckpoint(tmp_path)
+        checkpoint.save_depth("fp1", DepthResult(1, (make_evaluation(),), 0.1))
+        assert SweepCheckpoint(tmp_path).load_depth("other-sweep") is None
+
+    def test_corrupt_file_ignored(self, tmp_path):
+        (tmp_path / SweepCheckpoint.FILENAME).write_text("{not json")
+        assert len(SweepCheckpoint(tmp_path)) == 0
+
+    def test_foreign_format_ignored(self, tmp_path):
+        (tmp_path / SweepCheckpoint.FILENAME).write_text(json.dumps({"format": "v999"}))
+        assert len(SweepCheckpoint(tmp_path)) == 0
+
+    def test_clear(self, tmp_path):
+        checkpoint = SweepCheckpoint(tmp_path)
+        checkpoint.save_depth("fp1", DepthResult(1, (make_evaluation(),), 0.1))
+        checkpoint.clear()
+        assert not checkpoint.path.exists()
+        assert SweepCheckpoint(tmp_path).load_depth("fp1") is None

@@ -64,3 +64,31 @@ class TestSearchCommand:
         assert "winner" in capsys.readouterr().out
         saved = json.loads(out_path.read_text())
         assert saved["format"] == "repro-search-result-v1"
+
+    def test_cache_dir_makes_rerun_all_hits(self, tmp_path, capsys):
+        args = [
+            "search", "--graphs", "1", "--steps", "8", "--p-max", "1",
+            "--k-min", "1", "--k-max", "1", "--metric", "energy",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        cold_out = capsys.readouterr().out
+        assert "misses" in cold_out
+        assert main(args) == 0
+        warm_out = capsys.readouterr().out
+        assert "cache: 5 hits, 0 misses" in warm_out
+
+    def test_resume_requires_cache_dir(self):
+        with pytest.raises(SystemExit, match="--resume requires --cache-dir"):
+            main(["search", "--resume"])
+
+    def test_resume_restores_depths(self, tmp_path, capsys):
+        args = [
+            "search", "--graphs", "1", "--steps", "8", "--p-max", "1",
+            "--k-min", "1", "--k-max", "1", "--metric", "energy",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--resume"]) == 0
+        assert "1 depths restored" in capsys.readouterr().out

@@ -1,7 +1,5 @@
 """Search-space constraints (§6's 'arbitrary constraints')."""
 
-import pytest
-
 from repro.core.alphabet import GateAlphabet, enumerate_search_space
 from repro.core.constraints import (
     ConstrainedPredictor,

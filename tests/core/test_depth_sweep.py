@@ -1,6 +1,4 @@
 """Warm-started depth sweeps and noise-aware scoring."""
-
-import numpy as np
 import pytest
 
 from repro.core.depth_sweep import noisy_score, warm_started_sweep

@@ -6,7 +6,6 @@ import pytest
 from repro.core.evaluator import EvaluationConfig, Evaluator, evaluate_candidate
 from repro.graphs.generators import cycle_graph, erdos_renyi_graph
 from repro.qaoa.analytic import grid_search_p1
-from repro.qaoa.maxcut import brute_force_maxcut
 
 
 @pytest.fixture(scope="module")

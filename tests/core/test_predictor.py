@@ -1,6 +1,4 @@
 """Predictor strategies."""
-
-import numpy as np
 import pytest
 
 from repro.core.alphabet import GateAlphabet, enumerate_search_space

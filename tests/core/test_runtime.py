@@ -1,0 +1,267 @@
+"""SearchRuntime: warm-cache reuse, checkpoint/resume, fault tolerance."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.evaluator import EvaluationConfig
+from repro.core.predictor import Predictor
+from repro.core.runtime import RuntimeConfig, SearchRuntime
+from repro.core.search import SearchConfig, search_mixer
+from repro.graphs.generators import erdos_renyi_graph
+from repro.parallel.executor import SerialExecutor, ThreadExecutor
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return [erdos_renyi_graph(5, 0.6, seed=s, require_connected=True) for s in (3, 4)]
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return SearchConfig(
+        p_max=2, k_max=1, evaluation=EvaluationConfig(max_steps=10, seed=1)
+    )
+
+
+def evaluation_payload(result):
+    """Everything evaluation-defining in a SearchResult (timings excluded)."""
+    return (
+        result.best_tokens,
+        result.best_p,
+        result.best_energy,
+        result.best_ratio,
+        [
+            [replace(e, seconds=0.0) for e in d.evaluations]
+            for d in result.depth_results
+        ],
+    )
+
+
+class CountingExecutor(SerialExecutor):
+    """Serial executor that records every job submitted to it."""
+
+    def __init__(self):
+        self.submitted = []
+
+    def submit(self, fn, *args):
+        self.submitted.append(args)
+        return super().submit(fn, *args)
+
+
+class FailAtExecutor(SerialExecutor):
+    """Simulates a hard kill: dies on the Nth submitted job."""
+
+    def __init__(self, fail_at):
+        self.fail_at = fail_at
+        self.count = 0
+
+    def submit(self, fn, *args):
+        self.count += 1
+        if self.count == self.fail_at:
+            raise KeyboardInterrupt("simulated kill")
+        return super().submit(fn, *args)
+
+
+class RecordingPredictor(Predictor):
+    name = "recording"
+
+    def __init__(self):
+        self.updates = []
+
+    def propose(self, num):  # pragma: no cover - runtime never proposes
+        raise NotImplementedError
+
+    def update(self, tokens, reward):
+        self.updates.append((tuple(tokens), reward))
+
+
+class TestWarmCache:
+    def test_warm_run_is_all_hits_and_identical(self, graphs, tiny_config, tmp_path):
+        runtime = RuntimeConfig(cache_dir=str(tmp_path / "cache"))
+        cold = search_mixer(graphs, tiny_config, runtime=runtime)
+        warm = search_mixer(graphs, tiny_config, runtime=runtime)
+
+        # Acceptance: a repeated run with a warm cache trains nothing —
+        # every candidate is a cache hit.
+        assert warm.config["cache_hits"] == warm.num_candidates
+        assert warm.config["cache_misses"] == 0
+        assert warm.config["jobs_submitted"] == 0
+        assert evaluation_payload(warm) == evaluation_payload(cold)
+
+    def test_cold_cache_counts_misses(self, graphs, tiny_config, tmp_path):
+        runtime = RuntimeConfig(cache_dir=str(tmp_path / "cache"))
+        cold = search_mixer(graphs, tiny_config, runtime=runtime)
+        assert cold.config["cache_hits"] == 0
+        assert cold.config["cache_misses"] == cold.num_candidates
+
+    def test_cached_matches_uncached(self, graphs, tiny_config, tmp_path):
+        plain = search_mixer(graphs, tiny_config)
+        cached = search_mixer(
+            graphs, tiny_config, runtime=RuntimeConfig(cache_dir=str(tmp_path))
+        )
+        assert evaluation_payload(cached) == evaluation_payload(plain)
+
+    def test_config_change_invalidates(self, graphs, tiny_config, tmp_path):
+        runtime = RuntimeConfig(cache_dir=str(tmp_path))
+        search_mixer(graphs, tiny_config, runtime=runtime)
+        changed = SearchConfig(
+            p_max=2, k_max=1, evaluation=EvaluationConfig(max_steps=11, seed=1)
+        )
+        rerun = search_mixer(graphs, changed, runtime=runtime)
+        assert rerun.config["cache_hits"] == 0
+        assert rerun.config["cache_misses"] == rerun.num_candidates
+
+    def test_workload_change_invalidates(self, graphs, tiny_config, tmp_path):
+        runtime = RuntimeConfig(cache_dir=str(tmp_path))
+        search_mixer(graphs, tiny_config, runtime=runtime)
+        other = [erdos_renyi_graph(5, 0.6, seed=9, require_connected=True)]
+        rerun = search_mixer(other, tiny_config, runtime=runtime)
+        assert rerun.config["cache_hits"] == 0
+
+    def test_cache_shared_across_depths(self, graphs, tmp_path):
+        """p is part of the key, so depths never collide — but an RL-style
+        repeat proposal within one depth is served from cache."""
+        config = SearchConfig(
+            p_max=1, k_max=1, evaluation=EvaluationConfig(max_steps=10, seed=1)
+        )
+        with SearchRuntime(
+            graphs, config, runtime=RuntimeConfig(cache_dir=str(tmp_path))
+        ) as runtime:
+            result = runtime.run([[("rx",), ("ry",), ("rx",)]])
+        assert runtime.cache_hits == 1  # third candidate repeats the first
+        assert runtime.cache_misses == 2
+        assert len(result.depth_results[0].evaluations) == 3
+
+
+class TestCheckpointResume:
+    def test_killed_after_depth1_resumes_without_reevaluating(
+        self, graphs, tiny_config, tmp_path
+    ):
+        cache_dir = str(tmp_path / "ckpt")
+        reference = search_mixer(graphs, tiny_config)
+        num_per_depth = reference.num_candidates // 2  # k_max=1: 5 per depth
+
+        # First attempt dies on the first depth-2 evaluation (after the
+        # depth-1 checkpoint was written).
+        failing = FailAtExecutor(fail_at=num_per_depth + 1)
+        with pytest.raises(KeyboardInterrupt):
+            search_mixer(
+                graphs,
+                tiny_config,
+                executor=failing,
+                runtime=RuntimeConfig(cache_dir=cache_dir),
+            )
+
+        counting = CountingExecutor()
+        resumed = search_mixer(
+            graphs,
+            tiny_config,
+            executor=counting,
+            runtime=RuntimeConfig(cache_dir=cache_dir, resume=True),
+        )
+        # Depth 1 came from the checkpoint: not a single depth-1 candidate
+        # was re-submitted, and no cache lookups were needed for it.
+        assert resumed.config["restored_depths"] == 1
+        assert len(counting.submitted) == num_per_depth
+        assert all(args[2] == 2 for args in counting.submitted)  # job p == 2
+        assert evaluation_payload(resumed) == evaluation_payload(reference)
+
+    def test_resume_of_completed_run_restores_every_depth(
+        self, graphs, tiny_config, tmp_path
+    ):
+        runtime_cfg = RuntimeConfig(cache_dir=str(tmp_path))
+        first = search_mixer(graphs, tiny_config, runtime=runtime_cfg)
+        counting = CountingExecutor()
+        resumed = search_mixer(
+            graphs,
+            tiny_config,
+            executor=counting,
+            runtime=RuntimeConfig(cache_dir=str(tmp_path), resume=True),
+        )
+        assert resumed.config["restored_depths"] == tiny_config.p_max
+        assert counting.submitted == []
+        assert resumed.config["cache_hits"] == 0  # checkpoint, not cache
+        assert evaluation_payload(resumed) == evaluation_payload(first)
+
+    def test_checkpoint_ignored_when_config_changes(self, graphs, tiny_config, tmp_path):
+        runtime_cfg = RuntimeConfig(cache_dir=str(tmp_path))
+        search_mixer(graphs, tiny_config, runtime=runtime_cfg)
+        changed = SearchConfig(
+            p_max=2, k_max=1, evaluation=EvaluationConfig(max_steps=12, seed=1)
+        )
+        rerun = search_mixer(
+            graphs, changed, runtime=RuntimeConfig(cache_dir=str(tmp_path), resume=True)
+        )
+        assert rerun.config["restored_depths"] == 0
+
+    def test_resume_replays_rewards_to_predictor(self, graphs, tmp_path):
+        config = SearchConfig(
+            p_max=1, k_max=1, evaluation=EvaluationConfig(max_steps=10, seed=1)
+        )
+        candidates = [[("rx",), ("ry",)]]
+        with SearchRuntime(
+            graphs, config, runtime=RuntimeConfig(cache_dir=str(tmp_path))
+        ) as runtime:
+            first = RecordingPredictor()
+            runtime.run(candidates, predictor=first)
+
+        with SearchRuntime(
+            graphs, config, runtime=RuntimeConfig(cache_dir=str(tmp_path), resume=True)
+        ) as runtime:
+            replayed = RecordingPredictor()
+            runtime.run(candidates, predictor=replayed)
+        assert replayed.updates == first.updates
+
+
+class TestFaultTolerance:
+    def test_search_survives_transient_worker_faults(self, graphs, tiny_config):
+        class FlakySubmitExecutor(SerialExecutor):
+            """Every third submit fails once before the retry succeeds."""
+
+            def __init__(self):
+                self.count = 0
+
+            def submit(self, fn, *args):
+                self.count += 1
+                if self.count % 3 == 0:
+                    future = super().submit(fn, *args)
+                    failed = type(future)()
+                    failed.set_exception(RuntimeError("transient worker fault"))
+                    return failed
+                return super().submit(fn, *args)
+
+        reference = search_mixer(graphs, tiny_config)
+        flaky = search_mixer(
+            graphs,
+            tiny_config,
+            executor=FlakySubmitExecutor(),
+            runtime=RuntimeConfig(max_retries=2),
+        )
+        assert flaky.config["jobs_retried"] > 0
+        assert evaluation_payload(flaky) == evaluation_payload(reference)
+
+    def test_threaded_runtime_matches_serial(self, graphs, tiny_config, tmp_path):
+        serial = search_mixer(graphs, tiny_config)
+        with ThreadExecutor(2) as executor:
+            threaded = search_mixer(
+                graphs,
+                tiny_config,
+                executor=executor,
+                runtime=RuntimeConfig(cache_dir=str(tmp_path)),
+            )
+        assert evaluation_payload(threaded) == evaluation_payload(serial)
+
+
+class TestRuntimeValidation:
+    def test_needs_graphs(self, tiny_config):
+        with pytest.raises(ValueError, match="at least one graph"):
+            SearchRuntime([], tiny_config)
+
+    def test_no_cache_dir_disables_persistence(self, graphs, tiny_config):
+        with SearchRuntime(graphs, tiny_config) as runtime:
+            assert runtime.cache is None
+            assert runtime.checkpoint is None
+            result = runtime.run([[("rx",)]])
+        assert result.config["cache_dir"] is None
+        assert result.config["cache_hits"] == 0

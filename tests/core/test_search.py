@@ -1,6 +1,4 @@
 """Algorithm 1 search loop: serial, parallel, predictor-driven."""
-
-import numpy as np
 import pytest
 
 from repro.core.alphabet import GateAlphabet
@@ -105,6 +103,28 @@ class TestPredictorDriven:
         predictor = ControllerPredictor(controller, batch_size=4, seed=0)
         result = search_with_predictor(graphs, predictor, config, candidates_per_depth=8)
         assert result.best_tokens
+
+    def test_rewards_flow_before_next_depth_proposals(self, graphs):
+        """The closed loop is real: depth-2 proposals are drawn only after
+        depth-1 rewards were fed back to the predictor."""
+        events = []
+
+        class OrderTracker(RandomPredictor):
+            def propose(self, num):
+                events.append("propose")
+                return super().propose(num)
+
+            def update(self, tokens, reward):
+                events.append("update")
+                super().update(tokens, reward)
+
+        config = SearchConfig(
+            p_max=2, k_max=1, evaluation=EvaluationConfig(max_steps=6, seed=2)
+        )
+        predictor = OrderTracker(GateAlphabet(), 1, seed=0)
+        search_with_predictor(graphs, predictor, config, candidates_per_depth=3)
+        second_propose = events.index("propose", 1)
+        assert "update" in events[:second_propose]
 
     def test_duplicate_proposals_deduplicated(self, graphs):
         class ConstantPredictor(RandomPredictor):

@@ -1,7 +1,5 @@
 """Paper dataset pinning."""
 
-import pytest
-
 from repro.graphs.datasets import (
     ER_PROBABILITIES,
     paper_er_dataset,

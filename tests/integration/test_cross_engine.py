@@ -16,7 +16,6 @@ from repro.qaoa.energy import AnsatzEnergy
 from repro.qtensor.simulator import QTensorSimulator
 from repro.simulators.expectation import cut_values
 from repro.simulators.noise import DensityMatrixSimulator
-from repro.simulators.statevector import simulate, zero_state
 
 ANGLES_P1 = [0.41, -0.63]
 ANGLES_P2 = [0.41, -0.63, 0.17, 0.52]

@@ -1,6 +1,4 @@
 """End-to-end integration: the full QArchSearch pipeline at test scale."""
-
-import numpy as np
 import pytest
 
 from repro.core.alphabet import GateAlphabet

@@ -3,7 +3,6 @@ constraints + controller, VQE + constraints, fusion on discovered circuits,
 warm starts inside the search protocol."""
 
 import numpy as np
-import pytest
 
 from repro.circuits.decompose import fuse_single_qubit_runs
 from repro.core.alphabet import GateAlphabet

@@ -1,7 +1,6 @@
 """Layer forward/backward passes, gradient-checked by finite differences."""
 
 import numpy as np
-import pytest
 
 from repro.ml.layers import Dense, Embedding, LSTMCell
 

@@ -1,5 +1,6 @@
 """Executor equivalence and lifecycle."""
 
+import multiprocessing as mp
 import os
 import time
 
@@ -19,6 +20,25 @@ def square_sum(a, b):
 
 
 def get_pid(_):
+    return os.getpid()
+
+
+_WORKER_BARRIER = None
+
+
+def _install_barrier(barrier):
+    global _WORKER_BARRIER
+    _WORKER_BARRIER = barrier
+
+
+def rendezvous_pid(_):
+    """Block until another worker reaches the barrier, then report the PID.
+
+    With a two-party barrier and a blocked first worker, the second job can
+    only be executed by the *other* worker — so distinct PIDs are
+    guaranteed, not just likely.
+    """
+    _WORKER_BARRIER.wait(timeout=30)
     return os.getpid()
 
 
@@ -49,9 +69,16 @@ class TestMultiprocessing:
             assert ex.starmap(square_sum, JOBS) == EXPECTED
 
     def test_work_spread_across_processes(self):
-        with MultiprocessingExecutor(2) as ex:
-            pids = set(ex.starmap(get_pid, [(i,) for i in range(20)]))
-        assert len(pids) >= 2
+        # Trivial jobs can all land on whichever worker wakes first, so the
+        # old 20-jobs-of-nothing version was flaky. The barrier makes the
+        # spread deterministic: neither rendezvous job can finish until both
+        # workers hold one.
+        barrier = mp.get_context().Barrier(2)
+        with MultiprocessingExecutor(
+            2, initializer=_install_barrier, initargs=(barrier,)
+        ) as ex:
+            pids = set(ex.starmap(rendezvous_pid, [(i,) for i in range(2)]))
+        assert len(pids) == 2
 
     def test_chunksize_does_not_change_results(self):
         with MultiprocessingExecutor(2, chunksize=4) as ex:

@@ -1,0 +1,181 @@
+"""Fault-tolerant job scheduler: streaming, retry, timeout, crash recovery."""
+
+import os
+import time
+
+import pytest
+
+from repro.parallel.executor import (
+    MultiprocessingExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
+from repro.parallel.jobs import JobFailedError, JobScheduler
+
+
+def square_sum(a, b):
+    return a * a + b
+
+
+def crash_once_then_pid(flag_path):
+    """Hard-kill the worker process on the first attempt (no exception, no
+    callback — the pool just loses the task), succeed on the retry."""
+    if not os.path.exists(flag_path):
+        with open(flag_path, "w") as fh:
+            fh.write("attempted")
+        os._exit(1)
+    return os.getpid()
+
+
+JOBS = [(i, i + 1) for i in range(10)]
+EXPECTED = [i * i + i + 1 for i in range(10)]
+
+
+class FlakyFunction:
+    """Raises on the first ``failures`` calls per job, then succeeds."""
+
+    def __init__(self, failures=1):
+        self.failures = failures
+        self.calls = {}
+
+    def __call__(self, index):
+        count = self.calls.get(index, 0) + 1
+        self.calls[index] = count
+        if count <= self.failures:
+            raise RuntimeError(f"transient fault on job {index} call {count}")
+        return index * 10
+
+
+class TestOrderedRun:
+    @pytest.mark.parametrize("executor_factory", [SerialExecutor, lambda: ThreadExecutor(2)])
+    def test_matches_starmap(self, executor_factory):
+        with executor_factory() as executor:
+            assert JobScheduler(executor).run(square_sum, JOBS) == EXPECTED
+
+    def test_multiprocessing_matches_starmap(self):
+        with MultiprocessingExecutor(2) as executor:
+            assert JobScheduler(executor).run(square_sum, JOBS) == EXPECTED
+
+    def test_empty_jobs(self):
+        assert JobScheduler().run(square_sum, []) == []
+
+    def test_default_executor_is_serial(self):
+        scheduler = JobScheduler()
+        assert scheduler.executor.name == "serial"
+        assert scheduler.run(square_sum, JOBS) == EXPECTED
+
+
+class TestStreaming:
+    def test_yields_every_index_once(self):
+        seen = dict(JobScheduler().as_completed(square_sum, JOBS))
+        assert sorted(seen) == list(range(len(JOBS)))
+        assert [seen[i] for i in range(len(JOBS))] == EXPECTED
+
+    def test_completion_order_not_submission_order(self):
+        def slow_first(delay):
+            time.sleep(delay)
+            return delay
+
+        with ThreadExecutor(2) as executor:
+            scheduler = JobScheduler(executor)
+            order = [i for i, _ in scheduler.as_completed(slow_first, [(0.3,), (0.01,)])]
+        assert order == [1, 0]
+
+
+class TestRetry:
+    def test_transient_failure_retried(self):
+        flaky = FlakyFunction(failures=1)
+        results = JobScheduler(max_retries=1).run(flaky, [(i,) for i in range(4)])
+        assert results == [0, 10, 20, 30]
+        assert all(count == 2 for count in flaky.calls.values())
+
+    def test_stats_account_for_retries(self):
+        flaky = FlakyFunction(failures=2)
+        scheduler = JobScheduler(max_retries=2)
+        scheduler.run(flaky, [(0,)])
+        assert scheduler.stats.submitted == 3
+        assert scheduler.stats.retried == 2
+        assert scheduler.stats.completed == 1
+        assert scheduler.stats.failed == 0
+
+    def test_exhausted_retries_raise(self):
+        flaky = FlakyFunction(failures=99)
+        scheduler = JobScheduler(max_retries=1)
+        with pytest.raises(JobFailedError, match="job 0 failed after 2"):
+            scheduler.run(flaky, [(0,)])
+        assert scheduler.stats.failed == 1
+
+    def test_zero_retries_fail_fast(self):
+        with pytest.raises(JobFailedError, match="after 1 attempt"):
+            JobScheduler(max_retries=0).run(FlakyFunction(), [(0,)])
+
+    def test_cause_preserved(self):
+        try:
+            JobScheduler(max_retries=0).run(FlakyFunction(), [(0,)])
+        except JobFailedError as error:
+            assert isinstance(error.cause, RuntimeError)
+            assert "transient fault" in str(error.cause)
+        else:  # pragma: no cover
+            pytest.fail("expected JobFailedError")
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            JobScheduler(max_retries=-1)
+        with pytest.raises(ValueError, match="timeout"):
+            JobScheduler(timeout=0)
+
+
+class TestTimeout:
+    def test_slow_attempt_abandoned_and_retried(self):
+        class SlowOnce:
+            def __init__(self):
+                self.calls = 0
+
+            def __call__(self, value):
+                self.calls += 1
+                if self.calls == 1:
+                    time.sleep(5.0)
+                return value
+
+        slow_once = SlowOnce()
+        with ThreadExecutor(2) as executor:
+            scheduler = JobScheduler(executor, max_retries=1, timeout=0.2)
+            assert scheduler.run(slow_once, [(42,)]) == [42]
+        assert scheduler.stats.timed_out == 1
+        assert scheduler.stats.retried == 1
+        assert executor.tainted  # abandoned attempt marks the pool
+
+    def test_tainted_thread_pool_closes_promptly(self):
+        def hang_forever(_):
+            time.sleep(60.0)
+
+        start = time.perf_counter()
+        with ThreadExecutor(1) as executor:
+            scheduler = JobScheduler(executor, max_retries=0, timeout=0.1)
+            with pytest.raises(JobFailedError):
+                scheduler.run(hang_forever, [(0,)])
+        # close() must not join the abandoned, still-sleeping worker thread
+        assert time.perf_counter() - start < 5.0
+
+    def test_timeout_exhaustion_raises(self):
+        def sleepy(_):
+            time.sleep(5.0)
+
+        with ThreadExecutor(2) as executor:
+            scheduler = JobScheduler(executor, max_retries=0, timeout=0.1)
+            with pytest.raises(JobFailedError) as excinfo:
+                scheduler.run(sleepy, [(0,)])
+        assert isinstance(excinfo.value.cause, TimeoutError)
+
+
+class TestWorkerCrash:
+    def test_killed_worker_does_not_stall_the_search(self, tmp_path):
+        """A worker that dies mid-job drops the task silently in
+        ``multiprocessing.Pool``; the deadline + retry path must recover."""
+        flag = str(tmp_path / "crashed.flag")
+        with MultiprocessingExecutor(2) as executor:
+            scheduler = JobScheduler(executor, max_retries=2, timeout=3.0)
+            [pid] = scheduler.run(crash_once_then_pid, [(flag,)])
+        assert pid > 0
+        assert os.path.exists(flag)
+        assert scheduler.stats.retried >= 1

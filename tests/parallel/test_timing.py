@@ -2,8 +2,6 @@
 
 import time
 
-import pytest
-
 from repro.parallel.timing import Timer, TimingLog, time_call
 
 

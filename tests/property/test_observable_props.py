@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.qaoa.observables import PauliSum, PauliTerm, ising_hamiltonian, qubo_to_ising
-from repro.simulators.statevector import basis_state, simulate
+from repro.simulators.statevector import simulate
 from tests.property.test_circuit_props import circuits
 
 PAULI_CHARS = st.sampled_from("IXYZ")

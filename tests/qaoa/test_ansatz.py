@@ -13,7 +13,7 @@ from repro.qaoa.mixers import (
     mixer_label,
     mixer_layer,
 )
-from repro.simulators.statevector import circuit_unitary, plus_state, simulate
+from repro.simulators.statevector import plus_state, simulate
 
 
 class TestCostLayer:

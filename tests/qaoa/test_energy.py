@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graphs.generators import cycle_graph, erdos_renyi_graph
+from repro.graphs.generators import erdos_renyi_graph
 from repro.qaoa.ansatz import build_qaoa_ansatz
 from repro.qaoa.energy import AnsatzEnergy
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graphs.generators import Graph, cycle_graph, erdos_renyi_graph
+from repro.graphs.generators import cycle_graph, erdos_renyi_graph
 from repro.qaoa.observables import (
     PauliSum,
     PauliTerm,

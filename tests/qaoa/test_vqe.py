@@ -1,10 +1,8 @@
 """VQE-style ansatz construction and search on PauliSum Hamiltonians."""
-
-import numpy as np
 import pytest
 
 from repro.optimizers import Cobyla
-from repro.qaoa.observables import PauliSum, PauliTerm, tfim_hamiltonian
+from repro.qaoa.observables import tfim_hamiltonian
 from repro.qaoa.vqe import VQEEnergy, build_vqe_ansatz, search_vqe_ansatz, train_vqe
 
 

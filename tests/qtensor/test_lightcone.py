@@ -8,7 +8,7 @@ from repro.graphs.generators import cycle_graph, random_regular_graph
 from repro.qaoa.ansatz import build_qaoa_ansatz
 from repro.qtensor.lightcone import lightcone_circuit, lightcone_qubits
 from repro.simulators.expectation import zz_expectation
-from repro.simulators.statevector import plus_state, simulate
+from repro.simulators.statevector import simulate
 
 
 def _zz_energy(circuit, u, v, init):
