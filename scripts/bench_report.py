@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Emit the machine-readable evaluator throughput report.
+
+Measures per-engine energy-evaluation throughput (evals/sec) on the paper
+workload — a 10-qubit ER graph at p=4 with the winning ``('rx', 'ry')``
+mixer — and writes ``benchmarks/results/BENCH_evaluator.json`` so the
+perf trajectory is tracked as a committed artifact, run by run, instead
+of living in bench stdout.
+
+Run from the repo root (CI's bench-smoke job does)::
+
+    python scripts/bench_report.py
+
+Exits non-zero if the compiled engine is not at least as fast as the
+dense statevector engine — the floor that keeps the default fast path
+from silently regressing below the oracle it replaced.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_SRC = "src"
+sys.path.insert(0, REPO_SRC)
+
+import numpy as np  # noqa: E402
+
+from repro.experiments.scale import paper_probe_workload, seconds_per_eval  # noqa: E402
+from repro.qaoa.energy import ENGINES, AnsatzEnergy  # noqa: E402
+
+OUTPUT = Path("benchmarks/results/BENCH_evaluator.json")
+
+TIMED_EVALS = 150
+#: qtensor is contraction-per-edge and orders of magnitude slower here;
+#: keep its sample small so the report stays CI-cheap
+TIMED_EVALS_SLOW = 5
+
+
+def measure(engine: str, ansatz, x: np.ndarray) -> dict:
+    energy = AnsatzEnergy(ansatz, engine=engine)
+    value = energy.value(x)
+    rounds = TIMED_EVALS_SLOW if engine == "qtensor" else TIMED_EVALS
+    seconds = seconds_per_eval(energy, x, rounds)
+    return {
+        "seconds_per_eval": seconds,
+        "evals_per_sec": 1.0 / seconds,
+        "timed_evals": rounds,
+        "energy_at_probe": value,
+    }
+
+
+def main() -> int:
+    graph, ansatz, x = paper_probe_workload()
+
+    engines = {engine: measure(engine, ansatz, x) for engine in ENGINES}
+    speedup = (
+        engines["statevector"]["seconds_per_eval"]
+        / engines["compiled"]["seconds_per_eval"]
+    )
+    for engine, row in engines.items():
+        print(f"{engine:>12}: {row['evals_per_sec']:10.1f} evals/s")
+
+    # Gate before writing: a failing run must not overwrite the committed
+    # trajectory artifact with a broken engine's numbers.
+    drift = abs(
+        engines["compiled"]["energy_at_probe"]
+        - engines["statevector"]["energy_at_probe"]
+    )
+    assert drift < 1e-10, f"engines disagree at the probe point ({drift:.3g})"
+    assert speedup >= 1.0, (
+        f"compiled engine slower than statevector ({speedup:.2f}x) — "
+        "the default fast path has regressed"
+    )
+
+    report = {
+        "benchmark": "evaluator_throughput",
+        "workload": {
+            "num_nodes": graph.num_nodes,
+            "p": ansatz.p,
+            "tokens": list(ansatz.mixer_tokens),
+            "num_edges": graph.num_edges,
+        },
+        "engines": engines,
+        "compiled_vs_statevector_speedup": speedup,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "generated_unix": time.time(),
+    }
+    OUTPUT.parent.mkdir(parents=True, exist_ok=True)
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"compiled vs statevector: {speedup:.1f}x  ->  {OUTPUT}")
+    print("bench report OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

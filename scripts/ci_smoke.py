@@ -3,9 +3,13 @@
 
 Runs the full Algorithm 1 stack (enumeration → QBuilder → training →
 selection) at a scale well under examples/quickstart.py, through the
-fault-tolerant runtime with a persistent cache, and asserts:
+fault-tolerant runtime with a persistent cache and the compiled fast-path
+engine (requested explicitly, so a broken ``engine="compiled"`` flag fails
+here rather than in a user run), and asserts:
 
 * the search finds a winner with a sane approximation ratio,
+* the compiled engine agrees with the statevector oracle to 1e-10 on the
+  winning candidate's energy (spot equivalence outside the unit suite),
 * a repeated run with the warm cache performs zero candidate trainings,
 * the cold run stays inside a generous wall-clock budget, so order-of-
   magnitude runtime regressions fail CI without full-bench cost.
@@ -36,7 +40,7 @@ def main() -> int:
         k_min=2,
         k_max=2,
         mode="combinations",
-        evaluation=EvaluationConfig(max_steps=20, seed=0),
+        evaluation=EvaluationConfig(max_steps=20, seed=0, engine="compiled"),
     )
 
     with tempfile.TemporaryDirectory() as cache_dir:
@@ -62,6 +66,21 @@ def main() -> int:
 
     assert cold.best_tokens, "search must produce a winner"
     assert 0.0 < cold.best_ratio <= 1.0 + 1e-9, "ratio out of range"
+
+    # Spot-check the fast path against the oracle on the actual winner.
+    from repro.qaoa.ansatz import build_qaoa_ansatz
+    from repro.qaoa.energy import AnsatzEnergy
+
+    ansatz = build_qaoa_ansatz(graphs[0], cold.best_p, cold.best_tokens)
+    probe = [0.3] * ansatz.num_parameters
+    fast = AnsatzEnergy(ansatz, engine="compiled").value(probe)
+    dense = AnsatzEnergy(ansatz, engine="statevector").value(probe)
+    assert abs(fast - dense) < 1e-10, (
+        f"compiled engine drifted from the statevector oracle "
+        f"({fast!r} vs {dense!r})"
+    )
+    print(f"engine parity on winner {cold.best_tokens}: |delta|={abs(fast - dense):.2e}")
+
     assert cold_seconds < COLD_BUDGET_SECONDS, (
         f"cold search took {cold_seconds:.1f}s — runtime regression "
         f"(budget {COLD_BUDGET_SECONDS:.0f}s)"

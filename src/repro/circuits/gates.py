@@ -13,7 +13,18 @@ conventions used by Qiskit:
 
 Diagonal gates are flagged (``is_diagonal``) because the tensor-network
 layer exploits diagonality to avoid rank-4 tensors (Lykov & Alexeev 2021,
-"Importance of Diagonal Gates in Tensor Network Simulations").
+"Importance of Diagonal Gates in Tensor Network Simulations"). Every
+diagonal gate additionally publishes its *phase generator* (``diag_phase``):
+the pair of real vectors ``(h, g0)`` with
+
+``diag(gate(theta)) = exp(1j * (theta * h + g0))``
+
+(``theta`` is the single angle; ``h`` is all-zero for parameter-free
+gates). The compiled statevector engine
+(:mod:`repro.simulators.compiled`) fuses whole runs of diagonal gates —
+the QAOA cost layer in particular — into a single elementwise multiply by
+summing these generators, so the representation is load-bearing, not
+documentation: :func:`_register` rejects diagonal specs that omit it.
 """
 
 from __future__ import annotations
@@ -28,6 +39,7 @@ import numpy as np
 from repro.circuits.parameters import Parameter, ParameterValue, bind_value
 
 __all__ = [
+    "DiagPhase",
     "GateSpec",
     "Gate",
     "GATE_REGISTRY",
@@ -174,6 +186,11 @@ def _mat_swap(_: Sequence[float]) -> np.ndarray:
     )
 
 
+#: phase generator of a diagonal gate: hashable ``(h, g0)`` float tuples of
+#: length ``2**num_qubits`` with ``diag = exp(1j * (theta * h + g0))``
+DiagPhase = Tuple[Tuple[float, ...], Tuple[float, ...]]
+
+
 @dataclass(frozen=True)
 class GateSpec:
     """Static description of a gate type."""
@@ -187,36 +204,97 @@ class GateSpec:
     #: name of the gate implementing the inverse with negated parameters,
     #: if that pattern applies (all rotation gates).
     negate_params_inverts: bool = False
+    #: the (h, g0) phase generator; required for (and only for) diagonal
+    #: gates. Stored as plain tuples so the spec stays hashable.
+    diag_phase: "DiagPhase | None" = None
+
+    def diag_exponent(self, params: Sequence[float] = ()) -> np.ndarray:
+        """The real exponent ``g`` with ``diag(gate) = exp(1j * g)``."""
+        if self.diag_phase is None:
+            raise ValueError(f"gate '{self.name}' is not diagonal")
+        h, g0 = self.diag_phase
+        theta = float(params[0]) if self.num_params else 0.0
+        return theta * np.asarray(h) + np.asarray(g0)
 
 
 GATE_REGISTRY: Dict[str, GateSpec] = {}
 
 
 def _register(spec: GateSpec) -> GateSpec:
+    if spec.is_diagonal != (spec.diag_phase is not None):
+        raise ValueError(
+            f"gate '{spec.name}': diag_phase must be given iff is_diagonal"
+        )
     GATE_REGISTRY[spec.name] = spec
     return spec
 
 
+_NO_PHASE_1Q = (0.0, 0.0)
+_NO_PHASE_2Q = (0.0, 0.0, 0.0, 0.0)
+_PI = math.pi
+
+
 I = _register(  # noqa: E741 - the identity gate's conventional name
-    GateSpec("id", 1, 0, _mat_i, is_diagonal=True, is_self_inverse=True)
+    GateSpec(
+        "id", 1, 0, _mat_i, is_diagonal=True, is_self_inverse=True,
+        diag_phase=(_NO_PHASE_1Q, (0.0, 0.0)),
+    )
 )
 X = _register(GateSpec("x", 1, 0, _mat_x, is_self_inverse=True))
 Y = _register(GateSpec("y", 1, 0, _mat_y, is_self_inverse=True))
-Z = _register(GateSpec("z", 1, 0, _mat_z, is_diagonal=True, is_self_inverse=True))
+Z = _register(
+    GateSpec(
+        "z", 1, 0, _mat_z, is_diagonal=True, is_self_inverse=True,
+        diag_phase=(_NO_PHASE_1Q, (0.0, _PI)),
+    )
+)
 H = _register(GateSpec("h", 1, 0, _mat_h, is_self_inverse=True))
-S = _register(GateSpec("s", 1, 0, _mat_s, is_diagonal=True))
-SDG = _register(GateSpec("sdg", 1, 0, _mat_sdg, is_diagonal=True))
-T = _register(GateSpec("t", 1, 0, _mat_t, is_diagonal=True))
-TDG = _register(GateSpec("tdg", 1, 0, _mat_tdg, is_diagonal=True))
+S = _register(
+    GateSpec("s", 1, 0, _mat_s, is_diagonal=True, diag_phase=(_NO_PHASE_1Q, (0.0, _PI / 2)))
+)
+SDG = _register(
+    GateSpec("sdg", 1, 0, _mat_sdg, is_diagonal=True, diag_phase=(_NO_PHASE_1Q, (0.0, -_PI / 2)))
+)
+T = _register(
+    GateSpec("t", 1, 0, _mat_t, is_diagonal=True, diag_phase=(_NO_PHASE_1Q, (0.0, _PI / 4)))
+)
+TDG = _register(
+    GateSpec("tdg", 1, 0, _mat_tdg, is_diagonal=True, diag_phase=(_NO_PHASE_1Q, (0.0, -_PI / 4)))
+)
 RX = _register(GateSpec("rx", 1, 1, _mat_rx, negate_params_inverts=True))
 RY = _register(GateSpec("ry", 1, 1, _mat_ry, negate_params_inverts=True))
-RZ = _register(GateSpec("rz", 1, 1, _mat_rz, is_diagonal=True, negate_params_inverts=True))
-P = _register(GateSpec("p", 1, 1, _mat_p, is_diagonal=True, negate_params_inverts=True))
+RZ = _register(
+    GateSpec(
+        "rz", 1, 1, _mat_rz, is_diagonal=True, negate_params_inverts=True,
+        diag_phase=((-0.5, 0.5), (0.0, 0.0)),
+    )
+)
+P = _register(
+    GateSpec(
+        "p", 1, 1, _mat_p, is_diagonal=True, negate_params_inverts=True,
+        diag_phase=((0.0, 1.0), (0.0, 0.0)),
+    )
+)
 U3 = _register(GateSpec("u3", 1, 3, _mat_u3))
 CX = _register(GateSpec("cx", 2, 0, _mat_cx, is_self_inverse=True))
-CZ = _register(GateSpec("cz", 2, 0, _mat_cz, is_diagonal=True, is_self_inverse=True))
-CP = _register(GateSpec("cp", 2, 1, _mat_cp, is_diagonal=True, negate_params_inverts=True))
-RZZ = _register(GateSpec("rzz", 2, 1, _mat_rzz, is_diagonal=True, negate_params_inverts=True))
+CZ = _register(
+    GateSpec(
+        "cz", 2, 0, _mat_cz, is_diagonal=True, is_self_inverse=True,
+        diag_phase=(_NO_PHASE_2Q, (0.0, 0.0, 0.0, _PI)),
+    )
+)
+CP = _register(
+    GateSpec(
+        "cp", 2, 1, _mat_cp, is_diagonal=True, negate_params_inverts=True,
+        diag_phase=((0.0, 0.0, 0.0, 1.0), _NO_PHASE_2Q),
+    )
+)
+RZZ = _register(
+    GateSpec(
+        "rzz", 2, 1, _mat_rzz, is_diagonal=True, negate_params_inverts=True,
+        diag_phase=((-0.5, 0.5, 0.5, -0.5), _NO_PHASE_2Q),
+    )
+)
 RXX = _register(GateSpec("rxx", 2, 1, _mat_rxx, negate_params_inverts=True))
 SWAP = _register(GateSpec("swap", 2, 0, _mat_swap, is_self_inverse=True))
 

@@ -16,7 +16,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.core.evaluator import EvaluationConfig, Evaluator
+from repro.core.evaluator import ENGINES, EvaluationConfig, Evaluator
 from repro.core.runtime import RuntimeConfig
 from repro.core.search import SearchConfig, search_mixer
 from repro.experiments.discovery import draw_mixer
@@ -46,6 +46,8 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         choices=["energy", "best_sampled"])
     parser.add_argument("--shots", type=int, default=64)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--engine", default="compiled", choices=list(ENGINES),
+                        help="simulation engine (default: compiled fast path)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -94,6 +96,7 @@ def _eval_config(args) -> EvaluationConfig:
         seed=args.seed,
         metric=args.metric,
         shots=args.shots,
+        engine=args.engine,
     )
 
 

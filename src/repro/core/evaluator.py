@@ -24,7 +24,7 @@ from repro.core.qbuilder import QBuilder
 from repro.core.results import CandidateEvaluation
 from repro.graphs.generators import Graph
 from repro.optimizers import Adam, Cobyla, NelderMead, SPSA, Optimizer
-from repro.qaoa.energy import AnsatzEnergy
+from repro.qaoa.energy import ENGINES, AnsatzEnergy
 from repro.qaoa.maxcut import approximation_ratio, brute_force_maxcut
 from repro.utils.rng import as_rng, stable_seed
 from repro.utils.validation import check_positive
@@ -57,8 +57,9 @@ class EvaluationConfig:
     max_steps: int = 200
     #: independent optimizer restarts per graph; best result kept
     restarts: int = 1
-    #: simulation engine: "statevector" or "qtensor"
-    engine: str = "statevector"
+    #: simulation engine: "compiled" (pre-lowered NumPy program, the fast
+    #: default), "statevector" (per-gate dense oracle), or "qtensor"
+    engine: str = "compiled"
     #: base seed for initial-parameter draws (stably combined per graph/restart)
     seed: int = 7
     #: prepend the Hadamard column vs. starting from |+>^n
@@ -80,6 +81,10 @@ class EvaluationConfig:
         check_positive(self.max_steps, "max_steps")
         check_positive(self.restarts, "restarts")
         check_positive(self.shots, "shots")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; options: {ENGINES}"
+            )
         if self.metric not in ("energy", "best_sampled"):
             raise ValueError(
                 f"unknown metric {self.metric!r}; options: energy, best_sampled"
@@ -154,10 +159,17 @@ class Evaluator:
         ratios: List[float] = []
         nfev = 0
         for graph_index, graph in enumerate(self.graphs):
-            energy, best_x, evals = self._train_one(graph, key[0], p, graph_index)
+            # One ansatz (and one compiled program) per graph evaluation:
+            # training and best_sampled scoring share it instead of each
+            # rebuilding the identical circuit for (graph, tokens, p).
+            ansatz = self.builder.build_qaoa(
+                graph, key[0], p, initial_hadamard=self.config.initial_hadamard
+            )
+            objective = AnsatzEnergy(ansatz, engine=self.config.engine)
+            energy, best_x, evals = self._train_one(objective, graph_index, p, key[0])
             energies.append(energy)
             if self.config.metric == "best_sampled":
-                numerator = self._best_sampled_value(graph, key[0], p, best_x)
+                numerator = self._best_sampled_value(objective, best_x)
             else:
                 numerator = energy
             ratios.append(
@@ -186,15 +198,12 @@ class Evaluator:
     # -- internals ------------------------------------------------------------------
 
     def _train_one(
-        self, graph: Graph, tokens: Tuple[str, ...], p: int, graph_index: int
+        self, objective: AnsatzEnergy, graph_index: int, p: int, tokens: Tuple[str, ...]
     ) -> Tuple[float, np.ndarray, int]:
-        """Best trained energy over restarts for one graph."""
-        ansatz = self.builder.build_qaoa(
-            graph, tokens, p, initial_hadamard=self.config.initial_hadamard
-        )
-        energy = AnsatzEnergy(ansatz, engine=self.config.engine)
+        """Best trained energy over restarts for one graph's objective."""
+        num_parameters = objective.ansatz.num_parameters
         best_energy = -np.inf
-        best_x = np.zeros(ansatz.num_parameters)
+        best_x = np.zeros(num_parameters)
         nfev = 0
         for restart in range(self.config.restarts):
             rng = as_rng(
@@ -208,35 +217,28 @@ class Evaluator:
                 x0 = rng.uniform(
                     -self.config.init_scale,
                     self.config.init_scale,
-                    ansatz.num_parameters,
+                    num_parameters,
                 )
-            optimizer = _make_optimizer(self.config, energy)
-            result = optimizer.minimize(energy.negative, x0)
+            optimizer = _make_optimizer(self.config, objective)
+            result = optimizer.minimize(objective.negative, x0)
             nfev += result.nfev
             if -result.fun > best_energy:
                 best_energy = -result.fun
                 best_x = result.x
         return float(best_energy), best_x, nfev
 
-
     def _best_sampled_value(
-        self, graph: Graph, tokens: Tuple[str, ...], p: int, params: np.ndarray
+        self, objective: AnsatzEnergy, params: np.ndarray
     ) -> float:
         """Eq. (3) numerator: exact E[best cut over `shots` measurements]
-        of the trained circuit's output distribution."""
+        of the trained circuit's output distribution. Reuses the objective
+        (and its compiled program) that training just used."""
         from repro.qaoa.maxcut import expected_best_cut
-        from repro.simulators.statevector import plus_state, simulate, zero_state
 
-        ansatz = self.builder.build_qaoa(
-            graph, tokens, p, initial_hadamard=self.config.initial_hadamard
+        state = objective.final_state(params)
+        return expected_best_cut(
+            np.abs(state) ** 2, objective.ansatz.graph, self.config.shots
         )
-        init = (
-            zero_state(graph.num_nodes)
-            if self.config.initial_hadamard
-            else plus_state(graph.num_nodes)
-        )
-        state = simulate(ansatz.bind(list(params)), init)
-        return expected_best_cut(np.abs(state) ** 2, graph, self.config.shots)
 
 
 def evaluate_candidate(

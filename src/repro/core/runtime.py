@@ -20,6 +20,11 @@ the replacement substrate:
 * **Hoisted classical optima** — the brute-force max-cut solve (the
   candidate-independent ``2^n`` part of scoring) runs once per search and
   ships to workers in the job payload instead of once per candidate.
+* **Compiled fast path** — job payloads carry the full
+  :class:`~repro.core.evaluator.EvaluationConfig`, so workers train on
+  whatever ``config.engine`` selects (default: the compiled NumPy engine).
+  The engine is part of the config fingerprint, which keeps cached results
+  from one engine from ever being replayed as another's.
 
 The runtime is deliberately independent of how candidates are chosen: the
 search front-ends hand it a per-depth candidate list and an optional

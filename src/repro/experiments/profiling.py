@@ -11,6 +11,11 @@ cores" (8..64 in steps of 8) against a dashed serial line. Core counts
 beyond this machine are *replayed* through the measured-duration scheduler
 (see DESIGN.md substitutions); the worker counts that do exist here are
 cross-validated against real pool runs.
+
+Both figures train through :func:`evaluate_candidate` with the config's
+simulation engine (default: the compiled NumPy engine of
+:mod:`repro.simulators.compiled`), so profiling numbers track the same
+fast path the search itself runs on.
 """
 
 from __future__ import annotations

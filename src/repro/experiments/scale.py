@@ -17,7 +17,13 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-__all__ = ["ExperimentScale", "get_scale", "SCALES"]
+__all__ = [
+    "ExperimentScale",
+    "get_scale",
+    "paper_probe_workload",
+    "seconds_per_eval",
+    "SCALES",
+]
 
 
 @dataclass(frozen=True)
@@ -48,6 +54,42 @@ SCALES = {
         name="paper", num_graphs=20, max_steps=200, num_candidates=625, num_runs=5, p_max=4
     ),
 }
+
+
+def paper_probe_workload():
+    """The single-candidate probe the engine benches time: a 10-qubit ER
+    graph with the winning ``('rx', 'ry')`` mixer at p=4, plus a fixed
+    probe parameter vector.
+
+    Shared by ``benchmarks/bench_compiled_engine.py`` (the CI speedup
+    gate) and ``scripts/bench_report.py`` (the committed throughput
+    artifact) so the two can never drift onto different workloads.
+    Returns ``(graph, ansatz, x)``.
+    """
+    import numpy as np
+
+    from repro.graphs.generators import erdos_renyi_graph
+    from repro.qaoa.ansatz import build_qaoa_ansatz
+
+    graph = erdos_renyi_graph(10, 0.5, seed=3, require_connected=True)
+    ansatz = build_qaoa_ansatz(graph, 4, ("rx", "ry"))
+    x = np.random.default_rng(0).uniform(-1.0, 1.0, ansatz.num_parameters)
+    return graph, ansatz, x
+
+
+def seconds_per_eval(energy, x, rounds: int) -> float:
+    """Shared per-evaluation timing loop for the engine benches: one
+    warm-up call (which also triggers any lazy compilation), then
+    ``rounds`` timed calls. Lives next to :func:`paper_probe_workload` so
+    the CI speedup gate and the throughput report measure the same way.
+    """
+    import time
+
+    energy.value(x)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        energy.value(x)
+    return (time.perf_counter() - start) / rounds
 
 
 def get_scale(override: str | None = None) -> ExperimentScale:

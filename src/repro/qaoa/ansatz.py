@@ -65,6 +65,18 @@ class QAOAAnsatz:
         its own Hadamard column, else ``"+"``."""
         return "0" if self.initial_hadamard else "+"
 
+    def compile(self):
+        """Lower into a :class:`~repro.simulators.compiled.CompiledProgram`.
+
+        One-time cost per ansatz; the returned program evaluates energies,
+        batches, and parameter-shift gradients without ever rebuilding or
+        re-binding this circuit (the fast path of
+        :class:`~repro.qaoa.energy.AnsatzEnergy`'s default engine).
+        """
+        from repro.simulators.compiled import compile_ansatz
+
+        return compile_ansatz(self)
+
 
 def build_qaoa_ansatz(
     graph: Graph,

@@ -9,6 +9,13 @@ The scalar prefactor is a global phase and is dropped; the remaining factor
 is ``RZZ(-gamma * w_e)`` in our convention ``RZZ(t) = exp(-i t ZZ / 2)``.
 Being diagonal, the whole layer stays rank-preserving in the tensor network
 and commutes with the cut observable (which the lightcone pruner exploits).
+
+Diagonality also makes the layer trivially fusible: because every per-edge
+``RZZ`` shares the layer's ``gamma_k`` linearly, the compiled engine
+(:mod:`repro.simulators.compiled`) pre-sums the edge generators into one
+weight-diagonal per layer, so applying ``e^{-i gamma C}`` at evaluation
+time is a single ``state * exp(1j * gamma * d)`` elementwise multiply no
+matter how many edges the graph has.
 """
 
 from __future__ import annotations

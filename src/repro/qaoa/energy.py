@@ -1,10 +1,20 @@
 """QAOA energy evaluation: ``<gamma, beta| C |gamma, beta>``.
 
 :class:`AnsatzEnergy` is the objective the classical optimizer drives (the
-Evaluator module's inner loop). It supports two engines:
+Evaluator module's inner loop). It supports three engines:
 
-* ``"statevector"`` — dense simulation; the right choice for the paper's
-  10-qubit instances (1024 amplitudes, microseconds per evaluation);
+* ``"compiled"`` (default) — the ansatz is lowered once by
+  :func:`repro.simulators.compiled.compile_ansatz` into a flat sequence of
+  fused NumPy ops (cost layers become single precomputed phase diagonals);
+  every optimizer step then runs with zero circuit rebuilds, zero dict
+  bindings, and zero gate-matrix re-materialization. Numerically
+  equivalent to ``"statevector"`` to ~1e-12 and roughly an order of
+  magnitude faster on the paper's workloads; also the only engine with a
+  batched :meth:`AnsatzEnergy.values` fast path.
+* ``"statevector"`` — per-gate dense simulation of the freshly bound
+  circuit; the exactness oracle the compiled engine is pinned against in
+  the equivalence tests, and the right choice when instrumenting or
+  mutating circuits between evaluations.
 * ``"qtensor"`` — per-edge lightcone tensor contraction via
   :class:`repro.qtensor.QTensorSimulator`; scales to wide, shallow
   circuits where the dense state no longer fits.
@@ -14,7 +24,9 @@ gate occurrence: every parameterized gate in the package generates
 evolution with a single frequency (Pauli-word generators, or projectors for
 ``p``/``cp``), so ``dE/da = [E(a + pi/2) - E(a - pi/2)] / 2`` holds exactly
 and chain-rules through the linear angle expressions (``2*beta``,
-``-w*gamma``).
+``-w*gamma``). The compiled engine evaluates all shifted energies in one
+batched pass; the dense engine reconstructs a shifted circuit per
+occurrence.
 """
 
 from __future__ import annotations
@@ -28,15 +40,19 @@ from repro.circuits.gates import Gate
 from repro.circuits.parameters import Parameter, ParameterExpression
 from repro.qaoa.ansatz import QAOAAnsatz
 from repro.qtensor.simulator import QTensorSimulator
+from repro.simulators.compiled import SHIFT_RULE_GATES, CompiledProgram
 from repro.simulators.expectation import maxcut_expectation
 from repro.simulators.statevector import plus_state, simulate, zero_state
 
-__all__ = ["AnsatzEnergy"]
+__all__ = ["AnsatzEnergy", "ENGINES"]
+
+#: the recognised simulation engines, fastest first
+ENGINES = ("compiled", "statevector", "qtensor")
 
 _SHIFT = np.pi / 2
 
 #: gates whose expectation is single-frequency in the angle (shift rule exact)
-_SHIFTABLE = {"rx", "ry", "rz", "p", "rzz", "rxx", "cp"}
+_SHIFTABLE = SHIFT_RULE_GATES
 
 
 class AnsatzEnergy:
@@ -46,22 +62,33 @@ class AnsatzEnergy:
         self,
         ansatz: QAOAAnsatz,
         *,
-        engine: str = "statevector",
+        engine: str = "compiled",
         qtensor_simulator: Optional[QTensorSimulator] = None,
     ) -> None:
-        if engine not in ("statevector", "qtensor"):
-            raise ValueError(f"unknown engine {engine!r}")
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; options: {ENGINES}")
         self.ansatz = ansatz
         self.engine = engine
         self._qtensor = qtensor_simulator or (
             QTensorSimulator() if engine == "qtensor" else None
         )
+        self._program: Optional[CompiledProgram] = None
         self.num_evaluations = 0
+
+    @property
+    def program(self) -> CompiledProgram:
+        """The compiled program (lowered lazily, once per ansatz)."""
+        if self._program is None:
+            self._program = self.ansatz.compile()
+        return self._program
 
     # -- energy -----------------------------------------------------------------
 
     def value(self, x: Sequence[float]) -> float:
         """``<C>`` at the flat parameter vector ``[gammas..., betas...]``."""
+        if self.engine == "compiled":
+            self.num_evaluations += 1
+            return self.program.energy(x)
         return self._energy_of_circuit(self.ansatz.bind(list(x)))
 
     def __call__(self, x: Sequence[float]) -> float:
@@ -71,16 +98,36 @@ class AnsatzEnergy:
         """``-<C>`` — the minimization objective (we maximize the cut)."""
         return -self.value(x)
 
+    def values(self, X: Sequence[Sequence[float]]) -> np.ndarray:
+        """``<C>`` for a batch of parameter vectors (rows of ``X``).
+
+        The compiled engine pushes the whole batch through its ops with a
+        trailing batch axis; the other engines fall back to a loop.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if self.engine == "compiled":
+            self.num_evaluations += X.shape[0]
+            return self.program.energies(X)
+        return np.array([self.value(row) for row in X])
+
+    def _dense_initial_state(self) -> np.ndarray:
+        """|0...0> when the circuit carries its own H column, else |+>^n."""
+        n = self.ansatz.circuit.num_qubits
+        return zero_state(n) if self.ansatz.initial_hadamard else plus_state(n)
+
+    def final_state(self, x: Sequence[float]) -> np.ndarray:
+        """The trained circuit's output statevector at ``x`` (dense)."""
+        if self.engine == "compiled":
+            return self.program.state(x)
+        return simulate(self.ansatz.bind(list(x)), self._dense_initial_state())
+
     def _energy_of_circuit(self, bound: QuantumCircuit) -> float:
         self.num_evaluations += 1
         graph = self.ansatz.graph
         if self.engine == "statevector":
-            init = (
-                zero_state(bound.num_qubits)
-                if self.ansatz.initial_hadamard
-                else plus_state(bound.num_qubits)
+            return maxcut_expectation(
+                simulate(bound, self._dense_initial_state()), graph
             )
-            return maxcut_expectation(simulate(bound, init), graph)
         return self._qtensor.maxcut_energy(
             bound, graph, initial_state=self.ansatz.initial_state_label
         )
@@ -91,8 +138,13 @@ class AnsatzEnergy:
         """Exact parameter-shift gradient of :meth:`value` at ``x``.
 
         Cost: two energy evaluations per parameterized gate occurrence per
-        parameter it contains.
+        parameter it contains — batched into one vectorized pass by the
+        compiled engine, sequential shifted circuits otherwise.
         """
+        if self.engine == "compiled":
+            grad = self.program.gradient(x)
+            self.num_evaluations += 2 * self.program.num_shift_sites
+            return grad
         x = list(x)
         params = self.ansatz.parameters
         bindings: Dict[Parameter, float] = dict(zip(params, x))

@@ -1,13 +1,27 @@
 """Quantum circuit simulators.
 
-* :mod:`repro.simulators.statevector` — exact dense simulation, the
-  package's reference engine.
+* :mod:`repro.simulators.compiled` — the evaluator's fast path: a one-time
+  compile pass lowers an ansatz into fused, pre-materialized NumPy ops
+  (cost layers collapse to single phase diagonals), so every optimizer
+  step is pure vectorized work. Pick it (the default engine) whenever the
+  same parameterized circuit is evaluated many times.
+* :mod:`repro.simulators.statevector` — exact per-gate dense simulation of
+  a concrete bound circuit; the reference engine every other path is
+  cross-validated against, and the one to use for one-off circuits.
 * :mod:`repro.simulators.expectation` — vectorized observable evaluation
-  (max-cut cost, Pauli strings).
+  (max-cut cost — memoized per graph — and Pauli strings).
 * :mod:`repro.simulators.noise` — Kraus channels + density-matrix engine
   for noisy candidate ranking.
+
+(The tensor-network alternative for circuits too wide for a dense state
+lives in :mod:`repro.qtensor`.)
 """
 
+from repro.simulators.compiled import (
+    CompiledProgram,
+    compile_ansatz,
+    compile_circuit,
+)
 from repro.simulators.expectation import (
     bit_table,
     cut_values,
@@ -37,6 +51,9 @@ from repro.simulators.statevector import (
 )
 
 __all__ = [
+    "CompiledProgram",
+    "compile_ansatz",
+    "compile_circuit",
     "StatevectorSimulator",
     "simulate",
     "circuit_unitary",

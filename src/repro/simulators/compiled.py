@@ -1,0 +1,763 @@
+"""Compiled statevector evaluation: the optimizer's inner loop as pure NumPy.
+
+The dense engine in :mod:`repro.simulators.statevector` is exact but pays
+Python-object overhead on *every* energy call: the ansatz is re-bound into
+a fresh :class:`~repro.circuits.circuit.QuantumCircuit`, every gate matrix
+is re-materialized, and every ``apply_gate`` re-derives its contraction
+metadata. None of that depends on the parameter values — only the angles
+change between the ~200 COBYLA steps the Evaluator spends per candidate.
+
+:func:`compile_circuit` runs once per candidate and lowers the symbolic
+circuit into a :class:`CompiledProgram`, a flat list of three op kinds:
+
+* **Fused diagonal blocks** — a maximal run of diagonal gates (the entire
+  cost layer ``e^{-i gamma C}``, plus any adjacent ``rz``/``p``/``cz``
+  mixer columns) collapses into per-parameter *generator vectors* built
+  from each gate's :attr:`~repro.circuits.gates.GateSpec.diag_phase`
+  (Lykov & Alexeev 2021's diagonal-gate observation, taken to its dense
+  conclusion). Applying the block is one ``state *= exp(1j * (g0 + sum_j
+  x_j * G_j))`` elementwise op, independent of how many gates it fuses.
+* **Matrix columns** — a run of non-diagonal single-qubit gates is grouped
+  per qubit (gates on distinct qubits commute) and chained into one 2x2
+  product per qubit; qubits whose chain is structurally identical (the
+  weight-shared mixer columns) share a single op whose matrix is built
+  once per call and applied with a strided in-place kernel.
+* **Static gates** — anything parameter-free has its matrix materialized
+  at compile time; a complete leading Hadamard column is folded into the
+  ``|+>^n`` initial state outright.
+
+``CompiledProgram.energy(x)`` therefore runs the whole optimizer step with
+zero circuit rebuilds, zero dict bindings, and zero matrix
+re-materialization. ``energies(X)`` evaluates a batch of parameter vectors
+through the same ops with a trailing batch axis, and ``gradient(x)``
+implements the exact two-term parameter-shift rule by injecting per-column
+shifts into a single batched run instead of reconstructing shifted
+circuits per gate occurrence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameters import Parameter, ParameterExpression
+from repro.graphs.generators import Graph
+from repro.simulators.expectation import bit_table, cut_values
+from repro.simulators.statevector import plus_state, zero_state
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (qaoa imports us)
+    from repro.qaoa.ansatz import QAOAAnsatz
+
+__all__ = [
+    "SHIFT_RULE_GATES",
+    "CompiledProgram",
+    "compile_ansatz",
+    "compile_circuit",
+]
+
+#: gates whose expectation is single-frequency in the angle, so the exact
+#: two-term shift rule applies (shared with repro.qaoa.energy)
+SHIFT_RULE_GATES = frozenset({"rx", "ry", "rz", "p", "rzz", "rxx", "cp"})
+
+_SHIFT = np.pi / 2
+
+#: linear angle expression lowered to flat-parameter indices:
+#: ``(((j, coeff), ...), offset)``
+_Expr = Tuple[Tuple[Tuple[int, float], ...], float]
+
+
+def _lower_expr(value, index: Dict[Parameter, int]) -> _Expr:
+    """Lower a gate angle (number or linear expression) to index space."""
+    if isinstance(value, ParameterExpression):
+        try:
+            terms = tuple(
+                (index[param], coeff) for param, coeff in value.terms.items()
+            )
+        except KeyError:
+            unknown = sorted(
+                p.name for p in value.parameters if p not in index
+            )
+            raise ValueError(
+                f"circuit uses parameters {unknown} missing from the "
+                "compile-time parameter ordering"
+            ) from None
+        return terms, value.offset
+    return (), float(value)
+
+
+def _eval_expr(expr: _Expr, x: np.ndarray) -> float:
+    terms, offset = expr
+    return offset + sum(coeff * x[j] for j, coeff in terms)
+
+
+def _eval_expr_batch(expr: _Expr, X: np.ndarray) -> np.ndarray:
+    terms, offset = expr
+    out = np.full(X.shape[0], offset)
+    for j, coeff in terms:
+        out += coeff * X[:, j]
+    return out
+
+
+def _expand_diag(small: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Lift a ``2^m`` per-gate vector to the full ``2^n`` basis."""
+    bits = bit_table(num_qubits)
+    local = np.zeros(2**num_qubits, dtype=np.int64)
+    for j, q in enumerate(qubits):
+        local += bits[:, q].astype(np.int64) << j
+    return np.asarray(small)[local]
+
+
+# -- compiled op kinds ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _DiagAtom:
+    """One parameterized diagonal gate occurrence inside a fused block,
+    kept in compact per-gate form so gradient shifts can re-expand it."""
+
+    h_small: Tuple[float, ...]
+    qubits: Tuple[int, ...]
+
+
+@dataclass
+class _DiagBlock:
+    """A maximal run of diagonal gates fused into phase-exponent vectors."""
+
+    #: parameter-independent part of the exponent (None when zero)
+    gen_const: Optional[np.ndarray]
+    #: flat indices of the parameters this block depends on
+    param_indices: np.ndarray
+    #: ``(k, 2^n)`` generator vectors, one row per parameter above
+    gens: np.ndarray
+    #: per-occurrence generators for parameter-shift injection
+    atoms: List[_DiagAtom]
+    #: ``exp(1j * gen_const)`` precomputed when the block is parameter-free
+    static_phase: Optional[np.ndarray]
+
+
+@dataclass(frozen=True)
+class _Factor:
+    """One primitive gate inside a fused matrix chain."""
+
+    name: str
+    matrix_fn: object
+    exprs: Tuple[_Expr, ...]
+    has_free: bool
+
+
+@dataclass
+class _MatrixColumn:
+    """One factor chain applied to each of several disjoint qubit tuples.
+
+    For the weight-shared mixer columns all qubits carry the identical
+    chain, so the matrix is built once per call and applied n times.
+    """
+
+    targets: Tuple[Tuple[int, ...], ...]
+    factors: Tuple[_Factor, ...]
+    #: precomputed product when no factor has free parameters
+    static_matrix: Optional[np.ndarray]
+
+
+@dataclass(frozen=True)
+class _ShiftSite:
+    """One parameterized gate occurrence, addressable for a shift rule."""
+
+    op_index: int
+    #: atom index for diagonal occurrences, -1 otherwise
+    atom: int
+    #: (factor, target) indices for matrix occurrences, (-1, -1) otherwise
+    factor: int
+    target: int
+    coeffs: Tuple[Tuple[int, float], ...]
+    gate_name: str
+    shiftable: bool
+
+
+# -- kernels ---------------------------------------------------------------
+
+
+def _apply_1q(state: np.ndarray, matrix: np.ndarray, qubit: int) -> np.ndarray:
+    """Strided in-place 2x2 apply on a flat (or flattened-batch) state.
+
+    ``state`` may be ``(2^n,)`` or a ``(2^n, B)`` batch — either way bit
+    ``qubit`` of the basis index has stride ``2^qubit * B``, so one
+    reshape exposes it as the middle axis. Mutates (and returns) ``state``,
+    copying first only if it is not C-contiguous — a reshape of a
+    non-contiguous array would silently write into a throwaway copy.
+    """
+    if not state.flags.c_contiguous:
+        state = np.ascontiguousarray(state)
+    inner = (1 << qubit) * (state.size // state.shape[0])
+    view = state.reshape(-1, 2, inner)
+    a = view[:, 0, :]
+    b = view[:, 1, :]
+    new_a = matrix[0, 0] * a + matrix[0, 1] * b
+    view[:, 1, :] = matrix[1, 0] * a + matrix[1, 1] * b
+    view[:, 0, :] = new_a
+    return state
+
+
+def _contract(
+    state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Lean apply_gate: same contraction, validation and reshape math done
+    at compile time. Supports trailing batch axes."""
+    m = len(qubits)
+    batch_shape = state.shape[1:]
+    tensor = state.reshape((2,) * num_qubits + batch_shape)
+    gate_tensor = matrix.reshape((2,) * (2 * m))
+    axes = [num_qubits - 1 - qubits[j] for j in reversed(range(m))]
+    moved = np.tensordot(gate_tensor, tensor, axes=(list(range(m, 2 * m)), axes))
+    result = np.moveaxis(moved, list(range(m)), axes)
+    return result.reshape(state.shape)
+
+
+def _contract_per_column(
+    state: np.ndarray, matrices: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply a different ``2^m x 2^m`` matrix to every batch column.
+
+    ``state`` is ``(2^n, B)``; ``matrices`` is ``(2^m, 2^m, B)``.
+    """
+    m = len(qubits)
+    batch = state.shape[1]
+    axes = [num_qubits - 1 - qubits[j] for j in reversed(range(m))]
+    tensor = state.reshape((2,) * num_qubits + (batch,))
+    moved = np.moveaxis(tensor, axes, range(m))
+    rest = moved.shape[m:]
+    view = moved.reshape((2**m, -1, batch))
+    out = np.einsum("ijb,jrb->irb", matrices, view)
+    out = out.reshape((2,) * m + rest)
+    out = np.moveaxis(out, range(m), axes)
+    return out.reshape(state.shape)
+
+
+# -- the program -----------------------------------------------------------
+
+
+class CompiledProgram:
+    """A lowered circuit: flat vectorized ops over a fixed parameter order.
+
+    Produced by :func:`compile_circuit` / :func:`compile_ansatz`; see the
+    module docstring for the op kinds. All evaluation entry points take
+    flat parameter vectors in the compile-time ordering.
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        num_parameters: int,
+        ops: List[object],
+        shift_sites: List[_ShiftSite],
+        initial_state_label: str,
+        graph: Optional[Graph],
+        source_gates: int,
+    ) -> None:
+        self.num_qubits = num_qubits
+        self.num_parameters = num_parameters
+        self.ops = ops
+        self.shift_sites = shift_sites
+        self.initial_state_label = initial_state_label
+        self.graph = graph
+        #: gate count of the source circuit (fusion diagnostics)
+        self.source_gates = source_gates
+        self._cut = None if graph is None else cut_values(graph)
+        # Atom generators expanded to the full basis, memoized per distinct
+        # (h_small, qubits): a cost-layer edge appears once per QAOA layer,
+        # so this caches p-fold fewer vectors than storing one per atom
+        # while sparing the gradient path any repeated expansion.
+        self._atom_vectors: Dict[Tuple, np.ndarray] = {}
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def num_ops(self) -> int:
+        """Fused op count — compare against :attr:`source_gates`."""
+        return len(self.ops)
+
+    @property
+    def num_shift_sites(self) -> int:
+        """Parameterized gate occurrences (2 energy evals each per
+        gradient, matching the dense engine's accounting)."""
+        return len(self.shift_sites)
+
+    # -- single evaluation -------------------------------------------------
+
+    def _initial_state(self) -> np.ndarray:
+        if self.initial_state_label == "+":
+            return plus_state(self.num_qubits)
+        if self.initial_state_label == "0":
+            return zero_state(self.num_qubits)
+        raise ValueError(
+            f"unknown initial state label {self.initial_state_label!r}"
+        )
+
+    def _atom_vector(self, atom: _DiagAtom) -> np.ndarray:
+        key = (atom.h_small, atom.qubits)
+        vector = self._atom_vectors.get(key)
+        if vector is None:
+            vector = _expand_diag(atom.h_small, atom.qubits, self.num_qubits)
+            self._atom_vectors[key] = vector
+        return vector
+
+    def _check_x(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=float).reshape(-1)
+        if x.shape[0] != self.num_parameters:
+            raise ValueError(
+                f"expected {self.num_parameters} parameters, got {x.shape[0]}"
+            )
+        return x
+
+    def state(self, x: Sequence[float]) -> np.ndarray:
+        """The final statevector at the flat parameter vector ``x``.
+
+        (Shifted evaluations for the gradient's parameter-shift rule go
+        through the batched :meth:`states` path, which injects shifts per
+        column — there is deliberately no single-state shift variant.)
+        """
+        x = self._check_x(x)
+        state = self._initial_state()
+        n = self.num_qubits
+        for op in self.ops:
+            if isinstance(op, _DiagBlock):
+                if op.static_phase is not None:
+                    state *= op.static_phase
+                    continue
+                exponent = np.dot(x[op.param_indices], op.gens)
+                if op.gen_const is not None:
+                    exponent = exponent + op.gen_const
+                state *= np.exp(1j * exponent)
+            else:
+                matrix = self._column_matrix(op, x)
+                if len(op.targets) == n and len(op.targets[0]) == 1:
+                    # The column covers every qubit with one shared 2x2 (the
+                    # weight-shared mixer case): rotate the leading qubit
+                    # axis through a small gemm n times. Each product takes
+                    # (2, 2^{n-1}) -> (2^{n-1}, 2), cycling the axis order
+                    # left, so after n rounds every qubit has been hit once
+                    # and the layout is back where it started — one BLAS
+                    # call per qubit instead of eight strided ufunc sweeps.
+                    transposed = matrix.T
+                    for _ in range(n):
+                        state = state.reshape(2, -1).T @ transposed
+                    state = state.reshape(-1)
+                    continue
+                for target in op.targets:
+                    if len(target) == 1:
+                        state = _apply_1q(state, matrix, target[0])
+                    else:
+                        state = _contract(state, matrix, target, n)
+        return state
+
+    def _column_matrix(self, op: _MatrixColumn, x: np.ndarray) -> np.ndarray:
+        if op.static_matrix is not None:
+            return op.static_matrix
+        matrix = None
+        for factor in op.factors:
+            values = [_eval_expr(e, x) for e in factor.exprs]
+            factor_matrix = factor.matrix_fn(values)
+            matrix = factor_matrix if matrix is None else factor_matrix @ matrix
+        return matrix
+
+    def energy(self, x: Sequence[float]) -> float:
+        """``<C>`` of the attached graph at ``x``."""
+        state = self.state(x)
+        probs = state.real**2 + state.imag**2
+        return float(probs @ self._cut_table())
+
+    def _cut_table(self) -> np.ndarray:
+        if self._cut is None:
+            raise ValueError(
+                "program was compiled without a graph; only state() is available"
+            )
+        return self._cut
+
+    # -- batched evaluation ------------------------------------------------
+
+    def states(
+        self,
+        X: np.ndarray,
+        _shifts: Optional[Sequence[Optional[Tuple[_ShiftSite, float]]]] = None,
+    ) -> np.ndarray:
+        """Final statevectors of a ``(B, num_parameters)`` batch, as
+        ``(2^n, B)`` columns."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[1] != self.num_parameters:
+            raise ValueError(
+                f"expected batch of {self.num_parameters}-parameter rows, "
+                f"got shape {X.shape}"
+            )
+        batch = X.shape[0]
+        by_op: Dict[int, List[Tuple[int, _ShiftSite, float]]] = {}
+        if _shifts is not None:
+            for column, entry in enumerate(_shifts):
+                if entry is not None:
+                    site, s = entry
+                    by_op.setdefault(site.op_index, []).append((column, site, s))
+
+        state = np.ascontiguousarray(
+            np.repeat(self._initial_state()[:, None], batch, axis=1)
+        )
+        for op_index, op in enumerate(self.ops):
+            shifts_here = by_op.get(op_index, ())
+            if isinstance(op, _DiagBlock):
+                if op.static_phase is not None:
+                    state *= op.static_phase[:, None]
+                    continue
+                exponent = X[:, op.param_indices] @ op.gens  # (B, 2^n)
+                if op.gen_const is not None:
+                    exponent += op.gen_const
+                for column, site, s in shifts_here:
+                    exponent[column] += s * self._atom_vector(op.atoms[site.atom])
+                state *= np.exp(1j * exponent).T
+            else:
+                state = self._apply_column_batch(op, state, X, shifts_here)
+        return state
+
+    def _apply_column_batch(
+        self,
+        op: _MatrixColumn,
+        state: np.ndarray,
+        X: np.ndarray,
+        shifts_here: Sequence[Tuple[int, _ShiftSite, float]],
+    ) -> np.ndarray:
+        n = self.num_qubits
+        if op.static_matrix is not None and not shifts_here:
+            for target in op.targets:
+                if len(target) == 1:
+                    state = _apply_1q(state, op.static_matrix, target[0])
+                else:
+                    state = _contract(state, op.static_matrix, target, n)
+            return state
+
+        batch = X.shape[0]
+        # Per-column angles, deduplicated: gradient batches carry at most a
+        # handful of distinct angle combinations (x and x +- pi/2).
+        angle_rows = np.stack(
+            [
+                _eval_expr_batch(expr, X)
+                for factor in op.factors
+                for expr in factor.exprs
+            ],
+            axis=1,
+        ) if any(factor.exprs for factor in op.factors) else np.zeros((batch, 0))
+        unique_rows, inverse = np.unique(angle_rows, axis=0, return_inverse=True)
+        dim = 2 ** len(op.targets[0])
+        built = np.empty((dim, dim, unique_rows.shape[0]), dtype=complex)
+        for u_index in range(unique_rows.shape[0]):
+            built[:, :, u_index] = self._chain_matrix(op, unique_rows[u_index])
+        base = built[:, :, inverse]  # (dim, dim, B)
+
+        for t_index, target in enumerate(op.targets):
+            shifted = [
+                (column, site, s)
+                for column, site, s in shifts_here
+                if site.target == t_index
+            ]
+            matrices = base
+            if shifted:
+                matrices = base.copy()
+                for column, site, s in shifted:
+                    matrices[:, :, column] = self._chain_matrix(
+                        op, angle_rows[column], shift_factor=site.factor, shift=s
+                    )
+            state = _contract_per_column(state, matrices, target, n)
+        return state
+
+    def _chain_matrix(
+        self,
+        op: _MatrixColumn,
+        angles: np.ndarray,
+        *,
+        shift_factor: int = -1,
+        shift: float = 0.0,
+    ) -> np.ndarray:
+        matrix = None
+        cursor = 0
+        for f_index, factor in enumerate(op.factors):
+            count = len(factor.exprs)
+            values = list(angles[cursor:cursor + count])
+            cursor += count
+            if f_index == shift_factor:
+                values[0] += shift
+            factor_matrix = factor.matrix_fn(values)
+            matrix = factor_matrix if matrix is None else factor_matrix @ matrix
+        return matrix
+
+    def energies(self, X: np.ndarray) -> np.ndarray:
+        """``<C>`` for every row of a ``(B, num_parameters)`` batch."""
+        states = self.states(X)
+        probs = states.real**2 + states.imag**2
+        return self._cut_table() @ probs
+
+    # -- gradient ----------------------------------------------------------
+
+    def gradient(self, x: Sequence[float]) -> np.ndarray:
+        """Exact parameter-shift gradient of :meth:`energy` at ``x``.
+
+        All ``2 * num_shift_sites`` shifted evaluations run as one batched
+        pass (chunked to bound memory) with the shift injected into the
+        relevant op, instead of rebuilding a shifted circuit per site.
+        """
+        x = self._check_x(x)
+        grad = np.zeros(self.num_parameters)
+        sites = self.shift_sites
+        if not sites:
+            return grad
+        for site in sites:
+            if not site.shiftable:
+                raise NotImplementedError(
+                    f"no shift rule for gate '{site.gate_name}'"
+                )
+        specs: List[Tuple[_ShiftSite, float]] = []
+        for site in sites:
+            specs.append((site, +_SHIFT))
+            specs.append((site, -_SHIFT))
+        energies = np.empty(len(specs))
+        chunk = max(1, (1 << 22) >> self.num_qubits)
+        for start in range(0, len(specs), chunk):
+            part = specs[start:start + chunk]
+            X = np.tile(x, (len(part), 1))
+            energies[start:start + len(part)] = self.energies_shifted(X, part)
+        for k, site in enumerate(sites):
+            site_grad = (energies[2 * k] - energies[2 * k + 1]) / 2.0
+            for j, coeff in site.coeffs:
+                grad[j] += coeff * site_grad
+        return grad
+
+    def energies_shifted(
+        self, X: np.ndarray, shifts: Sequence[Optional[Tuple[_ShiftSite, float]]]
+    ) -> np.ndarray:
+        states = self.states(X, shifts)
+        probs = states.real**2 + states.imag**2
+        return self._cut_table() @ probs
+
+
+# -- the compile pass ------------------------------------------------------
+
+
+def compile_circuit(
+    circuit: QuantumCircuit,
+    parameters: Sequence[Parameter],
+    *,
+    initial_state: str = "0",
+    graph: Optional[Graph] = None,
+) -> CompiledProgram:
+    """Lower ``circuit`` over the flat parameter ordering ``parameters``.
+
+    ``initial_state`` is ``"0"`` or ``"+"``; pass ``graph`` to enable the
+    max-cut ``energy``/``energies``/``gradient`` entry points.
+    """
+    n = circuit.num_qubits
+    index = {param: j for j, param in enumerate(parameters)}
+    if len(index) != len(parameters):
+        raise ValueError("duplicate parameters in the compile-time ordering")
+    instructions = list(circuit.instructions)
+    source_gates = len(instructions)
+
+    # Fold a complete leading Hadamard column into the |+>^n start.
+    initial_label = initial_state
+    if initial_state == "0":
+        seen: set = set()
+        cursor = 0
+        while (
+            cursor < len(instructions)
+            and instructions[cursor].gate.name == "h"
+            and instructions[cursor].qubits[0] not in seen
+        ):
+            seen.add(instructions[cursor].qubits[0])
+            cursor += 1
+        if len(seen) == n:
+            instructions = instructions[cursor:]
+            initial_label = "+"
+
+    ops: List[object] = []
+    sites: List[_ShiftSite] = []
+    diag_run: List = []  # pending diagonal instructions
+    sq_run: List = []  # pending non-diagonal single-qubit instructions
+
+    def flush_diag() -> None:
+        if not diag_run:
+            return
+        gen_const: Optional[np.ndarray] = None
+        gen_by_param: Dict[int, np.ndarray] = {}
+        atoms: List[_DiagAtom] = []
+        op_index = len(ops)
+
+        def add_const(vector: np.ndarray) -> None:
+            nonlocal gen_const
+            if gen_const is None:
+                gen_const = np.zeros(2**n)
+            gen_const += vector
+
+        for instr in diag_run:
+            spec = instr.gate.spec
+            h_small, g0_small = spec.diag_phase
+            if any(g0_small):
+                add_const(_expand_diag(g0_small, instr.qubits, n))
+            if spec.num_params == 0:
+                continue
+            terms, offset = _lower_expr(instr.gate.params[0], index)
+            if offset:
+                add_const(offset * _expand_diag(h_small, instr.qubits, n))
+            if terms:
+                h_full = _expand_diag(h_small, instr.qubits, n)
+                for j, coeff in terms:
+                    if j not in gen_by_param:
+                        gen_by_param[j] = np.zeros(2**n)
+                    gen_by_param[j] += coeff * h_full
+                sites.append(
+                    _ShiftSite(
+                        op_index=op_index,
+                        atom=len(atoms),
+                        factor=-1,
+                        target=-1,
+                        coeffs=terms,
+                        gate_name=spec.name,
+                        shiftable=spec.name in SHIFT_RULE_GATES,
+                    )
+                )
+                atoms.append(_DiagAtom(tuple(h_small), instr.qubits))
+        diag_run.clear()
+
+        if not gen_by_param:
+            if gen_const is None:
+                return  # a run of identity gates
+            ops.append(
+                _DiagBlock(
+                    gen_const=None,
+                    param_indices=np.empty(0, dtype=np.int64),
+                    gens=np.empty((0, 2**n)),
+                    atoms=[],
+                    static_phase=np.exp(1j * gen_const),
+                )
+            )
+            return
+        indices = sorted(gen_by_param)
+        ops.append(
+            _DiagBlock(
+                gen_const=gen_const,
+                param_indices=np.asarray(indices, dtype=np.int64),
+                gens=np.stack([gen_by_param[j] for j in indices]),
+                atoms=atoms,
+                static_phase=None,
+            )
+        )
+
+    def make_factor(gate) -> _Factor:
+        exprs = tuple(_lower_expr(value, index) for value in gate.params)
+        return _Factor(
+            name=gate.spec.name,
+            matrix_fn=gate.spec.matrix_fn,
+            exprs=exprs,
+            has_free=any(terms for terms, _ in exprs),
+        )
+
+    def emit_column(
+        targets: Tuple[Tuple[int, ...], ...], factors: Tuple[_Factor, ...]
+    ) -> None:
+        op_index = len(ops)
+        static_matrix = None
+        if not any(factor.has_free for factor in factors):
+            matrix = None
+            for factor in factors:
+                values = [offset for _, offset in factor.exprs]
+                factor_matrix = factor.matrix_fn(values)
+                matrix = factor_matrix if matrix is None else factor_matrix @ matrix
+            static_matrix = matrix
+        ops.append(
+            _MatrixColumn(targets=targets, factors=factors, static_matrix=static_matrix)
+        )
+        for t_index in range(len(targets)):
+            for f_index, factor in enumerate(factors):
+                if not factor.has_free:
+                    continue
+                sites.append(
+                    _ShiftSite(
+                        op_index=op_index,
+                        atom=-1,
+                        factor=f_index,
+                        target=t_index,
+                        coeffs=factor.exprs[0][0],
+                        gate_name=factor.name,
+                        shiftable=(
+                            factor.name in SHIFT_RULE_GATES
+                            and len(factor.exprs) == 1
+                        ),
+                    )
+                )
+
+    def flush_sq() -> None:
+        if not sq_run:
+            return
+        # Group the run per qubit (distinct qubits commute, per-qubit order
+        # is preserved), then share one op across qubits whose factor
+        # chains are structurally identical — the weight-shared mixer case.
+        per_qubit: Dict[int, List[_Factor]] = {}
+        qubit_order: List[int] = []
+        for instr in sq_run:
+            qubit = instr.qubits[0]
+            if qubit not in per_qubit:
+                per_qubit[qubit] = []
+                qubit_order.append(qubit)
+            per_qubit[qubit].append(make_factor(instr.gate))
+        sq_run.clear()
+        groups: Dict[Tuple, List[int]] = {}
+        group_order: List[Tuple] = []
+        for qubit in qubit_order:
+            signature = tuple(
+                (factor.name, factor.exprs) for factor in per_qubit[qubit]
+            )
+            if signature not in groups:
+                groups[signature] = []
+                group_order.append(signature)
+            groups[signature].append(qubit)
+        for signature in group_order:
+            qubits = groups[signature]
+            emit_column(
+                tuple((q,) for q in qubits), tuple(per_qubit[qubits[0]])
+            )
+
+    for instr in instructions:
+        spec = instr.gate.spec
+        if spec.is_diagonal:
+            flush_sq()
+            diag_run.append(instr)
+        elif spec.num_qubits == 1:
+            flush_diag()
+            sq_run.append(instr)
+        else:
+            flush_diag()
+            flush_sq()
+            emit_column((instr.qubits,), (make_factor(instr.gate),))
+    flush_diag()
+    flush_sq()
+
+    return CompiledProgram(
+        num_qubits=n,
+        num_parameters=len(parameters),
+        ops=ops,
+        shift_sites=sites,
+        initial_state_label=initial_label,
+        graph=graph,
+        source_gates=source_gates,
+    )
+
+
+def compile_ansatz(ansatz: "QAOAAnsatz") -> CompiledProgram:
+    """One-time lowering of a QAOA ansatz into its compiled program.
+
+    The parameter ordering is the ansatz's flat ``[gammas..., betas...]``
+    layout — the same vectors the optimizers drive — and the ansatz's
+    graph is attached so the max-cut energy entry points are live.
+    """
+    return compile_circuit(
+        ansatz.circuit,
+        ansatz.parameters,
+        initial_state=ansatz.initial_state_label,
+        graph=ansatz.graph,
+    )

@@ -43,19 +43,46 @@ def bit_table(num_qubits: int) -> np.ndarray:
     return ((indices[:, None] >> np.arange(num_qubits)) & 1).astype(np.int8)
 
 
-def cut_values(graph: Graph) -> np.ndarray:
-    """Cut weight of every bitstring: ``C(z)`` from Eq. (1) for all z.
+#: largest node count whose cut table is worth pinning in memory
+#: (2^16 floats = 512 KiB per entry; beyond that, recompute on demand)
+_CUT_MEMO_MAX_NODES = 16
 
-    ``C(z) = sum_{(u,v) in E} w_uv * (1 - z_u z_v) / 2`` with
-    ``z_i = 1 - 2 b_i``; the ``(1 - z_u z_v)/2`` factor is exactly
-    ``b_u XOR b_v``, so the whole table is one XOR + one matvec.
-    """
+
+def _compute_cut_values(graph: Graph) -> np.ndarray:
     bits = bit_table(graph.num_nodes)
     edges = graph.edge_array()
     if edges.shape[0] == 0:
         return np.zeros(2**graph.num_nodes)
     crossing = bits[:, edges[:, 0]] ^ bits[:, edges[:, 1]]  # (2^n, m)
     return crossing @ graph.weight_array()
+
+
+@lru_cache(maxsize=256)
+def _cut_values_table(graph: Graph) -> np.ndarray:
+    """The memoized cut table of one graph (read-only; see cut_values)."""
+    values = _compute_cut_values(graph)
+    values.setflags(write=False)
+    return values
+
+
+def cut_values(graph: Graph) -> np.ndarray:
+    """Cut weight of every bitstring: ``C(z)`` from Eq. (1) for all z.
+
+    ``C(z) = sum_{(u,v) in E} w_uv * (1 - z_u z_v) / 2`` with
+    ``z_i = 1 - 2 b_i``; the ``(1 - z_u z_v)/2`` factor is exactly
+    ``b_u XOR b_v``, so the whole table is one XOR + one matvec.
+
+    Memoized per graph up to 16 nodes: :class:`~repro.graphs.generators.
+    Graph` hashes by edge/weight content, so the ``(2^n, m)`` XOR + matvec
+    runs once per distinct graph instead of on every one of the ~200 x
+    graphs x candidates energy calls of a search. The memoized array is
+    shared and marked read-only — copy before mutating. Larger graphs
+    (brute-force callers go to 24 nodes, 134 MB per table) are computed
+    on demand so the cache cannot pin gigabytes.
+    """
+    if graph.num_nodes > _CUT_MEMO_MAX_NODES:
+        return _compute_cut_values(graph)
+    return _cut_values_table(graph)
 
 
 def maxcut_expectation(state: np.ndarray, graph: Graph) -> float:

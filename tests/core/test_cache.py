@@ -54,9 +54,17 @@ class TestFingerprints:
             EvaluationConfig(max_steps=10, restarts=2),
             EvaluationConfig(max_steps=10, metric="best_sampled"),
             EvaluationConfig(max_steps=10, init_strategy="ramp"),
+            EvaluationConfig(max_steps=10, engine="statevector"),
         ]
         for config in changed:
             assert config_fingerprint(config) != config_fingerprint(base)
+
+    def test_engine_is_part_of_the_runtime_payload_fingerprint(self):
+        """Runtime job payloads are keyed by the config fingerprint, so a
+        result trained on one engine can never be replayed as another's."""
+        compiled = config_fingerprint(EvaluationConfig(engine="compiled"))
+        dense = config_fingerprint(EvaluationConfig(engine="statevector"))
+        assert compiled != dense
 
     def test_candidate_key_invalidation(self, graphs):
         wfp = workload_fingerprint(graphs)

@@ -114,6 +114,21 @@ class TestOptimizerChoices:
         with pytest.raises(ValueError, match="unknown optimizer"):
             Evaluator(graphs, config).evaluate(("rx",), 1)
 
+    def test_compiled_engine_matches_statevector_training(self):
+        """The default compiled engine and the dense oracle agree to 1e-10
+        per energy call, so identically seeded trainings stay close (COBYLA
+        can amplify last-bit differences across accept/reject steps)."""
+        g = cycle_graph(5)
+        fast = Evaluator([g], EvaluationConfig(max_steps=15, seed=6)).evaluate(("rx",), 1)
+        dense = Evaluator(
+            [g], EvaluationConfig(max_steps=15, seed=6, engine="statevector")
+        ).evaluate(("rx",), 1)
+        assert fast.energy == pytest.approx(dense.energy, abs=0.05)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            EvaluationConfig(engine="abacus")
+
     def test_qtensor_engine_close_to_statevector(self):
         """The engines agree to ~1e-15 per evaluation; trained results only
         to ~1e-2 because COBYLA's accept/reject path amplifies last-bit

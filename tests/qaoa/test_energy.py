@@ -43,6 +43,22 @@ class TestValue:
         x = [0.3, -0.2, 0.5, 0.1]
         assert tn.value(x) == pytest.approx(sv.value(x), abs=1e-9)
 
+    def test_default_engine_is_compiled_and_agrees(self, er6):
+        ansatz = build_qaoa_ansatz(er6, 2, ("rx", "ry"))
+        default = AnsatzEnergy(ansatz)
+        sv = AnsatzEnergy(ansatz, engine="statevector")
+        assert default.engine == "compiled"
+        x = [0.3, -0.2, 0.5, 0.1]
+        assert default.value(x) == pytest.approx(sv.value(x), abs=1e-10)
+
+    def test_values_batch_matches_loop(self, er6):
+        ansatz = build_qaoa_ansatz(er6, 1)
+        energy = AnsatzEnergy(ansatz)
+        X = np.array([[0.1, 0.2], [0.5, -0.3], [0.0, 0.0]])
+        batched = energy.values(X)
+        np.testing.assert_allclose(batched, [energy.value(row) for row in X])
+        assert energy.num_evaluations == 6  # 3 batched + 3 single
+
     def test_plus_start_engine_agreement(self, er6):
         ansatz = build_qaoa_ansatz(er6, 1, initial_hadamard=False)
         sv = AnsatzEnergy(ansatz, engine="statevector")
