@@ -16,11 +16,7 @@ from repro.experiments.records import ExperimentRecord
 from repro.graphs.generators import random_regular_graph
 from repro.parallel.executor import ThreadExecutor
 from repro.qaoa.ansatz import build_qaoa_ansatz
-from repro.qtensor.contraction import (
-    choose_slice_vars,
-    contract_network,
-    contract_sliced,
-)
+from repro.qtensor.contraction import choose_slice_vars, contract_network, contract_sliced
 from repro.qtensor.network import TensorNetwork
 
 SLICE_COUNTS = (0, 1, 2, 3)

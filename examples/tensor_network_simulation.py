@@ -22,9 +22,9 @@ from repro.qtensor import (
     choose_slice_vars,
     contract_network,
     contract_sliced,
+    interaction_graph,
     lightcone_circuit,
     min_fill_order,
-    interaction_graph,
     random_order,
 )
 

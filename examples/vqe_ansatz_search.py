@@ -10,11 +10,7 @@ train.
 """
 
 from repro.core.alphabet import GateAlphabet, enumerate_search_space
-from repro.core.constraints import (
-    ConstraintSet,
-    NoAdjacentRepeats,
-    RequiresParameterizedGate,
-)
+from repro.core.constraints import ConstraintSet, NoAdjacentRepeats, RequiresParameterizedGate
 from repro.experiments.figures import render_table
 from repro.qaoa.observables import tfim_hamiltonian
 from repro.qaoa.vqe import search_vqe_ansatz

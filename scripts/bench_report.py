@@ -1,24 +1,35 @@
 #!/usr/bin/env python
-"""Emit the machine-readable evaluator throughput report.
+"""Emit the machine-readable evaluator throughput report, gated on trend.
 
 Measures per-engine energy-evaluation throughput (evals/sec) on the paper
 workload — a 10-qubit ER graph at p=4 with the winning ``('rx', 'ry')``
-mixer — and writes ``benchmarks/results/BENCH_evaluator.json`` so the
-perf trajectory is tracked as a committed artifact, run by run, instead
-of living in bench stdout.
+mixer — plus the batched-optimizer path (one vectorized ``energies`` call
+over a restart population's probes), and writes
+``benchmarks/results/BENCH_evaluator.json`` so the perf trajectory is
+tracked as a committed artifact, run by run, instead of living in bench
+stdout.
 
 Run from the repo root (CI's bench-smoke job does)::
 
     python scripts/bench_report.py
 
-Exits non-zero if the compiled engine is not at least as fast as the
-dense statevector engine — the floor that keeps the default fast path
-from silently regressing below the oracle it replaced.
+Exits non-zero if
+
+* the compiled engine is not at least as fast as the dense statevector
+  engine (the floor that keeps the default fast path from silently
+  regressing below the oracle it replaced), or
+* compiled per-eval throughput (normalized by the same run's statevector
+  oracle, so machine speed cancels) regressed more than
+  ``MAX_REGRESSION_FRACTION`` against the *committed* report — the
+  perf-trend gate. Set ``QARCH_BENCH_TREND=off`` to skip the trend
+  comparison; the committed artifact is only rewritten when the gate
+  passes.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
@@ -30,6 +41,7 @@ sys.path.insert(0, REPO_SRC)
 import numpy as np  # noqa: E402
 
 from repro.experiments.scale import paper_probe_workload, seconds_per_eval  # noqa: E402
+from repro.optimizers import SPSA  # noqa: E402
 from repro.qaoa.energy import ENGINES, AnsatzEnergy  # noqa: E402
 
 OUTPUT = Path("benchmarks/results/BENCH_evaluator.json")
@@ -38,6 +50,12 @@ TIMED_EVALS = 150
 #: qtensor is contraction-per-edge and orders of magnitude slower here;
 #: keep its sample small so the report stays CI-cheap
 TIMED_EVALS_SLOW = 5
+#: batched-path sample: restarts in the probe population / SPSA steps
+BATCH_RESTARTS = 8
+BATCH_ITERS = 40
+#: trend gate: fail when fresh compiled per-eval throughput drops more
+#: than this fraction below the committed baseline
+MAX_REGRESSION_FRACTION = 0.30
 
 
 def measure(engine: str, ansatz, x: np.ndarray) -> dict:
@@ -53,6 +71,77 @@ def measure(engine: str, ansatz, x: np.ndarray) -> dict:
     }
 
 
+def measure_batched_optimizer(ansatz) -> dict:
+    """Points/sec of batched vs serial multi-restart SPSA (the optimizer
+    stack's fast path vs the loop-per-point path it replaced), through the
+    gate bench's shared timing harness at a smaller CI-cheap budget."""
+    sys.path.insert(0, "benchmarks")
+    from bench_batched_optimizers import time_multi_restart
+
+    negated = AnsatzEnergy(ansatz, engine="compiled").negative_objective()
+    X0 = np.random.default_rng(11).uniform(
+        -0.5, 0.5, (BATCH_RESTARTS, ansatz.num_parameters)
+    )
+    negated.values(X0)  # warm lazy lookups off-clock
+    rows = {}
+    for mode in ("serial", "batched"):
+        timed = time_multi_restart(
+            SPSA(maxiter=BATCH_ITERS, seed=0), negated, X0,
+            batch_mode=mode, repeats=1,
+        )
+        rows[mode] = {
+            "seconds": timed["seconds"],
+            "trained_points": timed["nfev"],
+            "points_per_sec": timed["points_per_sec"],
+        }
+    rows["batched_vs_serial_speedup"] = (
+        rows["serial"]["seconds"] / rows["batched"]["seconds"]
+    )
+    rows["restarts"] = BATCH_RESTARTS
+    rows["spsa_iters"] = BATCH_ITERS
+    return rows
+
+
+def check_trend(engines: dict) -> str:
+    """Compare against the committed baseline; raise on deep regression.
+
+    The gated quantity is compiled throughput *normalized by the same
+    run's statevector throughput* — a pure code-speed ratio. Comparing
+    raw evals/sec across the committing machine and a CI runner would
+    gate hardware, not code: any runner 30% slower than the dev box would
+    fail with zero code change. The oracle engine is untouched by fast-
+    path work, so the ratio cancels machine speed while still catching
+    real compiled-path regressions against the committed report.
+    """
+    if os.environ.get("QARCH_BENCH_TREND", "enforce") == "off":
+        return "trend gate skipped (QARCH_BENCH_TREND=off)"
+    if not OUTPUT.exists():
+        return "no committed baseline; trend gate skipped"
+    baseline = json.loads(OUTPUT.read_text())
+    base_engines = baseline.get("engines", {})
+    try:
+        base_ratio = (
+            base_engines["compiled"]["evals_per_sec"]
+            / base_engines["statevector"]["evals_per_sec"]
+        )
+    except (KeyError, ZeroDivisionError):
+        return "committed baseline lacks engine throughputs; trend skipped"
+    fresh_ratio = (
+        engines["compiled"]["evals_per_sec"]
+        / engines["statevector"]["evals_per_sec"]
+    )
+    change = (fresh_ratio - base_ratio) / base_ratio
+    message = (
+        f"compiled/statevector throughput ratio {fresh_ratio:.1f} vs "
+        f"committed {base_ratio:.1f} ({change:+.1%})"
+    )
+    assert change >= -MAX_REGRESSION_FRACTION, (
+        f"{message} — regression exceeds the "
+        f"{MAX_REGRESSION_FRACTION:.0%} trend gate"
+    )
+    return message
+
+
 def main() -> int:
     graph, ansatz, x = paper_probe_workload()
 
@@ -63,6 +152,13 @@ def main() -> int:
     )
     for engine, row in engines.items():
         print(f"{engine:>12}: {row['evals_per_sec']:10.1f} evals/s")
+
+    batched = measure_batched_optimizer(ansatz)
+    print(
+        f"batched multi-restart SPSA: "
+        f"{batched['batched']['points_per_sec']:10.1f} points/s "
+        f"({batched['batched_vs_serial_speedup']:.1f}x over serial)"
+    )
 
     # Gate before writing: a failing run must not overwrite the committed
     # trajectory artifact with a broken engine's numbers.
@@ -75,6 +171,7 @@ def main() -> int:
         f"compiled engine slower than statevector ({speedup:.2f}x) — "
         "the default fast path has regressed"
     )
+    print(check_trend(engines))
 
     report = {
         "benchmark": "evaluator_throughput",
@@ -86,6 +183,7 @@ def main() -> int:
         },
         "engines": engines,
         "compiled_vs_statevector_speedup": speedup,
+        "batched_optimizer": batched,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "generated_unix": time.time(),

@@ -1,12 +1,15 @@
 #!/usr/bin/env python
-"""Offline approximation of the CI ruff job (F401/F811/E711/E712/E722/E9).
+"""Offline approximation of the CI ruff job (F/E7/E9 + I + UP subsets).
 
 CI runs real ruff (see .github/workflows/ci.yml). This script exists so
 `scripts/run_ci_locally.sh` can gate the same rule families on machines
 without network access to install ruff: unused imports, duplicate
 definitions from imports, comparisons to None/True/False with ==, bare
-excepts, and syntax errors. It intentionally implements a *subset* — a
-clean ruff run implies a clean run here, not vice versa.
+excepts, syntax errors, plus — since ruff.toml adopted ``I`` and ``UP`` —
+unsorted import sections (module order, section grouping, member order)
+and the unambiguous pyupgrade cases (PEP 585 builtin generics and
+collections.abc names imported from typing). It intentionally implements
+a *subset* — a clean ruff run implies a clean run here, not vice versa.
 """
 
 from __future__ import annotations
@@ -16,6 +19,101 @@ import sys
 from pathlib import Path
 
 ROOTS = ("src", "tests", "benchmarks", "examples", "scripts")
+
+#: typing names PEP 585 replaced with builtins (UP006/UP035)
+TYPING_BUILTINS = {"List", "Dict", "Tuple", "Set", "FrozenSet", "Type"}
+#: typing names that moved to collections.abc (UP035)
+TYPING_ABC = {
+    "Sequence", "Iterable", "Iterator", "Mapping", "MutableMapping",
+    "Callable", "Generator", "Hashable", "Collection",
+}
+STDLIB_MODULES = set(sys.stdlib_module_names)
+THIRD_PARTY_MODULES = {"numpy", "scipy", "pytest", "hypothesis", "matplotlib"}
+
+
+def _import_section(module: str) -> int:
+    root = module.split(".")[0]
+    if root == "__future__":
+        return 0
+    if root == "repro":
+        return 3
+    if root in THIRD_PARTY_MODULES:
+        return 2
+    if root in STDLIB_MODULES:
+        return 1
+    return 2
+
+
+def _member_key(name: str):
+    base = name.split(" as ")[0]
+    rank = 0 if base.isupper() else (1 if base[0].isupper() else 2)
+    return (rank, base.lower(), base)
+
+
+def check_imports(tree: ast.Module, report) -> None:
+    """I001 subset: section order, module order, and member order inside
+    each contiguous top-level import block."""
+    block: list[ast.stmt] = []
+
+    def flush() -> None:
+        if len(block) > 1:
+            keys = []
+            for node in block:
+                if isinstance(node, ast.ImportFrom):
+                    module = node.module or ""
+                    is_from = 1
+                else:
+                    module = node.names[0].name
+                    is_from = 0
+                # ruff/isort default (force-sort-within-sections=false):
+                # straight imports precede from-imports within a section
+                keys.append(
+                    (_import_section(module), is_from, module.lower(), module)
+                )
+            for before, after, node in zip(keys, keys[1:], block[1:]):
+                if after < before:
+                    report(
+                        node.lineno,
+                        "I001 import out of order (section or module sort)",
+                    )
+                    break
+        for node in block:
+            if isinstance(node, ast.ImportFrom) and node.module != "__future__":
+                names = [alias.asname or alias.name for alias in node.names]
+                if names != sorted(names, key=_member_key):
+                    report(
+                        node.lineno,
+                        f"I001 unsorted import members from {node.module!r}",
+                    )
+        block.clear()
+
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            block.append(node)
+        else:
+            flush()
+    flush()
+
+
+def check_pyupgrade(tree: ast.Module, report) -> None:
+    """UP006/UP035 subset: deprecated typing imports with unambiguous
+    replacements (builtin generics, collections.abc members)."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ImportFrom) or node.module != "typing":
+            continue
+        for alias in node.names:
+            if alias.name in TYPING_BUILTINS:
+                report(
+                    node.lineno,
+                    f"UP006 use builtin '{alias.name.lower()}' instead of "
+                    f"typing.{alias.name}",
+                )
+            elif alias.name in TYPING_ABC:
+                report(
+                    node.lineno,
+                    f"UP035 import {alias.name} from collections.abc, "
+                    "not typing",
+                )
 
 
 class ImportUsage(ast.NodeVisitor):
@@ -70,6 +168,8 @@ def check_file(path: Path) -> list[str]:
 
     usage = ImportUsage()
     usage.visit(tree)
+    check_imports(tree, report)
+    check_pyupgrade(tree, report)
     # Names used inside string annotations / docstring doctests are not
     # tracked; treat any textual occurrence outside the import block as use.
     text_body = "\n".join(
@@ -136,7 +236,7 @@ def check_file(path: Path) -> list[str]:
 def _unused_locals(func: ast.AST) -> list:
     """Approximate F841: simple ``name = ...`` bindings never loaded.
 
-    Tuple unpacking, augmented assignment, and underscore names are left
+    tuple unpacking, augmented assignment, and underscore names are left
     alone, matching pyflakes' default behaviour.
     """
     assigned: dict[str, int] = {}

@@ -27,5 +27,8 @@ python -m pytest -x -q
 
 echo "=== job: bench-smoke ==="
 python scripts/ci_smoke.py
+python scripts/bench_report.py
+python benchmarks/bench_compiled_engine.py
+python benchmarks/bench_batched_optimizers.py
 
 echo "=== all CI jobs green ==="

@@ -14,8 +14,8 @@ least-significant bit.
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Mapping, Sequence
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Mapping, Sequence, Set, Tuple
 
 from repro.circuits.gates import Gate, make_gate
 from repro.circuits.parameters import Parameter, ParameterValue
@@ -29,7 +29,7 @@ class Instruction:
     """One gate application: which gate, on which qubits (in gate order)."""
 
     gate: Gate
-    qubits: Tuple[int, ...]
+    qubits: tuple[int, ...]
 
     def __post_init__(self) -> None:
         if len(self.qubits) != self.gate.num_qubits:
@@ -55,81 +55,81 @@ class QuantumCircuit:
 
     def __init__(self, num_qubits: int, *, name: str = "circuit") -> None:
         self._num_qubits = check_positive(num_qubits, "num_qubits")
-        self._instructions: List[Instruction] = []
+        self._instructions: list[Instruction] = []
         self.name = name
 
     # -- core mutation ------------------------------------------------------
 
-    def append(self, gate: Gate, qubits: Sequence[int]) -> "QuantumCircuit":
+    def append(self, gate: Gate, qubits: Sequence[int]) -> QuantumCircuit:
         """Append ``gate`` acting on ``qubits`` (validated)."""
         qubits = tuple(check_qubit_index(q, self._num_qubits) for q in qubits)
         self._instructions.append(Instruction(gate, qubits))
         return self
 
-    def append_named(self, name: str, qubits: Sequence[int], *params: ParameterValue) -> "QuantumCircuit":
+    def append_named(self, name: str, qubits: Sequence[int], *params: ParameterValue) -> QuantumCircuit:
         """Append a registry gate by name — used by the QBuilder."""
         return self.append(make_gate(name, *params), qubits)
 
     # -- gate sugar ----------------------------------------------------------
 
-    def id(self, q: int) -> "QuantumCircuit":
+    def id(self, q: int) -> QuantumCircuit:
         return self.append_named("id", [q])
 
-    def x(self, q: int) -> "QuantumCircuit":
+    def x(self, q: int) -> QuantumCircuit:
         return self.append_named("x", [q])
 
-    def y(self, q: int) -> "QuantumCircuit":
+    def y(self, q: int) -> QuantumCircuit:
         return self.append_named("y", [q])
 
-    def z(self, q: int) -> "QuantumCircuit":
+    def z(self, q: int) -> QuantumCircuit:
         return self.append_named("z", [q])
 
-    def h(self, q: int) -> "QuantumCircuit":
+    def h(self, q: int) -> QuantumCircuit:
         return self.append_named("h", [q])
 
-    def s(self, q: int) -> "QuantumCircuit":
+    def s(self, q: int) -> QuantumCircuit:
         return self.append_named("s", [q])
 
-    def sdg(self, q: int) -> "QuantumCircuit":
+    def sdg(self, q: int) -> QuantumCircuit:
         return self.append_named("sdg", [q])
 
-    def t(self, q: int) -> "QuantumCircuit":
+    def t(self, q: int) -> QuantumCircuit:
         return self.append_named("t", [q])
 
-    def tdg(self, q: int) -> "QuantumCircuit":
+    def tdg(self, q: int) -> QuantumCircuit:
         return self.append_named("tdg", [q])
 
-    def rx(self, theta: ParameterValue, q: int) -> "QuantumCircuit":
+    def rx(self, theta: ParameterValue, q: int) -> QuantumCircuit:
         return self.append_named("rx", [q], theta)
 
-    def ry(self, theta: ParameterValue, q: int) -> "QuantumCircuit":
+    def ry(self, theta: ParameterValue, q: int) -> QuantumCircuit:
         return self.append_named("ry", [q], theta)
 
-    def rz(self, theta: ParameterValue, q: int) -> "QuantumCircuit":
+    def rz(self, theta: ParameterValue, q: int) -> QuantumCircuit:
         return self.append_named("rz", [q], theta)
 
-    def p(self, lam: ParameterValue, q: int) -> "QuantumCircuit":
+    def p(self, lam: ParameterValue, q: int) -> QuantumCircuit:
         return self.append_named("p", [q], lam)
 
-    def u3(self, theta: ParameterValue, phi: ParameterValue, lam: ParameterValue, q: int) -> "QuantumCircuit":
+    def u3(self, theta: ParameterValue, phi: ParameterValue, lam: ParameterValue, q: int) -> QuantumCircuit:
         return self.append_named("u3", [q], theta, phi, lam)
 
-    def cx(self, control: int, target: int) -> "QuantumCircuit":
+    def cx(self, control: int, target: int) -> QuantumCircuit:
         return self.append_named("cx", [control, target])
 
-    def cz(self, q0: int, q1: int) -> "QuantumCircuit":
+    def cz(self, q0: int, q1: int) -> QuantumCircuit:
         return self.append_named("cz", [q0, q1])
 
-    def cp(self, lam: ParameterValue, q0: int, q1: int) -> "QuantumCircuit":
+    def cp(self, lam: ParameterValue, q0: int, q1: int) -> QuantumCircuit:
         return self.append_named("cp", [q0, q1], lam)
 
-    def rzz(self, theta: ParameterValue, q0: int, q1: int) -> "QuantumCircuit":
+    def rzz(self, theta: ParameterValue, q0: int, q1: int) -> QuantumCircuit:
         return self.append_named("rzz", [q0, q1], theta)
 
-    def rxx(self, theta: ParameterValue, q0: int, q1: int) -> "QuantumCircuit":
+    def rxx(self, theta: ParameterValue, q0: int, q1: int) -> QuantumCircuit:
         return self.append_named("rxx", [q0, q1], theta)
 
-    def swap(self, q0: int, q1: int) -> "QuantumCircuit":
+    def swap(self, q0: int, q1: int) -> QuantumCircuit:
         return self.append_named("swap", [q0, q1])
 
     # -- structure ------------------------------------------------------------
@@ -139,7 +139,7 @@ class QuantumCircuit:
         return self._num_qubits
 
     @property
-    def instructions(self) -> Tuple[Instruction, ...]:
+    def instructions(self) -> tuple[Instruction, ...]:
         return tuple(self._instructions)
 
     def size(self) -> int:
@@ -155,16 +155,16 @@ class QuantumCircuit:
                 level[q] = layer
         return max(level, default=0)
 
-    def count_ops(self) -> Dict[str, int]:
+    def count_ops(self) -> dict[str, int]:
         """Gate-name histogram, sorted by count descending then name."""
-        counts: Dict[str, int] = {}
+        counts: dict[str, int] = {}
         for instr in self._instructions:
             counts[instr.gate.name] = counts.get(instr.gate.name, 0) + 1
         return dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
 
-    def two_qubit_interactions(self) -> Set[Tuple[int, int]]:
+    def two_qubit_interactions(self) -> set[tuple[int, int]]:
         """The set of qubit pairs coupled by any multi-qubit gate."""
-        pairs: Set[Tuple[int, int]] = set()
+        pairs: set[tuple[int, int]] = set()
         for instr in self._instructions:
             qs = instr.qubits
             if len(qs) == 2:
@@ -179,20 +179,20 @@ class QuantumCircuit:
             out |= instr.gate.parameters
         return frozenset(out)
 
-    def sorted_parameters(self) -> List[Parameter]:
+    def sorted_parameters(self) -> list[Parameter]:
         """Free parameters sorted by name (stable optimizer ordering)."""
         return sorted(self.parameters, key=lambda p: (p.name, id(p)))
 
     # -- transformation ---------------------------------------------------------
 
-    def bind_parameters(self, bindings: Mapping[Parameter, float]) -> "QuantumCircuit":
+    def bind_parameters(self, bindings: Mapping[Parameter, float]) -> QuantumCircuit:
         """A new circuit with parameters substituted (partial binding allowed)."""
         out = QuantumCircuit(self._num_qubits, name=self.name)
         for instr in self._instructions:
             out.append(instr.gate.bind(bindings), instr.qubits)
         return out
 
-    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+    def compose(self, other: QuantumCircuit) -> QuantumCircuit:
         """A new circuit running ``self`` then ``other`` (same width)."""
         if other.num_qubits != self._num_qubits:
             raise ValueError(
@@ -204,14 +204,14 @@ class QuantumCircuit:
             out.append(instr.gate, instr.qubits)
         return out
 
-    def inverse(self) -> "QuantumCircuit":
+    def inverse(self) -> QuantumCircuit:
         """The adjoint circuit: reversed order, inverted gates."""
         out = QuantumCircuit(self._num_qubits, name=f"{self.name}_dg")
         for instr in reversed(self._instructions):
             out.append(instr.gate.inverse(), instr.qubits)
         return out
 
-    def repeat(self, reps: int) -> "QuantumCircuit":
+    def repeat(self, reps: int) -> QuantumCircuit:
         """``self`` composed with itself ``reps`` times."""
         check_positive(reps, "reps", strict=False)
         out = QuantumCircuit(self._num_qubits, name=f"{self.name}^{reps}")
@@ -220,7 +220,7 @@ class QuantumCircuit:
                 out.append(instr.gate, instr.qubits)
         return out
 
-    def copy(self) -> "QuantumCircuit":
+    def copy(self) -> QuantumCircuit:
         out = QuantumCircuit(self._num_qubits, name=self.name)
         out._instructions = list(self._instructions)
         return out

@@ -8,8 +8,8 @@ scheduling simulator uses layers to reason about intra-circuit parallelism.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.circuits.circuit import Instruction, QuantumCircuit
 
@@ -23,12 +23,12 @@ class DagNode:
     index: int
     instruction: Instruction
     #: per-qubit predecessor node indices (None at wire input)
-    preds: Dict[int, Optional[int]] = field(default_factory=dict)
+    preds: dict[int, int | None] = field(default_factory=dict)
     #: per-qubit successor node indices (None at wire output)
-    succs: Dict[int, Optional[int]] = field(default_factory=dict)
+    succs: dict[int, int | None] = field(default_factory=dict)
 
     @property
-    def qubits(self) -> Tuple[int, ...]:
+    def qubits(self) -> tuple[int, ...]:
         return self.instruction.qubits
 
     @property
@@ -41,9 +41,9 @@ class CircuitDag:
 
     def __init__(self, circuit: QuantumCircuit) -> None:
         self.num_qubits = circuit.num_qubits
-        self.nodes: List[DagNode] = []
+        self.nodes: list[DagNode] = []
         #: last node index seen on each wire while building
-        last_on_wire: Dict[int, int] = {}
+        last_on_wire: dict[int, int] = {}
         for idx, instr in enumerate(circuit.instructions):
             node = DagNode(idx, instr)
             for q in instr.qubits:
@@ -58,21 +58,21 @@ class CircuitDag:
 
     # -- queries -------------------------------------------------------------
 
-    def predecessor(self, node_index: int, qubit: int) -> Optional[DagNode]:
+    def predecessor(self, node_index: int, qubit: int) -> DagNode | None:
         """The previous gate on ``qubit`` before ``node_index``, if any."""
         prev = self.nodes[node_index].preds.get(qubit)
         return None if prev is None else self.nodes[prev]
 
-    def successor(self, node_index: int, qubit: int) -> Optional[DagNode]:
+    def successor(self, node_index: int, qubit: int) -> DagNode | None:
         """The next gate on ``qubit`` after ``node_index``, if any."""
         nxt = self.nodes[node_index].succs.get(qubit)
         return None if nxt is None else self.nodes[nxt]
 
-    def layers(self) -> List[List[DagNode]]:
+    def layers(self) -> list[list[DagNode]]:
         """Greedy ASAP layering: gates whose predecessors all sit in earlier
         layers. Layer count equals circuit depth."""
-        depth_of: Dict[int, int] = {}
-        layers: List[List[DagNode]] = []
+        depth_of: dict[int, int] = {}
+        layers: list[list[DagNode]] = []
         for node in self.nodes:
             level = 0
             for q in node.qubits:
@@ -85,7 +85,7 @@ class CircuitDag:
             layers[level].append(node)
         return layers
 
-    def topological_order(self) -> List[DagNode]:
+    def topological_order(self) -> list[DagNode]:
         """Nodes in dependency order (construction order is already one)."""
         return list(self.nodes)
 

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import cmath
 import math
-from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -26,7 +25,7 @@ from repro.circuits.gates import make_gate
 __all__ = ["zyz_decompose", "fuse_single_qubit_runs"]
 
 
-def zyz_decompose(matrix: np.ndarray) -> Tuple[float, float, float, float]:
+def zyz_decompose(matrix: np.ndarray) -> tuple[float, float, float, float]:
     """Euler angles ``(theta, phi, lam, phase)`` of a 2x2 unitary.
 
     Satisfies ``matrix = exp(i*phase) * u3(theta, phi, lam)`` exactly (to
@@ -82,7 +81,7 @@ def fuse_single_qubit_runs(
     states and expectations, which is how circuits are consumed here.
     """
     out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
-    pending: List[Optional[List[Instruction]]] = [None] * circuit.num_qubits
+    pending: list[list[Instruction] | None] = [None] * circuit.num_qubits
 
     def flush(qubit: int) -> None:
         run = pending[qubit]

@@ -31,8 +31,8 @@ from __future__ import annotations
 
 import cmath
 import math
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -188,7 +188,7 @@ def _mat_swap(_: Sequence[float]) -> np.ndarray:
 
 #: phase generator of a diagonal gate: hashable ``(h, g0)`` float tuples of
 #: length ``2**num_qubits`` with ``diag = exp(1j * (theta * h + g0))``
-DiagPhase = Tuple[Tuple[float, ...], Tuple[float, ...]]
+DiagPhase = tuple[tuple[float, ...], tuple[float, ...]]
 
 
 @dataclass(frozen=True)
@@ -206,7 +206,7 @@ class GateSpec:
     negate_params_inverts: bool = False
     #: the (h, g0) phase generator; required for (and only for) diagonal
     #: gates. Stored as plain tuples so the spec stays hashable.
-    diag_phase: "DiagPhase | None" = None
+    diag_phase: DiagPhase | None = None
 
     def diag_exponent(self, params: Sequence[float] = ()) -> np.ndarray:
         """The real exponent ``g`` with ``diag(gate) = exp(1j * g)``."""
@@ -217,7 +217,7 @@ class GateSpec:
         return theta * np.asarray(h) + np.asarray(g0)
 
 
-GATE_REGISTRY: Dict[str, GateSpec] = {}
+GATE_REGISTRY: dict[str, GateSpec] = {}
 
 
 def _register(spec: GateSpec) -> GateSpec:
@@ -304,7 +304,7 @@ class Gate:
     """A gate instance: a spec plus (possibly symbolic) parameter values."""
 
     spec: GateSpec
-    params: Tuple[ParameterValue, ...] = ()
+    params: tuple[ParameterValue, ...] = ()
 
     def __post_init__(self) -> None:
         if len(self.params) != self.spec.num_params:
@@ -334,7 +334,7 @@ class Gate:
                 out |= p.parameters
         return frozenset(out)
 
-    def bind(self, bindings: Mapping[Parameter, float]) -> "Gate":
+    def bind(self, bindings: Mapping[Parameter, float]) -> Gate:
         """Return a copy with (a subset of) parameters substituted."""
         new_params = []
         for p in self.params:
@@ -350,7 +350,7 @@ class Gate:
         values = [bind_value(p, bindings or {}) for p in self.params]
         return self.spec.matrix_fn(values)
 
-    def inverse(self) -> "Gate":
+    def inverse(self) -> Gate:
         """The inverse gate, when expressible in the registry."""
         if self.spec.is_self_inverse:
             return self

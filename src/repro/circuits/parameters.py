@@ -14,7 +14,8 @@ and keeps binding vectorizable and exact.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Union
+from collections.abc import Mapping
+from typing import Union
 
 import numpy as np
 
@@ -39,7 +40,7 @@ class ParameterExpression:
         offset: float = 0.0,
     ) -> None:
         cleaned = {p: float(c) for p, c in (terms or {}).items() if c != 0.0}
-        self._terms: Dict[Parameter, float] = cleaned
+        self._terms: dict[Parameter, float] = cleaned
         self._offset = float(offset)
 
     # -- introspection -----------------------------------------------------
@@ -50,7 +51,7 @@ class ParameterExpression:
         return frozenset(self._terms)
 
     @property
-    def terms(self) -> Dict["Parameter", float]:
+    def terms(self) -> dict["Parameter", float]:
         return dict(self._terms)
 
     @property
@@ -69,9 +70,9 @@ class ParameterExpression:
 
     # -- binding -----------------------------------------------------------
 
-    def bind(self, values: Mapping["Parameter", Number]) -> "ParameterExpression":
+    def bind(self, values: Mapping["Parameter", Number]) -> ParameterExpression:
         """Substitute floats for (a subset of) the free parameters."""
-        remaining: Dict[Parameter, float] = {}
+        remaining: dict[Parameter, float] = {}
         offset = self._offset
         for param, coeff in self._terms.items():
             if param in values:
@@ -82,14 +83,14 @@ class ParameterExpression:
 
     # -- algebra -----------------------------------------------------------
 
-    def _as_expression(self, other) -> "ParameterExpression | None":
+    def _as_expression(self, other) -> ParameterExpression | None:
         if isinstance(other, ParameterExpression):
             return other
         if isinstance(other, (int, float, np.floating)):
             return ParameterExpression({}, float(other))
         return None
 
-    def __add__(self, other) -> "ParameterExpression":
+    def __add__(self, other) -> ParameterExpression:
         rhs = self._as_expression(other)
         if rhs is None:
             return NotImplemented
@@ -100,19 +101,19 @@ class ParameterExpression:
 
     __radd__ = __add__
 
-    def __sub__(self, other) -> "ParameterExpression":
+    def __sub__(self, other) -> ParameterExpression:
         rhs = self._as_expression(other)
         if rhs is None:
             return NotImplemented
         return self + (-rhs)
 
-    def __rsub__(self, other) -> "ParameterExpression":
+    def __rsub__(self, other) -> ParameterExpression:
         rhs = self._as_expression(other)
         if rhs is None:
             return NotImplemented
         return rhs + (-self)
 
-    def __mul__(self, scalar) -> "ParameterExpression":
+    def __mul__(self, scalar) -> ParameterExpression:
         if not isinstance(scalar, (int, float, np.floating)):
             return NotImplemented
         s = float(scalar)
@@ -122,12 +123,12 @@ class ParameterExpression:
 
     __rmul__ = __mul__
 
-    def __truediv__(self, scalar) -> "ParameterExpression":
+    def __truediv__(self, scalar) -> ParameterExpression:
         if not isinstance(scalar, (int, float, np.floating)):
             return NotImplemented
         return self * (1.0 / float(scalar))
 
-    def __neg__(self) -> "ParameterExpression":
+    def __neg__(self) -> ParameterExpression:
         return self * -1.0
 
     # -- equality / hashing --------------------------------------------------

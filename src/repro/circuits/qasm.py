@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import math
 import re
-from typing import List
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import GATE_REGISTRY
@@ -98,7 +97,7 @@ def from_qasm(text: str) -> QuantumCircuit:
         name = m.group("name")
         if name not in GATE_REGISTRY:
             raise QasmError(f"unknown gate '{name}'")
-        params: List[float] = []
+        params: list[float] = []
         if m.group("params") is not None:
             params = [_eval_param(p) for p in m.group("params").split(",")]
         qubits = [int(q) for q in re.findall(r"q\[(\d+)\]", m.group("qubits"))]

@@ -16,8 +16,6 @@ nothing, and so structurally-equal candidates hash to the same cache key:
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
-
 from repro.circuits.circuit import Instruction, QuantumCircuit
 from repro.circuits.dag import CircuitDag
 from repro.circuits.gates import Gate, make_gate
@@ -59,9 +57,9 @@ def merge_rotations(circuit: QuantumCircuit) -> QuantumCircuit:
     gate on all wires of a pending rotation is the same rotation on the same
     qubit tuple, add the angles and keep sweeping.
     """
-    out: List[Instruction] = []
+    out: list[Instruction] = []
     # index into `out` of the last gate on each wire, for adjacency checks
-    last_on_wire: List[Optional[int]] = [None] * circuit.num_qubits
+    last_on_wire: list[int | None] = [None] * circuit.num_qubits
     for instr in circuit.instructions:
         prev_idx = None
         if instr.gate.name in _ROTATIONS:
@@ -97,7 +95,7 @@ def cancel_inverse_pairs(circuit: QuantumCircuit) -> QuantumCircuit:
     don't block the cancellation.
     """
     dag = CircuitDag(circuit)
-    dead: Set[int] = set()
+    dead: set[int] = set()
     for node in dag.nodes:
         if node.index in dead or not node.instruction.gate.spec.is_self_inverse:
             continue

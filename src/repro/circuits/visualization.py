@@ -12,8 +12,6 @@ width equals circuit depth. Multi-qubit gates draw a vertical connector.
 
 from __future__ import annotations
 
-from typing import List
-
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.dag import CircuitDag
 
@@ -37,8 +35,8 @@ def draw_circuit(circuit: QuantumCircuit) -> str:
 
     layers = CircuitDag(circuit).layers()
     # Build the cell grid: cells[q][layer] = text or connector marker.
-    cells: List[List[str]] = [["" for _ in layers] for _ in range(n)]
-    spans: List[List[bool]] = [[False for _ in layers] for _ in range(n)]
+    cells: list[list[str]] = [["" for _ in layers] for _ in range(n)]
+    spans: list[list[bool]] = [[False for _ in layers] for _ in range(n)]
     for col, layer in enumerate(layers):
         for node in layer:
             qs = node.qubits

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.core.evaluator import ENGINES, EvaluationConfig, Evaluator
 from repro.core.runtime import RuntimeConfig
@@ -22,6 +22,7 @@ from repro.core.search import SearchConfig, search_mixer
 from repro.experiments.discovery import draw_mixer
 from repro.experiments.figures import render_table
 from repro.graphs.datasets import paper_er_dataset, paper_regular_dataset
+from repro.optimizers import BATCH_MODES
 from repro.parallel.executor import MultiprocessingExecutor, available_cores
 
 __all__ = ["main", "build_parser"]
@@ -41,7 +42,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--graphs", type=int, default=3, help="graphs in the workload")
     parser.add_argument("--dataset-seed", type=int, default=2023)
     parser.add_argument("--steps", type=int, default=60, help="optimizer budget")
-    parser.add_argument("--restarts", type=int, default=2)
+    parser.add_argument("--optimizer", default="cobyla",
+                        choices=["cobyla", "nelder_mead", "spsa", "adam"],
+                        help="classical trainer (default: cobyla, the paper's)")
+    parser.add_argument("--restarts", type=int, default=2,
+                        help="independent optimizer restarts per graph; "
+                             "batch-native optimizers train them as one batch")
+    parser.add_argument("--batch-mode", default="auto", choices=list(BATCH_MODES),
+                        help="restart training: auto batches whenever the "
+                             "optimizer supports it; serial forces one run "
+                             "per restart")
     parser.add_argument("--metric", default="best_sampled",
                         choices=["energy", "best_sampled"])
     parser.add_argument("--shots", type=int, default=64)
@@ -91,8 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _eval_config(args) -> EvaluationConfig:
     return EvaluationConfig(
+        optimizer=args.optimizer,
         max_steps=args.steps,
         restarts=args.restarts,
+        batch_mode=args.batch_mode,
         seed=args.seed,
         metric=args.metric,
         shots=args.shots,
@@ -175,7 +187,7 @@ def _cmd_draw(args) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"search": _cmd_search, "evaluate": _cmd_evaluate, "draw": _cmd_draw}
     return handlers[args.command](args)

@@ -16,6 +16,7 @@ from repro.core.alphabet import (
     gate_sequences,
     paper_space_size,
 )
+from repro.core.cache import ResultCache, SweepCheckpoint
 from repro.core.constraints import (
     ConstrainedPredictor,
     Constraint,
@@ -39,13 +40,7 @@ from repro.core.encoding import (
     is_valid_encoding,
     random_encoding,
 )
-from repro.core.cache import ResultCache, SweepCheckpoint
-from repro.core.evaluator import (
-    EvaluationConfig,
-    Evaluator,
-    classical_optima,
-    evaluate_candidate,
-)
+from repro.core.evaluator import EvaluationConfig, Evaluator, classical_optima, evaluate_candidate
 from repro.core.predictor import (
     EpsilonGreedyPredictor,
     ExhaustivePredictor,

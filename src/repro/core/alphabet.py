@@ -14,8 +14,8 @@ from __future__ import annotations
 
 import itertools
 import math
+from collections.abc import Iterator
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
 
 from repro.qaoa.mixers import MIXER_TOKENS
 from repro.utils.rng import as_rng
@@ -31,7 +31,7 @@ __all__ = [
 ]
 
 #: the paper's A_R (|A_R| = 5)
-DEFAULT_TOKENS: Tuple[str, ...] = ("rx", "ry", "rz", "h", "p")
+DEFAULT_TOKENS: tuple[str, ...] = ("rx", "ry", "rz", "h", "p")
 
 
 @dataclass(frozen=True)
@@ -39,7 +39,7 @@ class GateAlphabet:
     """An ordered token vocabulary with index maps (the controller needs a
     stable token <-> integer correspondence)."""
 
-    tokens: Tuple[str, ...] = DEFAULT_TOKENS
+    tokens: tuple[str, ...] = DEFAULT_TOKENS
 
     def __post_init__(self) -> None:
         if not self.tokens:
@@ -67,7 +67,7 @@ class GateAlphabet:
             raise IndexError(f"token index {index} out of range for size {self.size}")
         return self.tokens[index]
 
-    def sample_sequence(self, length: int, rng) -> Tuple[str, ...]:
+    def sample_sequence(self, length: int, rng) -> tuple[str, ...]:
         """Uniform random token sequence of the given length."""
         rng = as_rng(rng)
         return tuple(self.tokens[i] for i in rng.integers(0, self.size, size=length))
@@ -85,7 +85,7 @@ def gate_sequences(
     *,
     ordered: bool = True,
     repetition: bool = True,
-) -> Iterator[Tuple[str, ...]]:
+) -> Iterator[tuple[str, ...]]:
     """All gate tuples of exactly ``k`` gates under the chosen convention.
 
     ordered+repetition = sequences (``size^k``); ordered only =
@@ -122,7 +122,7 @@ def enumerate_search_space(
     k_min: int = 1,
     mode: str = "sequences",
     deduplicate: bool = True,
-) -> List[Tuple[str, ...]]:
+) -> list[tuple[str, ...]]:
     """Every candidate mixer with k_min..k_max gates.
 
     Modes: ``"sequences"`` (ordered, repetition — the paper's space),
@@ -149,7 +149,7 @@ def enumerate_search_space(
             "combinations, multisets"
         )
     seen = set()
-    out: List[Tuple[str, ...]] = []
+    out: list[tuple[str, ...]] = []
     for k in range(k_min, k_max + 1):
         for seq in gate_sequences(alphabet, k, **kwargs):
             if deduplicate:

@@ -27,9 +27,9 @@ from __future__ import annotations
 import hashlib
 import json
 import sqlite3
+from collections.abc import Sequence
 from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, Optional, Sequence
 
 from repro.core.evaluator import EvaluationConfig
 from repro.core.results import CandidateEvaluation, DepthResult
@@ -86,11 +86,11 @@ def depth_fingerprint(
     return _digest([workload_fp, config_fp, [list(c) for c in candidates], int(p)])
 
 
-def _serialize_evaluation(evaluation: CandidateEvaluation) -> Dict:
+def _serialize_evaluation(evaluation: CandidateEvaluation) -> dict:
     return asdict(evaluation) | {"tokens": list(evaluation.tokens)}
 
 
-def _deserialize_evaluation(data: Dict) -> CandidateEvaluation:
+def _deserialize_evaluation(data: dict) -> CandidateEvaluation:
     return CandidateEvaluation(
         tokens=tuple(data["tokens"]),
         p=int(data["p"]),
@@ -113,7 +113,7 @@ class ResultCache:
 
     SCHEMA_VERSION = 1
 
-    def __init__(self, cache_dir: "str | Path") -> None:
+    def __init__(self, cache_dir: str | Path) -> None:
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.path = self.cache_dir / "results.sqlite"
@@ -131,7 +131,7 @@ class ResultCache:
 
     # -- mapping interface -------------------------------------------------
 
-    def get(self, key: str) -> Optional[CandidateEvaluation]:
+    def get(self, key: str) -> CandidateEvaluation | None:
         row = self._conn.execute(
             "SELECT value FROM results WHERE key = ? AND schema = ?",
             (key, self.SCHEMA_VERSION),
@@ -162,7 +162,7 @@ class ResultCache:
     def close(self) -> None:
         self._conn.close()
 
-    def __enter__(self) -> "ResultCache":
+    def __enter__(self) -> ResultCache:
         return self
 
     def __exit__(self, *exc) -> None:
@@ -181,11 +181,11 @@ class SweepCheckpoint:
 
     FILENAME = "checkpoint.json"
 
-    def __init__(self, cache_dir: "str | Path") -> None:
+    def __init__(self, cache_dir: str | Path) -> None:
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.path = self.cache_dir / self.FILENAME
-        self._entries: Dict[str, Dict] = {}
+        self._entries: dict[str, dict] = {}
         if self.path.exists():
             try:
                 data = json.loads(self.path.read_text())
@@ -194,7 +194,7 @@ class SweepCheckpoint:
             if data.get("format") == "repro-sweep-checkpoint-v1":
                 self._entries = data.get("depths", {})
 
-    def load_depth(self, key: str) -> Optional[DepthResult]:
+    def load_depth(self, key: str) -> DepthResult | None:
         entry = self._entries.get(key)
         if entry is None:
             return None

@@ -17,8 +17,8 @@ estimated circuit-depth budgets for depth-limited hardware.
 from __future__ import annotations
 
 import abc
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Sequence, Tuple
 
 from repro.core.predictor import Predictor
 from repro.qaoa.mixers import ENTANGLER_TOKENS, PARAMETERIZED_TOKENS
@@ -38,7 +38,7 @@ __all__ = [
     "ConstrainedPredictor",
 ]
 
-Tokens = Tuple[str, ...]
+Tokens = tuple[str, ...]
 
 
 class Constraint(abc.ABC):
@@ -80,7 +80,7 @@ class MinGates(Constraint):
 class ForbiddenTokens(Constraint):
     """Exclude specific gates (e.g. hardware without a native P gate)."""
 
-    tokens: Tuple[str, ...]
+    tokens: tuple[str, ...]
     name: str = "forbidden_tokens"
 
     def satisfied(self, tokens: Tokens) -> bool:
@@ -91,7 +91,7 @@ class ForbiddenTokens(Constraint):
 class RequiredTokens(Constraint):
     """Require that every listed gate appears somewhere in the candidate."""
 
-    tokens: Tuple[str, ...]
+    tokens: tuple[str, ...]
     name: str = "required_tokens"
 
     def satisfied(self, tokens: Tokens) -> bool:
@@ -154,7 +154,7 @@ class PredicateConstraint(Constraint):
 class ConstraintSet:
     """Conjunction of constraints with rejection accounting."""
 
-    constraints: List[Constraint] = field(default_factory=list)
+    constraints: list[Constraint] = field(default_factory=list)
     #: constraint name -> number of candidates it rejected
     rejections: dict = field(default_factory=dict)
 
@@ -168,11 +168,11 @@ class ConstraintSet:
                 return False
         return True
 
-    def filter(self, candidates: Iterable[Sequence[str]]) -> List[Tokens]:
+    def filter(self, candidates: Iterable[Sequence[str]]) -> list[Tokens]:
         """Admissible subset of an enumerated candidate list."""
         return [tuple(c) for c in candidates if self.satisfied(c)]
 
-    def violated_by(self, tokens: Sequence[str]) -> List[str]:
+    def violated_by(self, tokens: Sequence[str]) -> list[str]:
         """Names of all constraints the candidate breaks (diagnostics)."""
         tokens = tuple(tokens)
         return [c.name for c in self.constraints if not c.satisfied(tokens)]
@@ -199,8 +199,8 @@ class ConstrainedPredictor(Predictor):
         self.max_resamples = max_resamples
         self.name = f"constrained({inner.name})"
 
-    def propose(self, num: int) -> List[Tokens]:
-        out: List[Tokens] = []
+    def propose(self, num: int) -> list[Tokens]:
+        out: list[Tokens] = []
         for _ in range(self.max_resamples):
             needed = num - len(out)
             if needed <= 0:

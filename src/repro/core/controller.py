@@ -13,8 +13,6 @@ the START input symbol (never an output).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
-
 import numpy as np
 
 from repro.core.alphabet import GateAlphabet
@@ -82,12 +80,12 @@ class PolicyController:
         probs = softmax(logits + self._mask(step))
         return probs, h, c, (e_cache, l_cache, d_cache, probs)
 
-    def sample_episode(self, rng: Optional[np.random.Generator] = None) -> Episode:
+    def sample_episode(self, rng: np.random.Generator | None = None) -> Episode:
         """Sample a token sequence (END-terminated or max_gates long)."""
         rng = as_rng(rng)
         h, c = self.lstm.initial_state()
         prev = self.start_index
-        actions: List[int] = []
+        actions: list[int] = []
         caches = []
         log_prob = 0.0
         for step in range(self.max_gates):
@@ -101,11 +99,11 @@ class PolicyController:
             prev = action
         return Episode(tuple(actions), log_prob, tuple(caches))
 
-    def greedy_episode(self) -> Tuple[str, ...]:
+    def greedy_episode(self) -> tuple[str, ...]:
         """Argmax decoding — the controller's current best guess."""
         h, c = self.lstm.initial_state()
         prev = self.start_index
-        tokens: List[str] = []
+        tokens: list[str] = []
         for step in range(self.max_gates):
             probs, h, c, _ = self.step_probs(prev, h, c, step)
             action = int(np.argmax(probs))
@@ -115,7 +113,7 @@ class PolicyController:
             prev = action
         return tuple(tokens)
 
-    def tokens_of(self, episode: Episode) -> Tuple[str, ...]:
+    def tokens_of(self, episode: Episode) -> tuple[str, ...]:
         return tuple(self.alphabet.token(a) for a in episode.actions)
 
     def episode_log_prob(self, episode: Episode) -> float:
@@ -182,11 +180,11 @@ class ControllerPredictor(Predictor):
         self.entropy_weight = entropy_weight
         self.baseline = MovingBaseline(baseline_decay)
         self._rng = as_rng(seed)
-        self._pending: List[Episode] = []
-        self._batch: List[Tuple[Episode, float]] = []
+        self._pending: list[Episode] = []
+        self._batch: list[tuple[Episode, float]] = []
         self.updates = 0
 
-    def propose(self, num: int) -> List[Tuple[str, ...]]:
+    def propose(self, num: int) -> list[tuple[str, ...]]:
         check_positive(num, "num")
         proposals = []
         for _ in range(num):
@@ -199,7 +197,7 @@ class ControllerPredictor(Predictor):
             proposals.append(self.controller.tokens_of(episode))
         return proposals
 
-    def update(self, tokens: Tuple[str, ...], reward: float) -> None:
+    def update(self, tokens: tuple[str, ...], reward: float) -> None:
         episode = self._pop_pending(tokens)
         if episode is None:
             return
@@ -207,7 +205,7 @@ class ControllerPredictor(Predictor):
         if len(self._batch) >= self.batch_size:
             self._flush()
 
-    def _pop_pending(self, tokens: Tuple[str, ...]) -> Optional[Episode]:
+    def _pop_pending(self, tokens: tuple[str, ...]) -> Episode | None:
         for i, episode in enumerate(self._pending):
             if self.controller.tokens_of(episode) == tuple(tokens):
                 return self._pending.pop(i)

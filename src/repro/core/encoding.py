@@ -13,7 +13,7 @@ PAD (sequence ended), columns ``1..V`` are alphabet tokens in order.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -31,7 +31,7 @@ __all__ = [
 PAD_INDEX = 0
 
 
-def encoding_shape(alphabet: GateAlphabet, max_gates: int) -> Tuple[int, int]:
+def encoding_shape(alphabet: GateAlphabet, max_gates: int) -> tuple[int, int]:
     """``(max_gates, alphabet size + 1)`` — +1 for the PAD column."""
     return (max_gates, alphabet.size + 1)
 
@@ -50,7 +50,7 @@ def encode_sequence(
     return out
 
 
-def decode_encoding(encoding: np.ndarray, alphabet: GateAlphabet) -> Tuple[str, ...]:
+def decode_encoding(encoding: np.ndarray, alphabet: GateAlphabet) -> tuple[str, ...]:
     """Inverse of :func:`encode_sequence`; validates shape and one-hotness.
 
     Rows after the first PAD are ignored (PAD is a stop symbol), matching
@@ -58,7 +58,7 @@ def decode_encoding(encoding: np.ndarray, alphabet: GateAlphabet) -> Tuple[str, 
     """
     if not is_valid_encoding(encoding, alphabet):
         raise ValueError("not a valid one-hot circuit encoding for this alphabet")
-    tokens: List[str] = []
+    tokens: list[str] = []
     for row in encoding:
         idx = int(np.argmax(row))
         if idx == PAD_INDEX:

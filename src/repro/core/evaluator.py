@@ -15,15 +15,15 @@ worker process needs no shared state.
 from __future__ import annotations
 
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.qbuilder import QBuilder
 from repro.core.results import CandidateEvaluation
 from repro.graphs.generators import Graph
-from repro.optimizers import Adam, Cobyla, NelderMead, SPSA, Optimizer
+from repro.optimizers import BATCH_MODES, MultiRestart, Optimizer, training_optimizer
 from repro.qaoa.energy import ENGINES, AnsatzEnergy
 from repro.qaoa.maxcut import approximation_ratio, brute_force_maxcut
 from repro.utils.rng import as_rng, stable_seed
@@ -37,7 +37,7 @@ __all__ = [
 ]
 
 
-def classical_optima(graphs: Sequence[Graph]) -> Tuple[float, ...]:
+def classical_optima(graphs: Sequence[Graph]) -> tuple[float, ...]:
     """Brute-force max-cut value of every workload graph.
 
     This is the expensive, candidate-independent part of scoring (``2^n``
@@ -76,6 +76,11 @@ class EvaluationConfig:
     #: initial-parameter strategy: "uniform" (paper) or "ramp" (annealing
     #: schedule; better conditioned at depth, see repro.qaoa.initialization)
     init_strategy: str = "uniform"
+    #: how restart populations train: "auto" batches all restarts' per-step
+    #: proposals into single vectorized energy calls whenever the optimizer
+    #: is batch-native (spsa, nelder_mead, adam), "batched" forces the
+    #: population path, "serial" forces one optimizer run per restart
+    batch_mode: str = "auto"
 
     def __post_init__(self) -> None:
         check_positive(self.max_steps, "max_steps")
@@ -84,6 +89,11 @@ class EvaluationConfig:
         if self.engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {self.engine!r}; options: {ENGINES}"
+            )
+        if self.batch_mode not in BATCH_MODES:
+            raise ValueError(
+                f"unknown batch mode {self.batch_mode!r}; "
+                f"options: {BATCH_MODES}"
             )
         if self.metric not in ("energy", "best_sampled"):
             raise ValueError(
@@ -97,19 +107,13 @@ class EvaluationConfig:
 
 
 def _make_optimizer(config: EvaluationConfig, energy: AnsatzEnergy) -> Optimizer:
-    if config.optimizer == "cobyla":
-        return Cobyla(maxiter=config.max_steps)
-    if config.optimizer == "nelder_mead":
-        return NelderMead(maxiter=config.max_steps)
-    if config.optimizer == "spsa":
-        # SPSA spends 2 evals/iteration; halve to respect the same budget
-        return SPSA(maxiter=max(1, config.max_steps // 2), seed=config.seed)
-    if config.optimizer == "adam":
-        return Adam(
-            gradient=lambda x: -energy.gradient(x),
-            maxiter=config.max_steps,
-        )
-    raise ValueError(f"unknown optimizer {config.optimizer!r}")
+    return training_optimizer(
+        config.optimizer,
+        max_steps=config.max_steps,
+        seed=config.seed,
+        gradient=lambda x: -energy.gradient(x),
+        gradient_batch=lambda X: -energy.gradients(X),
+    )
 
 
 class Evaluator:
@@ -125,8 +129,8 @@ class Evaluator:
         graphs: Sequence[Graph],
         config: EvaluationConfig = EvaluationConfig(),
         *,
-        builder: Optional[QBuilder] = None,
-        classical_values: Optional[Sequence[float]] = None,
+        builder: QBuilder | None = None,
+        classical_values: Sequence[float] | None = None,
     ) -> None:
         if not graphs:
             raise ValueError("evaluator needs at least one graph")
@@ -142,7 +146,7 @@ class Evaluator:
             self._classical = [float(v) for v in classical_values]
         else:
             self._classical = list(classical_optima(self.graphs))
-        self._cache: Dict[Tuple[Tuple[str, ...], int], CandidateEvaluation] = {}
+        self._cache: dict[tuple[tuple[str, ...], int], CandidateEvaluation] = {}
         self.cache_hits = 0
 
     # -- public API ---------------------------------------------------------------
@@ -155,8 +159,8 @@ class Evaluator:
             self.cache_hits += 1
             return cached
         start = time.perf_counter()
-        energies: List[float] = []
-        ratios: List[float] = []
+        energies: list[float] = []
+        ratios: list[float] = []
         nfev = 0
         for graph_index, graph in enumerate(self.graphs):
             # One ansatz (and one compiled program) per graph evaluation:
@@ -197,14 +201,12 @@ class Evaluator:
 
     # -- internals ------------------------------------------------------------------
 
-    def _train_one(
-        self, objective: AnsatzEnergy, graph_index: int, p: int, tokens: Tuple[str, ...]
-    ) -> Tuple[float, np.ndarray, int]:
-        """Best trained energy over restarts for one graph's objective."""
-        num_parameters = objective.ansatz.num_parameters
-        best_energy = -np.inf
-        best_x = np.zeros(num_parameters)
-        nfev = 0
+    def _initial_points(
+        self, num_parameters: int, graph_index: int, p: int, tokens: tuple[str, ...]
+    ) -> np.ndarray:
+        """The restart population's start points, one seeded row per
+        restart (the same draws the serial path has always used)."""
+        rows = []
         for restart in range(self.config.restarts):
             rng = as_rng(
                 stable_seed(self.config.seed, "init", graph_index, p, restart, *tokens)
@@ -212,20 +214,40 @@ class Evaluator:
             if self.config.init_strategy == "ramp":
                 from repro.qaoa.initialization import ramp_init
 
-                x0 = ramp_init(p, rng=rng, jitter=0.05)
+                rows.append(ramp_init(p, rng=rng, jitter=0.05))
             else:
-                x0 = rng.uniform(
-                    -self.config.init_scale,
-                    self.config.init_scale,
-                    num_parameters,
+                rows.append(
+                    rng.uniform(
+                        -self.config.init_scale,
+                        self.config.init_scale,
+                        num_parameters,
+                    )
                 )
-            optimizer = _make_optimizer(self.config, objective)
-            result = optimizer.minimize(objective.negative, x0)
-            nfev += result.nfev
-            if -result.fun > best_energy:
-                best_energy = -result.fun
-                best_x = result.x
-        return float(best_energy), best_x, nfev
+        return np.stack(rows)
+
+    def _train_one(
+        self, objective: AnsatzEnergy, graph_index: int, p: int, tokens: tuple[str, ...]
+    ) -> tuple[float, np.ndarray, int]:
+        """Best trained energy over the restart population for one graph.
+
+        All restarts train as one population through :class:`MultiRestart`:
+        with a batch-native optimizer (and ``batch_mode`` "auto"/"batched")
+        every step's proposals across restarts ride a single vectorized
+        energy call; otherwise the population falls back to one serial
+        optimizer run per restart — identical results, point for point.
+        """
+        X0 = self._initial_points(
+            objective.ansatz.num_parameters, graph_index, p, tokens
+        )
+        optimizer = MultiRestart(
+            _make_optimizer(self.config, objective),
+            batch_mode=self.config.batch_mode,
+        )
+        negated = objective.negative_objective()
+        result = optimizer.minimize_population(
+            negated, X0, batch_fn=negated.values
+        )
+        return float(-result.fun), result.x, result.nfev
 
     def _best_sampled_value(
         self, objective: AnsatzEnergy, params: np.ndarray
@@ -246,7 +268,7 @@ def evaluate_candidate(
     tokens: Sequence[str],
     p: int,
     config: EvaluationConfig,
-    classical_values: Optional[Sequence[float]] = None,
+    classical_values: Sequence[float] | None = None,
 ) -> CandidateEvaluation:
     """Stateless worker entry point for process pools (Fig. 3's unit of
     parallel work): builds a fresh Evaluator and scores one candidate.

@@ -14,7 +14,6 @@ The interface is deliberately tiny: ``propose(n)`` yields token tuples,
 from __future__ import annotations
 
 import abc
-from typing import List, Tuple
 
 import numpy as np
 
@@ -36,10 +35,10 @@ class Predictor(abc.ABC):
     name: str = "abstract"
 
     @abc.abstractmethod
-    def propose(self, num: int) -> List[Tuple[str, ...]]:
+    def propose(self, num: int) -> list[tuple[str, ...]]:
         """Next ``num`` candidate token sequences (may repeat across calls)."""
 
-    def update(self, tokens: Tuple[str, ...], reward: float) -> None:
+    def update(self, tokens: tuple[str, ...], reward: float) -> None:
         """Feed back the evaluator's reward (no-op for open-loop searches)."""
 
     def exhausted(self) -> bool:
@@ -58,7 +57,7 @@ class RandomPredictor(Predictor):
         self.k_max = k_max
         self._rng = as_rng(seed)
 
-    def propose(self, num: int) -> List[Tuple[str, ...]]:
+    def propose(self, num: int) -> list[tuple[str, ...]]:
         check_positive(num, "num")
         out = []
         for _ in range(num):
@@ -86,7 +85,7 @@ class ExhaustivePredictor(Predictor):
     def space_size(self) -> int:
         return len(self._space)
 
-    def propose(self, num: int) -> List[Tuple[str, ...]]:
+    def propose(self, num: int) -> list[tuple[str, ...]]:
         check_positive(num, "num")
         batch = self._space[self._cursor : self._cursor + num]
         self._cursor += len(batch)
@@ -149,7 +148,7 @@ class EpsilonGreedyPredictor(Predictor):
         )
         return self.alphabet.token(int(np.argmax(means)))
 
-    def propose(self, num: int) -> List[Tuple[str, ...]]:
+    def propose(self, num: int) -> list[tuple[str, ...]]:
         check_positive(num, "num")
         out = []
         for _ in range(num):
@@ -157,7 +156,7 @@ class EpsilonGreedyPredictor(Predictor):
             out.append(tuple(self._pick_token(t) for t in range(length)))
         return out
 
-    def update(self, tokens: Tuple[str, ...], reward: float) -> None:
+    def update(self, tokens: tuple[str, ...], reward: float) -> None:
         length = len(tokens)
         if not 1 <= length <= self.k_max:
             return

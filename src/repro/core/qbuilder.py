@@ -12,8 +12,8 @@ builder owns the two constructions of Algorithm 1:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -35,7 +35,7 @@ class QBuilder:
 
     alphabet: GateAlphabet = GateAlphabet()
 
-    def validate_tokens(self, tokens: Sequence[str]) -> Tuple[str, ...]:
+    def validate_tokens(self, tokens: Sequence[str]) -> tuple[str, ...]:
         tokens = tuple(tokens)
         for t in tokens:
             self.alphabet.index(t)  # raises KeyError on foreign tokens

@@ -10,7 +10,6 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, List, Tuple
 
 __all__ = ["CandidateEvaluation", "DepthResult", "SearchResult"]
 
@@ -19,16 +18,16 @@ __all__ = ["CandidateEvaluation", "DepthResult", "SearchResult"]
 class CandidateEvaluation:
     """One trained candidate mixer on one workload (graph or dataset)."""
 
-    tokens: Tuple[str, ...]
+    tokens: tuple[str, ...]
     p: int
     #: mean trained max-cut energy over the workload graphs
     energy: float
     #: mean approximation ratio (Eq. 3) over the workload graphs
     ratio: float
     #: per-graph trained energies
-    per_graph_energy: Tuple[float, ...] = ()
+    per_graph_energy: tuple[float, ...] = ()
     #: per-graph approximation ratios
-    per_graph_ratio: Tuple[float, ...] = ()
+    per_graph_ratio: tuple[float, ...] = ()
     #: total objective evaluations spent training this candidate
     nfev: int = 0
     #: wall-clock seconds spent training this candidate
@@ -46,7 +45,7 @@ class DepthResult:
     """Algorithm 1's inner loop at one depth p: all candidates, ranked."""
 
     p: int
-    evaluations: Tuple[CandidateEvaluation, ...]
+    evaluations: tuple[CandidateEvaluation, ...]
     seconds: float = 0.0
 
     @property
@@ -55,7 +54,7 @@ class DepthResult:
             raise ValueError(f"no evaluations recorded at p={self.p}")
         return max(self.evaluations, key=lambda e: e.reward)
 
-    def ranked(self) -> List[CandidateEvaluation]:
+    def ranked(self) -> list[CandidateEvaluation]:
         return sorted(self.evaluations, key=lambda e: -e.reward)
 
 
@@ -63,13 +62,13 @@ class DepthResult:
 class SearchResult:
     """Full output of Algorithm 1 (``U_B^best`` and ``<C_best>``)."""
 
-    best_tokens: Tuple[str, ...]
+    best_tokens: tuple[str, ...]
     best_p: int
     best_energy: float
     best_ratio: float
-    depth_results: List[DepthResult] = field(default_factory=list)
+    depth_results: list[DepthResult] = field(default_factory=list)
     total_seconds: float = 0.0
-    config: Dict = field(default_factory=dict)
+    config: dict = field(default_factory=dict)
 
     @property
     def num_candidates(self) -> int:
@@ -77,7 +76,7 @@ class SearchResult:
 
     # -- persistence -------------------------------------------------------------
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> dict:
         return {
             "format": "repro-search-result-v1",
             "best_tokens": list(self.best_tokens),
@@ -96,11 +95,11 @@ class SearchResult:
             ],
         }
 
-    def save(self, path: "str | Path") -> None:
+    def save(self, path: str | Path) -> None:
         Path(path).write_text(json.dumps(self.to_dict(), indent=2))
 
     @classmethod
-    def load(cls, path: "str | Path") -> "SearchResult":
+    def load(cls, path: str | Path) -> SearchResult:
         data = json.loads(Path(path).read_text())
         if data.get("format") != "repro-search-result-v1":
             raise ValueError(f"unrecognized search result format in {path}")

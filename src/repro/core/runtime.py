@@ -34,8 +34,9 @@ predictor to feed rewards back to.
 from __future__ import annotations
 
 import time
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING
 
 from repro.core.cache import (
     ResultCache,
@@ -63,13 +64,13 @@ class RuntimeConfig:
     """Fault-tolerance and persistence knobs of one search run."""
 
     #: directory for the result cache + checkpoint; None disables both
-    cache_dir: Optional[str] = None
+    cache_dir: str | None = None
     #: restore finished depths from the checkpoint in ``cache_dir``
     resume: bool = False
     #: extra attempts per candidate evaluation after the first
     max_retries: int = 2
     #: per-attempt wall-clock limit in seconds (None = unlimited)
-    job_timeout: Optional[float] = None
+    job_timeout: float | None = None
 
 
 class SearchRuntime:
@@ -84,9 +85,9 @@ class SearchRuntime:
     def __init__(
         self,
         graphs: Sequence[Graph],
-        config: "SearchConfig",
+        config: SearchConfig,
         *,
-        executor: Optional[Executor] = None,
+        executor: Executor | None = None,
         runtime: RuntimeConfig = RuntimeConfig(),
     ) -> None:
         if not graphs:
@@ -105,8 +106,8 @@ class SearchRuntime:
         self.classical_values = classical_optima(self.graphs)
         self._workload_fp = workload_fingerprint(self.graphs)
         self._config_fp = config_fingerprint(config.evaluation)
-        self.cache: Optional[ResultCache] = None
-        self.checkpoint: Optional[SweepCheckpoint] = None
+        self.cache: ResultCache | None = None
+        self.checkpoint: SweepCheckpoint | None = None
         if runtime.cache_dir is not None:
             self.cache = ResultCache(runtime.cache_dir)
             self.checkpoint = SweepCheckpoint(runtime.cache_dir)
@@ -118,7 +119,7 @@ class SearchRuntime:
         if self.cache is not None:
             self.cache.close()
 
-    def __enter__(self) -> "SearchRuntime":
+    def __enter__(self) -> SearchRuntime:
         return self
 
     def __exit__(self, *exc) -> None:
@@ -138,13 +139,13 @@ class SearchRuntime:
 
     def run(
         self,
-        candidates_per_depth: Union[
-            Sequence[Sequence[Tuple[str, ...]]],
-            Callable[[int], Sequence[Tuple[str, ...]]],
-        ],
+        candidates_per_depth: (
+            Sequence[Sequence[tuple[str, ...]]]
+            | Callable[[int], Sequence[tuple[str, ...]]]
+        ),
         *,
-        num_depths: Optional[int] = None,
-        predictor: Optional[Predictor] = None,
+        num_depths: int | None = None,
+        predictor: Predictor | None = None,
     ) -> SearchResult:
         """Algorithm 1's depth loop.
 
@@ -164,8 +165,8 @@ class SearchRuntime:
             provider = concrete.__getitem__
             depth_count = len(concrete)
 
-        best: Optional[CandidateEvaluation] = None
-        depth_results: List[DepthResult] = []
+        best: CandidateEvaluation | None = None
+        depth_results: list[DepthResult] = []
         total_start = time.perf_counter()
 
         for depth_index in range(depth_count):
@@ -198,7 +199,7 @@ class SearchRuntime:
 
     # -- internals ---------------------------------------------------------
 
-    def _run_depth(self, p: int, candidates: List[Tuple[str, ...]]) -> DepthResult:
+    def _run_depth(self, p: int, candidates: list[tuple[str, ...]]) -> DepthResult:
         depth_fp = depth_fingerprint(
             self._workload_fp, self._config_fp, candidates, p
         )
@@ -209,11 +210,11 @@ class SearchRuntime:
                 return restored
 
         depth_start = time.perf_counter()
-        evaluations: List[Optional[CandidateEvaluation]] = [None] * len(candidates)
+        evaluations: list[CandidateEvaluation | None] = [None] * len(candidates)
         # key -> positions awaiting its result; repeat proposals within a
         # depth (RL predictors re-propose good sequences constantly) are
         # trained once and fanned out. Insertion order doubles as job order.
-        miss_positions: Dict[str, List[int]] = {}
+        miss_positions: dict[str, list[int]] = {}
         for position, tokens in enumerate(candidates):
             key = candidate_key(self._workload_fp, tokens, p, self._config_fp)
             if key in miss_positions:
@@ -257,7 +258,7 @@ class SearchRuntime:
             self.checkpoint.save_depth(depth_fp, depth_result)
         return depth_result
 
-    def _result_config(self, predictor: Optional[Predictor]) -> dict:
+    def _result_config(self, predictor: Predictor | None) -> dict:
         stats = self.scheduler.stats
         return {
             "p_max": self.config.p_max,

@@ -15,8 +15,8 @@ runs are cache lookups) and the sweep checkpointed/resumable.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
 
 from repro.core.alphabet import GateAlphabet, enumerate_search_space
 from repro.core.constraints import ConstraintSet
@@ -45,12 +45,12 @@ class SearchConfig:
     #: candidate enumeration convention (see enumerate_search_space)
     mode: str = "sequences"
     #: candidates per depth for sampling predictors; None = whole space
-    num_samples: Optional[int] = None
+    num_samples: int | None = None
     #: seed for sampling predictors
     seed: int = 11
     evaluation: EvaluationConfig = field(default_factory=EvaluationConfig)
     #: optional admissibility constraints (§6's "arbitrary constraints")
-    constraints: Optional[ConstraintSet] = None
+    constraints: ConstraintSet | None = None
 
     def __post_init__(self) -> None:
         check_positive(self.p_max, "p_max")
@@ -61,8 +61,8 @@ def search_mixer(
     graphs: Sequence[Graph],
     config: SearchConfig = SearchConfig(),
     *,
-    executor: Optional[Executor] = None,
-    runtime: Optional[RuntimeConfig] = None,
+    executor: Executor | None = None,
+    runtime: RuntimeConfig | None = None,
 ) -> SearchResult:
     """Exhaustive Algorithm 1 (the paper's profiled configuration).
 
@@ -88,8 +88,8 @@ def search_with_predictor(
     config: SearchConfig = SearchConfig(),
     *,
     candidates_per_depth: int = 32,
-    executor: Optional[Executor] = None,
-    runtime: Optional[RuntimeConfig] = None,
+    executor: Executor | None = None,
+    runtime: RuntimeConfig | None = None,
 ) -> SearchResult:
     """Algorithm 1 with a closed-loop predictor (random / bandit / RL).
 
@@ -102,7 +102,7 @@ def search_with_predictor(
     """
     check_positive(candidates_per_depth, "candidates_per_depth")
 
-    def propose_depth(_depth_index: int) -> List[Tuple[str, ...]]:
+    def propose_depth(_depth_index: int) -> list[tuple[str, ...]]:
         proposals = predictor.propose(candidates_per_depth)
         unique = list(dict.fromkeys(proposals))
         if config.constraints is not None:
@@ -120,11 +120,11 @@ def search_with_predictor(
 def _run_depth_sweep(
     graphs: Sequence[Graph],
     config: SearchConfig,
-    candidates_per_depth: Sequence[Sequence[Tuple[str, ...]]],
-    executor: Optional[Executor],
+    candidates_per_depth: Sequence[Sequence[tuple[str, ...]]],
+    executor: Executor | None,
     *,
-    predictor: Optional[Predictor] = None,
-    runtime: Optional[RuntimeConfig] = None,
+    predictor: Predictor | None = None,
+    runtime: RuntimeConfig | None = None,
 ) -> SearchResult:
     with SearchRuntime(
         graphs, config, executor=executor, runtime=runtime or RuntimeConfig()

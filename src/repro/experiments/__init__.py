@@ -16,12 +16,7 @@ from repro.experiments.discovery import (
     run_fig6,
     run_fig7,
 )
-from repro.experiments.figures import (
-    render_bars,
-    render_grouped_bars,
-    render_series,
-    render_table,
-)
+from repro.experiments.figures import render_bars, render_grouped_bars, render_series, render_table
 from repro.experiments.profiling import (
     Fig4Result,
     Fig5Result,

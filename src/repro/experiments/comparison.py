@@ -10,8 +10,8 @@ dataset; the two mixers perform comparably (aggregates equal ~1.0).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -27,22 +27,22 @@ __all__ = [
 ]
 
 #: the default max-cut QAOA mixer
-BASELINE_MIXER: Tuple[str, ...] = ("rx",)
+BASELINE_MIXER: tuple[str, ...] = ("rx",)
 #: the mixer QArchSearch discovers (Fig. 6)
-QNAS_MIXER: Tuple[str, ...] = ("rx", "ry")
+QNAS_MIXER: tuple[str, ...] = ("rx", "ry")
 
 
 @dataclass
 class MixerComparison:
     """Ratios of two mixers over a dataset and a set of depths."""
 
-    p_values: List[int]
+    p_values: list[int]
     #: mixer name -> per-p mean ratio
-    per_p: Dict[str, List[float]]
+    per_p: dict[str, list[float]]
     #: mixer name -> ratio averaged over p (the Fig. 8 bar)
-    aggregated: Dict[str, float]
+    aggregated: dict[str, float]
     #: mixer name -> per-p per-graph ratios, for distribution plots
-    per_graph: Dict[str, List[Tuple[float, ...]]] = field(default_factory=dict)
+    per_graph: dict[str, list[tuple[float, ...]]] = field(default_factory=dict)
 
     def winner(self) -> str:
         return max(self.aggregated, key=self.aggregated.get)
@@ -50,13 +50,13 @@ class MixerComparison:
 
 def _compare(
     graphs: Sequence[Graph],
-    mixers: Dict[str, Tuple[str, ...]],
+    mixers: dict[str, tuple[str, ...]],
     p_values: Sequence[int],
     config: EvaluationConfig,
 ) -> MixerComparison:
     evaluator = Evaluator(graphs, config)
-    per_p: Dict[str, List[float]] = {name: [] for name in mixers}
-    per_graph: Dict[str, List[Tuple[float, ...]]] = {name: [] for name in mixers}
+    per_p: dict[str, list[float]] = {name: [] for name in mixers}
+    per_graph: dict[str, list[tuple[float, ...]]] = {name: [] for name in mixers}
     for name, tokens in mixers.items():
         for p in p_values:
             evaluation = evaluator.evaluate(tokens, p)
@@ -74,8 +74,8 @@ def _compare(
 def run_fig8(
     er_graphs: Sequence[Graph],
     *,
-    baseline: Tuple[str, ...] = BASELINE_MIXER,
-    qnas: Tuple[str, ...] = QNAS_MIXER,
+    baseline: tuple[str, ...] = BASELINE_MIXER,
+    qnas: tuple[str, ...] = QNAS_MIXER,
     p_values: Sequence[int] = (1, 2, 3),
     config: EvaluationConfig = EvaluationConfig(),
 ) -> MixerComparison:
@@ -88,8 +88,8 @@ def run_fig8(
 def run_fig9(
     regular_graphs: Sequence[Graph],
     *,
-    baseline: Tuple[str, ...] = BASELINE_MIXER,
-    qnas: Tuple[str, ...] = QNAS_MIXER,
+    baseline: tuple[str, ...] = BASELINE_MIXER,
+    qnas: tuple[str, ...] = QNAS_MIXER,
     p_values: Sequence[int] = (1, 2, 3),
     config: EvaluationConfig = EvaluationConfig(),
 ) -> MixerComparison:

@@ -10,8 +10,8 @@ evaluation dataset, with ``('rx','ry')`` winning.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,7 +33,7 @@ __all__ = [
 ]
 
 #: the four candidates Fig. 7 plots, in the paper's order
-PAPER_FIG7_MIXERS: Tuple[Tuple[str, ...], ...] = (
+PAPER_FIG7_MIXERS: tuple[tuple[str, ...], ...] = (
     ("ry", "p"),
     ("rx", "h"),
     ("h", "p"),
@@ -54,7 +54,7 @@ class Fig6Result:
     drawing: str
 
     @property
-    def best_tokens(self) -> Tuple[str, ...]:
+    def best_tokens(self) -> tuple[str, ...]:
         return self.search.best_tokens
 
 
@@ -62,7 +62,7 @@ def run_fig6(
     train_graphs: Sequence[Graph],
     *,
     config: SearchConfig,
-    executor: Optional[Executor] = None,
+    executor: Executor | None = None,
     draw_qubits: int = 10,
 ) -> Fig6Result:
     """Run Algorithm 1 on the training (ER) dataset and draw the winner."""
@@ -75,30 +75,30 @@ class Fig7Result:
     """Per-mixer mean approximation ratios at fixed p."""
 
     p: int
-    mixers: List[Tuple[str, ...]]
-    ratios: List[float]
-    per_graph: Dict[Tuple[str, ...], Tuple[float, ...]] = field(default_factory=dict)
+    mixers: list[tuple[str, ...]]
+    ratios: list[float]
+    per_graph: dict[tuple[str, ...], tuple[float, ...]] = field(default_factory=dict)
 
     @property
-    def labels(self) -> List[str]:
+    def labels(self) -> list[str]:
         return [mixer_label(m) for m in self.mixers]
 
     @property
-    def winner(self) -> Tuple[str, ...]:
+    def winner(self) -> tuple[str, ...]:
         return self.mixers[int(np.argmax(self.ratios))]
 
 
 def run_fig7(
     eval_graphs: Sequence[Graph],
     *,
-    mixers: Sequence[Tuple[str, ...]] = PAPER_FIG7_MIXERS,
+    mixers: Sequence[tuple[str, ...]] = PAPER_FIG7_MIXERS,
     p: int = 1,
     config: EvaluationConfig = EvaluationConfig(),
 ) -> Fig7Result:
     """Score each candidate mixer on the 4-regular evaluation dataset."""
     evaluator = Evaluator(eval_graphs, config)
-    ratios: List[float] = []
-    per_graph: Dict[Tuple[str, ...], Tuple[float, ...]] = {}
+    ratios: list[float] = []
+    per_graph: dict[tuple[str, ...], tuple[float, ...]] = {}
     for tokens in mixers:
         evaluation = evaluator.evaluate(tokens, p)
         ratios.append(evaluation.ratio)

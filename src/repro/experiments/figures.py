@@ -8,7 +8,7 @@ decide whether to print or persist).
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from collections.abc import Mapping, Sequence
 
 __all__ = ["render_table", "render_bars", "render_grouped_bars", "render_series"]
 
@@ -46,8 +46,8 @@ def render_bars(
     *,
     width: int = 40,
     value_format: str = "{:.4f}",
-    vmin: Optional[float] = None,
-    vmax: Optional[float] = None,
+    vmin: float | None = None,
+    vmax: float | None = None,
 ) -> str:
     """Horizontal bar chart, one row per label."""
     if len(labels) != len(values):
@@ -72,8 +72,8 @@ def render_grouped_bars(
     *,
     width: int = 30,
     value_format: str = "{:.4f}",
-    vmin: Optional[float] = None,
-    vmax: Optional[float] = None,
+    vmin: float | None = None,
+    vmax: float | None = None,
 ) -> str:
     """Grouped horizontal bars (Fig. 9 style: one group per p, one bar per
     mixer)."""

@@ -21,19 +21,15 @@ fast path the search itself runs on.
 from __future__ import annotations
 
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.alphabet import GateAlphabet, enumerate_search_space
 from repro.core.evaluator import EvaluationConfig, classical_optima, evaluate_candidate
 from repro.graphs.generators import Graph
-from repro.parallel.executor import (
-    MultiprocessingExecutor,
-    SerialExecutor,
-    available_cores,
-)
+from repro.parallel.executor import MultiprocessingExecutor, SerialExecutor, available_cores
 from repro.parallel.scheduler import OverheadModel, simulate_core_sweep, simulate_makespan
 
 __all__ = [
@@ -47,8 +43,8 @@ __all__ = [
 
 
 def candidate_bag(
-    alphabet: GateAlphabet, k_max: int, num_candidates: Optional[int]
-) -> List[Tuple[str, ...]]:
+    alphabet: GateAlphabet, k_max: int, num_candidates: int | None
+) -> list[tuple[str, ...]]:
     """The fixed, deterministic candidate set a profiling run sweeps.
 
     Full enumeration (the paper's serial profiling examined "every possible
@@ -62,9 +58,9 @@ def candidate_bag(
 def measure_candidate_durations(
     graph: Graph,
     p: int,
-    candidates: Sequence[Tuple[str, ...]],
+    candidates: Sequence[tuple[str, ...]],
     config: EvaluationConfig,
-) -> List[float]:
+) -> list[float]:
     """Serial per-candidate training times — the task bag Fig. 5 replays."""
     classical = classical_optima([graph])
     durations = []
@@ -79,15 +75,15 @@ def measure_candidate_durations(
 class Fig4Result:
     """Mean serial/parallel search times per depth."""
 
-    p_values: List[int]
-    serial_seconds: List[float]  # mean over runs
-    parallel_seconds: List[float]
+    p_values: list[int]
+    serial_seconds: list[float]  # mean over runs
+    parallel_seconds: list[float]
     num_workers: int
-    per_run_serial: List[List[float]] = field(default_factory=list)  # [run][p]
-    per_run_parallel: List[List[float]] = field(default_factory=list)
+    per_run_serial: list[list[float]] = field(default_factory=list)  # [run][p]
+    per_run_parallel: list[list[float]] = field(default_factory=list)
 
     @property
-    def improvement(self) -> List[float]:
+    def improvement(self) -> list[float]:
         """Fractional time reduction per depth (paper: >50%)."""
         return [
             1.0 - par / ser if ser > 0 else 0.0
@@ -99,9 +95,9 @@ def run_fig4(
     run_graphs: Sequence[Graph],
     *,
     p_values: Sequence[int] = (1, 2, 3, 4),
-    candidates: Sequence[Tuple[str, ...]],
+    candidates: Sequence[tuple[str, ...]],
     config: EvaluationConfig,
-    num_workers: Optional[int] = None,
+    num_workers: int | None = None,
 ) -> Fig4Result:
     """Time the depth sweep serially and in parallel, one run per graph.
 
@@ -109,8 +105,8 @@ def run_fig4(
     different ER graph; reported times are means across runs.
     """
     num_workers = num_workers or available_cores()
-    per_run_serial: List[List[float]] = []
-    per_run_parallel: List[List[float]] = []
+    per_run_serial: list[list[float]] = []
+    per_run_parallel: list[list[float]] = []
 
     serial = SerialExecutor()
     for graph in run_graphs:
@@ -152,11 +148,11 @@ def run_fig4(
 class Fig5Result:
     """Measured serial time plus simulated (and validated) core scaling."""
 
-    core_counts: List[int]
-    simulated_seconds: List[float]
+    core_counts: list[int]
+    simulated_seconds: list[float]
     serial_seconds: float  # the dashed red line
     #: real pool validation points: workers -> (measured, simulated)
-    validation: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+    validation: dict[int, tuple[float, float]] = field(default_factory=dict)
 
     @property
     def best_fraction_of_serial(self) -> float:
@@ -168,11 +164,11 @@ def run_fig5(
     graph: Graph,
     *,
     p: int = 2,
-    candidates: Sequence[Tuple[str, ...]],
+    candidates: Sequence[tuple[str, ...]],
     config: EvaluationConfig,
     core_counts: Sequence[int] = (8, 16, 24, 32, 40, 48, 56, 64),
     overhead: OverheadModel = OverheadModel(worker_startup=0.15, dispatch_per_task=0.002),
-    validate_workers: Optional[Sequence[int]] = None,
+    validate_workers: Sequence[int] | None = None,
 ) -> Fig5Result:
     """Measure the p=2 task bag once, replay it on each core count.
 
@@ -188,7 +184,7 @@ def run_fig5(
     if validate_workers is None:
         validate_workers = [w for w in (2,) if w <= available_cores()]
     classical = classical_optima([graph])
-    validation: Dict[int, Tuple[float, float]] = {}
+    validation: dict[int, tuple[float, float]] = {}
     for workers in validate_workers:
         jobs = [([graph], tokens, p, config, classical) for tokens in candidates]
         start = time.perf_counter()

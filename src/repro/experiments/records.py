@@ -11,7 +11,7 @@ import json
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any
 
 __all__ = ["ExperimentRecord", "default_results_dir"]
 
@@ -32,21 +32,21 @@ class ExperimentRecord:
     #: what the paper reports (shape/claim being reproduced)
     paper_claim: str
     #: workload parameters actually used in this run
-    parameters: Dict[str, Any] = field(default_factory=dict)
+    parameters: dict[str, Any] = field(default_factory=dict)
     #: measured series/values
-    measured: Dict[str, Any] = field(default_factory=dict)
+    measured: dict[str, Any] = field(default_factory=dict)
     #: one-line verdict on whether the shape holds
     verdict: str = ""
     timestamp: float = field(default_factory=time.time)
 
-    def save(self, directory: Optional[Path] = None) -> Path:
+    def save(self, directory: Path | None = None) -> Path:
         directory = directory or default_results_dir()
         path = Path(directory) / f"{self.experiment}.json"
         path.write_text(json.dumps(asdict(self), indent=2, default=str))
         return path
 
     @classmethod
-    def load(cls, experiment: str, directory: Optional[Path] = None) -> "ExperimentRecord":
+    def load(cls, experiment: str, directory: Path | None = None) -> ExperimentRecord:
         directory = directory or default_results_dir()
         data = json.loads((Path(directory) / f"{experiment}.json").read_text())
         return cls(**data)

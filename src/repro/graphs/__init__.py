@@ -13,19 +13,15 @@ networkx used only in tests as a cross-check), and
 experiment harness.
 """
 
+from repro.graphs.datasets import paper_er_dataset, paper_regular_dataset, profiling_graph
 from repro.graphs.generators import (
     Graph,
-    erdos_renyi_graph,
-    random_regular_graph,
     complete_graph,
     cycle_graph,
+    erdos_renyi_graph,
     path_graph,
+    random_regular_graph,
     star_graph,
-)
-from repro.graphs.datasets import (
-    paper_er_dataset,
-    paper_regular_dataset,
-    profiling_graph,
 )
 from repro.graphs.io import graph_from_dict, graph_to_dict, load_graphs, save_graphs
 

@@ -13,8 +13,6 @@ edge probability over a ladder spanning sparse-but-connected to dense.
 
 from __future__ import annotations
 
-from typing import List
-
 from repro.graphs.generators import Graph, erdos_renyi_graph, random_regular_graph
 from repro.utils.rng import stable_seed
 from repro.utils.validation import check_positive
@@ -31,7 +29,7 @@ def paper_er_dataset(
     num_nodes: int = 10,
     *,
     dataset_seed: int = 2023,
-) -> List[Graph]:
+) -> list[Graph]:
     """The 20 ten-node Erdős–Rényi profiling/comparison graphs (§3.1, Fig. 8).
 
     Graph ``i`` uses edge probability ``ER_PROBABILITIES[i % 5]`` and a seed
@@ -60,7 +58,7 @@ def paper_regular_dataset(
     degree: int = 4,
     *,
     dataset_seed: int = 2023,
-) -> List[Graph]:
+) -> list[Graph]:
     """The 20 ten-node random 4-regular evaluation graphs (§3.2, Figs. 7, 9)."""
     check_positive(num_graphs, "num_graphs")
     check_positive(num_nodes, "num_nodes")

@@ -10,8 +10,8 @@ against networkx on distributional properties.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
@@ -28,7 +28,7 @@ __all__ = [
     "star_graph",
 ]
 
-Edge = Tuple[int, int]
+Edge = tuple[int, int]
 
 
 @dataclass(frozen=True)
@@ -42,19 +42,19 @@ class Graph:
     """
 
     num_nodes: int
-    edges: Tuple[Edge, ...]
-    weights: Tuple[float, ...] = ()
+    edges: tuple[Edge, ...]
+    weights: tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         check_positive(self.num_nodes, "num_nodes", strict=False)
-        canonical: List[Edge] = []
+        canonical: list[Edge] = []
         seen: set[Edge] = set()
         weights = self.weights if self.weights else tuple(1.0 for _ in self.edges)
         if len(weights) != len(self.edges):
             raise ValueError(
                 f"got {len(weights)} weights for {len(self.edges)} edges"
             )
-        canon_weights: List[float] = []
+        canon_weights: list[float] = []
         for (u, v), w in zip(self.edges, weights):
             u = check_integer(u, "edge endpoint")
             v = check_integer(v, "edge endpoint")
@@ -94,7 +94,7 @@ class Graph:
             np.add.at(deg, arr[:, 1], 1)
         return deg
 
-    def neighbors(self, node: int) -> List[int]:
+    def neighbors(self, node: int) -> list[int]:
         """Sorted neighbours of ``node``."""
         out = [v if u == node else u for u, v in self.edges if node in (u, v)]
         return sorted(out)
@@ -127,14 +127,14 @@ class Graph:
         """Breadth-first connectivity check (isolated graphs allowed for n<=1)."""
         if self.num_nodes <= 1:
             return True
-        adj: Dict[int, List[int]] = {i: [] for i in range(self.num_nodes)}
+        adj: dict[int, list[int]] = {i: [] for i in range(self.num_nodes)}
         for u, v in self.edges:
             adj[u].append(v)
             adj[v].append(u)
         seen = {0}
         frontier = [0]
         while frontier:
-            nxt: List[int] = []
+            nxt: list[int] = []
             for node in frontier:
                 for nb in adj[node]:
                     if nb not in seen:

@@ -8,17 +8,18 @@ small graphs, human-inspectable, no pickle across versions.
 from __future__ import annotations
 
 import json
+from collections.abc import Sequence
 from pathlib import Path
-from typing import Any, Dict, List, Sequence
+from typing import Any
 
 from repro.graphs.generators import Graph
 
 __all__ = ["graph_to_dict", "graph_from_dict", "save_graphs", "load_graphs"]
 
 
-def graph_to_dict(graph: Graph) -> Dict[str, Any]:
+def graph_to_dict(graph: Graph) -> dict[str, Any]:
     """JSON-safe dict representation of a graph."""
-    out: Dict[str, Any] = {
+    out: dict[str, Any] = {
         "num_nodes": graph.num_nodes,
         "edges": [list(e) for e in graph.edges],
     }
@@ -27,20 +28,20 @@ def graph_to_dict(graph: Graph) -> Dict[str, Any]:
     return out
 
 
-def graph_from_dict(data: Dict[str, Any]) -> Graph:
+def graph_from_dict(data: dict[str, Any]) -> Graph:
     """Inverse of :func:`graph_to_dict`."""
     edges = tuple((int(u), int(v)) for u, v in data["edges"])
     weights = tuple(float(w) for w in data.get("weights", ()))
     return Graph(int(data["num_nodes"]), edges, weights)
 
 
-def save_graphs(graphs: Sequence[Graph], path: "str | Path") -> None:
+def save_graphs(graphs: Sequence[Graph], path: str | Path) -> None:
     """Write a list of graphs as a JSON document."""
     payload = {"format": "repro-graphs-v1", "graphs": [graph_to_dict(g) for g in graphs]}
     Path(path).write_text(json.dumps(payload, indent=2))
 
 
-def load_graphs(path: "str | Path") -> List[Graph]:
+def load_graphs(path: str | Path) -> list[Graph]:
     """Read graphs written by :func:`save_graphs`."""
     payload = json.loads(Path(path).read_text())
     if payload.get("format") != "repro-graphs-v1":

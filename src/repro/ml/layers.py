@@ -12,8 +12,6 @@ test suite.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
-
 import numpy as np
 
 from repro.ml.activations import dsigmoid, dtanh, sigmoid, tanh
@@ -28,8 +26,8 @@ class _Layer:
     """Parameter/gradient bookkeeping shared by all layers."""
 
     def __init__(self) -> None:
-        self.params: Dict[str, Array] = {}
-        self.grads: Dict[str, Array] = {}
+        self.params: dict[str, Array] = {}
+        self.grads: dict[str, Array] = {}
 
     def _add_param(self, name: str, value: Array) -> None:
         self.params[name] = value
@@ -50,7 +48,7 @@ class Dense(_Layer):
         self._add_param("W", rng.normal(0.0, scale, size=(in_dim, out_dim)))
         self._add_param("b", np.zeros(out_dim))
 
-    def forward(self, x: Array) -> Tuple[Array, Array]:
+    def forward(self, x: Array) -> tuple[Array, Array]:
         """Returns ``(y, cache)``; cache is just the input."""
         return x @ self.params["W"] + self.params["b"], x
 
@@ -74,7 +72,7 @@ class Embedding(_Layer):
         rng = as_rng(seed)
         self._add_param("E", rng.normal(0.0, 0.1, size=(vocab_size, dim)))
 
-    def forward(self, token: int) -> Tuple[Array, int]:
+    def forward(self, token: int) -> tuple[Array, int]:
         return self.params["E"][token].copy(), token
 
     def backward(self, dvec: Array, cache: int) -> None:
@@ -101,7 +99,7 @@ class LSTMCell(_Layer):
         bias[hidden_dim : 2 * hidden_dim] = 1.0  # forget-gate bias
         self._add_param("b", bias)
 
-    def initial_state(self) -> Tuple[Array, Array]:
+    def initial_state(self) -> tuple[Array, Array]:
         return np.zeros(self.hidden_dim), np.zeros(self.hidden_dim)
 
     def forward(self, x: Array, h_prev: Array, c_prev: Array):
@@ -118,7 +116,7 @@ class LSTMCell(_Layer):
         cache = (x, h_prev, c_prev, i, f, g, o, c, tanh_c)
         return h, c, cache
 
-    def backward(self, dh: Array, dc: Array, cache) -> Tuple[Array, Array, Array]:
+    def backward(self, dh: Array, dc: Array, cache) -> tuple[Array, Array, Array]:
         """Backprop one step: given upstream ``dh``/``dc``, accumulate
         parameter grads and return ``(dx, dh_prev, dc_prev)``."""
         x, h_prev, c_prev, i, f, g, o, c, tanh_c = cache

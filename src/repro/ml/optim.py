@@ -7,7 +7,7 @@ which minimizes black-box objectives over flat vectors.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -45,7 +45,7 @@ class SGD:
         self.layers = list(layers)
         self.lr = float(lr)
         self.momentum = float(momentum)
-        self._velocity: List[Dict[str, Array]] = [
+        self._velocity: list[dict[str, Array]] = [
             {k: np.zeros_like(v) for k, v in layer.params.items()} for layer in self.layers
         ]
 

@@ -13,8 +13,9 @@ can be trained.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Protocol, Tuple
+from typing import Protocol
 
 import numpy as np
 
@@ -26,7 +27,7 @@ class Episode:
     """One sampled action sequence with its per-step log-probabilities and
     the policy caches needed for backprop."""
 
-    actions: Tuple[int, ...]
+    actions: tuple[int, ...]
     log_prob: float
     caches: tuple
 
@@ -38,7 +39,7 @@ class MovingBaseline:
         if not 0.0 <= decay < 1.0:
             raise ValueError(f"decay must be in [0, 1), got {decay}")
         self.decay = decay
-        self._value: Optional[float] = None
+        self._value: float | None = None
 
     @property
     def value(self) -> float:
@@ -73,14 +74,14 @@ class ReinforceTrainer:
     History tracks mean reward / best reward per update for the benches.
     """
 
-    policy: "_Policy"
-    reward_fn: Callable[[Tuple[int, ...]], float]
+    policy: _Policy
+    reward_fn: Callable[[tuple[int, ...]], float]
     batch_size: int = 8
     entropy_weight: float = 0.01
     baseline: MovingBaseline = field(default_factory=MovingBaseline)
-    mean_rewards: List[float] = field(default_factory=list)
+    mean_rewards: list[float] = field(default_factory=list)
     best_reward: float = float("-inf")
-    best_actions: Optional[Tuple[int, ...]] = None
+    best_actions: tuple[int, ...] | None = None
 
     def step(self, rng: np.random.Generator) -> float:
         """One policy update; returns the batch mean reward."""

@@ -2,38 +2,89 @@
 
 :class:`Cobyla` is the paper's choice (200 steps); :class:`NelderMead`,
 :class:`SPSA` and :class:`Adam` support the ablation benches and noisy /
-gradient-based training modes.
+gradient-based training modes — all three are batch-native
+(:meth:`~repro.optimizers.base.Optimizer.minimize_batch`), and
+:class:`MultiRestart` trains a whole population of restarts as one batch
+on the compiled engine's vectorized evaluation seam.
 """
 
 from repro.optimizers.adam import Adam
-from repro.optimizers.base import ObjectiveTracer, OptimizeResult, Optimizer
+from repro.optimizers.base import (
+    BatchObjective,
+    ObjectiveTracer,
+    Optimizer,
+    OptimizeResult,
+    batch_values,
+)
 from repro.optimizers.cobyla import Cobyla
 from repro.optimizers.nelder_mead import NelderMead
+from repro.optimizers.restarts import BATCH_MODES, MultiRestart
 from repro.optimizers.spsa import SPSA
 
 __all__ = [
-    "Optimizer",
-    "OptimizeResult",
-    "ObjectiveTracer",
-    "Cobyla",
-    "NelderMead",
-    "SPSA",
+    "BATCH_MODES",
     "Adam",
+    "BatchObjective",
+    "Cobyla",
+    "MultiRestart",
+    "NelderMead",
+    "ObjectiveTracer",
+    "OptimizeResult",
+    "Optimizer",
+    "SPSA",
+    "batch_values",
     "make_optimizer",
+    "training_optimizer",
 ]
 
 
 def make_optimizer(name: str, **kwargs) -> Optimizer:
     """Factory used by experiment configs (``"cobyla"``, ``"nelder_mead"``,
-    ``"spsa"``; ``"adam"`` requires a ``gradient`` kwarg)."""
+    ``"spsa"``; ``"adam"`` requires a ``gradient`` kwarg; ``"multi_restart"``
+    requires a ``base`` optimizer)."""
     registry = {
         "cobyla": Cobyla,
         "nelder_mead": NelderMead,
         "spsa": SPSA,
         "adam": Adam,
+        "multi_restart": MultiRestart,
     }
     try:
         cls = registry[name]
     except KeyError:
         raise ValueError(f"unknown optimizer {name!r}; options: {sorted(registry)}") from None
     return cls(**kwargs)
+
+
+def training_optimizer(
+    name: str,
+    *,
+    max_steps: int,
+    seed=None,
+    gradient=None,
+    gradient_batch=None,
+) -> Optimizer:
+    """Budget-aware construction for the variational training loop.
+
+    One home for the per-optimizer budget rules so the Evaluator and the
+    warm-started depth sweep can never drift apart: COBYLA/Nelder-Mead
+    take ``max_steps`` directly, SPSA spends 2 evals per iteration so its
+    iteration count is halved to respect the same evaluation budget, and
+    Adam needs the objective's (batched) gradient callables.
+    """
+    if name == "cobyla":
+        return Cobyla(maxiter=max_steps)
+    if name == "nelder_mead":
+        return NelderMead(maxiter=max_steps)
+    if name == "spsa":
+        return SPSA(maxiter=max(1, max_steps // 2), seed=seed)
+    if name == "adam":
+        if gradient is None:
+            raise ValueError("adam training requires a gradient callable")
+        return Adam(
+            gradient=gradient, gradient_batch=gradient_batch, maxiter=max_steps
+        )
+    raise ValueError(
+        f"unknown optimizer {name!r}; options: "
+        "['adam', 'cobyla', 'nelder_mead', 'spsa']"
+    )

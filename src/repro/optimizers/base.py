@@ -4,20 +4,96 @@ Every optimizer minimizes a scalar function of a flat parameter vector and
 returns an :class:`OptimizeResult` carrying the trace the experiment layer
 plots. The Evaluator maximizes the cut energy by minimizing its negation,
 so "loss" below is ``-<C>`` in the QAOA context.
+
+Batch-native training
+---------------------
+
+The compiled engine evaluates whole parameter batches in one vectorized
+pass (:meth:`repro.simulators.compiled.CompiledProgram.energies`), so an
+optimizer that needs many points per step — SPSA's ± pairs, Nelder–Mead's
+simplex moves, a population of restarts — should submit them as *one*
+batch instead of a Python loop of scalar calls. Two seams make that work:
+
+* :class:`BatchObjective` — the protocol an objective implements to opt in
+  (``values(X)`` for a batch of rows, ``value_and_gradient`` for the
+  gradient-based path). :meth:`repro.qaoa.energy.AnsatzEnergy.negative_objective`
+  returns one.
+* :meth:`Optimizer.minimize_batch` — minimize from a population of start
+  points at once. Batch-native subclasses (``supports_batch = True``)
+  run the whole population in lockstep, evaluating each step's proposals
+  in a single ``values`` call; the base implementation falls back to one
+  serial :meth:`Optimizer.minimize` per row, so scipy-backed optimizers
+  (COBYLA) keep working unchanged.
+
+Per-point accounting is identical on both paths: ``nfev`` counts evaluated
+*points*, never batch calls, and each restart's ``history`` is its own
+best-so-far trace.
 """
 
 from __future__ import annotations
 
 import abc
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-__all__ = ["OptimizeResult", "Optimizer", "ObjectiveTracer"]
+__all__ = [
+    "BatchObjective",
+    "ObjectiveTracer",
+    "OptimizeResult",
+    "Optimizer",
+    "batch_values",
+    "resolve_batch_fn",
+]
 
 Objective = Callable[[np.ndarray], float]
 GradientFn = Callable[[np.ndarray], np.ndarray]
+BatchFn = Callable[[np.ndarray], np.ndarray]
+
+
+@runtime_checkable
+class BatchObjective(Protocol):
+    """An objective that can score whole parameter batches at once.
+
+    ``__call__`` keeps the scalar contract every optimizer understands;
+    ``values`` evaluates the rows of a ``(B, dim)`` batch in one pass and
+    returns ``(B,)`` objective values; ``value_and_gradient`` serves the
+    gradient-based path (one batched parameter-shift pass on the compiled
+    engine).
+    """
+
+    def __call__(self, x: np.ndarray) -> float: ...
+
+    def values(self, X: np.ndarray) -> np.ndarray: ...
+
+    def value_and_gradient(self, x: np.ndarray) -> tuple[float, np.ndarray]: ...
+
+
+def resolve_batch_fn(fn: Objective, batch_fn: BatchFn | None) -> BatchFn | None:
+    """The batch evaluator to use: an explicit ``batch_fn`` wins, else the
+    objective's own :class:`BatchObjective` ``values`` method, else None."""
+    if batch_fn is not None:
+        return batch_fn
+    values = getattr(fn, "values", None)
+    return values if callable(values) else None
+
+
+def batch_values(fn: Objective, batch_fn: BatchFn | None, X: np.ndarray) -> np.ndarray:
+    """Objective values for the rows of ``X`` — one ``batch_fn`` call when
+    available, a scalar loop otherwise (the serial fallback)."""
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    batch_fn = resolve_batch_fn(fn, batch_fn)
+    if batch_fn is None:
+        return np.array([float(fn(row)) for row in X])
+    values = np.asarray(batch_fn(X), dtype=float).reshape(-1)
+    if values.shape[0] != X.shape[0]:
+        raise ValueError(
+            f"batch objective returned {values.shape[0]} values for "
+            f"{X.shape[0]} points"
+        )
+    return values
 
 
 @dataclass
@@ -31,42 +107,88 @@ class OptimizeResult:
     converged: bool
     message: str = ""
     #: best-so-far objective after each iteration (monotone non-increasing)
-    history: List[float] = field(default_factory=list)
+    history: list[float] = field(default_factory=list)
+    #: per-restart results when this result aggregates a population
+    sub_results: list["OptimizeResult"] | None = None
 
     def __post_init__(self) -> None:
         self.x = np.asarray(self.x, dtype=float)
 
 
 class ObjectiveTracer:
-    """Wraps an objective to count calls and record the best-so-far trace."""
+    """Wraps an objective to count calls and record the best-so-far trace.
 
-    def __init__(self, fn: Objective) -> None:
+    ``nfev`` counts evaluated *points* on every path: scalar ``__call__``s,
+    :meth:`batch` submissions (one increment per row, not per batch call),
+    and externally evaluated points fed through :meth:`record` — so serial
+    and batched trainings of the same trajectory report identical counts.
+    """
+
+    def __init__(self, fn: Objective, batch_fn: BatchFn | None = None) -> None:
         self._fn = fn
+        self._batch_fn = resolve_batch_fn(fn, batch_fn)
         self.nfev = 0
         self.best = np.inf
-        self.best_x: Optional[np.ndarray] = None
-        self.trace: List[float] = []
+        self.best_x: np.ndarray | None = None
+        self.trace: list[float] = []
 
     def __call__(self, x) -> float:
         x = np.asarray(x, dtype=float)
         value = float(self._fn(x))
+        self.record(x, value)
+        return value
+
+    def record(self, x: np.ndarray, value: float) -> None:
+        """Account one already-evaluated point (batched callers use this)."""
         self.nfev += 1
         if value < self.best:
             self.best = value
-            self.best_x = x.copy()
+            self.best_x = np.asarray(x, dtype=float).copy()
         self.trace.append(self.best)
-        return value
+
+    def batch(self, X) -> np.ndarray:
+        """Evaluate (and trace) every row of ``X`` in one batched call.
+
+        The rows enter the trace in order, exactly as a loop of scalar
+        calls would, so the best-so-far history and ``nfev`` match the
+        serial path point for point.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        values = batch_values(self._fn, self._batch_fn, X)
+        for row, value in zip(X, values):
+            self.record(row, float(value))
+        return values
 
 
 class Optimizer(abc.ABC):
     """Abstract minimizer. Subclasses set ``name`` and implement
-    :meth:`minimize`."""
+    :meth:`minimize`; batch-native subclasses additionally set
+    ``supports_batch = True`` and override :meth:`minimize_batch`."""
 
     name: str = "abstract"
+    #: True when minimize_batch runs a population in lockstep with batched
+    #: objective calls (instead of the serial per-row fallback below)
+    supports_batch: bool = False
 
     @abc.abstractmethod
     def minimize(self, fn: Objective, x0: Sequence[float]) -> OptimizeResult:
         """Minimize ``fn`` starting from ``x0``."""
+
+    def minimize_batch(
+        self,
+        fn: Objective,
+        X0: np.ndarray,
+        batch_fn: BatchFn | None = None,
+    ) -> list[OptimizeResult]:
+        """Minimize from every row of ``X0``; one result per row.
+
+        Base implementation: the serial fallback — one independent
+        :meth:`minimize` per start point, ignoring ``batch_fn`` — so any
+        optimizer (including scipy-backed ones) accepts a population.
+        """
+        del batch_fn  # the serial fallback evaluates point by point
+        X0 = np.atleast_2d(np.asarray(X0, dtype=float))
+        return [self.minimize(fn, x0) for x0 in X0]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"

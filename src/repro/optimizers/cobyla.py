@@ -9,12 +9,12 @@ add risk without adding fidelity.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 from scipy import optimize as sp_optimize
 
-from repro.optimizers.base import Objective, ObjectiveTracer, OptimizeResult, Optimizer
+from repro.optimizers.base import Objective, ObjectiveTracer, Optimizer, OptimizeResult
 
 __all__ = ["Cobyla"]
 

@@ -1,0 +1,109 @@
+"""Multi-restart meta-optimization: K seeds trained as one batch.
+
+Independent restarts are the standard defence against bad initial angles
+in variational training (the Evaluator's ``restarts`` knob), but running
+them one after another leaves the compiled engine's batched evaluation on
+the floor: every restart is the *same* objective, so their per-step
+proposals can ride one :meth:`~repro.simulators.compiled.CompiledProgram.energies`
+call. :class:`MultiRestart` wraps any :class:`~repro.optimizers.base.Optimizer`
+and trains a whole population of start points at once — batch-natively in
+lockstep when the base optimizer supports it, serially otherwise — then
+returns the best result with population-wide ``nfev`` accounting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.optimizers.base import BatchFn, Objective, Optimizer, OptimizeResult, resolve_batch_fn
+
+__all__ = ["BATCH_MODES", "MultiRestart"]
+
+#: how a restart population is driven: "auto" batches whenever the base
+#: optimizer is batch-native and a batch objective is available, "batched"
+#: always routes through minimize_batch (its serial fallback included),
+#: "serial" forces one minimize call per restart
+BATCH_MODES = ("auto", "batched", "serial")
+
+
+class MultiRestart(Optimizer):
+    """Train every row of a start-point population, return the best.
+
+    The population result keeps the winning restart's ``x``/``fun``/
+    ``history`` but sums ``nfev`` over all restarts (the total points the
+    objective paid for) and exposes the per-restart results via
+    ``sub_results``.
+    """
+
+    name = "multi_restart"
+
+    def __init__(self, base: Optimizer, batch_mode: str = "auto") -> None:
+        if batch_mode not in BATCH_MODES:
+            raise ValueError(
+                f"unknown batch mode {batch_mode!r}; options: {BATCH_MODES}"
+            )
+        self.base = base
+        self.batch_mode = batch_mode
+
+    @property
+    def supports_batch(self) -> bool:  # type: ignore[override]
+        return self.base.supports_batch
+
+    def _use_batch(self, fn: Objective, batch_fn: BatchFn | None) -> bool:
+        if self.batch_mode == "serial":
+            return False
+        if self.batch_mode == "batched":
+            return True
+        return self.base.supports_batch and resolve_batch_fn(fn, batch_fn) is not None
+
+    def minimize_population(
+        self,
+        fn: Objective,
+        X0: np.ndarray,
+        batch_fn: BatchFn | None = None,
+    ) -> OptimizeResult:
+        """Minimize from every row of ``X0``; aggregate to the best."""
+        X0 = np.atleast_2d(np.asarray(X0, dtype=float))
+        if X0.shape[0] == 0:
+            raise ValueError("restart population is empty")
+        if self._use_batch(fn, batch_fn):
+            results = self.base.minimize_batch(fn, X0, batch_fn=batch_fn)
+            mode = "batched"
+        else:
+            results = [self.base.minimize(fn, x0) for x0 in X0]
+            mode = "serial"
+        best = min(results, key=lambda r: r.fun)
+        return OptimizeResult(
+            x=best.x,
+            fun=best.fun,
+            nfev=sum(r.nfev for r in results),
+            nit=max(r.nit for r in results),
+            converged=best.converged,
+            message=(
+                f"best of {len(results)} {mode} restart(s): {best.message}"
+            ),
+            history=best.history,
+            sub_results=results,
+        )
+
+    def minimize(self, fn: Objective, x0: Sequence[float]) -> OptimizeResult:
+        """A single-seed population (satisfies the Optimizer interface)."""
+        return self.minimize_population(fn, np.atleast_2d(np.asarray(x0, float)))
+
+    def minimize_batch(
+        self,
+        fn: Objective,
+        X0: np.ndarray,
+        batch_fn: BatchFn | None = None,
+    ) -> list[OptimizeResult]:
+        """Delegate to the base optimizer (population-per-row semantics
+        collapse to the base's own batch behaviour)."""
+        if self._use_batch(fn, batch_fn):
+            return self.base.minimize_batch(fn, X0, batch_fn=batch_fn)
+        X0 = np.atleast_2d(np.asarray(X0, dtype=float))
+        return [self.base.minimize(fn, x0) for x0 in X0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MultiRestart({self.base!r}, batch_mode={self.batch_mode!r})"

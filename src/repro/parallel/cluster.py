@@ -10,8 +10,8 @@ speedup factors) — without owning a supercomputer.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import List, Sequence
 
 import numpy as np
 
@@ -40,8 +40,8 @@ class TwoLevelResult:
     """Outcome of a two-level schedule."""
 
     makespan: float
-    node_makespans: List[float]
-    node_assignments: List[List[int]]  # node -> list of outer-task indices
+    node_makespans: list[float]
+    node_assignments: list[list[int]]  # node -> list of outer-task indices
 
     @property
     def imbalance(self) -> float:
@@ -63,7 +63,7 @@ class ClusterModel:
     overhead: OverheadModel = field(default_factory=OverheadModel)
 
     @classmethod
-    def polaris(cls, num_nodes: int = 4) -> "ClusterModel":
+    def polaris(cls, num_nodes: int = 4) -> ClusterModel:
         return cls(num_nodes=num_nodes, node=NodeSpec(cores=32, gpus=4, gpu_speedup=8.0))
 
     def schedule_two_level(
@@ -78,7 +78,7 @@ class ClusterModel:
         speedup on as many concurrent tasks as there are GPUs (a coarse
         model of simulation offload)."""
         check_positive(self.num_nodes, "num_nodes")
-        node_assignments: List[List[int]] = [[] for _ in range(self.num_nodes)]
+        node_assignments: list[list[int]] = [[] for _ in range(self.num_nodes)]
         # Outer level: greedy least-loaded assignment by total inner work.
         node_load = [0.0] * self.num_nodes
         order = sorted(
@@ -89,9 +89,9 @@ class ClusterModel:
             node_assignments[target].append(task_idx)
             node_load[target] += float(np.sum(outer_tasks[task_idx]))
 
-        node_makespans: List[float] = []
+        node_makespans: list[float] = []
         for node_idx in range(self.num_nodes):
-            durations: List[float] = []
+            durations: list[float] = []
             for task_idx in node_assignments[node_idx]:
                 durations.extend(float(d) for d in outer_tasks[task_idx])
             if use_gpus and self.node.gpus > 0:
@@ -106,7 +106,7 @@ class ClusterModel:
             node_assignments=node_assignments,
         )
 
-    def _offload(self, durations: List[float]) -> List[float]:
+    def _offload(self, durations: list[float]) -> list[float]:
         """Shrink the longest tasks by the GPU speedup, one per GPU 'slot'
         per scheduling wave (longest tasks benefit most from offload)."""
         if not durations:

@@ -18,8 +18,9 @@ from __future__ import annotations
 import abc
 import multiprocessing as mp
 import os
+from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Any
 
 __all__ = [
     "Executor",
@@ -49,10 +50,10 @@ class Executor(abc.ABC):
     tainted: bool = False
 
     @abc.abstractmethod
-    def starmap(self, fn: Callable, jobs: Sequence[Tuple]) -> List[Any]:
+    def starmap(self, fn: Callable, jobs: Sequence[tuple]) -> list[Any]:
         """Apply ``fn(*job)`` to every job, preserving input order."""
 
-    def submit(self, fn: Callable, *args) -> "Future":
+    def submit(self, fn: Callable, *args) -> Future:
         """Run one job, returning a future.
 
         The default executes inline (correct for serial execution and any
@@ -66,13 +67,13 @@ class Executor(abc.ABC):
             future.set_exception(exc)
         return future
 
-    def map(self, fn: Callable, items: Iterable) -> List[Any]:
+    def map(self, fn: Callable, items: Iterable) -> list[Any]:
         return self.starmap(_apply_single, [(fn, item) for item in items])
 
     def close(self) -> None:  # pragma: no cover - default no-op
         pass
 
-    def __enter__(self) -> "Executor":
+    def __enter__(self) -> Executor:
         return self
 
     def __exit__(self, *exc) -> None:
@@ -89,7 +90,7 @@ class SerialExecutor(Executor):
     name = "serial"
     num_workers = 1
 
-    def starmap(self, fn: Callable, jobs: Sequence[Tuple]) -> List[Any]:
+    def starmap(self, fn: Callable, jobs: Sequence[tuple]) -> list[Any]:
         return [fn(*job) for job in jobs]
 
 
@@ -107,12 +108,12 @@ class MultiprocessingExecutor(Executor):
 
     def __init__(
         self,
-        num_workers: Optional[int] = None,
+        num_workers: int | None = None,
         *,
         chunksize: int = 1,
-        start_method: Optional[str] = None,
-        initializer: Optional[Callable] = None,
-        initargs: Tuple = (),
+        start_method: str | None = None,
+        initializer: Callable | None = None,
+        initargs: tuple = (),
     ) -> None:
         self.num_workers = num_workers or available_cores()
         self.chunksize = max(1, int(chunksize))
@@ -121,7 +122,7 @@ class MultiprocessingExecutor(Executor):
             processes=self.num_workers, initializer=initializer, initargs=initargs
         )
 
-    def starmap(self, fn: Callable, jobs: Sequence[Tuple]) -> List[Any]:
+    def starmap(self, fn: Callable, jobs: Sequence[tuple]) -> list[Any]:
         async_result = self._pool.starmap_async(fn, jobs, chunksize=self.chunksize)
         return async_result.get()
 
@@ -167,11 +168,11 @@ class ThreadExecutor(Executor):
 
     name = "threads"
 
-    def __init__(self, num_workers: Optional[int] = None) -> None:
+    def __init__(self, num_workers: int | None = None) -> None:
         self.num_workers = num_workers or available_cores()
         self._pool = ThreadPoolExecutor(max_workers=self.num_workers)
 
-    def starmap(self, fn: Callable, jobs: Sequence[Tuple]) -> List[Any]:
+    def starmap(self, fn: Callable, jobs: Sequence[tuple]) -> list[Any]:
         futures = [self._pool.submit(fn, *job) for job in jobs]
         return [f.result() for f in futures]
 
@@ -184,7 +185,7 @@ class ThreadExecutor(Executor):
         self._pool.shutdown(wait=not self.tainted)
 
 
-def make_executor(name: str, num_workers: Optional[int] = None, **kwargs) -> Executor:
+def make_executor(name: str, num_workers: int | None = None, **kwargs) -> Executor:
     """Factory for experiment configs: ``serial`` / ``processes`` / ``threads``."""
     if name == "serial":
         return SerialExecutor()

@@ -15,9 +15,10 @@ transient faults cost one job's latency instead of the search.
 from __future__ import annotations
 
 import time
+from collections.abc import Callable, Iterator, Sequence
 from concurrent.futures import FIRST_COMPLETED, Future, wait
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any
 
 from repro.parallel.executor import Executor, SerialExecutor
 
@@ -53,7 +54,7 @@ class _Pending:
 
     index: int
     attempt: int
-    deadline: Optional[float]
+    deadline: float | None
 
 
 class JobScheduler:
@@ -74,10 +75,10 @@ class JobScheduler:
 
     def __init__(
         self,
-        executor: Optional[Executor] = None,
+        executor: Executor | None = None,
         *,
         max_retries: int = 2,
-        timeout: Optional[float] = None,
+        timeout: float | None = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
@@ -91,11 +92,11 @@ class JobScheduler:
     # -- public API --------------------------------------------------------
 
     def as_completed(
-        self, fn: Callable, jobs: Sequence[Tuple]
-    ) -> Iterator[Tuple[int, Any]]:
+        self, fn: Callable, jobs: Sequence[tuple]
+    ) -> Iterator[tuple[int, Any]]:
         """Yield ``(job_index, result)`` pairs in completion order."""
         jobs = list(jobs)
-        pending: Dict[Future, _Pending] = {}
+        pending: dict[Future, _Pending] = {}
         for index, job in enumerate(jobs):
             self._submit(pending, fn, jobs, index, attempt=1)
 
@@ -114,9 +115,9 @@ class JobScheduler:
                     self._retry_or_fail(pending, fn, jobs, entry, error)
             self._expire(pending, fn, jobs)
 
-    def run(self, fn: Callable, jobs: Sequence[Tuple]) -> List[Any]:
+    def run(self, fn: Callable, jobs: Sequence[tuple]) -> list[Any]:
         """Ordered results — a fault-tolerant drop-in for ``starmap``."""
-        results: List[Any] = [None] * len(jobs)
+        results: list[Any] = [None] * len(jobs)
         for index, result in self.as_completed(fn, jobs):
             results[index] = result
         return results
@@ -125,9 +126,9 @@ class JobScheduler:
 
     def _submit(
         self,
-        pending: Dict[Future, _Pending],
+        pending: dict[Future, _Pending],
         fn: Callable,
-        jobs: Sequence[Tuple],
+        jobs: Sequence[tuple],
         index: int,
         attempt: int,
     ) -> None:
@@ -138,9 +139,9 @@ class JobScheduler:
 
     def _retry_or_fail(
         self,
-        pending: Dict[Future, _Pending],
+        pending: dict[Future, _Pending],
         fn: Callable,
-        jobs: Sequence[Tuple],
+        jobs: Sequence[tuple],
         entry: _Pending,
         cause: BaseException,
     ) -> None:
@@ -152,7 +153,7 @@ class JobScheduler:
             raise JobFailedError(entry.index, entry.attempt, cause) from cause
 
     def _expire(
-        self, pending: Dict[Future, _Pending], fn: Callable, jobs: Sequence[Tuple]
+        self, pending: dict[Future, _Pending], fn: Callable, jobs: Sequence[tuple]
     ) -> None:
         now = time.monotonic()
         expired = [
@@ -178,7 +179,7 @@ class JobScheduler:
                 ),
             )
 
-    def _next_wait(self, pending: Dict[Future, _Pending]) -> Optional[float]:
+    def _next_wait(self, pending: dict[Future, _Pending]) -> float | None:
         """Seconds until the earliest deadline (None = wait indefinitely)."""
         deadlines = [e.deadline for e in pending.values() if e.deadline is not None]
         if not deadlines:

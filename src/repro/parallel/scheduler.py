@@ -29,8 +29,8 @@ predictions are checked against real executor timings in the test suite.
 from __future__ import annotations
 
 import heapq
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -67,8 +67,8 @@ class ScheduleResult:
 
     num_workers: int
     makespan: float
-    worker_finish_times: List[float]
-    assignments: List[int]  # task index -> worker index
+    worker_finish_times: list[float]
+    assignments: list[int]  # task index -> worker index
     policy: str
 
     @property
@@ -100,7 +100,7 @@ def simulate_makespan(
         raise ValueError(f"unknown policy {policy!r}; options: fifo, lpt")
 
     # (finish_time, worker_index) min-heap
-    heap: List[Tuple[float, int]] = [
+    heap: list[tuple[float, int]] = [
         (overhead.worker_startup, w) for w in range(num_workers)
     ]
     heapq.heapify(heap)
@@ -123,7 +123,7 @@ def simulate_core_sweep(
     *,
     overhead: OverheadModel = OverheadModel(),
     policy: str = "fifo",
-) -> List[ScheduleResult]:
+) -> list[ScheduleResult]:
     """Fig. 5's x-axis: the same measured task bag on each core count."""
     return [
         simulate_makespan(durations, w, overhead=overhead, policy=policy)
@@ -131,6 +131,6 @@ def simulate_core_sweep(
     ]
 
 
-def speedup_curve(results: Sequence[ScheduleResult], serial_time: float) -> Dict[int, float]:
+def speedup_curve(results: Sequence[ScheduleResult], serial_time: float) -> dict[int, float]:
     """``serial_time / makespan`` per worker count."""
     return {r.num_workers: serial_time / r.makespan for r in results}

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple, TypeVar
+from typing import TypeVar
 
 __all__ = ["Timer", "time_call", "TimingLog"]
 
@@ -23,7 +24,7 @@ class Timer:
         self.start = 0.0
         self.elapsed = 0.0
 
-    def __enter__(self) -> "Timer":
+    def __enter__(self) -> Timer:
         self.start = time.perf_counter()
         return self
 
@@ -31,7 +32,7 @@ class Timer:
         self.elapsed = time.perf_counter() - self.start
 
 
-def time_call(fn: Callable[..., T], *args, **kwargs) -> Tuple[T, float]:
+def time_call(fn: Callable[..., T], *args, **kwargs) -> tuple[T, float]:
     """Run ``fn`` and return ``(result, seconds)``."""
     start = time.perf_counter()
     result = fn(*args, **kwargs)
@@ -42,7 +43,7 @@ def time_call(fn: Callable[..., T], *args, **kwargs) -> Tuple[T, float]:
 class TimingLog:
     """Named duration accumulator (per-phase breakdowns in the harness)."""
 
-    entries: Dict[str, List[float]] = field(default_factory=dict)
+    entries: dict[str, list[float]] = field(default_factory=dict)
 
     def record(self, name: str, seconds: float) -> None:
         self.entries.setdefault(name, []).append(seconds)
@@ -54,7 +55,7 @@ class TimingLog:
         values = self.entries.get(name, ())
         return sum(values) / len(values) if values else 0.0
 
-    def summary(self) -> Dict[str, Dict[str, float]]:
+    def summary(self) -> dict[str, dict[str, float]]:
         return {
             name: {
                 "total": self.total(name),

@@ -11,12 +11,7 @@ from repro.qaoa.analytic import edge_energy_p1, grid_search_p1, maxcut_energy_p1
 from repro.qaoa.ansatz import QAOAAnsatz, build_qaoa_ansatz
 from repro.qaoa.cost_operator import append_cost_layer, cost_layer
 from repro.qaoa.energy import AnsatzEnergy
-from repro.qaoa.initialization import (
-    interp_init,
-    make_initializer,
-    ramp_init,
-    uniform_init,
-)
+from repro.qaoa.initialization import interp_init, make_initializer, ramp_init, uniform_init
 from repro.qaoa.maxcut import (
     CutSolution,
     approximation_ratio,
@@ -26,21 +21,6 @@ from repro.qaoa.maxcut import (
     greedy_maxcut,
     local_search_maxcut,
     random_cut_expectation,
-)
-from repro.qaoa.observables import (
-    PauliSum,
-    PauliTerm,
-    ising_hamiltonian,
-    maxcut_hamiltonian,
-    qubo_to_ising,
-    tfim_hamiltonian,
-)
-from repro.qaoa.vqe import (
-    VQEAnsatz,
-    VQEEnergy,
-    build_vqe_ansatz,
-    search_vqe_ansatz,
-    train_vqe,
 )
 from repro.qaoa.mixers import (
     ENTANGLER_TOKENS,
@@ -52,6 +32,15 @@ from repro.qaoa.mixers import (
     mixer_label,
     mixer_layer,
 )
+from repro.qaoa.observables import (
+    PauliSum,
+    PauliTerm,
+    ising_hamiltonian,
+    maxcut_hamiltonian,
+    qubo_to_ising,
+    tfim_hamiltonian,
+)
+from repro.qaoa.vqe import VQEAnsatz, VQEEnergy, build_vqe_ansatz, search_vqe_ansatz, train_vqe
 
 __all__ = [
     "QAOAAnsatz",

@@ -8,8 +8,8 @@ architectures plug in.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.parameters import Parameter
@@ -32,10 +32,10 @@ class QAOAAnsatz:
     """
 
     circuit: QuantumCircuit
-    gammas: Tuple[Parameter, ...]
-    betas: Tuple[Parameter, ...]
+    gammas: tuple[Parameter, ...]
+    betas: tuple[Parameter, ...]
     graph: Graph
-    mixer_tokens: Tuple[str, ...]
+    mixer_tokens: tuple[str, ...]
     initial_hadamard: bool
 
     @property
@@ -43,7 +43,7 @@ class QAOAAnsatz:
         return len(self.gammas)
 
     @property
-    def parameters(self) -> List[Parameter]:
+    def parameters(self) -> list[Parameter]:
         return list(self.gammas) + list(self.betas)
 
     @property

@@ -31,7 +31,7 @@ occurrence.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -44,7 +44,7 @@ from repro.simulators.compiled import SHIFT_RULE_GATES, CompiledProgram
 from repro.simulators.expectation import maxcut_expectation
 from repro.simulators.statevector import plus_state, simulate, zero_state
 
-__all__ = ["AnsatzEnergy", "ENGINES"]
+__all__ = ["AnsatzEnergy", "ENGINES", "NegatedEnergy"]
 
 #: the recognised simulation engines, fastest first
 ENGINES = ("compiled", "statevector", "qtensor")
@@ -63,7 +63,7 @@ class AnsatzEnergy:
         ansatz: QAOAAnsatz,
         *,
         engine: str = "compiled",
-        qtensor_simulator: Optional[QTensorSimulator] = None,
+        qtensor_simulator: QTensorSimulator | None = None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; options: {ENGINES}")
@@ -72,7 +72,7 @@ class AnsatzEnergy:
         self._qtensor = qtensor_simulator or (
             QTensorSimulator() if engine == "qtensor" else None
         )
-        self._program: Optional[CompiledProgram] = None
+        self._program: CompiledProgram | None = None
         self.num_evaluations = 0
 
     @property
@@ -97,6 +97,17 @@ class AnsatzEnergy:
     def negative(self, x: Sequence[float]) -> float:
         """``-<C>`` — the minimization objective (we maximize the cut)."""
         return -self.value(x)
+
+    def negatives(self, X: Sequence[Sequence[float]]) -> np.ndarray:
+        """``-<C>`` for a batch of parameter vectors (rows of ``X``)."""
+        return -self.values(X)
+
+    def negative_objective(self) -> NegatedEnergy:
+        """The minimization view of this energy as a
+        :class:`~repro.optimizers.base.BatchObjective` — scalar calls,
+        batched ``values``, and (batched) parameter-shift gradients all
+        negated, so batch-native optimizers can drive it directly."""
+        return NegatedEnergy(self)
 
     def values(self, X: Sequence[Sequence[float]]) -> np.ndarray:
         """``<C>`` for a batch of parameter vectors (rows of ``X``).
@@ -147,7 +158,7 @@ class AnsatzEnergy:
             return grad
         x = list(x)
         params = self.ansatz.parameters
-        bindings: Dict[Parameter, float] = dict(zip(params, x))
+        bindings: dict[Parameter, float] = dict(zip(params, x))
         grad = np.zeros(len(params))
         instructions = self.ansatz.circuit.instructions
         for gate_idx, instr in enumerate(instructions):
@@ -173,7 +184,7 @@ class AnsatzEnergy:
         self,
         gate_idx: int,
         angle_expr: ParameterExpression,
-        bindings: Dict[Parameter, float],
+        bindings: dict[Parameter, float],
         shift: float,
     ) -> float:
         shifted = QuantumCircuit(self.ansatz.circuit.num_qubits)
@@ -185,6 +196,50 @@ class AnsatzEnergy:
                 shifted.append(instr.gate, instr.qubits)
         return self._energy_of_circuit(shifted.bind_parameters(bindings))
 
+    def gradients(self, X: Sequence[Sequence[float]]) -> np.ndarray:
+        """Parameter-shift gradients for a batch of parameter vectors.
+
+        The compiled engine runs all rows' shifted evaluations through the
+        shared chunked batch passes; the other engines loop
+        :meth:`gradient` per row.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if self.engine == "compiled":
+            grads = self.program.gradients(X)
+            self.num_evaluations += 2 * self.program.num_shift_sites * X.shape[0]
+            return grads
+        return np.stack([self.gradient(row) for row in X])
+
     def value_and_gradient(self, x: Sequence[float]):
         """Convenience for gradient-based optimizers."""
         return self.value(x), self.gradient(x)
+
+
+class NegatedEnergy:
+    """Minimization view of an :class:`AnsatzEnergy` (``-<C>``).
+
+    Implements the :class:`~repro.optimizers.base.BatchObjective` protocol:
+    scalar ``__call__``, batched ``values``, and (batched) gradients, each
+    the negation of the underlying energy — what the Evaluator hands to
+    batch-native optimizers so a whole restart population trains through
+    one :meth:`CompiledProgram.energies` call per step.
+    """
+
+    def __init__(self, energy: AnsatzEnergy) -> None:
+        self.energy = energy
+
+    def __call__(self, x: Sequence[float]) -> float:
+        return -self.energy.value(x)
+
+    def values(self, X: Sequence[Sequence[float]]) -> np.ndarray:
+        return -self.energy.values(X)
+
+    def gradient(self, x: Sequence[float]) -> np.ndarray:
+        return -self.energy.gradient(x)
+
+    def gradients(self, X: Sequence[Sequence[float]]) -> np.ndarray:
+        return -self.energy.gradients(X)
+
+    def value_and_gradient(self, x: Sequence[float]):
+        value, grad = self.energy.value_and_gradient(x)
+        return -value, -grad

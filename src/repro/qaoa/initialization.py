@@ -16,7 +16,7 @@ search's ranking signal — stay meaningful at depth:
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -12,8 +12,8 @@ greedy/local-search heuristics below keep the approximation ratio defined.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Optional, Sequence
 
 import numpy as np
 
@@ -155,7 +155,7 @@ def approximation_ratio(
     quantum_energy: float,
     graph: Graph,
     *,
-    classical_value: Optional[float] = None,
+    classical_value: float | None = None,
 ) -> float:
     """Eq. (3): ``r = <C_max> / C_classical``.
 

@@ -16,7 +16,7 @@ are off by default and exercised by the extension tests/benches.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.parameters import ParameterValue

@@ -14,8 +14,8 @@ cost Hamiltonians.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -70,7 +70,7 @@ class PauliSum:
     def __init__(
         self, terms: Iterable[PauliTerm], *, num_qubits: int | None = None
     ) -> None:
-        merged: Dict[str, float] = {}
+        merged: dict[str, float] = {}
         width = num_qubits
         for term in terms:
             if width is None:
@@ -87,7 +87,7 @@ class PauliSum:
         self.num_qubits = width
         # terms cancelling to zero are dropped; an empty PauliSum is the
         # zero observable on `num_qubits` qubits
-        self.terms: Tuple[PauliTerm, ...] = tuple(
+        self.terms: tuple[PauliTerm, ...] = tuple(
             PauliTerm(p, c) for p, c in sorted(merged.items()) if c != 0.0
         )
 
@@ -166,7 +166,7 @@ def _z_string(num_qubits: int, qubits: Sequence[int]) -> str:
 
 def ising_hamiltonian(
     num_qubits: int,
-    couplings: Mapping[Tuple[int, int], float],
+    couplings: Mapping[tuple[int, int], float],
     fields: Mapping[int, float] | None = None,
     offset: float = 0.0,
 ) -> PauliSum:
@@ -223,8 +223,8 @@ def qubo_to_ising(q_matrix: np.ndarray) -> PauliSum:
         raise ValueError(f"QUBO matrix must be square, got {q_matrix.shape}")
     n = q_matrix.shape[0]
     sym = (q_matrix + q_matrix.T) / 2.0
-    couplings: Dict[Tuple[int, int], float] = {}
-    fields: Dict[int, float] = {}
+    couplings: dict[tuple[int, int], float] = {}
+    fields: dict[int, float] = {}
     offset = 0.0
     for i in range(n):
         offset += sym[i, i] / 2.0

@@ -18,8 +18,8 @@ sample candidates, train each with COBYLA, keep the lowest energy.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,8 +40,8 @@ class VQEAnsatz:
     """A layered ansatz and its free parameters (one per token-layer)."""
 
     circuit: QuantumCircuit
-    parameters: Tuple[Parameter, ...]
-    tokens: Tuple[str, ...]
+    parameters: tuple[Parameter, ...]
+    tokens: tuple[str, ...]
     layers: int
 
     @property
@@ -75,7 +75,7 @@ def build_vqe_ansatz(
     if not tokens:
         raise ValueError("ansatz needs at least one token")
     circuit = QuantumCircuit(num_qubits, name=f"vqe_{'-'.join(tokens)}_x{layers}")
-    params: List[Parameter] = []
+    params: list[Parameter] = []
     for layer in range(layers):
         for t_index, token in enumerate(tokens):
             if token in PARAMETERIZED_TOKENS:
@@ -122,7 +122,7 @@ class VQEEnergy:
 class VQEResult:
     """One trained candidate ansatz."""
 
-    tokens: Tuple[str, ...]
+    tokens: tuple[str, ...]
     layers: int
     energy: float
     params: np.ndarray
@@ -136,7 +136,7 @@ def train_vqe(
     tokens: Sequence[str],
     layers: int,
     *,
-    optimizer: Optional[Optimizer] = None,
+    optimizer: Optimizer | None = None,
     restarts: int = 2,
     seed: int = 0,
     entangle: bool = True,
@@ -181,7 +181,7 @@ def search_vqe_ansatz(
     optimizer_steps: int = 120,
     restarts: int = 2,
     seed: int = 0,
-) -> List[VQEResult]:
+) -> list[VQEResult]:
     """Score every candidate token sequence; returns results sorted by
     energy ascending (best first) — Algorithm 1's inner loop for VQE."""
     results = [

@@ -15,7 +15,7 @@ the paper's future-work section describes — touches only this layer.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -30,10 +30,10 @@ _MAX_OPERANDS = 16
 
 def _einsum_subscripts(
     operands: Sequence[Tensor], out_vars: Sequence[Variable]
-) -> List:
+) -> list:
     """Build the integer-subscript argument list for ``np.einsum``."""
-    local: Dict[Variable, int] = {}
-    args: List = []
+    local: dict[Variable, int] = {}
+    args: list = []
     for tensor in operands:
         labels = []
         for v in tensor.indices:
@@ -93,6 +93,6 @@ class ContractionBackend(abc.ABC):
     def reset_stats(self) -> None:  # pragma: no cover - default no-op
         """Clear any accumulated instrumentation."""
 
-    def stats(self) -> Dict[str, float]:  # pragma: no cover - default no-op
+    def stats(self) -> dict[str, float]:  # pragma: no cover - default no-op
         """Backend-specific counters (flops, bytes moved, device time)."""
         return {}

@@ -17,8 +17,8 @@ defaults are order-of-magnitude A100-class values.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, Sequence
 
 import numpy as np
 
@@ -112,7 +112,7 @@ class SimulatedGPUBackend(ContractionBackend):
         self.bytes_transferred = 0
         self.flops = 0.0
 
-    def stats(self) -> Dict[str, float]:
+    def stats(self) -> dict[str, float]:
         out = dict(self._host.stats())
         out.update(
             device_seconds=self.device_seconds,

@@ -8,15 +8,11 @@ compare plans without re-timing.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
-from repro.qtensor.backends.base import (
-    ContractionBackend,
-    einsum_bucket,
-    einsum_combine,
-)
+from repro.qtensor.backends.base import ContractionBackend, einsum_bucket, einsum_combine
 from repro.qtensor.tensor import Tensor
 from repro.qtensor.variables import Variable
 
@@ -55,7 +51,7 @@ class NumpyBackend(ContractionBackend):
         self._max_out_rank = 0
         self._elements_written = 0
 
-    def stats(self) -> Dict[str, float]:
+    def stats(self) -> dict[str, float]:
         return {
             "buckets": float(self._buckets),
             "max_out_rank": float(self._max_out_rank),

@@ -16,7 +16,7 @@ circuits, lives in :mod:`repro.parallel`).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -39,7 +39,7 @@ def bucket_elimination(
     tensors: Sequence[Tensor],
     order: Sequence[Variable],
     open_vars: Sequence[Variable] = (),
-    backend: Optional[ContractionBackend] = None,
+    backend: ContractionBackend | None = None,
 ) -> Tensor:
     """Contract ``tensors``, eliminating ``order``, keeping ``open_vars``.
 
@@ -48,7 +48,7 @@ def bucket_elimination(
     would return a wrong-shaped result.
     """
     backend = backend or NumpyBackend()
-    position: Dict[Variable, int] = {v: i for i, v in enumerate(order)}
+    position: dict[Variable, int] = {v: i for i, v in enumerate(order)}
     open_set = set(open_vars)
     if open_set & set(position):
         overlap = sorted(v.name for v in open_set & set(position))
@@ -59,8 +59,8 @@ def bucket_elimination(
         names = sorted(v.name for v in unaccounted)
         raise ValueError(f"variables {names} neither ordered nor open")
 
-    buckets: List[List[Tensor]] = [[] for _ in order]
-    leftovers: List[Tensor] = []
+    buckets: list[list[Tensor]] = [[] for _ in order]
+    leftovers: list[Tensor] = []
 
     def file_tensor(tensor: Tensor) -> None:
         eliminable = [position[v] for v in tensor.indices if v in position]
@@ -85,8 +85,8 @@ def bucket_elimination(
 def contract_network(
     network: TensorNetwork,
     *,
-    backend: Optional[ContractionBackend] = None,
-    order: Optional[EliminationOrder] = None,
+    backend: ContractionBackend | None = None,
+    order: EliminationOrder | None = None,
     method: str = "min_fill",
     n_restarts: int = 1,
     seed=None,
@@ -113,7 +113,7 @@ def choose_slice_vars(
     num_vars: int,
     *,
     exclude: Sequence[Variable] = (),
-) -> List[Variable]:
+) -> list[Variable]:
     """Pick slice variables by highest interaction-graph degree.
 
     High-degree variables appear in many tensors, so fixing them shrinks the

@@ -21,8 +21,8 @@ machine below never drops a gate the stronger analysis would keep.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from enum import Enum
-from typing import Iterable, List, Set
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.utils.validation import check_qubit_index
@@ -51,7 +51,7 @@ def lightcone_circuit(
     diagonal in the computational basis (Z-strings, the max-cut cost).
     """
     targets = sorted({check_qubit_index(q, circuit.num_qubits) for q in observable_qubits})
-    state: List[_WireState] = [_WireState.IDENTITY] * circuit.num_qubits
+    state: list[_WireState] = [_WireState.IDENTITY] * circuit.num_qubits
     for q in targets:
         state[q] = _WireState.DIAGONAL
     keep_reversed = []
@@ -90,11 +90,11 @@ def lightcone_qubits(
     observable_qubits: Iterable[int],
     *,
     diag_aware: bool = True,
-) -> Set[int]:
+) -> set[int]:
     """The qubits the pruned circuit actually touches (plus the observable's
     own qubits). Useful for reporting how local an energy term is."""
     cone = lightcone_circuit(circuit, observable_qubits, diag_aware=diag_aware)
-    touched: Set[int] = set(observable_qubits)
+    touched: set[int] = set(observable_qubits)
     for instr in cone.instructions:
         touched.update(instr.qubits)
     return touched

@@ -17,8 +17,8 @@ high-bit-first, ``(out_{m-1}..out_0, in_{m-1}..in_0)``.
 from __future__ import annotations
 
 import math
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -41,8 +41,8 @@ _NAMED_STATES = {
 
 
 def product_state_vectors(
-    spec: Union[str, Sequence[np.ndarray]], num_qubits: int
-) -> List[np.ndarray]:
+    spec: str | Sequence[np.ndarray], num_qubits: int
+) -> list[np.ndarray]:
     """Resolve an initial-state spec into per-qubit 2-vectors.
 
     ``spec`` is either a named state applied to every qubit (``"0"``,
@@ -71,8 +71,8 @@ class TensorNetwork:
     tensor over them (a scalar when empty).
     """
 
-    tensors: List[Tensor] = field(default_factory=list)
-    open_vars: Tuple[Variable, ...] = ()
+    tensors: list[Tensor] = field(default_factory=list)
+    open_vars: tuple[Variable, ...] = ()
     num_qubits: int = 0
 
     # -- construction -------------------------------------------------------
@@ -82,10 +82,10 @@ class TensorNetwork:
         cls,
         circuit: QuantumCircuit,
         *,
-        bindings: Optional[Mapping[Parameter, float]] = None,
-        initial_state: Union[str, Sequence[np.ndarray]] = "0",
-        output_bitstring: Optional[int] = None,
-    ) -> "TensorNetwork":
+        bindings: Mapping[Parameter, float] | None = None,
+        initial_state: str | Sequence[np.ndarray] = "0",
+        output_bitstring: int | None = None,
+    ) -> TensorNetwork:
         """Network for ``U|init>`` (open outputs) or ``<b|U|init>`` (scalar).
 
         ``output_bitstring`` is a basis index with qubit ``k`` at bit ``k``;
@@ -111,11 +111,11 @@ class TensorNetwork:
     def expectation(
         cls,
         circuit: QuantumCircuit,
-        diagonal_terms: Sequence[Tuple[Sequence[int], np.ndarray]],
+        diagonal_terms: Sequence[tuple[Sequence[int], np.ndarray]],
         *,
-        bindings: Optional[Mapping[Parameter, float]] = None,
-        initial_state: Union[str, Sequence[np.ndarray]] = "0",
-    ) -> "TensorNetwork":
+        bindings: Mapping[Parameter, float] | None = None,
+        initial_state: str | Sequence[np.ndarray] = "0",
+    ) -> TensorNetwork:
         """Closed network for ``<init|U^+ (prod_k D_k) U|init>``.
 
         Each term is ``(qubits, diag)`` where ``diag`` has ``2^m`` entries in
@@ -155,8 +155,8 @@ class TensorNetwork:
 
     # -- queries ------------------------------------------------------------
 
-    def all_vars(self) -> Set[Variable]:
-        out: Set[Variable] = set()
+    def all_vars(self) -> set[Variable]:
+        out: set[Variable] = set()
         for t in self.tensors:
             out.update(t.indices)
         return out
@@ -168,11 +168,11 @@ class TensorNetwork:
         return len(self.tensors)
 
 
-def interaction_graph(tensors: Iterable[Tensor]) -> Dict[Variable, Set[Variable]]:
+def interaction_graph(tensors: Iterable[Tensor]) -> dict[Variable, set[Variable]]:
     """Adjacency over variables: two variables are adjacent iff they share a
     tensor. This is the graph whose tree-width controls contraction cost
     (QTensor's "line graph" of the circuit)."""
-    adj: Dict[Variable, Set[Variable]] = {}
+    adj: dict[Variable, set[Variable]] = {}
     for tensor in tensors:
         for v in tensor.indices:
             adj.setdefault(v, set())
@@ -189,11 +189,11 @@ class _NetworkBuilder:
     def __init__(self, num_qubits: int) -> None:
         self.num_qubits = num_qubits
         self.factory = VariableFactory()
-        self.current: Dict[int, Variable] = {
+        self.current: dict[int, Variable] = {
             q: self.factory.fresh(f"q{q}_0") for q in range(num_qubits)
         }
         self._wire_step = {q: 0 for q in range(num_qubits)}
-        self.tensors: List[Tensor] = []
+        self.tensors: list[Tensor] = []
 
     def add_tensor(self, tensor: Tensor) -> None:
         self.tensors.append(tensor)
@@ -246,7 +246,7 @@ class _NetworkBuilder:
             self._gate_tensor(instr, bindings, conjugate)
 
     def add_circuit_reversed(
-        self, circuit: QuantumCircuit, bindings, *, start: Dict[int, Variable]
+        self, circuit: QuantumCircuit, bindings, *, start: dict[int, Variable]
     ) -> None:
         """Append the bra half ``conj(U|init>)`` walking the gates backwards.
 

@@ -21,8 +21,8 @@ report the exact width and the total contraction cost estimate
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -46,7 +46,7 @@ __all__ = [
 class EliminationOrder:
     """A variable order plus its simulated quality metrics."""
 
-    order: Tuple[Variable, ...]
+    order: tuple[Variable, ...]
     width: int  # max clique size encountered (incl. the eliminated var)
     log2_cost: float  # log2 of sum over steps of 2^(clique size)
 
@@ -54,11 +54,11 @@ class EliminationOrder:
         return len(self.order)
 
 
-def _copy_graph(graph: Dict[Variable, Set[Variable]]) -> Dict[Variable, Set[Variable]]:
+def _copy_graph(graph: dict[Variable, set[Variable]]) -> dict[Variable, set[Variable]]:
     return {v: set(nbrs) for v, nbrs in graph.items()}
 
 
-def _eliminate(adj: Dict[Variable, Set[Variable]], var: Variable) -> int:
+def _eliminate(adj: dict[Variable, set[Variable]], var: Variable) -> int:
     """Remove ``var``, connect its neighbourhood into a clique; return the
     clique size (neighbours + the variable itself)."""
     nbrs = adj.pop(var)
@@ -82,7 +82,7 @@ def _log2_sum(costs: Iterable[int]) -> float:
 
 
 def evaluate_order(
-    graph: Dict[Variable, Set[Variable]],
+    graph: dict[Variable, set[Variable]],
     order: Sequence[Variable],
 ) -> EliminationOrder:
     """Simulate elimination along ``order`` and measure width and cost."""
@@ -96,19 +96,19 @@ def evaluate_order(
 
 
 def _greedy(
-    graph: Dict[Variable, Set[Variable]],
-    exclude: Set[Variable],
-    score: Callable[[Dict[Variable, Set[Variable]], Variable], int],
-    rng: Optional[np.random.Generator] = None,
+    graph: dict[Variable, set[Variable]],
+    exclude: set[Variable],
+    score: Callable[[dict[Variable, set[Variable]], Variable], int],
+    rng: np.random.Generator | None = None,
 ) -> EliminationOrder:
     adj = _copy_graph(graph)
     to_eliminate = [v for v in adj if v not in exclude]
-    order: List[Variable] = []
-    cliques: List[int] = []
+    order: list[Variable] = []
+    cliques: list[int] = []
     remaining = set(to_eliminate)
     while remaining:
         best_score = None
-        best_vars: List[Variable] = []
+        best_vars: list[Variable] = []
         for v in remaining:
             s = score(adj, v)
             if best_score is None or s < best_score:
@@ -123,11 +123,11 @@ def _greedy(
     return EliminationOrder(tuple(order), max(cliques, default=0), _log2_sum(cliques))
 
 
-def _degree_score(adj: Dict[Variable, Set[Variable]], v: Variable) -> int:
+def _degree_score(adj: dict[Variable, set[Variable]], v: Variable) -> int:
     return len(adj[v])
 
 
-def _fill_score(adj: Dict[Variable, Set[Variable]], v: Variable) -> int:
+def _fill_score(adj: dict[Variable, set[Variable]], v: Variable) -> int:
     nbrs = list(adj[v])
     fill = 0
     for i, u in enumerate(nbrs):
@@ -138,7 +138,7 @@ def _fill_score(adj: Dict[Variable, Set[Variable]], v: Variable) -> int:
 
 
 def min_degree_order(
-    graph: Dict[Variable, Set[Variable]],
+    graph: dict[Variable, set[Variable]],
     *,
     exclude: Iterable[Variable] = (),
     seed=None,
@@ -149,7 +149,7 @@ def min_degree_order(
 
 
 def min_fill_order(
-    graph: Dict[Variable, Set[Variable]],
+    graph: dict[Variable, set[Variable]],
     *,
     exclude: Iterable[Variable] = (),
     seed=None,
@@ -160,7 +160,7 @@ def min_fill_order(
 
 
 def random_order(
-    graph: Dict[Variable, Set[Variable]],
+    graph: dict[Variable, set[Variable]],
     *,
     exclude: Iterable[Variable] = (),
     seed=None,
@@ -174,7 +174,7 @@ def random_order(
 
 
 def greedy_random_restarts(
-    graph: Dict[Variable, Set[Variable]],
+    graph: dict[Variable, set[Variable]],
     *,
     exclude: Iterable[Variable] = (),
     n_restarts: int = 8,

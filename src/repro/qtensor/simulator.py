@@ -12,8 +12,8 @@ contraction backend behind the three calls the rest of the package uses:
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -43,10 +43,10 @@ class QTensorSimulator:
     the backend (``"numpy"`` or ``"gpu"``).
     """
 
-    backend: Union[str, ContractionBackend] = "numpy"
+    backend: str | ContractionBackend = "numpy"
     ordering_method: str = "min_fill"
     n_restarts: int = 1
-    ordering_seed: Optional[int] = None
+    ordering_seed: int | None = None
     use_lightcone: bool = True
     name: str = field(init=False, default="qtensor")
 
@@ -54,7 +54,7 @@ class QTensorSimulator:
         if isinstance(self.backend, str):
             self.backend = get_backend(self.backend)
         #: contraction widths observed per expectation term (diagnostics)
-        self.last_widths: List[int] = []
+        self.last_widths: list[int] = []
 
     # -- state / amplitude ----------------------------------------------------
 
@@ -63,7 +63,7 @@ class QTensorSimulator:
         circuit: QuantumCircuit,
         *,
         initial_state: str = "0",
-        bindings: Optional[Mapping[Parameter, float]] = None,
+        bindings: Mapping[Parameter, float] | None = None,
     ) -> np.ndarray:
         """Full state vector via tensor contraction with open output wires.
 
@@ -92,7 +92,7 @@ class QTensorSimulator:
         bitstring: int,
         *,
         initial_state: str = "0",
-        bindings: Optional[Mapping[Parameter, float]] = None,
+        bindings: Mapping[Parameter, float] | None = None,
     ) -> complex:
         """``<bitstring|U|init>`` from a fully closed network."""
         network = TensorNetwork.from_circuit(
@@ -115,10 +115,10 @@ class QTensorSimulator:
     def expectation_diagonal(
         self,
         circuit: QuantumCircuit,
-        terms: Sequence[Tuple[Sequence[int], np.ndarray, float]],
+        terms: Sequence[tuple[Sequence[int], np.ndarray, float]],
         *,
         initial_state: str = "+",
-        bindings: Optional[Mapping[Parameter, float]] = None,
+        bindings: Mapping[Parameter, float] | None = None,
     ) -> float:
         """``sum_k w_k <init|U^+ D_k U|init>`` for diagonal terms ``D_k``.
 
@@ -139,7 +139,7 @@ class QTensorSimulator:
         qubits: Sequence[int],
         diagonal: np.ndarray,
         initial_state: str,
-        bindings: Optional[Mapping[Parameter, float]],
+        bindings: Mapping[Parameter, float] | None,
     ) -> float:
         cone = (
             lightcone_circuit(circuit, qubits) if self.use_lightcone else circuit
@@ -172,7 +172,7 @@ class QTensorSimulator:
         graph: Graph,
         *,
         initial_state: str = "+",
-        bindings: Optional[Mapping[Parameter, float]] = None,
+        bindings: Mapping[Parameter, float] | None = None,
     ) -> float:
         """``<C>`` of Eq. (1): one lightcone contraction per graph edge."""
         terms = [

@@ -8,7 +8,7 @@ touched by the backend's einsum calls.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -45,10 +45,10 @@ class Tensor:
     def rank(self) -> int:
         return len(self.indices)
 
-    def conj(self) -> "Tensor":
+    def conj(self) -> Tensor:
         return Tensor(f"{self.name}*", self.data.conj(), self.indices)
 
-    def rename_vars(self, mapping: Mapping[Variable, Variable]) -> "Tensor":
+    def rename_vars(self, mapping: Mapping[Variable, Variable]) -> Tensor:
         """Substitute variables (used to glue forward/backward networks)."""
         return Tensor(
             self.name,
@@ -56,7 +56,7 @@ class Tensor:
             tuple(mapping.get(v, v) for v in self.indices),
         )
 
-    def fix_variable(self, var: Variable, value: int) -> "Tensor":
+    def fix_variable(self, var: Variable, value: int) -> Tensor:
         """Slice the tensor at ``var = value`` (removes that axis).
 
         Backbone of sliced contraction: fixing a variable on every tensor

@@ -26,7 +26,7 @@ class Variable:
     def __eq__(self, other) -> bool:
         return isinstance(other, Variable) and self.id == other.id
 
-    def __lt__(self, other: "Variable") -> bool:
+    def __lt__(self, other: Variable) -> bool:
         return self.id < other.id
 
     def __hash__(self) -> int:

@@ -17,11 +17,7 @@
 lives in :mod:`repro.qtensor`.)
 """
 
-from repro.simulators.compiled import (
-    CompiledProgram,
-    compile_ansatz,
-    compile_circuit,
-)
+from repro.simulators.compiled import CompiledProgram, compile_ansatz, compile_circuit
 from repro.simulators.expectation import (
     bit_table,
     cut_values,

@@ -37,8 +37,9 @@ circuits per gate occurrence.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -66,10 +67,10 @@ _SHIFT = np.pi / 2
 
 #: linear angle expression lowered to flat-parameter indices:
 #: ``(((j, coeff), ...), offset)``
-_Expr = Tuple[Tuple[Tuple[int, float], ...], float]
+_Expr = tuple[tuple[tuple[int, float], ...], float]
 
 
-def _lower_expr(value, index: Dict[Parameter, int]) -> _Expr:
+def _lower_expr(value, index: dict[Parameter, int]) -> _Expr:
     """Lower a gate angle (number or linear expression) to index space."""
     if isinstance(value, ParameterExpression):
         try:
@@ -118,8 +119,8 @@ class _DiagAtom:
     """One parameterized diagonal gate occurrence inside a fused block,
     kept in compact per-gate form so gradient shifts can re-expand it."""
 
-    h_small: Tuple[float, ...]
-    qubits: Tuple[int, ...]
+    h_small: tuple[float, ...]
+    qubits: tuple[int, ...]
 
 
 @dataclass
@@ -127,15 +128,15 @@ class _DiagBlock:
     """A maximal run of diagonal gates fused into phase-exponent vectors."""
 
     #: parameter-independent part of the exponent (None when zero)
-    gen_const: Optional[np.ndarray]
+    gen_const: np.ndarray | None
     #: flat indices of the parameters this block depends on
     param_indices: np.ndarray
     #: ``(k, 2^n)`` generator vectors, one row per parameter above
     gens: np.ndarray
     #: per-occurrence generators for parameter-shift injection
-    atoms: List[_DiagAtom]
+    atoms: list[_DiagAtom]
     #: ``exp(1j * gen_const)`` precomputed when the block is parameter-free
-    static_phase: Optional[np.ndarray]
+    static_phase: np.ndarray | None
 
 
 @dataclass(frozen=True)
@@ -144,7 +145,7 @@ class _Factor:
 
     name: str
     matrix_fn: object
-    exprs: Tuple[_Expr, ...]
+    exprs: tuple[_Expr, ...]
     has_free: bool
 
 
@@ -156,10 +157,10 @@ class _MatrixColumn:
     chain, so the matrix is built once per call and applied n times.
     """
 
-    targets: Tuple[Tuple[int, ...], ...]
-    factors: Tuple[_Factor, ...]
+    targets: tuple[tuple[int, ...], ...]
+    factors: tuple[_Factor, ...]
     #: precomputed product when no factor has free parameters
-    static_matrix: Optional[np.ndarray]
+    static_matrix: np.ndarray | None
 
 
 @dataclass(frozen=True)
@@ -172,7 +173,7 @@ class _ShiftSite:
     #: (factor, target) indices for matrix occurrences, (-1, -1) otherwise
     factor: int
     target: int
-    coeffs: Tuple[Tuple[int, float], ...]
+    coeffs: tuple[tuple[int, float], ...]
     gate_name: str
     shiftable: bool
 
@@ -216,6 +217,64 @@ def _contract(
     return result.reshape(state.shape)
 
 
+def _batch_mat_rx(angles: np.ndarray) -> np.ndarray:
+    half = angles / 2.0
+    c, s = np.cos(half), np.sin(half)
+    out = np.empty((angles.size, 2, 2), dtype=complex)
+    out[:, 0, 0] = c
+    out[:, 0, 1] = -1j * s
+    out[:, 1, 0] = -1j * s
+    out[:, 1, 1] = c
+    return out
+
+
+def _batch_mat_ry(angles: np.ndarray) -> np.ndarray:
+    half = angles / 2.0
+    c, s = np.cos(half), np.sin(half)
+    out = np.empty((angles.size, 2, 2), dtype=complex)
+    out[:, 0, 0] = c
+    out[:, 0, 1] = -s
+    out[:, 1, 0] = s
+    out[:, 1, 1] = c
+    return out
+
+
+#: vectorized (angle-vector -> (U, 2, 2)) builders for the hot mixer
+#: rotations; chains of anything else fall back to the per-row loop
+_BATCH_MATRIX_FNS = {"rx": _batch_mat_rx, "ry": _batch_mat_ry}
+
+
+def _kron_pairs(hi: np.ndarray, lo: np.ndarray) -> np.ndarray:
+    """Per-point ``kron(hi, lo)``: ``(B, d, d)`` x ``(B, e, e)`` stacks
+    -> ``(B, d*e, d*e)``."""
+    dim = hi.shape[1] * lo.shape[1]
+    return np.einsum("bij,bkl->bikjl", hi, lo).reshape(hi.shape[0], dim, dim)
+
+
+def _apply_1q_per_column(
+    state: np.ndarray, matrices: np.ndarray, qubit: int
+) -> np.ndarray:
+    """Apply a different 2x2 matrix to every batch column on one qubit.
+
+    ``state`` is ``(2^n, B)``; ``matrices`` is ``(2, 2, B)``. In the
+    C-contiguous layout the batch index is the fastest axis, so exposing
+    bit ``qubit`` as its own axis leaves ``B`` trailing — the per-column
+    matrix entries then broadcast straight across it, turning the apply
+    into six ufunc sweeps instead of a per-qubit einsum contraction.
+    Mutates (and returns) ``state``; copies first only if non-contiguous.
+    """
+    if not state.flags.c_contiguous:
+        state = np.ascontiguousarray(state)
+    batch = state.shape[1]
+    view = state.reshape(-1, 2, 1 << qubit, batch)
+    a = view[:, 0]
+    b = view[:, 1]
+    new_a = matrices[0, 0] * a + matrices[0, 1] * b
+    view[:, 1] = matrices[1, 0] * a + matrices[1, 1] * b
+    view[:, 0] = new_a
+    return state
+
+
 def _contract_per_column(
     state: np.ndarray, matrices: np.ndarray, qubits: Sequence[int], num_qubits: int
 ) -> np.ndarray:
@@ -251,10 +310,10 @@ class CompiledProgram:
         self,
         num_qubits: int,
         num_parameters: int,
-        ops: List[object],
-        shift_sites: List[_ShiftSite],
+        ops: list[object],
+        shift_sites: list[_ShiftSite],
         initial_state_label: str,
-        graph: Optional[Graph],
+        graph: Graph | None,
         source_gates: int,
     ) -> None:
         self.num_qubits = num_qubits
@@ -270,7 +329,12 @@ class CompiledProgram:
         # (h_small, qubits): a cost-layer edge appears once per QAOA layer,
         # so this caches p-fold fewer vectors than storing one per atom
         # while sparing the gradient path any repeated expansion.
-        self._atom_vectors: Dict[Tuple, np.ndarray] = {}
+        self._atom_vectors: dict[tuple, np.ndarray] = {}
+        # Batched-path memos: per-op unique-value decompositions of diagonal
+        # generators (phase lookup tables) and exp(1j * s * atom) vectors
+        # for the +-pi/2 gradient shifts.
+        self._diag_lookups: dict[int, tuple] = {}
+        self._atom_shift_phases: dict[tuple, np.ndarray] = {}
 
     # -- introspection -----------------------------------------------------
 
@@ -303,6 +367,45 @@ class CompiledProgram:
             vector = _expand_diag(atom.h_small, atom.qubits, self.num_qubits)
             self._atom_vectors[key] = vector
         return vector
+
+    def _atom_shift_phase(self, atom: _DiagAtom, shift: float) -> np.ndarray:
+        """``exp(1j * shift * atom_generator)`` memoized per (atom, shift):
+        the gradient's +-pi/2 shifts reuse two vectors per distinct edge
+        generator instead of re-exponentiating every call."""
+        key = (atom.h_small, atom.qubits, shift)
+        phase = self._atom_shift_phases.get(key)
+        if phase is None:
+            phase = np.exp(1j * shift * self._atom_vector(atom))
+            self._atom_shift_phases[key] = phase
+        return phase
+
+    def _diag_lookup(self, op_index: int, op: _DiagBlock) -> tuple:
+        """Unique-value decomposition of a diag block's phase exponent.
+
+        The exponent column at basis state ``z`` is ``const[z] + sum_j x_j
+        gens[j, z]``; a cost layer takes only ~num_edges distinct values
+        over all 2^n basis states, so exponentials are computed per
+        *unique* column and gathered — O(B*U) exps plus an O(B*2^n) take
+        instead of O(B*2^n) exps. Returns ``(gens_u, const_u, inverse)``;
+        ``inverse`` is None when the block is too dense to pay off.
+        """
+        cached = self._diag_lookups.get(op_index)
+        if cached is None:
+            if op.gen_const is None:
+                rows = op.gens
+            else:
+                rows = np.vstack([op.gen_const[None, :], op.gens])
+            unique_cols, inverse = np.unique(rows, axis=1, return_inverse=True)
+            if unique_cols.shape[1] * 4 > rows.shape[1]:
+                cached = (None, None, None)  # dense block: exp directly
+            elif op.gen_const is None:
+                cached = (unique_cols, None, inverse.reshape(-1))
+            else:
+                cached = (
+                    unique_cols[1:], unique_cols[0], inverse.reshape(-1)
+                )
+            self._diag_lookups[op_index] = cached
+        return cached
 
     def _check_x(self, x) -> np.ndarray:
         x = np.asarray(x, dtype=float).reshape(-1)
@@ -381,10 +484,21 @@ class CompiledProgram:
     def states(
         self,
         X: np.ndarray,
-        _shifts: Optional[Sequence[Optional[Tuple[_ShiftSite, float]]]] = None,
+        _shifts: Sequence[tuple[_ShiftSite, float] | None] | None = None,
     ) -> np.ndarray:
         """Final statevectors of a ``(B, num_parameters)`` batch, as
         ``(2^n, B)`` columns."""
+        return np.ascontiguousarray(self._states_batch(X, _shifts).T)
+
+    def _states_batch(
+        self,
+        X: np.ndarray,
+        shifts: Sequence[tuple[_ShiftSite, float] | None] | None = None,
+    ) -> np.ndarray:
+        """Batch-major final statevectors: row ``b`` is the state at
+        ``X[b]``. The batch axis leads so every per-point quantity (diag
+        exponents, probabilities, cut energies) stays row-contiguous and
+        the per-column matrix applies reduce to stacked gemms."""
         X = np.atleast_2d(np.asarray(X, dtype=float))
         if X.shape[1] != self.num_parameters:
             raise ValueError(
@@ -392,51 +506,65 @@ class CompiledProgram:
                 f"got shape {X.shape}"
             )
         batch = X.shape[0]
-        by_op: Dict[int, List[Tuple[int, _ShiftSite, float]]] = {}
-        if _shifts is not None:
-            for column, entry in enumerate(_shifts):
+        by_op: dict[int, list[tuple[int, _ShiftSite, float]]] = {}
+        if shifts is not None:
+            for column, entry in enumerate(shifts):
                 if entry is not None:
                     site, s = entry
                     by_op.setdefault(site.op_index, []).append((column, site, s))
 
-        state = np.ascontiguousarray(
-            np.repeat(self._initial_state()[:, None], batch, axis=1)
-        )
+        state = np.empty((batch, 2**self.num_qubits), dtype=complex)
+        state[:] = self._initial_state()
         for op_index, op in enumerate(self.ops):
             shifts_here = by_op.get(op_index, ())
             if isinstance(op, _DiagBlock):
                 if op.static_phase is not None:
-                    state *= op.static_phase[:, None]
+                    state *= op.static_phase  # broadcasts across rows
+                    continue
+                gens_u, const_u, inverse = self._diag_lookup(op_index, op)
+                if inverse is not None:
+                    # few distinct generator values: exponentiate unique
+                    # columns, gather, and fold gradient shifts in as
+                    # cached per-atom phase factors
+                    exponent_u = X[:, op.param_indices] @ gens_u
+                    if const_u is not None:
+                        exponent_u += const_u
+                    phases = np.take(np.exp(1j * exponent_u), inverse, axis=1)
+                    for column, site, s in shifts_here:
+                        phases[column] *= self._atom_shift_phase(
+                            op.atoms[site.atom], s
+                        )
+                    state *= phases
                     continue
                 exponent = X[:, op.param_indices] @ op.gens  # (B, 2^n)
                 if op.gen_const is not None:
                     exponent += op.gen_const
                 for column, site, s in shifts_here:
                     exponent[column] += s * self._atom_vector(op.atoms[site.atom])
-                state *= np.exp(1j * exponent).T
+                state *= np.exp(1j * exponent)
             else:
-                state = self._apply_column_batch(op, state, X, shifts_here)
+                # gradient batches tile one x across 2*sites rows, so
+                # matrix columns dedup their angle rows before building
+                state = self._apply_column_batch(
+                    op, state, X, shifts_here, dedup=shifts is not None
+                )
         return state
 
-    def _apply_column_batch(
+    def _column_matrices(
         self,
         op: _MatrixColumn,
-        state: np.ndarray,
         X: np.ndarray,
-        shifts_here: Sequence[Tuple[int, _ShiftSite, float]],
-    ) -> np.ndarray:
-        n = self.num_qubits
-        if op.static_matrix is not None and not shifts_here:
-            for target in op.targets:
-                if len(target) == 1:
-                    state = _apply_1q(state, op.static_matrix, target[0])
-                else:
-                    state = _contract(state, op.static_matrix, target, n)
-            return state
+        dedup: bool,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-point chain matrices ``(B, dim, dim)`` plus the raw angle
+        rows (for shift re-builds).
 
+        ``dedup`` collapses duplicate angle rows before building — worth
+        it on gradient batches (one x tiled 2*sites times carries a
+        handful of distinct combinations), pure overhead on optimizer
+        batches whose rows are all distinct.
+        """
         batch = X.shape[0]
-        # Per-column angles, deduplicated: gradient batches carry at most a
-        # handful of distinct angle combinations (x and x +- pi/2).
         angle_rows = np.stack(
             [
                 _eval_expr_batch(expr, X)
@@ -445,28 +573,169 @@ class CompiledProgram:
             ],
             axis=1,
         ) if any(factor.exprs for factor in op.factors) else np.zeros((batch, 0))
-        unique_rows, inverse = np.unique(angle_rows, axis=0, return_inverse=True)
+        if dedup:
+            unique_rows, inverse = np.unique(
+                angle_rows, axis=0, return_inverse=True
+            )
+            inverse = inverse.reshape(-1)
+        else:
+            unique_rows, inverse = angle_rows, None
         dim = 2 ** len(op.targets[0])
-        built = np.empty((dim, dim, unique_rows.shape[0]), dtype=complex)
-        for u_index in range(unique_rows.shape[0]):
-            built[:, :, u_index] = self._chain_matrix(op, unique_rows[u_index])
-        base = built[:, :, inverse]  # (dim, dim, B)
+        num_unique = unique_rows.shape[0]
+        if dim == 2 and all(
+            not factor.exprs
+            or (len(factor.exprs) == 1 and factor.name in _BATCH_MATRIX_FNS)
+            for factor in op.factors
+        ):
+            # mixer-chain fast path: build all unique 2x2 factors from the
+            # whole angle vector at once and chain them as stacked matmuls
+            built = None
+            cursor = 0
+            for factor in op.factors:
+                if factor.exprs:
+                    stack = _BATCH_MATRIX_FNS[factor.name](
+                        unique_rows[:, cursor]
+                    )
+                    cursor += 1
+                else:
+                    stack = np.broadcast_to(
+                        factor.matrix_fn([]), (num_unique, 2, 2)
+                    )
+                built = stack if built is None else stack @ built
+        else:
+            built = np.empty((num_unique, dim, dim), dtype=complex)
+            for u_index in range(num_unique):
+                built[u_index] = self._chain_matrix(op, unique_rows[u_index])
+        if inverse is not None:
+            built = built[inverse]
+        return np.ascontiguousarray(built), angle_rows
 
+    def _apply_column_batch(
+        self,
+        op: _MatrixColumn,
+        state: np.ndarray,
+        X: np.ndarray,
+        shifts_here: Sequence[tuple[int, _ShiftSite, float]],
+        dedup: bool = False,
+    ) -> np.ndarray:
+        """Apply one matrix column to a batch-major ``(B, 2^n)`` state."""
+        n = self.num_qubits
+        batch = state.shape[0]
+        if op.static_matrix is not None and not shifts_here:
+            for target in op.targets:
+                if len(target) == 1:
+                    # the flat view's bit strides match the single-state
+                    # case, so the strided 2x2 kernel applies unchanged
+                    state = _apply_1q(
+                        state.reshape(-1), op.static_matrix, target[0]
+                    ).reshape(batch, -1)
+                else:
+                    work = np.ascontiguousarray(state.T)
+                    work = _contract(work, op.static_matrix, target, n)
+                    state = np.ascontiguousarray(work.T)
+            return state
+
+        base_stack, angle_rows = self._column_matrices(op, X, dedup)
+
+        if len(op.targets) == n and len(op.targets[0]) == 1:
+            # The column covers every qubit with per-point 2x2 chains (the
+            # weight-shared mixer case): run the scalar engine's rotating
+            # trick as stacked gemms over qubit *groups*. Each round
+            # exposes the next group of original qubits as the leading
+            # basis bits of every row; right-multiplying the
+            # (B, 2^{n-g}, 2^g) view by the per-point kron'd (B, 2^g, 2^g)
+            # stack cycles the axis order left by g, so once the group
+            # sizes sum to n every qubit has been hit once and the layout
+            # is back where it started. Grouping (4s, then a 2, then a 1)
+            # cuts gemm dispatches and fattens their inner dimension —
+            # measurably faster than per-qubit or per-pair rounds.
+            shifts_by_target: dict[int, list[tuple[int, _ShiftSite, float]]] = {}
+            for column, site, s in shifts_here:
+                shifts_by_target.setdefault(site.target, []).append(
+                    (column, site, s)
+                )
+            qubit_to_target = {
+                target[0]: t_index for t_index, target in enumerate(op.targets)
+            }
+
+            def qubit_stack(qubit: int) -> np.ndarray:
+                shifted = shifts_by_target.get(qubit_to_target[qubit], ())
+                if not shifted:
+                    return base_stack
+                stack = base_stack.copy()
+                for column, site, s in shifted:
+                    stack[column] = self._chain_matrix(
+                        op, angle_rows[column], shift_factor=site.factor, shift=s
+                    )
+                return stack
+
+            group_sizes: list[int] = []
+            remaining = n
+            while remaining >= 4:
+                group_sizes.append(4)
+                remaining -= 4
+            if remaining >= 2:
+                group_sizes.append(2)
+                remaining -= 2
+            if remaining:
+                group_sizes.append(1)
+
+            shared: dict[int, np.ndarray] = {1: base_stack}
+            shared_T: dict[int, np.ndarray] = {}
+
+            def shared_group(size: int) -> np.ndarray:
+                stack = shared.get(size)
+                if stack is None:
+                    half = shared_group(size // 2)
+                    shared[size] = stack = _kron_pairs(half, half)
+                return stack
+
+            top = n - 1
+            for size in group_sizes:
+                qubits = [top - j for j in range(size)]
+                top -= size
+                if all(
+                    not shifts_by_target.get(qubit_to_target[q]) for q in qubits
+                ):
+                    group_T = shared_T.get(size)
+                    if group_T is None:
+                        group_T = np.ascontiguousarray(
+                            shared_group(size).transpose(0, 2, 1)
+                        )
+                        shared_T[size] = group_T
+                else:
+                    group = qubit_stack(qubits[0])
+                    for qubit in qubits[1:]:
+                        group = _kron_pairs(group, qubit_stack(qubit))
+                    group_T = np.ascontiguousarray(group.transpose(0, 2, 1))
+                dim = 1 << size
+                state = (
+                    state.reshape(batch, dim, -1).transpose(0, 2, 1) @ group_T
+                ).reshape(batch, -1)
+            return state
+
+        # General fallback (multi-qubit targets, partial columns): the
+        # trailing-batch kernels on a transposed view.
+        work = np.ascontiguousarray(state.T)
+        base_trailing = np.ascontiguousarray(np.moveaxis(base_stack, 0, -1))
         for t_index, target in enumerate(op.targets):
             shifted = [
                 (column, site, s)
                 for column, site, s in shifts_here
                 if site.target == t_index
             ]
-            matrices = base
+            matrices = base_trailing
             if shifted:
-                matrices = base.copy()
+                matrices = base_trailing.copy()
                 for column, site, s in shifted:
                     matrices[:, :, column] = self._chain_matrix(
                         op, angle_rows[column], shift_factor=site.factor, shift=s
                     )
-            state = _contract_per_column(state, matrices, target, n)
-        return state
+            if len(target) == 1:
+                work = _apply_1q_per_column(work, matrices, target[0])
+            else:
+                work = _contract_per_column(work, matrices, target, n)
+        return np.ascontiguousarray(work.T)
 
     def _chain_matrix(
         self,
@@ -490,9 +759,17 @@ class CompiledProgram:
 
     def energies(self, X: np.ndarray) -> np.ndarray:
         """``<C>`` for every row of a ``(B, num_parameters)`` batch."""
-        states = self.states(X)
-        probs = states.real**2 + states.imag**2
-        return self._cut_table() @ probs
+        return self._cut_energies(self._states_batch(X))
+
+    def _cut_energies(self, states: np.ndarray) -> np.ndarray:
+        """Row-wise ``sum_z |amp|^2 cut(z)`` without materializing the
+        probability matrix (two single-pass contractions)."""
+        cut = self._cut_table()
+        return np.einsum(
+            "bz,bz,z->b", states.real, states.real, cut, optimize=False
+        ) + np.einsum(
+            "bz,bz,z->b", states.imag, states.imag, cut, optimize=False
+        )
 
     # -- gradient ----------------------------------------------------------
 
@@ -503,38 +780,57 @@ class CompiledProgram:
         pass (chunked to bound memory) with the shift injected into the
         relevant op, instead of rebuilding a shifted circuit per site.
         """
-        x = self._check_x(x)
-        grad = np.zeros(self.num_parameters)
+        return self.gradients(self._check_x(x)[None, :])[0]
+
+    def gradients(self, X: np.ndarray) -> np.ndarray:
+        """Parameter-shift gradients for every row of a ``(B,
+        num_parameters)`` batch, as ``(B, num_parameters)``.
+
+        The ``B * 2 * num_shift_sites`` shifted evaluations of the whole
+        batch share the chunked :meth:`energies_shifted` passes — the seam
+        batch-native gradient optimizers (Adam over a restart population)
+        ride instead of looping per-point :meth:`gradient` calls.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[1] != self.num_parameters:
+            raise ValueError(
+                f"expected batch of {self.num_parameters}-parameter rows, "
+                f"got shape {X.shape}"
+            )
+        batch = X.shape[0]
+        grads = np.zeros((batch, self.num_parameters))
         sites = self.shift_sites
-        if not sites:
-            return grad
+        if not sites or batch == 0:
+            return grads
         for site in sites:
             if not site.shiftable:
                 raise NotImplementedError(
                     f"no shift rule for gate '{site.gate_name}'"
                 )
-        specs: List[Tuple[_ShiftSite, float]] = []
+        specs: list[tuple[_ShiftSite, float]] = []
         for site in sites:
             specs.append((site, +_SHIFT))
             specs.append((site, -_SHIFT))
-        energies = np.empty(len(specs))
+        per_point = len(specs)
+        total = batch * per_point
+        energies = np.empty(total)
         chunk = max(1, (1 << 22) >> self.num_qubits)
-        for start in range(0, len(specs), chunk):
-            part = specs[start:start + chunk]
-            X = np.tile(x, (len(part), 1))
-            energies[start:start + len(part)] = self.energies_shifted(X, part)
+        for start in range(0, total, chunk):
+            rows = np.arange(start, min(start + chunk, total))
+            energies[rows] = self.energies_shifted(
+                X[rows // per_point], [specs[r % per_point] for r in rows]
+            )
+        paired = energies.reshape(batch, len(sites), 2)
         for k, site in enumerate(sites):
-            site_grad = (energies[2 * k] - energies[2 * k + 1]) / 2.0
+            site_grad = (paired[:, k, 0] - paired[:, k, 1]) / 2.0
             for j, coeff in site.coeffs:
-                grad[j] += coeff * site_grad
-        return grad
+                grads[:, j] += coeff * site_grad
+        return grads
 
     def energies_shifted(
-        self, X: np.ndarray, shifts: Sequence[Optional[Tuple[_ShiftSite, float]]]
+        self, X: np.ndarray, shifts: Sequence[tuple[_ShiftSite, float] | None]
     ) -> np.ndarray:
-        states = self.states(X, shifts)
-        probs = states.real**2 + states.imag**2
-        return self._cut_table() @ probs
+        return self._cut_energies(self._states_batch(X, shifts))
 
 
 # -- the compile pass ------------------------------------------------------
@@ -545,7 +841,7 @@ def compile_circuit(
     parameters: Sequence[Parameter],
     *,
     initial_state: str = "0",
-    graph: Optional[Graph] = None,
+    graph: Graph | None = None,
 ) -> CompiledProgram:
     """Lower ``circuit`` over the flat parameter ordering ``parameters``.
 
@@ -575,17 +871,17 @@ def compile_circuit(
             instructions = instructions[cursor:]
             initial_label = "+"
 
-    ops: List[object] = []
-    sites: List[_ShiftSite] = []
-    diag_run: List = []  # pending diagonal instructions
-    sq_run: List = []  # pending non-diagonal single-qubit instructions
+    ops: list[object] = []
+    sites: list[_ShiftSite] = []
+    diag_run: list = []  # pending diagonal instructions
+    sq_run: list = []  # pending non-diagonal single-qubit instructions
 
     def flush_diag() -> None:
         if not diag_run:
             return
-        gen_const: Optional[np.ndarray] = None
-        gen_by_param: Dict[int, np.ndarray] = {}
-        atoms: List[_DiagAtom] = []
+        gen_const: np.ndarray | None = None
+        gen_by_param: dict[int, np.ndarray] = {}
+        atoms: list[_DiagAtom] = []
         op_index = len(ops)
 
         def add_const(vector: np.ndarray) -> None:
@@ -658,7 +954,7 @@ def compile_circuit(
         )
 
     def emit_column(
-        targets: Tuple[Tuple[int, ...], ...], factors: Tuple[_Factor, ...]
+        targets: tuple[tuple[int, ...], ...], factors: tuple[_Factor, ...]
     ) -> None:
         op_index = len(ops)
         static_matrix = None
@@ -697,8 +993,8 @@ def compile_circuit(
         # Group the run per qubit (distinct qubits commute, per-qubit order
         # is preserved), then share one op across qubits whose factor
         # chains are structurally identical — the weight-shared mixer case.
-        per_qubit: Dict[int, List[_Factor]] = {}
-        qubit_order: List[int] = []
+        per_qubit: dict[int, list[_Factor]] = {}
+        qubit_order: list[int] = []
         for instr in sq_run:
             qubit = instr.qubits[0]
             if qubit not in per_qubit:
@@ -706,8 +1002,8 @@ def compile_circuit(
                 qubit_order.append(qubit)
             per_qubit[qubit].append(make_factor(instr.gate))
         sq_run.clear()
-        groups: Dict[Tuple, List[int]] = {}
-        group_order: List[Tuple] = []
+        groups: dict[tuple, list[int]] = {}
+        group_order: list[tuple] = []
         for qubit in qubit_order:
             signature = tuple(
                 (factor.name, factor.exprs) for factor in per_qubit[qubit]
@@ -748,7 +1044,7 @@ def compile_circuit(
     )
 
 
-def compile_ansatz(ansatz: "QAOAAnsatz") -> CompiledProgram:
+def compile_ansatz(ansatz: QAOAAnsatz) -> CompiledProgram:
     """One-time lowering of a QAOA ansatz into its compiled program.
 
     The parameter ordering is the ansatz's flat ``[gammas..., betas...]``

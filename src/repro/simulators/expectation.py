@@ -19,9 +19,9 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.circuits.gates import gate_matrix
 from repro.graphs.generators import Graph
 from repro.simulators.statevector import apply_gate
-from repro.circuits.gates import gate_matrix
 
 __all__ = [
     "bit_table",

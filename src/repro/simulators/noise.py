@@ -15,8 +15,8 @@ state-vector path by treating rho's column index as a batch axis (for
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,7 +40,7 @@ class KrausChannel:
     """A CPTP map given by Kraus operators ``{K_i}`` with sum K^d K = I."""
 
     name: str
-    operators: Tuple[np.ndarray, ...]
+    operators: tuple[np.ndarray, ...]
 
     def __post_init__(self) -> None:
         dim = self.operators[0].shape[0]
@@ -106,10 +106,10 @@ class NoiseModel:
     the (noiseless) gate. ``default`` applies when a gate name has no
     specific entry."""
 
-    per_gate: Dict[str, KrausChannel] = field(default_factory=dict)
-    default: Optional[KrausChannel] = None
+    per_gate: dict[str, KrausChannel] = field(default_factory=dict)
+    default: KrausChannel | None = None
 
-    def channel_for(self, gate_name: str) -> Optional[KrausChannel]:
+    def channel_for(self, gate_name: str) -> KrausChannel | None:
         return self.per_gate.get(gate_name, self.default)
 
     def is_trivial(self) -> bool:
@@ -149,14 +149,14 @@ class DensityMatrixSimulator:
 
     name = "density_matrix"
 
-    def __init__(self, noise_model: Optional[NoiseModel] = None) -> None:
+    def __init__(self, noise_model: NoiseModel | None = None) -> None:
         self.noise_model = noise_model or NoiseModel()
 
     def run(
         self,
         circuit: QuantumCircuit,
-        initial_state: Optional[np.ndarray] = None,
-        bindings: Optional[Mapping] = None,
+        initial_state: np.ndarray | None = None,
+        bindings: Mapping | None = None,
     ) -> np.ndarray:
         """Return the final density matrix.
 

@@ -22,7 +22,7 @@ Conventions:
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -100,8 +100,8 @@ def apply_gate(
 
 def simulate(
     circuit: QuantumCircuit,
-    initial_state: Optional[np.ndarray] = None,
-    bindings: Optional[Mapping[Parameter, float]] = None,
+    initial_state: np.ndarray | None = None,
+    bindings: Mapping[Parameter, float] | None = None,
 ) -> np.ndarray:
     """Run ``circuit`` and return the final flat state vector.
 
@@ -123,7 +123,7 @@ def simulate(
 
 def circuit_unitary(
     circuit: QuantumCircuit,
-    bindings: Optional[Mapping[Parameter, float]] = None,
+    bindings: Mapping[Parameter, float] | None = None,
 ) -> np.ndarray:
     """The full ``2^n x 2^n`` unitary of a (small) circuit.
 
@@ -169,8 +169,8 @@ class StatevectorSimulator:
     def run(
         self,
         circuit: QuantumCircuit,
-        initial_state: Optional[np.ndarray] = None,
-        bindings: Optional[Mapping[Parameter, float]] = None,
+        initial_state: np.ndarray | None = None,
+        bindings: Mapping[Parameter, float] | None = None,
     ) -> np.ndarray:
         return simulate(circuit, initial_state, bindings)
 

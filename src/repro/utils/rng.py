@@ -19,7 +19,7 @@ __all__ = ["as_rng", "spawn_rngs", "stable_seed"]
 SeedLike = "int | None | np.random.Generator | np.random.SeedSequence"
 
 
-def as_rng(seed: "SeedLike" = None) -> np.random.Generator:
+def as_rng(seed: SeedLike = None) -> np.random.Generator:
     """Coerce ``seed`` into a :class:`numpy.random.Generator`.
 
     Passing an existing generator returns it unchanged so callers can thread
@@ -30,7 +30,7 @@ def as_rng(seed: "SeedLike" = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_rngs(seed: "SeedLike", n: int) -> list[np.random.Generator]:
+def spawn_rngs(seed: SeedLike, n: int) -> list[np.random.Generator]:
     """Create ``n`` statistically independent child generators.
 
     Used by the parallel search driver so every worker process receives its
@@ -48,7 +48,7 @@ def spawn_rngs(seed: "SeedLike", n: int) -> list[np.random.Generator]:
     return [np.random.default_rng(child) for child in seq.spawn(n)]
 
 
-def stable_seed(*parts: "int | str | float | bytes") -> int:
+def stable_seed(*parts: int | str | float | bytes) -> int:
     """Hash arbitrary labels into a 63-bit seed, stably across processes.
 
     Python's builtin ``hash`` is salted per interpreter, so worker processes

@@ -4,13 +4,13 @@ import cmath
 
 import numpy as np
 import pytest
+from tests.conftest import random_circuit
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.decompose import fuse_single_qubit_runs, zyz_decompose
 from repro.circuits.gates import make_gate
 from repro.circuits.parameters import Parameter
 from repro.simulators.statevector import circuit_unitary
-from tests.conftest import random_circuit
 
 
 def _reconstruct(theta, phi, lam, phase):

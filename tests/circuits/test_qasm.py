@@ -4,12 +4,12 @@ import math
 
 import numpy as np
 import pytest
+from tests.conftest import random_circuit
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.parameters import Parameter
 from repro.circuits.qasm import QasmError, from_qasm, to_qasm
 from repro.simulators.statevector import circuit_unitary
-from tests.conftest import random_circuit
 
 
 class TestExport:

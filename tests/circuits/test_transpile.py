@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from tests.conftest import random_circuit
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.parameters import Parameter
@@ -12,7 +13,6 @@ from repro.circuits.transpile import (
     simplify,
 )
 from repro.simulators.statevector import circuit_unitary
-from tests.conftest import random_circuit
 
 
 def assert_same_unitary(a, b, atol=1e-10):

@@ -32,6 +32,30 @@ class TestWarmStartedSweep:
         b = warm_started_sweep(graph, ("rx",), 2, max_steps=25, seed=4)
         assert [pt.energy for pt in a] == [pt.energy for pt in b]
 
+    def test_extra_restarts_never_hurt(self, graph):
+        """The warm start seeds restart 0, so at the first depth a wider
+        population (same restart-0 trajectory plus random ramps) can only
+        improve or tie; deeper depths re-seed from their own optima and
+        are only comparable within a sweep."""
+        one = warm_started_sweep(graph, ("rx",), 1, max_steps=25, seed=4)
+        wide = warm_started_sweep(
+            graph, ("rx",), 1, max_steps=25, seed=4, restarts=3
+        )
+        assert wide[0].energy >= one[0].energy - 1e-9
+        assert wide[0].nfev > one[0].nfev  # the population actually trained
+
+    def test_batched_spsa_sweep_monotone(self, graph):
+        points = warm_started_sweep(
+            graph, ("rx",), 3, max_steps=40, seed=1,
+            restarts=4, optimizer="spsa", batch_mode="batched",
+        )
+        energies = [pt.energy for pt in points]
+        assert all(b >= a - 1e-9 for a, b in zip(energies, energies[1:]))
+
+    def test_unknown_optimizer_rejected(self, graph):
+        with pytest.raises(ValueError, match="unknown sweep optimizer"):
+            warm_started_sweep(graph, ("rx",), 1, optimizer="adam")
+
 
 class TestNoisyScore:
     def test_noiseless_model_matches_clean_energy(self, graph):

@@ -139,6 +139,66 @@ class TestOptimizerChoices:
         assert tn.energy == pytest.approx(sv.energy, abs=0.05)
 
 
+class TestBatchMode:
+    def test_unknown_batch_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown batch mode"):
+            EvaluationConfig(batch_mode="turbo")
+
+    @pytest.mark.parametrize("name", ["spsa", "nelder_mead"])
+    def test_batched_matches_serial_restarts(self, graphs, name):
+        """The population path and the per-restart loop train the same
+        trajectories (engine round-off aside): same minima, and — for
+        SPSA, whose eval budget is value-independent — the same count.
+        (Nelder-Mead's branches compare energies from two numerically
+        different kernels, so a 1-ulp tie may flip its eval count.)"""
+        kwargs = dict(optimizer=name, max_steps=14, restarts=3, seed=9)
+        batched = Evaluator(
+            graphs, EvaluationConfig(batch_mode="batched", **kwargs)
+        ).evaluate(("rx",), 1)
+        serial = Evaluator(
+            graphs, EvaluationConfig(batch_mode="serial", **kwargs)
+        ).evaluate(("rx",), 1)
+        if name == "spsa":
+            assert batched.nfev == serial.nfev
+        assert batched.energy == pytest.approx(serial.energy, abs=1e-8)
+
+    def test_adam_batched_restarts(self, graphs):
+        config = EvaluationConfig(
+            optimizer="adam", max_steps=6, restarts=2, seed=4, batch_mode="batched"
+        )
+        result = Evaluator(graphs, config).evaluate(("rx",), 1)
+        assert result.energy > 0
+
+    def test_auto_mode_default_unchanged_for_cobyla(self, graphs):
+        """COBYLA has no batch path; auto must reproduce the historical
+        serial restart loop exactly."""
+        auto = Evaluator(
+            graphs, EvaluationConfig(max_steps=12, restarts=2, seed=3)
+        ).evaluate(("rx",), 1)
+        serial = Evaluator(
+            graphs,
+            EvaluationConfig(max_steps=12, restarts=2, seed=3, batch_mode="serial"),
+        ).evaluate(("rx",), 1)
+        assert auto.energy == serial.energy
+        assert auto.nfev == serial.nfev
+
+
+class TestConfigFingerprint:
+    def test_restarts_changes_cache_fingerprint(self):
+        from repro.core.cache import config_fingerprint
+
+        base = EvaluationConfig(max_steps=10, restarts=1)
+        more = EvaluationConfig(max_steps=10, restarts=3)
+        assert config_fingerprint(base) != config_fingerprint(more)
+
+    def test_batch_mode_changes_cache_fingerprint(self):
+        from repro.core.cache import config_fingerprint
+
+        auto = EvaluationConfig(max_steps=10)
+        serial = EvaluationConfig(max_steps=10, batch_mode="serial")
+        assert config_fingerprint(auto) != config_fingerprint(serial)
+
+
 class TestWorkerFunction:
     def test_stateless_entry_point_matches_evaluator(self, graphs, config):
         direct = Evaluator(graphs, config).evaluate(("h", "p"), 1)

@@ -2,11 +2,7 @@
 import pytest
 
 from repro.core.alphabet import GateAlphabet, enumerate_search_space
-from repro.core.predictor import (
-    EpsilonGreedyPredictor,
-    ExhaustivePredictor,
-    RandomPredictor,
-)
+from repro.core.predictor import EpsilonGreedyPredictor, ExhaustivePredictor, RandomPredictor
 
 
 @pytest.fixture

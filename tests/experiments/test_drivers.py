@@ -7,13 +7,13 @@ optimizer steps) asserting structure, not statistics.
 import numpy as np
 import pytest
 
+from repro.core.alphabet import GateAlphabet
 from repro.core.evaluator import EvaluationConfig
 from repro.core.search import SearchConfig
 from repro.experiments.comparison import run_fig8, run_fig9
 from repro.experiments.discovery import PAPER_FIG7_MIXERS, draw_mixer, run_fig6, run_fig7
 from repro.experiments.profiling import candidate_bag, measure_candidate_durations, run_fig5
 from repro.experiments.scale import SCALES, get_scale
-from repro.core.alphabet import GateAlphabet
 from repro.graphs.generators import erdos_renyi_graph, random_regular_graph
 
 

@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.experiments.figures import (
-    render_bars,
-    render_grouped_bars,
-    render_series,
-    render_table,
-)
+from repro.experiments.figures import render_bars, render_grouped_bars, render_series, render_table
 
 
 class TestTable:

@@ -5,11 +5,7 @@ import time
 
 import pytest
 
-from repro.parallel.executor import (
-    MultiprocessingExecutor,
-    SerialExecutor,
-    ThreadExecutor,
-)
+from repro.parallel.executor import MultiprocessingExecutor, SerialExecutor, ThreadExecutor
 from repro.parallel.jobs import JobFailedError, JobScheduler
 
 

@@ -3,10 +3,10 @@
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
+from tests.property.test_circuit_props import circuits
 
 from repro.qaoa.observables import PauliSum, PauliTerm, ising_hamiltonian, qubo_to_ising
 from repro.simulators.statevector import simulate
-from tests.property.test_circuit_props import circuits
 
 PAULI_CHARS = st.sampled_from("IXYZ")
 COEFFS = st.floats(-5, 5, allow_nan=False, allow_infinity=False)

@@ -3,13 +3,13 @@
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
+from tests.property.test_circuit_props import circuits
 
-from repro.qtensor.contraction import contract_network, contract_sliced, choose_slice_vars
+from repro.qtensor.contraction import choose_slice_vars, contract_network, contract_sliced
 from repro.qtensor.network import TensorNetwork
 from repro.qtensor.ordering import order_for_tensors
 from repro.qtensor.simulator import QTensorSimulator
 from repro.simulators.statevector import simulate
-from tests.property.test_circuit_props import circuits
 
 
 @settings(max_examples=20, deadline=None)

@@ -7,12 +7,7 @@ from repro.circuits.parameters import Parameter
 from repro.graphs.generators import Graph, cycle_graph, path_graph
 from repro.qaoa.ansatz import build_qaoa_ansatz
 from repro.qaoa.cost_operator import cost_layer
-from repro.qaoa.mixers import (
-    append_mixer_layer,
-    baseline_mixer,
-    mixer_label,
-    mixer_layer,
-)
+from repro.qaoa.mixers import append_mixer_layer, baseline_mixer, mixer_label, mixer_layer
 from repro.simulators.statevector import plus_state, simulate
 
 

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.circuits.circuit import QuantumCircuit
 from repro.graphs.generators import cycle_graph, erdos_renyi_graph
 from repro.qaoa.observables import (
     PauliSum,
@@ -14,7 +15,6 @@ from repro.qaoa.observables import (
 )
 from repro.simulators.expectation import maxcut_expectation
 from repro.simulators.statevector import basis_state, plus_state, simulate
-from repro.circuits.circuit import QuantumCircuit
 
 
 class TestPauliTerm:

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from tests.conftest import random_circuit
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.qtensor.backends import NumpyBackend
@@ -16,7 +17,6 @@ from repro.qtensor.ordering import order_for_tensors
 from repro.qtensor.tensor import Tensor
 from repro.qtensor.variables import Variable
 from repro.simulators.statevector import simulate
-from tests.conftest import random_circuit
 
 
 class TestBucketElimination:

@@ -2,14 +2,14 @@
 
 import numpy as np
 import pytest
+from tests.conftest import random_circuit
 
 from repro.circuits.circuit import QuantumCircuit
+from repro.graphs.generators import cycle_graph
 from repro.qtensor.contraction import contract_network
 from repro.qtensor.network import TensorNetwork, interaction_graph, product_state_vectors
-from repro.simulators.statevector import plus_state, simulate
 from repro.simulators.expectation import maxcut_expectation
-from repro.graphs.generators import cycle_graph
-from tests.conftest import random_circuit
+from repro.simulators.statevector import plus_state, simulate
 
 
 class TestProductStates:

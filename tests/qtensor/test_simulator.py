@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from tests.conftest import random_circuit
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.graphs.generators import cycle_graph, erdos_renyi_graph, random_regular_graph
@@ -10,7 +11,6 @@ from repro.qtensor.backends import NumpyBackend, SimulatedGPUBackend
 from repro.qtensor.simulator import QTensorSimulator
 from repro.simulators.expectation import maxcut_expectation
 from repro.simulators.statevector import plus_state, simulate, zero_state
-from tests.conftest import random_circuit
 
 
 @pytest.fixture(scope="module")

@@ -4,6 +4,8 @@ import numpy as np
 import pytest
 
 from repro.circuits.circuit import QuantumCircuit
+from repro.graphs.generators import path_graph
+from repro.simulators.expectation import cut_values
 from repro.simulators.noise import (
     DensityMatrixSimulator,
     KrausChannel,
@@ -14,8 +16,6 @@ from repro.simulators.noise import (
     phase_flip_channel,
 )
 from repro.simulators.statevector import simulate
-from repro.simulators.expectation import cut_values
-from repro.graphs.generators import path_graph
 
 
 class TestChannels:

@@ -2,8 +2,10 @@
 
 import numpy as np
 import pytest
+from tests.conftest import random_circuit
 
 from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import gate_matrix
 from repro.circuits.parameters import Parameter
 from repro.simulators.statevector import (
     apply_gate,
@@ -14,8 +16,6 @@ from repro.simulators.statevector import (
     simulate,
     zero_state,
 )
-from repro.circuits.gates import gate_matrix
-from tests.conftest import random_circuit
 
 SQ2 = 1 / np.sqrt(2)
 
