@@ -30,5 +30,6 @@ python scripts/ci_smoke.py
 python scripts/bench_report.py
 python benchmarks/bench_compiled_engine.py
 python benchmarks/bench_batched_optimizers.py
+python benchmarks/bench_sharded_runtime.py
 
 echo "=== all CI jobs green ==="

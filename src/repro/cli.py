@@ -15,6 +15,7 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from contextlib import ExitStack
 
 from repro.core.evaluator import ENGINES, EvaluationConfig, Evaluator
 from repro.core.runtime import RuntimeConfig
@@ -75,6 +76,18 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["combinations", "sequences", "permutations"])
     search.add_argument("--workers", type=int, default=0,
                         help="0 = serial, -1 = all cores")
+    search.add_argument("--shards", type=int, default=1,
+                        help="partition each depth's candidate bag across "
+                             "this many shards (Fig. 2's outer level); "
+                             "with --workers the pool is split one per "
+                             "shard, and a dead shard's candidates "
+                             "migrate to the survivors")
+    search.add_argument("--shard-index", type=int, default=None,
+                        help="run ONLY this shard (0-based) of every "
+                             "depth in this process; launch one process "
+                             "per index with the same --shards and a "
+                             "shared --cache-dir, then merge with a "
+                             "final run (all cache hits)")
     search.add_argument("--out", default=None, help="save SearchResult JSON")
     search.add_argument("--cache-dir", default=None,
                         help="persist candidate results + checkpoints here; "
@@ -120,28 +133,70 @@ def _cmd_search(args) -> int:
     )
     if args.resume and not args.cache_dir:
         raise SystemExit("--resume requires --cache-dir")
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    if args.shard_index is not None:
+        if not args.cache_dir:
+            raise SystemExit(
+                "--shard-index requires --cache-dir (shard processes meet "
+                "in the shared result cache)"
+            )
+        if not 0 <= args.shard_index < args.shards:
+            raise SystemExit(
+                f"--shard-index must be in [0, {args.shards}), "
+                f"got {args.shard_index}"
+            )
     runtime = RuntimeConfig(
         cache_dir=args.cache_dir,
         resume=args.resume,
         max_retries=args.retries,
         job_timeout=args.job_timeout,
+        shards=args.shards,
+        shard_index=args.shard_index,
     )
     workers = available_cores() if args.workers == -1 else args.workers
-    if workers and workers > 1:
-        with MultiprocessingExecutor(workers) as executor:
-            result = search_mixer(graphs, config, executor=executor, runtime=runtime)
-    else:
-        if args.job_timeout is not None:
-            print(
-                "warning: --job-timeout has no effect with the serial "
-                "executor (jobs run inline); use --workers >= 2",
-                file=sys.stderr,
-            )
-        result = search_mixer(graphs, config, runtime=runtime)
+    sharded_here = args.shards > 1 and args.shard_index is None
+    try:
+        if workers and workers > 1:
+            with ExitStack() as stack:
+                if sharded_here:
+                    # One pool per shard — each shard is its own failure
+                    # domain, the in-process model of one pool per node.
+                    # The remainder is spread so every requested worker
+                    # lands in some shard.
+                    base, extra = divmod(workers, args.shards)
+                    executor: object = [
+                        stack.enter_context(
+                            MultiprocessingExecutor(
+                                max(1, base + (1 if i < extra else 0))
+                            )
+                        )
+                        for i in range(args.shards)
+                    ]
+                else:
+                    executor = stack.enter_context(MultiprocessingExecutor(workers))
+                result = search_mixer(
+                    graphs, config, executor=executor, runtime=runtime
+                )
+        else:
+            if args.job_timeout is not None:
+                print(
+                    "warning: --job-timeout has no effect with the serial "
+                    "executor (jobs run inline); use --workers >= 2",
+                    file=sys.stderr,
+                )
+            result = search_mixer(graphs, config, runtime=runtime)
+    except ValueError as error:
+        if args.shard_index is not None:
+            # e.g. more shards than candidates: this process's slice is
+            # empty at every depth — a configuration message, not a crash.
+            raise SystemExit(str(error)) from error
+        raise
 
     rows = [
         [d.p, str(d.best.tokens), d.best.ratio, f"{d.seconds:.1f}s"]
         for d in result.depth_results
+        if d.evaluations  # a shard's slice of a narrow depth can be empty
     ]
     print(render_table(["p", "best mixer", "ratio", "time"], rows))
     print(f"\nwinner: {result.best_tokens} at p={result.best_p} "
@@ -152,6 +207,15 @@ def _cmd_search(args) -> int:
               f"{result.config['cache_misses']} misses, "
               f"{result.config['restored_depths']} depths restored "
               f"({args.cache_dir})")
+    if args.shard_index is not None:
+        print(f"shard {args.shard_index}/{args.shards}: partial sweep; "
+              f"results persisted to the shared cache — merge with a run "
+              f"omitting --shard-index")
+    elif args.shards > 1:
+        dead = result.config.get("dead_shards", [])
+        print(f"shards: {args.shards} "
+              f"({len(dead)} died{': ' + str(dead) if dead else ''}, "
+              f"{result.config.get('jobs_migrated', 0)} candidates migrated)")
     if args.out:
         result.save(args.out)
         print(f"saved to {args.out}")

@@ -49,8 +49,9 @@ from repro.core.predictor import (
 )
 from repro.core.qbuilder import QBuilder
 from repro.core.results import CandidateEvaluation, DepthResult, SearchResult
-from repro.core.runtime import RuntimeConfig, SearchRuntime
+from repro.core.runtime import RuntimeConfig, SearchRuntime, predicted_cost
 from repro.core.search import SearchConfig, search_mixer, search_with_predictor
+from repro.core.sharded import ShardedRuntime, ShardFailedError
 
 __all__ = [
     "GateAlphabet",
@@ -80,6 +81,9 @@ __all__ = [
     "SweepCheckpoint",
     "RuntimeConfig",
     "SearchRuntime",
+    "ShardedRuntime",
+    "ShardFailedError",
+    "predicted_cost",
     "SearchConfig",
     "search_mixer",
     "search_with_predictor",

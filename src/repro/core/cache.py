@@ -11,9 +11,14 @@ The search runtime treats a candidate evaluation as a pure function of
 so its result can be keyed by a stable fingerprint and stored on disk.
 Repeat proposals within a search, repeated depths, and whole re-runs then
 cost a lookup instead of a training loop. Storage is a single sqlite file
-under ``cache_dir`` (WAL mode, one writer — the parent search process),
-which survives kills without corruption and is cheap to ship between
-machines.
+under ``cache_dir`` (WAL mode with a busy timeout, so the usual single
+parent writer may be joined by sibling shard processes — see
+``--shard-index`` in the CLI — without corruption), which survives kills
+and is cheap to ship between machines. Writes are batched: ``put`` buffers
+and every ``flush_every``-th put commits one transaction, so wide depths
+pay one fsync per batch instead of per evaluation; the cache is therefore
+also the **partial-depth checkpoint** — after a mid-depth kill, everything
+up to the last flush is recovered by per-candidate lookups on restart.
 
 :class:`SweepCheckpoint` lives in the same directory and records finished
 *depths* of a sweep keyed by a fingerprint of everything that defines the
@@ -109,16 +114,29 @@ class ResultCache:
     One sqlite file per ``cache_dir``; keys are the fingerprints above, so
     any change to the workload, the tokens, the depth, or the evaluation
     config invalidates naturally (the key changes, nothing is ever stale).
+
+    ``flush_every`` batches commits: puts accumulate in an in-memory
+    buffer (reads see them immediately) and every ``flush_every``-th put
+    writes the batch in one transaction via ``executemany``. 1 (the
+    default) keeps the historic commit-per-put durability; the search
+    runtime raises it to amortize fsyncs across wide depths, bounding the
+    work a mid-depth kill can lose to ``flush_every - 1`` evaluations.
     """
 
     SCHEMA_VERSION = 1
 
-    def __init__(self, cache_dir: str | Path) -> None:
+    def __init__(self, cache_dir: str | Path, *, flush_every: int = 1) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.path = self.cache_dir / "results.sqlite"
+        self.flush_every = int(flush_every)
         self._conn = sqlite3.connect(str(self.path))
         self._conn.execute("PRAGMA journal_mode=WAL")
+        # Shard processes (CLI --shard-index) share one results file; the
+        # busy timeout serializes their commits instead of erroring out.
+        self._conn.execute("PRAGMA busy_timeout=30000")
         self._conn.execute(
             "CREATE TABLE IF NOT EXISTS results ("
             " key TEXT PRIMARY KEY,"
@@ -126,12 +144,17 @@ class ResultCache:
             " schema INTEGER NOT NULL)"
         )
         self._conn.commit()
+        self._buffer: dict[str, CandidateEvaluation] = {}
         self.hits = 0
         self.misses = 0
 
     # -- mapping interface -------------------------------------------------
 
     def get(self, key: str) -> CandidateEvaluation | None:
+        buffered = self._buffer.get(key)
+        if buffered is not None:
+            self.hits += 1
+            return buffered
         row = self._conn.execute(
             "SELECT value FROM results WHERE key = ? AND schema = ?",
             (key, self.SCHEMA_VERSION),
@@ -143,16 +166,31 @@ class ResultCache:
         return _deserialize_evaluation(json.loads(row[0]))
 
     def put(self, key: str, evaluation: CandidateEvaluation) -> None:
-        self._conn.execute(
+        self._buffer[key] = evaluation
+        if len(self._buffer) >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Commit all buffered puts in one transaction."""
+        if not self._buffer:
+            return
+        self._conn.executemany(
             "INSERT OR REPLACE INTO results (key, value, schema) VALUES (?, ?, ?)",
-            (key, json.dumps(_serialize_evaluation(evaluation)), self.SCHEMA_VERSION),
+            [
+                (key, json.dumps(_serialize_evaluation(evaluation)), self.SCHEMA_VERSION)
+                for key, evaluation in self._buffer.items()
+            ],
         )
         self._conn.commit()
+        self._buffer.clear()
 
     def __len__(self) -> int:
+        self.flush()
         return int(self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0])
 
     def __contains__(self, key: str) -> bool:
+        if key in self._buffer:
+            return True
         row = self._conn.execute(
             "SELECT 1 FROM results WHERE key = ? AND schema = ?",
             (key, self.SCHEMA_VERSION),
@@ -160,6 +198,7 @@ class ResultCache:
         return row is not None
 
     def close(self) -> None:
+        self.flush()
         self._conn.close()
 
     def __enter__(self) -> ResultCache:

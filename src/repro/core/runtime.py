@@ -14,9 +14,22 @@ the replacement substrate:
   workload/tokens/p/config fingerprints. Repeat proposals (RL predictors
   re-propose good sequences constantly), repeated depths, and whole
   re-runs are lookups instead of training loops.
-* **Checkpoint/resume** — each finished depth is checkpointed
-  (atomically); a killed search restarted with ``resume=True`` skips the
-  depths it already completed.
+* **Checkpoint/resume, at two granularities** — each finished depth is
+  checkpointed (atomically); a killed search restarted with
+  ``resume=True`` skips the depths it already completed. *Within* a
+  depth, every evaluation is persisted to the result cache as it streams
+  back (commits batched every ``cache_flush_every`` evaluations), so a
+  kill in the middle of a wide depth costs at most the unflushed tail:
+  the restart re-submits only the candidates that never reached the
+  cache, not the whole depth.
+* **Sharding** — ``RuntimeConfig(shards=K)`` partitions each depth's
+  candidate bag across K shards (greedy least-loaded by predicted cost)
+  run by :class:`~repro.core.sharded.ShardedRuntime`, the Fig. 2 outer
+  level made real: per-shard schedulers, dead shards re-shard their
+  unfinished candidates onto survivors, cache/stats merge in the parent.
+  ``RuntimeConfig(shards=K, shard_index=i)`` instead makes *this* process
+  node ``i`` of a multi-process deployment: it evaluates only its shard
+  of every depth into the shared cache (see the CLI's ``--shard-index``).
 * **Hoisted classical optima** — the brute-force max-cut solve (the
   candidate-independent ``2^n`` part of scoring) runs once per search and
   ships to workers in the job payload instead of once per candidate.
@@ -34,7 +47,7 @@ predictor to feed rewards back to.
 from __future__ import annotations
 
 import time
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -50,18 +63,27 @@ from repro.core.evaluator import classical_optima, evaluate_candidate
 from repro.core.predictor import Predictor
 from repro.core.results import CandidateEvaluation, DepthResult, SearchResult
 from repro.graphs.generators import Graph
+from repro.parallel.cluster import least_loaded_partition
 from repro.parallel.executor import Executor, SerialExecutor
 from repro.parallel.jobs import JobScheduler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (search imports us)
     from repro.core.search import SearchConfig
 
-__all__ = ["RuntimeConfig", "SearchRuntime"]
+__all__ = ["RuntimeConfig", "SearchRuntime", "predicted_cost"]
+
+
+def predicted_cost(tokens: Sequence[str], p: int) -> float:
+    """Relative training cost of one candidate: parameters scale with
+    ``p * (len(tokens) + 1)`` and the optimizer budget rides along, so a
+    longer mixer at a deeper p is proportionally more work. Used to
+    balance shard placement; only ratios matter, not units."""
+    return float(p) * (len(tokens) + 1)
 
 
 @dataclass(frozen=True)
 class RuntimeConfig:
-    """Fault-tolerance and persistence knobs of one search run."""
+    """Fault-tolerance, persistence, and sharding knobs of one search run."""
 
     #: directory for the result cache + checkpoint; None disables both
     cache_dir: str | None = None
@@ -71,6 +93,31 @@ class RuntimeConfig:
     max_retries: int = 2
     #: per-attempt wall-clock limit in seconds (None = unlimited)
     job_timeout: float | None = None
+    #: shards each depth's candidate bag is partitioned into (the Fig. 2
+    #: outer level); 1 = the single-node runtime
+    shards: int = 1
+    #: evaluate only shard ``shard_index`` of every depth in this process
+    #: (multi-process deployments launch one process per index, sharing
+    #: ``cache_dir``); None = run all shards here
+    shard_index: int | None = None
+    #: cache commits are batched: one sqlite transaction per this many
+    #: evaluations (1 = commit per evaluation; also the most a mid-depth
+    #: kill can lose, minus one)
+    cache_flush_every: int = 8
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.shard_index is not None and not (
+            0 <= self.shard_index < self.shards
+        ):
+            raise ValueError(
+                f"shard_index must be in [0, {self.shards}), got {self.shard_index}"
+            )
+        if self.cache_flush_every < 1:
+            raise ValueError(
+                f"cache_flush_every must be >= 1, got {self.cache_flush_every}"
+            )
 
 
 class SearchRuntime:
@@ -109,7 +156,9 @@ class SearchRuntime:
         self.cache: ResultCache | None = None
         self.checkpoint: SweepCheckpoint | None = None
         if runtime.cache_dir is not None:
-            self.cache = ResultCache(runtime.cache_dir)
+            self.cache = ResultCache(
+                runtime.cache_dir, flush_every=runtime.cache_flush_every
+            )
             self.checkpoint = SweepCheckpoint(runtime.cache_dir)
         self.restored_depths = 0
 
@@ -158,6 +207,17 @@ class SearchRuntime:
         if callable(candidates_per_depth):
             if num_depths is None:
                 raise ValueError("num_depths is required with a candidate provider")
+            if self.runtime.shard_index is not None:
+                # Sibling shard processes must slice the *same* list, but a
+                # provider's proposals depend on the rewards fed back —
+                # which in shard mode are only this process's slice, so
+                # sibling proposals would silently diverge and the shards
+                # would neither cover the bag nor stay disjoint.
+                raise ValueError(
+                    "shard_index requires concrete per-depth candidate "
+                    "lists; predictor-driven proposals diverge between "
+                    "shard processes"
+                )
             provider = candidates_per_depth
             depth_count = num_depths
         else:
@@ -186,6 +246,12 @@ class SearchRuntime:
                     best = depth_best
 
         if best is None:
+            if self.runtime.shard_index is not None:
+                raise ValueError(
+                    f"shard {self.runtime.shard_index}/{self.runtime.shards} "
+                    "received no candidates at any depth (more shards than "
+                    "candidates?)"
+                )
             raise ValueError("search produced no evaluations (empty candidate sets)")
         return SearchResult(
             best_tokens=best.tokens,
@@ -208,6 +274,17 @@ class SearchRuntime:
             if restored is not None:
                 self.restored_depths += 1
                 return restored
+        if self.runtime.shard_index is not None:
+            # This process is one node of a multi-process deployment: it
+            # owns a deterministic slice of the full bag (every sibling
+            # computes the same partition of the same list) and its
+            # results meet the others' in the shared cache. The depth
+            # checkpoint stays untouched — it describes full depths only.
+            mine = least_loaded_partition(
+                [predicted_cost(tokens, p) for tokens in candidates],
+                self.runtime.shards,
+            )[self.runtime.shard_index]
+            candidates = [candidates[i] for i in sorted(mine)]
 
         depth_start = time.perf_counter()
         evaluations: list[CandidateEvaluation | None] = [None] * len(candidates)
@@ -240,23 +317,40 @@ class SearchRuntime:
                 )
                 for key in miss_keys
             ]
-            for job_index, result in self.scheduler.as_completed(
-                evaluate_candidate, jobs
-            ):
-                key = miss_keys[job_index]
+            # Every result is persisted as it streams back (the cache
+            # batches commits), so a mid-depth kill only loses work that
+            # had not reached the last flush — that is the partial-depth
+            # checkpoint the restart recovers from, candidate by candidate.
+            for key, result in self._execute(p, miss_keys, jobs):
                 for position in miss_positions[key]:
                     evaluations[position] = result
                 if self.cache is not None:
                     self.cache.put(key, result)
+            if self.cache is not None:
+                self.cache.flush()
 
         depth_result = DepthResult(
             p,
             tuple(e for e in evaluations if e is not None),
             time.perf_counter() - depth_start,
         )
-        if self.checkpoint is not None:
+        if self.checkpoint is not None and self.runtime.shard_index is None:
             self.checkpoint.save_depth(depth_fp, depth_result)
         return depth_result
+
+    def _execute(
+        self, p: int, keys: list[str], jobs: list[tuple]
+    ) -> Iterator[tuple[str, CandidateEvaluation]]:
+        """Stream ``(key, evaluation)`` pairs for the depth's cache misses.
+
+        The single-node runtime drains one scheduler;
+        :class:`~repro.core.sharded.ShardedRuntime` overrides this with
+        the sharded outer level.
+        """
+        for job_index, result in self.scheduler.as_completed(
+            evaluate_candidate, jobs
+        ):
+            yield keys[job_index], result
 
     def _result_config(self, predictor: Predictor | None) -> dict:
         stats = self.scheduler.stats
@@ -275,6 +369,8 @@ class SearchRuntime:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "restored_depths": self.restored_depths,
+            "shards": self.runtime.shards,
+            "shard_index": self.runtime.shard_index,
             "jobs_submitted": stats.submitted,
             "jobs_retried": stats.retried,
         }

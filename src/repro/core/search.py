@@ -10,7 +10,12 @@ decides whether they run serially or fan out over a process pool.
 Execution itself lives in :class:`~repro.core.runtime.SearchRuntime`:
 evaluations stream back as they complete with per-job retry/timeout, and a
 ``runtime=RuntimeConfig(cache_dir=...)`` makes results persistent (repeat
-runs are cache lookups) and the sweep checkpointed/resumable.
+runs are cache lookups) and the sweep checkpointed/resumable — at both
+depth and single-evaluation granularity. ``RuntimeConfig(shards=K)``
+upgrades execution to :class:`~repro.core.sharded.ShardedRuntime`, the
+Fig. 2 outer level: per-depth candidate bags are partitioned across K
+shards (pass a sequence of K executors for one pool per shard) with
+dead-shard migration onto survivors.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from repro.core.evaluator import EvaluationConfig
 from repro.core.predictor import Predictor
 from repro.core.results import SearchResult
 from repro.core.runtime import RuntimeConfig, SearchRuntime
+from repro.core.sharded import ShardedRuntime
 from repro.graphs.generators import Graph
 from repro.parallel.executor import Executor
 from repro.utils.validation import check_positive
@@ -57,11 +63,35 @@ class SearchConfig:
         check_positive(self.k_max, "k_max")
 
 
+def _make_runtime(
+    graphs: Sequence[Graph],
+    config: SearchConfig,
+    executor: Executor | Sequence[Executor] | None,
+    runtime: RuntimeConfig | None,
+) -> SearchRuntime:
+    """Pick the execution substrate from the runtime config.
+
+    ``shards > 1`` (without a ``shard_index`` pinning this process to one
+    shard) selects :class:`ShardedRuntime`; ``executor`` may then be a
+    sequence of per-shard executors. Everything else runs single-node.
+    """
+    runtime = runtime or RuntimeConfig()
+    sequence_given = executor is not None and not isinstance(executor, Executor)
+    if (runtime.shards > 1 or sequence_given) and runtime.shard_index is None:
+        return ShardedRuntime(graphs, config, executors=executor, runtime=runtime)
+    if sequence_given:
+        raise ValueError(
+            "a sequence of executors requires sharded execution "
+            "(RuntimeConfig without shard_index)"
+        )
+    return SearchRuntime(graphs, config, executor=executor, runtime=runtime)
+
+
 def search_mixer(
     graphs: Sequence[Graph],
     config: SearchConfig = SearchConfig(),
     *,
-    executor: Executor | None = None,
+    executor: Executor | Sequence[Executor] | None = None,
     runtime: RuntimeConfig | None = None,
 ) -> SearchResult:
     """Exhaustive Algorithm 1 (the paper's profiled configuration).
@@ -88,7 +118,7 @@ def search_with_predictor(
     config: SearchConfig = SearchConfig(),
     *,
     candidates_per_depth: int = 32,
-    executor: Executor | None = None,
+    executor: Executor | Sequence[Executor] | None = None,
     runtime: RuntimeConfig | None = None,
 ) -> SearchResult:
     """Algorithm 1 with a closed-loop predictor (random / bandit / RL).
@@ -109,9 +139,7 @@ def search_with_predictor(
             unique = config.constraints.filter(unique)
         return unique
 
-    with SearchRuntime(
-        graphs, config, executor=executor, runtime=runtime or RuntimeConfig()
-    ) as search_runtime:
+    with _make_runtime(graphs, config, executor, runtime) as search_runtime:
         return search_runtime.run(
             propose_depth, num_depths=config.p_max, predictor=predictor
         )
@@ -121,12 +149,10 @@ def _run_depth_sweep(
     graphs: Sequence[Graph],
     config: SearchConfig,
     candidates_per_depth: Sequence[Sequence[tuple[str, ...]]],
-    executor: Executor | None,
+    executor: Executor | Sequence[Executor] | None,
     *,
     predictor: Predictor | None = None,
     runtime: RuntimeConfig | None = None,
 ) -> SearchResult:
-    with SearchRuntime(
-        graphs, config, executor=executor, runtime=runtime or RuntimeConfig()
-    ) as search_runtime:
+    with _make_runtime(graphs, config, executor, runtime) as search_runtime:
         return search_runtime.run(candidates_per_depth, predictor=predictor)

@@ -1,7 +1,12 @@
 """Parallel execution layer: real executors, measured-replay schedulers,
 and the two-level cluster model (Fig. 2 / Fig. 3 / Fig. 5 substrate)."""
 
-from repro.parallel.cluster import ClusterModel, NodeSpec, TwoLevelResult
+from repro.parallel.cluster import (
+    ClusterModel,
+    NodeSpec,
+    TwoLevelResult,
+    least_loaded_partition,
+)
 from repro.parallel.executor import (
     Executor,
     MultiprocessingExecutor,
@@ -38,6 +43,7 @@ __all__ = [
     "ClusterModel",
     "NodeSpec",
     "TwoLevelResult",
+    "least_loaded_partition",
     "Timer",
     "TimingLog",
     "time_call",

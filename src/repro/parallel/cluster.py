@@ -18,7 +18,30 @@ import numpy as np
 from repro.parallel.scheduler import OverheadModel, simulate_makespan
 from repro.utils.validation import check_positive
 
-__all__ = ["NodeSpec", "ClusterModel", "TwoLevelResult"]
+__all__ = ["NodeSpec", "ClusterModel", "TwoLevelResult", "least_loaded_partition"]
+
+
+def least_loaded_partition(
+    costs: Sequence[float], num_bins: int
+) -> list[list[int]]:
+    """Greedy LPT placement: heaviest item first onto the least-loaded bin.
+
+    Returns ``num_bins`` lists of item indices (some possibly empty). This
+    is the placement rule both :meth:`ClusterModel.schedule_two_level`
+    (graphs onto modelled nodes) and the sharded search runtime (candidate
+    bags onto real shards) use, so the model and the real scheduler can
+    never disagree about balancing behaviour. Deterministic: ties in cost
+    and load resolve by index order.
+    """
+    check_positive(num_bins, "num_bins")
+    bins: list[list[int]] = [[] for _ in range(num_bins)]
+    load = [0.0] * num_bins
+    order = sorted(range(len(costs)), key=lambda i: (-float(costs[i]), i))
+    for item in order:
+        target = min(range(num_bins), key=lambda b: (load[b], b))
+        bins[target].append(item)
+        load[target] += float(costs[item])
+    return bins
 
 
 @dataclass(frozen=True)
@@ -72,22 +95,17 @@ class ClusterModel:
         *,
         use_gpus: bool = False,
     ) -> TwoLevelResult:
-        """Outer tasks (graphs) round-robin across nodes; each outer task's
-        inner durations (gate combinations) are list-scheduled on the node's
+        """Outer tasks (graphs) go to nodes by greedy least-loaded placement
+        (heaviest total inner work first, each onto the currently lightest
+        node — :func:`least_loaded_partition`); each outer task's inner
+        durations (gate combinations) are list-scheduled on the node's
         cores. With ``use_gpus`` the inner durations shrink by the GPU
         speedup on as many concurrent tasks as there are GPUs (a coarse
         model of simulation offload)."""
         check_positive(self.num_nodes, "num_nodes")
-        node_assignments: list[list[int]] = [[] for _ in range(self.num_nodes)]
         # Outer level: greedy least-loaded assignment by total inner work.
-        node_load = [0.0] * self.num_nodes
-        order = sorted(
-            range(len(outer_tasks)), key=lambda i: -float(np.sum(outer_tasks[i]))
-        )
-        for task_idx in order:
-            target = int(np.argmin(node_load))
-            node_assignments[target].append(task_idx)
-            node_load[target] += float(np.sum(outer_tasks[task_idx]))
+        outer_costs = [float(np.sum(task)) for task in outer_tasks]
+        node_assignments = least_loaded_partition(outer_costs, self.num_nodes)
 
         node_makespans: list[float] = []
         for node_idx in range(self.num_nodes):

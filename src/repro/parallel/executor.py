@@ -127,8 +127,16 @@ class MultiprocessingExecutor(Executor):
         return async_result.get()
 
     def submit(self, fn: Callable, *args) -> Future:
-        """One job through ``apply_async``, surfaced as a standard future."""
+        """One job through ``apply_async``, surfaced as a standard future.
+
+        The future is marked running immediately: ``multiprocessing.Pool``
+        has no way to withdraw a task once ``apply_async`` accepted it
+        (even while still queued), so ``cancel()`` must report failure —
+        which tells the job scheduler an abandoned attempt may still
+        occupy a worker and the pool must be terminated, not joined.
+        """
         future: Future = Future()
+        future.set_running_or_notify_cancel()
 
         def _settle(setter: Callable) -> Callable:
             # The job scheduler may cancel an abandoned (timed-out) future;

@@ -8,16 +8,27 @@ and wall-clock deadline. A job whose worker raises is resubmitted; a job
 whose future never completes (worker killed — ``multiprocessing.Pool``
 repopulates the process but silently drops the task) is abandoned at its
 deadline and resubmitted the same way. Only when a job exhausts
-``max_retries`` does the scheduler raise :class:`JobFailedError`, so
-transient faults cost one job's latency instead of the search.
+``max_retries`` does the scheduler raise :class:`JobFailedError` — and even
+then every other finished job in the same completion batch is yielded (and
+so reaches the caller's cache) before the raise, so one poisoned candidate
+costs its own work, not its neighbours'.
+
+Submission is **bounded**: at most ``max_inflight`` attempts (default
+``4 x executor.num_workers``) are outstanding at once and further jobs are
+submitted as results drain. Wide depths (625+ candidates) therefore start
+their per-attempt deadline clock when work can actually run, not when the
+whole bag is enqueued — and with inline executors, results stream back
+(and get persisted by the caller) between submissions instead of only
+after the last job ran.
 """
 
 from __future__ import annotations
 
 import time
+from collections import deque
 from collections.abc import Callable, Iterator, Sequence
 from concurrent.futures import FIRST_COMPLETED, Future, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, replace
 from typing import Any
 
 from repro.parallel.executor import Executor, SerialExecutor
@@ -39,13 +50,26 @@ class JobFailedError(RuntimeError):
 
 @dataclass
 class JobStats:
-    """What the scheduler did on one ``run``/``as_completed`` pass."""
+    """Scheduler counters: either lifetime totals or one pass's delta.
+
+    ``JobScheduler.stats`` accumulates for the scheduler's lifetime (the
+    numbers a search reports at the end); ``JobScheduler.pass_stats`` is
+    the delta of the current/most recent ``run``/``as_completed`` pass.
+    """
 
     submitted: int = 0
     completed: int = 0
     retried: int = 0
     timed_out: int = 0
     failed: int = 0
+
+    def __sub__(self, other: JobStats) -> JobStats:
+        return JobStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
 
 
 @dataclass
@@ -71,6 +95,11 @@ class JobScheduler:
         Per-attempt wall-clock deadline in seconds; ``None`` disables.
         On expiry the attempt is abandoned (its late result, if any, is
         discarded) and the job is resubmitted.
+    max_inflight:
+        Cap on outstanding attempts; ``None`` = ``4 x num_workers``.
+        Bounding keeps deadlines honest (an attempt's clock starts when it
+        is submitted) and lets inline executors stream results between
+        submissions.
     """
 
     def __init__(
@@ -79,15 +108,27 @@ class JobScheduler:
         *,
         max_retries: int = 2,
         timeout: float | None = None,
+        max_inflight: int | None = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         self.executor = executor or SerialExecutor()
         self.max_retries = int(max_retries)
         self.timeout = timeout
+        self.max_inflight = max_inflight
         self.stats = JobStats()
+        self._pass_start = JobStats()
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def pass_stats(self) -> JobStats:
+        """Counters of the current/most recent ``run``/``as_completed``."""
+        return self.stats - self._pass_start
 
     # -- public API --------------------------------------------------------
 
@@ -96,15 +137,22 @@ class JobScheduler:
     ) -> Iterator[tuple[int, Any]]:
         """Yield ``(job_index, result)`` pairs in completion order."""
         jobs = list(jobs)
+        self._pass_start = replace(self.stats)
+        limit = self.max_inflight or 4 * max(1, self.executor.num_workers)
+        backlog = deque(range(len(jobs)))
         pending: dict[Future, _Pending] = {}
-        for index, job in enumerate(jobs):
-            self._submit(pending, fn, jobs, index, attempt=1)
 
-        while pending:
+        while pending or backlog:
+            while backlog and len(pending) < limit:
+                self._submit(pending, fn, jobs, backlog.popleft(), attempt=1)
             wait_timeout = self._next_wait(pending)
             done, _ = wait(
                 set(pending), timeout=wait_timeout, return_when=FIRST_COMPLETED
             )
+            # Drain the whole completion batch before surfacing any
+            # failure: the other finished futures carry real work that
+            # must reach the caller, not be dropped with the generator.
+            failure: JobFailedError | None = None
             for future in done:
                 entry = pending.pop(future)
                 error = future.exception()
@@ -112,8 +160,12 @@ class JobScheduler:
                     self.stats.completed += 1
                     yield entry.index, future.result()
                 else:
-                    self._retry_or_fail(pending, fn, jobs, entry, error)
-            self._expire(pending, fn, jobs)
+                    failure = failure or self._retry_or_fail(
+                        pending, fn, jobs, entry, error
+                    )
+            failure = failure or self._expire(pending, fn, jobs)
+            if failure is not None:
+                raise failure
 
     def run(self, fn: Callable, jobs: Sequence[tuple]) -> list[Any]:
         """Ordered results — a fault-tolerant drop-in for ``starmap``."""
@@ -144,31 +196,38 @@ class JobScheduler:
         jobs: Sequence[tuple],
         entry: _Pending,
         cause: BaseException,
-    ) -> None:
+    ) -> JobFailedError | None:
+        """Resubmit a failed attempt, or return (not raise) the terminal
+        error so the caller can finish draining its completion batch."""
         if entry.attempt <= self.max_retries:
             self.stats.retried += 1
             self._submit(pending, fn, jobs, entry.index, attempt=entry.attempt + 1)
-        else:
-            self.stats.failed += 1
-            raise JobFailedError(entry.index, entry.attempt, cause) from cause
+            return None
+        self.stats.failed += 1
+        error = JobFailedError(entry.index, entry.attempt, cause)
+        error.__cause__ = cause
+        return error
 
     def _expire(
         self, pending: dict[Future, _Pending], fn: Callable, jobs: Sequence[tuple]
-    ) -> None:
+    ) -> JobFailedError | None:
         now = time.monotonic()
         expired = [
             future
             for future, entry in pending.items()
             if entry.deadline is not None and now >= entry.deadline and not future.done()
         ]
+        failure: JobFailedError | None = None
         for future in expired:
             entry = pending.pop(future)
-            future.cancel()  # best effort; a running pool task cannot be cancelled
-            # The abandoned attempt may still occupy (or have killed) a
-            # worker — the pool can no longer be joined gracefully.
-            self.executor.tainted = True
+            if not future.cancel() and not future.done():
+                # The attempt is genuinely running on a worker we can no
+                # longer reach — the pool can't be joined gracefully. A
+                # successful cancel means the attempt never started and
+                # the pool is still clean.
+                self.executor.tainted = True
             self.stats.timed_out += 1
-            self._retry_or_fail(
+            failure = failure or self._retry_or_fail(
                 pending,
                 fn,
                 jobs,
@@ -178,6 +237,7 @@ class JobScheduler:
                     f"{self.timeout}s"
                 ),
             )
+        return failure
 
     def _next_wait(self, pending: dict[Future, _Pending]) -> float | None:
         """Seconds until the earliest deadline (None = wait indefinitely)."""

@@ -118,6 +118,46 @@ class TestResultCache:
         assert (target / "results.sqlite").exists()
 
 
+class TestCommitBatching:
+    def test_puts_buffer_until_flush_threshold(self, tmp_path):
+        writer = ResultCache(tmp_path, flush_every=3)
+        reader = ResultCache(tmp_path)  # separate connection: sees commits only
+        writer.put("a", make_evaluation())
+        writer.put("b", make_evaluation(("ry",)))
+        assert reader.get("a") is None  # not committed yet...
+        assert writer.get("a") == make_evaluation()  # ...but the writer sees it
+        assert "a" in writer
+        writer.put("c", make_evaluation(("rz",)))  # 3rd put commits the batch
+        assert reader.get("a") is not None
+        assert reader.get("c") is not None
+        writer.close()
+        reader.close()
+
+    def test_close_flushes_pending(self, tmp_path):
+        with ResultCache(tmp_path, flush_every=100) as cache:
+            cache.put("k", make_evaluation())
+        with ResultCache(tmp_path) as cache:
+            assert cache.get("k") == make_evaluation()
+
+    def test_explicit_flush(self, tmp_path):
+        writer = ResultCache(tmp_path, flush_every=100)
+        reader = ResultCache(tmp_path)
+        writer.put("k", make_evaluation())
+        writer.flush()
+        assert reader.get("k") is not None
+        writer.close()
+        reader.close()
+
+    def test_len_accounts_for_buffered(self, tmp_path):
+        with ResultCache(tmp_path, flush_every=100) as cache:
+            cache.put("k", make_evaluation())
+            assert len(cache) == 1
+
+    def test_invalid_flush_every(self, tmp_path):
+        with pytest.raises(ValueError, match="flush_every"):
+            ResultCache(tmp_path, flush_every=0)
+
+
 class TestSweepCheckpoint:
     def test_roundtrip(self, tmp_path):
         depth = DepthResult(1, (make_evaluation(), make_evaluation(("ry",))), 1.5)

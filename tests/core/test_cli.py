@@ -82,6 +82,58 @@ class TestSearchCommand:
         with pytest.raises(SystemExit, match="--resume requires --cache-dir"):
             main(["search", "--resume"])
 
+    def test_sharded_search(self, capsys):
+        code = main([
+            "search", "--graphs", "1", "--steps", "8", "--p-max", "1",
+            "--k-min", "1", "--k-max", "1", "--metric", "energy",
+            "--shards", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "winner" in out
+        assert "shards: 2 (0 died, 0 candidates migrated)" in out
+
+    def test_shard_index_processes_meet_in_cache(self, tmp_path, capsys):
+        """Two --shard-index 'processes' then a merge run: the merge is
+        pure cache hits."""
+        base = [
+            "search", "--graphs", "1", "--steps", "8", "--p-max", "1",
+            "--k-min", "1", "--k-max", "1", "--metric", "energy",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        for index in ("0", "1"):
+            assert main(base + ["--shards", "2", "--shard-index", index]) == 0
+            out = capsys.readouterr().out
+            assert f"shard {index}/2: partial sweep" in out
+        assert main(base) == 0
+        assert "cache: 5 hits, 0 misses" in capsys.readouterr().out
+
+    def test_shard_index_requires_cache_dir(self):
+        with pytest.raises(SystemExit, match="--shard-index requires --cache-dir"):
+            main(["search", "--shards", "2", "--shard-index", "0"])
+
+    def test_shard_index_range_checked(self, tmp_path):
+        with pytest.raises(SystemExit, match="--shard-index must be in"):
+            main([
+                "search", "--shards", "2", "--shard-index", "2",
+                "--cache-dir", str(tmp_path),
+            ])
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(SystemExit, match="--shards must be >= 1"):
+            main(["search", "--shards", "0"])
+
+    def test_empty_shard_slice_exits_gracefully(self, tmp_path):
+        """More shards than candidates: the empty shard process gets a
+        configuration message, not a traceback."""
+        with pytest.raises(SystemExit, match="shard 49/50 received no candidates"):
+            main([
+                "search", "--graphs", "1", "--steps", "8", "--p-max", "1",
+                "--k-min", "1", "--k-max", "1", "--metric", "energy",
+                "--shards", "50", "--shard-index", "49",
+                "--cache-dir", str(tmp_path),
+            ])
+
     def test_resume_restores_depths(self, tmp_path, capsys):
         args = [
             "search", "--graphs", "1", "--steps", "8", "--p-max", "1",

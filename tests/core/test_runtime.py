@@ -214,6 +214,75 @@ class TestCheckpointResume:
         assert replayed.updates == first.updates
 
 
+class TestPartialDepthResume:
+    def test_mid_depth_kill_resubmits_only_unfinished(self, graphs, tmp_path):
+        """Acceptance: kill a sweep partway through a wide depth; resume
+        re-submits only the candidates that never reached the cache — not
+        the whole depth — and the final result matches an uninterrupted
+        run."""
+        config = SearchConfig(
+            p_max=1, k_min=1, k_max=2, mode="combinations",
+            evaluation=EvaluationConfig(max_steps=10, seed=1),
+        )
+        cache_dir = str(tmp_path / "partial")
+        reference = search_mixer(graphs, config)
+        width = reference.num_candidates
+        assert width >= 8  # a "wide" depth: the kill lands mid-depth
+
+        with pytest.raises(KeyboardInterrupt):
+            search_mixer(
+                graphs,
+                config,
+                executor=FailAtExecutor(fail_at=8),
+                runtime=RuntimeConfig(cache_dir=cache_dir, cache_flush_every=1),
+            )
+
+        # The incremental per-evaluation persistence is the partial-depth
+        # checkpoint: some (not all) of the depth survived the kill.
+        from repro.core.cache import ResultCache
+
+        with ResultCache(cache_dir) as cache:
+            persisted = len(cache)
+        assert 0 < persisted < width
+
+        counting = CountingExecutor()
+        resumed = search_mixer(
+            graphs,
+            config,
+            executor=counting,
+            runtime=RuntimeConfig(cache_dir=cache_dir, resume=True),
+        )
+        assert resumed.config["restored_depths"] == 0  # depth never finished
+        assert resumed.config["jobs_submitted"] == width - persisted
+        assert resumed.config["cache_hits"] == persisted
+        assert len(counting.submitted) == width - persisted
+        assert evaluation_payload(resumed) == evaluation_payload(reference)
+
+    def test_flush_batching_bounds_loss_to_unflushed_tail(self, graphs, tmp_path):
+        """With batched commits (flush_every=4), a kill can only lose the
+        evaluations after the last flush boundary."""
+        config = SearchConfig(
+            p_max=1, k_min=1, k_max=2, mode="combinations",
+            evaluation=EvaluationConfig(max_steps=10, seed=1),
+        )
+        cache_dir = str(tmp_path / "batched")
+        with pytest.raises(KeyboardInterrupt):
+            search_mixer(
+                graphs,
+                config,
+                executor=FailAtExecutor(fail_at=11),
+                runtime=RuntimeConfig(cache_dir=cache_dir, cache_flush_every=4),
+            )
+        from repro.core.cache import ResultCache
+
+        with ResultCache(cache_dir) as cache:
+            persisted = len(cache)
+        # Full flush batches survived; only the tail since the last
+        # commit was lost.
+        assert persisted >= 4
+        assert persisted % 4 == 0
+
+
 class TestFaultTolerance:
     def test_search_survives_transient_worker_faults(self, graphs, tiny_config):
         class FlakySubmitExecutor(SerialExecutor):

@@ -3,12 +3,39 @@
 import numpy as np
 import pytest
 
-from repro.parallel.cluster import ClusterModel, NodeSpec
+from repro.parallel.cluster import ClusterModel, NodeSpec, least_loaded_partition
 
 
 def _outer_tasks(num_graphs, tasks_per_graph, seed=0):
     rng = np.random.default_rng(seed)
     return [list(rng.uniform(0.1, 1.0, size=tasks_per_graph)) for _ in range(num_graphs)]
+
+
+class TestLeastLoadedPartition:
+    def test_covers_every_item_exactly_once(self):
+        bins = least_loaded_partition([3.0, 1.0, 2.0, 5.0, 4.0], 3)
+        assert len(bins) == 3
+        assert sorted(i for b in bins for i in b) == list(range(5))
+
+    def test_balances_heavy_item(self):
+        """One heavy item + eight light: greedy isolates the heavy one
+        where index round-robin would stack lights on top of it."""
+        bins = least_loaded_partition([8.0] + [1.0] * 8, 2)
+        loads = [sum(([8.0] + [1.0] * 8)[i] for i in b) for b in bins]
+        assert sorted(loads) == [8.0, 8.0]
+
+    def test_deterministic(self):
+        costs = [2.0, 2.0, 1.0, 1.0, 3.0]
+        assert least_loaded_partition(costs, 2) == least_loaded_partition(costs, 2)
+
+    def test_more_bins_than_items_leaves_empties(self):
+        bins = least_loaded_partition([1.0, 2.0], 4)
+        assert sorted(i for b in bins for i in b) == [0, 1]
+        assert sum(1 for b in bins if not b) == 2
+
+    def test_validates_bins(self):
+        with pytest.raises(ValueError):
+            least_loaded_partition([1.0], 0)
 
 
 class TestNodeSpec:
@@ -59,6 +86,17 @@ class TestTwoLevelSchedule:
         result = cluster.schedule_two_level([big] + small)
         # the big graph gets a node largely to itself
         assert result.imbalance < 2.0
+
+    def test_imbalance_pins_least_loaded_behaviour(self):
+        """Docstring satellite: placement is greedy least-loaded, NOT
+        round-robin. Costs [4,3,3,2,1,1] split 7/7 under greedy (perfect
+        balance, imbalance == 1.0) where round-robin by index would give
+        8/6."""
+        tasks = [[4.0], [3.0], [3.0], [2.0], [1.0], [1.0]]
+        cluster = ClusterModel(num_nodes=2, node=NodeSpec(cores=1, gpus=0))
+        result = cluster.schedule_two_level(tasks)
+        assert result.imbalance == pytest.approx(1.0)
+        assert max(result.node_makespans) == pytest.approx(7.0)  # not 8
 
     def test_gpu_offload_speeds_up(self):
         tasks = _outer_tasks(4, 32, seed=3)

@@ -104,6 +104,15 @@ class TestMultiprocessing:
         with MultiprocessingExecutor(2) as ex:
             assert ex.starmap(square_sum, []) == []
 
+    def test_pool_futures_refuse_cancellation(self):
+        """A task handed to ``apply_async`` cannot be withdrawn, so the
+        future must report running (cancel fails) — the signal the job
+        scheduler uses to decide a timed-out pool must be terminated."""
+        with MultiprocessingExecutor(1) as ex:
+            future = ex.submit(square_sum, 2, 1)
+            assert future.cancel() is False
+            assert future.result(timeout=10) == 5
+
 
 class TestThreads:
     def test_results_ordered(self):

@@ -164,6 +164,96 @@ class TestTimeout:
         assert isinstance(excinfo.value.cause, TimeoutError)
 
 
+class TestFailureDrainsFinishedWork:
+    def test_successes_in_same_batch_yielded_before_raise(self):
+        """Regression: when one job in a completion batch exhausts its
+        retries, the other finished jobs in that batch must still be
+        yielded (reach the caller's cache) before JobFailedError."""
+
+        def poisoned_zero(index):
+            if index == 0:
+                raise RuntimeError("poisoned candidate")
+            return index * 10
+
+        # Serial executor: all inline futures complete in the same batch,
+        # so the poisoned job and the successes land in one `done` set.
+        scheduler = JobScheduler(max_retries=0)
+        yielded = []
+        with pytest.raises(JobFailedError, match="job 0"):
+            for index, result in scheduler.as_completed(
+                poisoned_zero, [(i,) for i in range(4)]
+            ):
+                yielded.append((index, result))
+        assert sorted(yielded) == [(1, 10), (2, 20), (3, 30)]
+        assert scheduler.stats.completed == 3
+        assert scheduler.stats.failed == 1
+
+
+class TestExpireTaint:
+    def test_cancelled_queued_attempt_keeps_pool_clean(self):
+        """Regression: a timed-out attempt whose future cancels cleanly
+        (it never started running) must NOT taint the executor — the pool
+        is still joinable."""
+        with ThreadExecutor(1) as executor:
+            executor.submit(time.sleep, 0.5)  # occupy the only worker
+            scheduler = JobScheduler(executor, max_retries=8, timeout=0.15)
+            # The job expires (repeatedly) while queued behind the sleeper;
+            # each expiry cancels a not-yet-started future.
+            assert scheduler.run(square_sum, [(2, 1)]) == [5]
+            assert scheduler.stats.timed_out >= 1
+            assert not executor.tainted
+
+    def test_running_attempt_still_taints(self):
+        def hang(_):
+            time.sleep(5.0)
+
+        with ThreadExecutor(1) as executor:
+            scheduler = JobScheduler(executor, max_retries=0, timeout=0.1)
+            with pytest.raises(JobFailedError):
+                scheduler.run(hang, [(0,)])
+            assert executor.tainted
+
+
+class TestPerPassStats:
+    def test_pass_stats_reset_lifetime_accumulates(self):
+        flaky = FlakyFunction(failures=1)
+        scheduler = JobScheduler(max_retries=1)
+        scheduler.run(flaky, [(i,) for i in range(3)])
+        first = scheduler.pass_stats
+        assert (first.submitted, first.retried, first.completed) == (6, 3, 3)
+
+        scheduler.run(square_sum, JOBS)
+        second = scheduler.pass_stats
+        # The second pass's stats describe the second pass only...
+        assert (second.submitted, second.retried) == (len(JOBS), 0)
+        assert second.completed == len(JOBS)
+        # ...while lifetime totals keep accumulating across passes.
+        assert scheduler.stats.submitted == 6 + len(JOBS)
+        assert scheduler.stats.retried == 3
+
+
+class TestBoundedInflight:
+    def test_submissions_stream_with_results(self):
+        """At most max_inflight attempts are outstanding: by the first
+        yielded result, the full 10-job bag has not been enqueued."""
+        scheduler = JobScheduler(max_inflight=2)
+        seen_submitted = []
+        for _ in scheduler.as_completed(square_sum, JOBS):
+            seen_submitted.append(scheduler.stats.submitted)
+        assert seen_submitted[0] == 2  # not 10: deadline clocks stay honest
+        assert seen_submitted[-1] == len(JOBS)
+        assert scheduler.stats.completed == len(JOBS)
+
+    def test_default_limit_scales_with_workers(self):
+        with ThreadExecutor(3) as executor:
+            scheduler = JobScheduler(executor)
+            assert scheduler.run(square_sum, JOBS) == EXPECTED
+
+    def test_invalid_max_inflight_rejected(self):
+        with pytest.raises(ValueError, match="max_inflight"):
+            JobScheduler(max_inflight=0)
+
+
 class TestWorkerCrash:
     def test_killed_worker_does_not_stall_the_search(self, tmp_path):
         """A worker that dies mid-job drops the task silently in
