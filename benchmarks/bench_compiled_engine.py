@@ -9,6 +9,15 @@ per energy call and end-to-end per training, once per engine. The claim:
 pinned to 1e-10 by tests/simulators/test_compiled.py) at least 5x faster
 than ``engine="statevector"``.
 
+The compiled engine is additionally timed **per array backend** (every
+name in :func:`repro.simulators.backends.available_array_backends`):
+``numpy`` is the gated default, ``mock_gpu`` pins the dispatch seam's
+equivalence and overhead on CPU-only CI, and when a ``cupy`` install
+registers itself its row appears with no bench change — the per-backend
+axis ``BENCH_evaluator.json`` tracks GPU trajectories on. Only the
+default numpy backend is speed-gated; the mock backend *models* device
+cost, so its wall-clock is meaningless by design.
+
 Runs standalone (``python benchmarks/bench_compiled_engine.py``) or under
 pytest-benchmark via the shared ``once`` fixture. The workload is pinned
 at paper scale regardless of ``QARCH_BENCH_SCALE`` — it is a single
@@ -24,7 +33,11 @@ import numpy as np
 
 from repro.core.evaluator import EvaluationConfig, Evaluator
 from repro.experiments.records import ExperimentRecord
-from repro.experiments.scale import paper_probe_workload, seconds_per_eval
+from repro.experiments.scale import (
+    measure_array_backends,
+    paper_probe_workload,
+    seconds_per_eval,
+)
 from repro.qaoa.energy import AnsatzEnergy
 
 MAX_STEPS = 200
@@ -83,6 +96,10 @@ def run_bench() -> dict:
         / measured["compiled"]["train_seconds"]
     )
 
+    # Per-array-backend axis (the GPU trajectory): shared harness asserts
+    # every registered backend reproduces the probe energy to 1e-10.
+    array_backends = measure_array_backends(ansatz, x, TIMED_EVALS)
+
     print("\n=== Compiled engine vs statevector (10 qubits, p=4, rx-ry) ===")
     for engine, row in measured.items():
         print(
@@ -91,6 +108,15 @@ def run_bench() -> dict:
             f"200-step COBYLA train: {row['train_seconds']:6.2f}s"
         )
     print(f"per-eval speedup: {eval_speedup:.1f}x   train speedup: {train_speedup:.1f}x")
+    for name, row in array_backends.items():
+        extra = ""
+        device_seconds = row["stats"].get("device_seconds")
+        if device_seconds:
+            extra = f"  (modeled device: {device_seconds * 1e3:.1f} ms total)"
+        print(
+            f"  compiled[{name}]: {row['seconds_per_eval'] * 1e6:8.0f} us/eval"
+            f"{extra}"
+        )
 
     assert eval_speedup >= MIN_SPEEDUP, (
         f"compiled engine only {eval_speedup:.1f}x faster per evaluation "
@@ -116,6 +142,7 @@ def run_bench() -> dict:
         },
         measured={
             "engines": measured,
+            "array_backends": array_backends,
             "eval_speedup": eval_speedup,
             "train_speedup": train_speedup,
         },

@@ -3,8 +3,10 @@
 
 Measures per-engine energy-evaluation throughput (evals/sec) on the paper
 workload — a 10-qubit ER graph at p=4 with the winning ``('rx', 'ry')``
-mixer — plus the batched-optimizer path (one vectorized ``energies`` call
-over a restart population's probes), and writes
+mixer — the compiled engine's throughput per registered *array backend*
+(numpy / mock_gpu / cupy-when-installed, so GPU trajectories accrue in
+the same artifact), plus the batched-optimizer path (one vectorized
+``energies`` call over a restart population's probes), and writes
 ``benchmarks/results/BENCH_evaluator.json`` so the perf trajectory is
 tracked as a committed artifact, run by run, instead of living in bench
 stdout.
@@ -40,7 +42,11 @@ sys.path.insert(0, REPO_SRC)
 
 import numpy as np  # noqa: E402
 
-from repro.experiments.scale import paper_probe_workload, seconds_per_eval  # noqa: E402
+from repro.experiments.scale import (  # noqa: E402
+    measure_array_backends,
+    paper_probe_workload,
+    seconds_per_eval,
+)
 from repro.optimizers import SPSA  # noqa: E402
 from repro.qaoa.energy import ENGINES, AnsatzEnergy  # noqa: E402
 
@@ -153,6 +159,19 @@ def main() -> int:
     for engine, row in engines.items():
         print(f"{engine:>12}: {row['evals_per_sec']:10.1f} evals/s")
 
+    # Per-array-backend axis (the GPU trajectory): the shared harness
+    # asserts cross-backend equivalence at the probe point.
+    array_backends = measure_array_backends(ansatz, x, TIMED_EVALS)
+    for name, row in array_backends.items():
+        print(f"{'compiled[' + name + ']':>22}: {row['evals_per_sec']:10.1f} evals/s")
+        backend_drift = abs(
+            row["energy_at_probe"] - engines["compiled"]["energy_at_probe"]
+        )
+        assert backend_drift < 1e-10, (
+            f"array backend {name!r} disagrees with the engine row's "
+            f"probe energy ({backend_drift:.3g})"
+        )
+
     batched = measure_batched_optimizer(ansatz)
     print(
         f"batched multi-restart SPSA: "
@@ -182,6 +201,7 @@ def main() -> int:
             "num_edges": graph.num_edges,
         },
         "engines": engines,
+        "array_backends": array_backends,
         "compiled_vs_statevector_speedup": speedup,
         "batched_optimizer": batched,
         "python": platform.python_version(),

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Docs gate: project documentation must stay runnable and unbroken.
+
+Two checks, run by CI's docs job (and ``scripts/run_ci_locally.sh``):
+
+* **Links** — every intra-repo markdown link in ``README.md`` and
+  ``docs/*.md`` must resolve to an existing file or directory (relative
+  to the file containing the link). External ``http(s)``/``mailto``
+  targets and pure in-page anchors are skipped; a path with an anchor
+  (``file.md#section``) is checked as a path. A renamed benchmark or a
+  moved doc fails here instead of rotting silently.
+* **Snippets** — every fenced ``python`` code block in ``README.md`` is
+  executed, in order, in its own namespace with the repo's ``src`` on
+  the path. The README quickstart is therefore a *tested* example: if
+  the public API it shows drifts, CI fails with the snippet's traceback.
+  (Blocks in ``docs/`` are shell/reference material and are not
+  executed; executable doc snippets belong in the README or
+  ``examples/``.)
+
+Run from the repo root::
+
+    python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+#: markdown inline links: [text](target); images share the syntax
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: fenced code blocks with an info string, non-greedy body
+_FENCE = re.compile(r"^```(\w+)\n(.*?)^```", re.MULTILINE | re.DOTALL)
+#: link schemes that are not filesystem paths
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> list[Path]:
+    docs = [REPO / "README.md"]
+    docs.extend(sorted((REPO / "docs").glob("*.md")))
+    return [d for d in docs if d.exists()]
+
+
+def check_links(files: list[Path]) -> list[str]:
+    """Return human-readable errors for intra-repo links that don't resolve."""
+    errors = []
+    for doc in files:
+        text = doc.read_text(encoding="utf-8")
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:  # pure in-page anchor
+                continue
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{doc.relative_to(REPO)}: broken link -> {target}"
+                )
+    return errors
+
+
+def python_blocks(doc: Path) -> list[str]:
+    return [
+        body
+        for language, body in _FENCE.findall(doc.read_text(encoding="utf-8"))
+        if language == "python"
+    ]
+
+
+def run_snippets(doc: Path) -> list[str]:
+    """Execute every python block of ``doc``; return errors."""
+    errors = []
+    for index, source in enumerate(python_blocks(doc)):
+        label = f"{doc.relative_to(REPO)} python block #{index + 1}"
+        start = time.perf_counter()
+        try:
+            exec(compile(source, label, "exec"), {"__name__": f"_doc_snippet_{index}"})
+        except Exception as error:  # noqa: BLE001 - report, don't crash the gate
+            errors.append(f"{label}: {type(error).__name__}: {error}")
+        else:
+            print(f"  ran {label} ({time.perf_counter() - start:.1f}s)")
+    return errors
+
+
+def main() -> int:
+    files = doc_files()
+    if len(files) < 2:
+        print(f"expected README.md plus docs/*.md, found only {files}")
+        return 1
+    print(f"checking links in {len(files)} docs...")
+    errors = check_links(files)
+    print("running README python snippets...")
+    errors += run_snippets(REPO / "README.md")
+    if errors:
+        print("\nDOCS CHECK FAILED:")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    print("docs check OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,7 @@
 #
 #   lint        ruff check . (falls back to scripts/lint_fallback.py when
 #               ruff is not installed — e.g. offline dev containers)
+#   docs        README/docs link check + smoke-run of the README snippets
 #   tests       CLI smoke + tier-1 pytest
 #   bench-smoke tiny end-to-end search with warm-cache assertions
 set -euo pipefail
@@ -16,6 +17,9 @@ else
     echo "(ruff not installed; running offline fallback linter)"
     python scripts/lint_fallback.py
 fi
+
+echo "=== job: docs ==="
+python scripts/check_docs.py
 
 echo "=== job: tests (CLI smoke) ==="
 python -m repro --help >/dev/null

@@ -25,6 +25,7 @@ from repro.experiments.figures import render_table
 from repro.graphs.datasets import paper_er_dataset, paper_regular_dataset
 from repro.optimizers import BATCH_MODES
 from repro.parallel.executor import MultiprocessingExecutor, available_cores
+from repro.simulators.backends import available_array_backends
 
 __all__ = ["main", "build_parser"]
 
@@ -59,6 +60,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--engine", default="compiled", choices=list(ENGINES),
                         help="simulation engine (default: compiled fast path)")
+    parser.add_argument("--array-backend", default="numpy",
+                        choices=list(available_array_backends()),
+                        help="array library behind the compiled engine: "
+                             "numpy (default), mock_gpu (CPU stand-in with "
+                             "device-cost accounting), cupy when installed; "
+                             "unregistered backends are rejected here")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -122,6 +129,7 @@ def _eval_config(args) -> EvaluationConfig:
         metric=args.metric,
         shots=args.shots,
         engine=args.engine,
+        array_backend=args.array_backend,
     )
 
 

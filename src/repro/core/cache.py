@@ -5,8 +5,9 @@ The search runtime treats a candidate evaluation as a pure function of
 * the workload graphs (node/edge/weight content),
 * the mixer tokens and QAOA depth ``p``,
 * the full :class:`~repro.core.evaluator.EvaluationConfig` — every field,
-  including the simulation ``engine``, so switching engines (or changing
-  their default) can never replay a stale result
+  including the simulation ``engine`` and its ``array_backend``, so
+  switching engines or array libraries (or changing their defaults) can
+  never replay a stale result
 
 so its result can be keyed by a stable fingerprint and stored on disk.
 Repeat proposals within a search, repeated depths, and whole re-runs then

@@ -26,6 +26,7 @@ from repro.graphs.generators import Graph
 from repro.optimizers import BATCH_MODES, MultiRestart, Optimizer, training_optimizer
 from repro.qaoa.energy import ENGINES, AnsatzEnergy
 from repro.qaoa.maxcut import approximation_ratio, brute_force_maxcut
+from repro.simulators.backends import available_array_backends
 from repro.utils.rng import as_rng, stable_seed
 from repro.utils.validation import check_positive
 
@@ -57,9 +58,13 @@ class EvaluationConfig:
     max_steps: int = 200
     #: independent optimizer restarts per graph; best result kept
     restarts: int = 1
-    #: simulation engine: "compiled" (pre-lowered NumPy program, the fast
+    #: simulation engine: "compiled" (pre-lowered array program, the fast
     #: default), "statevector" (per-gate dense oracle), or "qtensor"
     engine: str = "compiled"
+    #: array backend the compiled engine runs under: "numpy" (default),
+    #: "mock_gpu" (metered CPU stand-in), or "cupy" when installed — see
+    #: repro.simulators.backends; part of the cache fingerprint like engine
+    array_backend: str = "numpy"
     #: base seed for initial-parameter draws (stably combined per graph/restart)
     seed: int = 7
     #: prepend the Hadamard column vs. starting from |+>^n
@@ -89,6 +94,11 @@ class EvaluationConfig:
         if self.engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {self.engine!r}; options: {ENGINES}"
+            )
+        if self.array_backend not in available_array_backends():
+            raise ValueError(
+                f"unknown array backend {self.array_backend!r}; "
+                f"options: {available_array_backends()}"
             )
         if self.batch_mode not in BATCH_MODES:
             raise ValueError(
@@ -169,7 +179,11 @@ class Evaluator:
             ansatz = self.builder.build_qaoa(
                 graph, key[0], p, initial_hadamard=self.config.initial_hadamard
             )
-            objective = AnsatzEnergy(ansatz, engine=self.config.engine)
+            objective = AnsatzEnergy(
+                ansatz,
+                engine=self.config.engine,
+                array_backend=self.config.array_backend,
+            )
             energy, best_x, evals = self._train_one(objective, graph_index, p, key[0])
             energies.append(energy)
             if self.config.metric == "best_sampled":

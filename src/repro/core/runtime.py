@@ -35,13 +35,26 @@ the replacement substrate:
   ships to workers in the job payload instead of once per candidate.
 * **Compiled fast path** — job payloads carry the full
   :class:`~repro.core.evaluator.EvaluationConfig`, so workers train on
-  whatever ``config.engine`` selects (default: the compiled NumPy engine).
-  The engine is part of the config fingerprint, which keeps cached results
-  from one engine from ever being replayed as another's.
+  whatever ``config.engine`` selects (default: the compiled engine) under
+  whatever ``config.array_backend`` selects (default NumPy; CuPy or the
+  metered mock GPU via :mod:`repro.simulators.backends`). Both are part
+  of the config fingerprint, which keeps cached results from one
+  engine/backend from ever being replayed as another's.
 
 The runtime is deliberately independent of how candidates are chosen: the
 search front-ends hand it a per-depth candidate list and an optional
 predictor to feed rewards back to.
+
+.. seealso::
+
+   :class:`~repro.core.sharded.ShardedRuntime`
+       the Fig. 2 outer level stacked on this substrate (``shards=K``).
+   :mod:`repro.core.cache`
+       the fingerprint scheme behind the cache/checkpoint guarantees.
+   ``docs/architecture.md``
+       where this layer sits in the evaluation pipeline;
+       ``docs/cli.md`` documents the flags (``--cache-dir``,
+       ``--resume``, ``--retries``, ``--job-timeout``) that drive it.
 """
 
 from __future__ import annotations

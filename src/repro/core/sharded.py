@@ -32,7 +32,26 @@ the outer level on top of the identical cache/checkpoint substrate:
 Because candidate evaluation is deterministic given its config seed, a
 sharded run returns the *same* ``SearchResult`` (best tokens/p/energy,
 every evaluation) as the single-node runtime — sharding changes where
-work runs, never what it computes.
+work runs, never what it computes. (The same contract holds one layer
+down for the evaluator's ``engine`` and ``array_backend`` knobs — see
+:mod:`repro.simulators.backends` — which is what makes the three axes
+freely composable: shards x engines x array backends all hit the same
+fingerprinted cache entries only for genuinely identical configs.)
+
+Real multi-process deployments set ``RuntimeConfig(shards=K,
+shard_index=i)`` — one process per shard, meeting in a shared cache
+directory; the worked recipe is in ``docs/cli.md``.
+
+.. seealso::
+
+   :class:`~repro.core.runtime.SearchRuntime`
+       the inner level: one depth's candidates through one scheduler.
+   :func:`~repro.parallel.cluster.least_loaded_partition`
+       the placement rule shared with the analytic
+       :class:`~repro.parallel.cluster.ClusterModel`.
+   ``docs/architecture.md``
+       this layer in the pipeline; ``benchmarks/bench_sharded_runtime.py``
+       gates shard scaling and the partial-resume win in CI.
 """
 
 from __future__ import annotations

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 __all__ = [
     "ExperimentScale",
     "get_scale",
+    "measure_array_backends",
     "paper_probe_workload",
     "seconds_per_eval",
     "SCALES",
@@ -90,6 +91,50 @@ def seconds_per_eval(energy, x, rounds: int) -> float:
     for _ in range(rounds):
         energy.value(x)
     return (time.perf_counter() - start) / rounds
+
+
+def measure_array_backends(ansatz, x, timed_evals: int) -> dict:
+    """Compiled-engine per-eval timing for every registered array backend.
+
+    The per-backend axis the engine benches share: ``numpy`` is the gated
+    baseline, ``mock_gpu`` proves the dispatch seam stays exercised (and
+    bit-identical) on CPU-only runners, and a box with CuPy installed
+    contributes a ``cupy`` row with no bench change — the GPU trajectory
+    ``BENCH_evaluator.json`` exists to track. Every backend must
+    reproduce the numpy backend's probe energy to 1e-10 or this raises.
+    Timings bracket with ``synchronize`` so devices are charged for
+    work, not launches. One definition, called by both
+    ``benchmarks/bench_compiled_engine.py`` and
+    ``scripts/bench_report.py``, so the row shape can never drift
+    between the gate and the committed artifact.
+    """
+    from repro.qaoa.energy import AnsatzEnergy
+    from repro.simulators.backends import available_array_backends, get_array_backend
+
+    rows: dict = {}
+    reference = None
+    for name in available_array_backends():
+        backend = get_array_backend(name)
+        energy = AnsatzEnergy(ansatz, engine="compiled", array_backend=backend)
+        value = energy.value(x)
+        if reference is None:
+            reference = value  # "numpy" registers first
+        drift = abs(value - reference)
+        assert drift < 1e-10, (
+            f"array backend {name!r} disagrees with the numpy backend at "
+            f"the probe point (|delta|={drift:.3g}) — the dispatch seam "
+            "is broken"
+        )
+        backend.synchronize()
+        seconds = seconds_per_eval(energy, x, timed_evals)
+        backend.synchronize()
+        rows[name] = {
+            "seconds_per_eval": seconds,
+            "evals_per_sec": 1.0 / seconds,
+            "energy_at_probe": value,
+            "stats": backend.stats(),
+        }
+    return rows
 
 
 def get_scale(override: str | None = None) -> ExperimentScale:

@@ -9,6 +9,26 @@ call. :class:`MultiRestart` wraps any :class:`~repro.optimizers.base.Optimizer`
 and trains a whole population of start points at once — batch-natively in
 lockstep when the base optimizer supports it, serially otherwise — then
 returns the best result with population-wide ``nfev`` accounting.
+
+The two paths are pinned identical point for point (property tests in
+``tests/optimizers/test_batched.py``), so ``batch_mode`` is purely a
+performance knob: the Evaluator sets it from
+:class:`~repro.core.evaluator.EvaluationConfig` (``batch_mode=``, CLI
+``--batch-mode``), and the batched population is exactly the wide
+``energies(X)`` call that a device array backend
+(:mod:`repro.simulators.backends`) accelerates — K restarts' probes ride
+one kernel launch instead of K.
+
+.. seealso::
+
+   :class:`~repro.optimizers.base.BatchObjective`
+       the protocol (``values(X)``, ``value_and_gradient``) a batchable
+       objective implements; :class:`~repro.qaoa.energy.NegatedEnergy`
+       is the production instance.
+   ``benchmarks/bench_batched_optimizers.py``
+       the CI gate: >=3x batched-vs-serial multi-restart SPSA at K=8.
+   ``docs/architecture.md``
+       the evaluator layer this meta-optimizer lives in.
 """
 
 from __future__ import annotations

@@ -65,17 +65,20 @@ class QAOAAnsatz:
         its own Hadamard column, else ``"+"``."""
         return "0" if self.initial_hadamard else "+"
 
-    def compile(self):
+    def compile(self, *, backend=None):
         """Lower into a :class:`~repro.simulators.compiled.CompiledProgram`.
 
         One-time cost per ansatz; the returned program evaluates energies,
         batches, and parameter-shift gradients without ever rebuilding or
         re-binding this circuit (the fast path of
         :class:`~repro.qaoa.energy.AnsatzEnergy`'s default engine).
+        ``backend`` selects the array backend the program runs under — a
+        registered name or :class:`~repro.simulators.backends.ArrayBackend`
+        instance (default ``"numpy"``).
         """
         from repro.simulators.compiled import compile_ansatz
 
-        return compile_ansatz(self)
+        return compile_ansatz(self, backend=backend)
 
 
 def build_qaoa_ansatz(

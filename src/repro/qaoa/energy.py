@@ -5,12 +5,15 @@ Evaluator module's inner loop). It supports three engines:
 
 * ``"compiled"`` (default) — the ansatz is lowered once by
   :func:`repro.simulators.compiled.compile_ansatz` into a flat sequence of
-  fused NumPy ops (cost layers become single precomputed phase diagonals);
+  fused array ops (cost layers become single precomputed phase diagonals);
   every optimizer step then runs with zero circuit rebuilds, zero dict
   bindings, and zero gate-matrix re-materialization. Numerically
   equivalent to ``"statevector"`` to ~1e-12 and roughly an order of
   magnitude faster on the paper's workloads; also the only engine with a
-  batched :meth:`AnsatzEnergy.values` fast path.
+  batched :meth:`AnsatzEnergy.values` fast path, and the only one with a
+  pluggable *array backend* (``array_backend=``: NumPy default, CuPy when
+  installed, or the metered mock GPU — see
+  :mod:`repro.simulators.backends`).
 * ``"statevector"`` — per-gate dense simulation of the freshly bound
   circuit; the exactness oracle the compiled engine is pinned against in
   the equivalence tests, and the right choice when instrumenting or
@@ -40,6 +43,7 @@ from repro.circuits.gates import Gate
 from repro.circuits.parameters import Parameter, ParameterExpression
 from repro.qaoa.ansatz import QAOAAnsatz
 from repro.qtensor.simulator import QTensorSimulator
+from repro.simulators.backends import ArrayBackend, get_array_backend
 from repro.simulators.compiled import SHIFT_RULE_GATES, CompiledProgram
 from repro.simulators.expectation import maxcut_expectation
 from repro.simulators.statevector import plus_state, simulate, zero_state
@@ -63,12 +67,17 @@ class AnsatzEnergy:
         ansatz: QAOAAnsatz,
         *,
         engine: str = "compiled",
+        array_backend: str | ArrayBackend = "numpy",
         qtensor_simulator: QTensorSimulator | None = None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; options: {ENGINES}")
         self.ansatz = ansatz
         self.engine = engine
+        #: the array backend the compiled engine evaluates under (see
+        #: :mod:`repro.simulators.backends`); resolved eagerly so an
+        #: unknown name fails here, not on the first energy call
+        self.array_backend = get_array_backend(array_backend)
         self._qtensor = qtensor_simulator or (
             QTensorSimulator() if engine == "qtensor" else None
         )
@@ -79,7 +88,7 @@ class AnsatzEnergy:
     def program(self) -> CompiledProgram:
         """The compiled program (lowered lazily, once per ansatz)."""
         if self._program is None:
-            self._program = self.ansatz.compile()
+            self._program = self.ansatz.compile(backend=self.array_backend)
         return self._program
 
     # -- energy -----------------------------------------------------------------

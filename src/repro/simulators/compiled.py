@@ -33,6 +33,15 @@ through the same ops with a trailing batch axis, and ``gradient(x)``
 implements the exact two-term parameter-shift rule by injecting per-column
 shifts into a single batched run instead of reconstructing shifted
 circuits per gate occurrence.
+
+The array library itself is a knob: every array the program allocates is
+born under an :class:`~repro.simulators.backends.ArrayBackend` (NumPy by
+default — behavior and speed identical to the pre-backend engine — or a
+CuPy/mock-GPU device backend), program constants are uploaded to the
+device once and memoized, and results cross back to the host only through
+``to_host`` at the public entry points. See
+:mod:`repro.simulators.backends` for the seam and the registered
+backends.
 """
 
 from __future__ import annotations
@@ -46,6 +55,7 @@ import numpy as np
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.parameters import Parameter, ParameterExpression
 from repro.graphs.generators import Graph
+from repro.simulators.backends import ArrayBackend, get_array_backend
 from repro.simulators.expectation import bit_table, cut_values
 from repro.simulators.statevector import plus_state, zero_state
 
@@ -181,7 +191,9 @@ class _ShiftSite:
 # -- kernels ---------------------------------------------------------------
 
 
-def _apply_1q(state: np.ndarray, matrix: np.ndarray, qubit: int) -> np.ndarray:
+def _apply_1q(
+    state: np.ndarray, matrix: np.ndarray, qubit: int, backend: ArrayBackend
+) -> np.ndarray:
     """Strided in-place 2x2 apply on a flat (or flattened-batch) state.
 
     ``state`` may be ``(2^n,)`` or a ``(2^n, B)`` batch — either way bit
@@ -189,9 +201,10 @@ def _apply_1q(state: np.ndarray, matrix: np.ndarray, qubit: int) -> np.ndarray:
     reshape exposes it as the middle axis. Mutates (and returns) ``state``,
     copying first only if it is not C-contiguous — a reshape of a
     non-contiguous array would silently write into a throwaway copy.
+    ``state`` and ``matrix`` must live under ``backend``.
     """
     if not state.flags.c_contiguous:
-        state = np.ascontiguousarray(state)
+        state = backend.xp.ascontiguousarray(state)
     inner = (1 << qubit) * (state.size // state.shape[0])
     view = state.reshape(-1, 2, inner)
     a = view[:, 0, :]
@@ -203,7 +216,11 @@ def _apply_1q(state: np.ndarray, matrix: np.ndarray, qubit: int) -> np.ndarray:
 
 
 def _contract(
-    state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+    state: np.ndarray,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+    backend: ArrayBackend,
 ) -> np.ndarray:
     """Lean apply_gate: same contraction, validation and reshape math done
     at compile time. Supports trailing batch axes."""
@@ -212,8 +229,10 @@ def _contract(
     tensor = state.reshape((2,) * num_qubits + batch_shape)
     gate_tensor = matrix.reshape((2,) * (2 * m))
     axes = [num_qubits - 1 - qubits[j] for j in reversed(range(m))]
-    moved = np.tensordot(gate_tensor, tensor, axes=(list(range(m, 2 * m)), axes))
-    result = np.moveaxis(moved, list(range(m)), axes)
+    moved = backend.tensordot(
+        gate_tensor, tensor, axes=(list(range(m, 2 * m)), axes)
+    )
+    result = backend.moveaxis(moved, list(range(m)), axes)
     return result.reshape(state.shape)
 
 
@@ -252,7 +271,7 @@ def _kron_pairs(hi: np.ndarray, lo: np.ndarray) -> np.ndarray:
 
 
 def _apply_1q_per_column(
-    state: np.ndarray, matrices: np.ndarray, qubit: int
+    state: np.ndarray, matrices: np.ndarray, qubit: int, backend: ArrayBackend
 ) -> np.ndarray:
     """Apply a different 2x2 matrix to every batch column on one qubit.
 
@@ -264,7 +283,7 @@ def _apply_1q_per_column(
     Mutates (and returns) ``state``; copies first only if non-contiguous.
     """
     if not state.flags.c_contiguous:
-        state = np.ascontiguousarray(state)
+        state = backend.xp.ascontiguousarray(state)
     batch = state.shape[1]
     view = state.reshape(-1, 2, 1 << qubit, batch)
     a = view[:, 0]
@@ -276,7 +295,11 @@ def _apply_1q_per_column(
 
 
 def _contract_per_column(
-    state: np.ndarray, matrices: np.ndarray, qubits: Sequence[int], num_qubits: int
+    state: np.ndarray,
+    matrices: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+    backend: ArrayBackend,
 ) -> np.ndarray:
     """Apply a different ``2^m x 2^m`` matrix to every batch column.
 
@@ -286,12 +309,12 @@ def _contract_per_column(
     batch = state.shape[1]
     axes = [num_qubits - 1 - qubits[j] for j in reversed(range(m))]
     tensor = state.reshape((2,) * num_qubits + (batch,))
-    moved = np.moveaxis(tensor, axes, range(m))
+    moved = backend.moveaxis(tensor, axes, range(m))
     rest = moved.shape[m:]
     view = moved.reshape((2**m, -1, batch))
-    out = np.einsum("ijb,jrb->irb", matrices, view)
+    out = backend.einsum("ijb,jrb->irb", matrices, view)
     out = out.reshape((2,) * m + rest)
-    out = np.moveaxis(out, range(m), axes)
+    out = backend.moveaxis(out, range(m), axes)
     return out.reshape(state.shape)
 
 
@@ -315,6 +338,7 @@ class CompiledProgram:
         initial_state_label: str,
         graph: Graph | None,
         source_gates: int,
+        backend: ArrayBackend | str | None = None,
     ) -> None:
         self.num_qubits = num_qubits
         self.num_parameters = num_parameters
@@ -324,6 +348,11 @@ class CompiledProgram:
         self.graph = graph
         #: gate count of the source circuit (fusion diagnostics)
         self.source_gates = source_gates
+        #: the array backend every evaluation runs under (see
+        #: :mod:`repro.simulators.backends`); program constants are
+        #: uploaded to it lazily, once, via :meth:`_dev`
+        self.backend = get_array_backend(backend if backend is not None else "numpy")
+        self._device: dict[int, object] = {}
         self._cut = None if graph is None else cut_values(graph)
         # Atom generators expanded to the full basis, memoized per distinct
         # (h_small, qubits): a cost-layer edge appears once per QAOA layer,
@@ -351,11 +380,29 @@ class CompiledProgram:
 
     # -- single evaluation -------------------------------------------------
 
-    def _initial_state(self) -> np.ndarray:
+    def _dev(self, host: np.ndarray):
+        """Device-resident view of a *persistent* host constant.
+
+        Program constants (generator vectors, static phases, the cut
+        table, memoized atom vectors) are built on the host at compile
+        time and uploaded through ``backend.asarray`` the first time an
+        evaluation touches them; the upload is memoized by object
+        identity, so a device backend pays one transfer per constant per
+        program lifetime. On the NumPy backend this is the identity.
+        """
+        key = id(host)
+        dev = self._device.get(key)
+        if dev is None:
+            dev = self.backend.asarray(host)
+            self._device[key] = dev
+        return dev
+
+    def _initial_state(self):
+        """A fresh device-resident initial state (safe to mutate)."""
         if self.initial_state_label == "+":
-            return plus_state(self.num_qubits)
+            return self.backend.asarray(plus_state(self.num_qubits))
         if self.initial_state_label == "0":
-            return zero_state(self.num_qubits)
+            return self.backend.asarray(zero_state(self.num_qubits))
         raise ValueError(
             f"unknown initial state label {self.initial_state_label!r}"
         )
@@ -386,8 +433,11 @@ class CompiledProgram:
         gens[j, z]``; a cost layer takes only ~num_edges distinct values
         over all 2^n basis states, so exponentials are computed per
         *unique* column and gathered — O(B*U) exps plus an O(B*2^n) take
-        instead of O(B*2^n) exps. Returns ``(gens_u, const_u, inverse)``;
-        ``inverse`` is None when the block is too dense to pay off.
+        instead of O(B*2^n) exps. Returns ``(gens_u, const_u, inverse)``
+        as device-resident arrays; ``inverse`` is None when the block is
+        too dense to pay off. The decomposition itself runs on the host
+        (it is a one-time compile-style pass), only the results live on
+        the backend.
         """
         cached = self._diag_lookups.get(op_index)
         if cached is None:
@@ -396,13 +446,16 @@ class CompiledProgram:
             else:
                 rows = np.vstack([op.gen_const[None, :], op.gens])
             unique_cols, inverse = np.unique(rows, axis=1, return_inverse=True)
+            asarray = self.backend.asarray
             if unique_cols.shape[1] * 4 > rows.shape[1]:
                 cached = (None, None, None)  # dense block: exp directly
             elif op.gen_const is None:
-                cached = (unique_cols, None, inverse.reshape(-1))
+                cached = (asarray(unique_cols), None, asarray(inverse.reshape(-1)))
             else:
                 cached = (
-                    unique_cols[1:], unique_cols[0], inverse.reshape(-1)
+                    asarray(unique_cols[1:]),
+                    asarray(unique_cols[0]),
+                    asarray(inverse.reshape(-1)),
                 )
             self._diag_lookups[op_index] = cached
         return cached
@@ -416,26 +469,40 @@ class CompiledProgram:
         return x
 
     def state(self, x: Sequence[float]) -> np.ndarray:
-        """The final statevector at the flat parameter vector ``x``.
+        """The final statevector at the flat parameter vector ``x``, as a
+        host array.
 
         (Shifted evaluations for the gradient's parameter-shift rule go
         through the batched :meth:`states` path, which injects shifts per
         column — there is deliberately no single-state shift variant.)
         """
-        x = self._check_x(x)
+        return self.backend.to_host(self._state_device(self._check_x(x)))
+
+    def _state_device(self, x: np.ndarray):
+        """:meth:`state` without the final device→host crossing; ``x`` is
+        an already-validated host vector."""
+        backend = self.backend
+        xp = backend.xp
         state = self._initial_state()
         n = self.num_qubits
         for op in self.ops:
             if isinstance(op, _DiagBlock):
                 if op.static_phase is not None:
-                    state *= op.static_phase
+                    state = backend.multiply(
+                        state, self._dev(op.static_phase), out=state
+                    )
                     continue
-                exponent = np.dot(x[op.param_indices], op.gens)
+                exponent = xp.dot(
+                    backend.asarray(x[op.param_indices]), self._dev(op.gens)
+                )
                 if op.gen_const is not None:
-                    exponent = exponent + op.gen_const
-                state *= np.exp(1j * exponent)
+                    exponent = exponent + self._dev(op.gen_const)
+                state = backend.multiply(state, backend.exp(1j * exponent), out=state)
             else:
-                matrix = self._column_matrix(op, x)
+                if op.static_matrix is not None:
+                    matrix = self._dev(op.static_matrix)
+                else:
+                    matrix = backend.asarray(self._column_matrix(op, x))
                 if len(op.targets) == n and len(op.targets[0]) == 1:
                     # The column covers every qubit with one shared 2x2 (the
                     # weight-shared mixer case): rotate the leading qubit
@@ -451,9 +518,9 @@ class CompiledProgram:
                     continue
                 for target in op.targets:
                     if len(target) == 1:
-                        state = _apply_1q(state, matrix, target[0])
+                        state = _apply_1q(state, matrix, target[0], backend)
                     else:
-                        state = _contract(state, matrix, target, n)
+                        state = _contract(state, matrix, target, n, backend)
         return state
 
     def _column_matrix(self, op: _MatrixColumn, x: np.ndarray) -> np.ndarray:
@@ -468,9 +535,10 @@ class CompiledProgram:
 
     def energy(self, x: Sequence[float]) -> float:
         """``<C>`` of the attached graph at ``x``."""
-        state = self.state(x)
+        state = self._state_device(self._check_x(x))
         probs = state.real**2 + state.imag**2
-        return float(probs @ self._cut_table())
+        value = self.backend.xp.dot(probs, self._dev(self._cut_table()))
+        return float(self.backend.to_host(value))
 
     def _cut_table(self) -> np.ndarray:
         if self._cut is None:
@@ -487,8 +555,11 @@ class CompiledProgram:
         _shifts: Sequence[tuple[_ShiftSite, float] | None] | None = None,
     ) -> np.ndarray:
         """Final statevectors of a ``(B, num_parameters)`` batch, as
-        ``(2^n, B)`` columns."""
-        return np.ascontiguousarray(self._states_batch(X, _shifts).T)
+        ``(2^n, B)`` host columns."""
+        xp = self.backend.xp
+        return self.backend.to_host(
+            xp.ascontiguousarray(self._states_batch(X, _shifts).T)
+        )
 
     def _states_batch(
         self,
@@ -498,7 +569,12 @@ class CompiledProgram:
         """Batch-major final statevectors: row ``b`` is the state at
         ``X[b]``. The batch axis leads so every per-point quantity (diag
         exponents, probabilities, cut energies) stays row-contiguous and
-        the per-column matrix applies reduce to stacked gemms."""
+        the per-column matrix applies reduce to stacked gemms.
+
+        ``X`` stays on the host (angle-expression evaluation and dedup
+        are host bookkeeping) and is uploaded once as ``Xd``; the state
+        and every per-basis-state quantity live on the array backend.
+        """
         X = np.atleast_2d(np.asarray(X, dtype=float))
         if X.shape[1] != self.num_parameters:
             raise ValueError(
@@ -513,35 +589,45 @@ class CompiledProgram:
                     site, s = entry
                     by_op.setdefault(site.op_index, []).append((column, site, s))
 
-        state = np.empty((batch, 2**self.num_qubits), dtype=complex)
+        backend = self.backend
+        xp = backend.xp
+        Xd = backend.asarray(X)
+        state = xp.empty((batch, 2**self.num_qubits), dtype=complex)
         state[:] = self._initial_state()
         for op_index, op in enumerate(self.ops):
             shifts_here = by_op.get(op_index, ())
             if isinstance(op, _DiagBlock):
                 if op.static_phase is not None:
-                    state *= op.static_phase  # broadcasts across rows
+                    # broadcasts across rows
+                    state = backend.multiply(
+                        state, self._dev(op.static_phase), out=state
+                    )
                     continue
                 gens_u, const_u, inverse = self._diag_lookup(op_index, op)
                 if inverse is not None:
                     # few distinct generator values: exponentiate unique
                     # columns, gather, and fold gradient shifts in as
                     # cached per-atom phase factors
-                    exponent_u = X[:, op.param_indices] @ gens_u
+                    exponent_u = Xd[:, self._dev(op.param_indices)] @ gens_u
                     if const_u is not None:
                         exponent_u += const_u
-                    phases = np.take(np.exp(1j * exponent_u), inverse, axis=1)
+                    phases = backend.take(
+                        backend.exp(1j * exponent_u), inverse, axis=1
+                    )
                     for column, site, s in shifts_here:
-                        phases[column] *= self._atom_shift_phase(
-                            op.atoms[site.atom], s
+                        phases[column] *= self._dev(
+                            self._atom_shift_phase(op.atoms[site.atom], s)
                         )
-                    state *= phases
+                    state = backend.multiply(state, phases, out=state)
                     continue
-                exponent = X[:, op.param_indices] @ op.gens  # (B, 2^n)
+                exponent = Xd[:, self._dev(op.param_indices)] @ self._dev(op.gens)
                 if op.gen_const is not None:
-                    exponent += op.gen_const
+                    exponent += self._dev(op.gen_const)
                 for column, site, s in shifts_here:
-                    exponent[column] += s * self._atom_vector(op.atoms[site.atom])
-                state *= np.exp(1j * exponent)
+                    exponent[column] += s * self._dev(
+                        self._atom_vector(op.atoms[site.atom])
+                    )
+                state = backend.multiply(state, backend.exp(1j * exponent), out=state)
             else:
                 # gradient batches tile one x across 2*sites rows, so
                 # matrix columns dedup their angle rows before building
@@ -618,21 +704,30 @@ class CompiledProgram:
         shifts_here: Sequence[tuple[int, _ShiftSite, float]],
         dedup: bool = False,
     ) -> np.ndarray:
-        """Apply one matrix column to a batch-major ``(B, 2^n)`` state."""
+        """Apply one matrix column to a batch-major ``(B, 2^n)`` state.
+
+        The chain matrices themselves are built on the host (tiny per-point
+        stacks, heavy Python bookkeeping) and uploaded right before the
+        device gemms — the natural host→device transfer point a real GPU
+        backend pays per column.
+        """
         n = self.num_qubits
         batch = state.shape[0]
+        backend = self.backend
+        xp = backend.xp
         if op.static_matrix is not None and not shifts_here:
+            static_dev = self._dev(op.static_matrix)
             for target in op.targets:
                 if len(target) == 1:
                     # the flat view's bit strides match the single-state
                     # case, so the strided 2x2 kernel applies unchanged
                     state = _apply_1q(
-                        state.reshape(-1), op.static_matrix, target[0]
+                        state.reshape(-1), static_dev, target[0], backend
                     ).reshape(batch, -1)
                 else:
-                    work = np.ascontiguousarray(state.T)
-                    work = _contract(work, op.static_matrix, target, n)
-                    state = np.ascontiguousarray(work.T)
+                    work = xp.ascontiguousarray(state.T)
+                    work = _contract(work, static_dev, target, n, backend)
+                    state = xp.ascontiguousarray(work.T)
             return state
 
         base_stack, angle_rows = self._column_matrices(op, X, dedup)
@@ -699,15 +794,19 @@ class CompiledProgram:
                 ):
                     group_T = shared_T.get(size)
                     if group_T is None:
-                        group_T = np.ascontiguousarray(
-                            shared_group(size).transpose(0, 2, 1)
+                        group_T = backend.asarray(
+                            np.ascontiguousarray(
+                                shared_group(size).transpose(0, 2, 1)
+                            )
                         )
                         shared_T[size] = group_T
                 else:
                     group = qubit_stack(qubits[0])
                     for qubit in qubits[1:]:
                         group = _kron_pairs(group, qubit_stack(qubit))
-                    group_T = np.ascontiguousarray(group.transpose(0, 2, 1))
+                    group_T = backend.asarray(
+                        np.ascontiguousarray(group.transpose(0, 2, 1))
+                    )
                 dim = 1 << size
                 state = (
                     state.reshape(batch, dim, -1).transpose(0, 2, 1) @ group_T
@@ -715,27 +814,33 @@ class CompiledProgram:
             return state
 
         # General fallback (multi-qubit targets, partial columns): the
-        # trailing-batch kernels on a transposed view.
-        work = np.ascontiguousarray(state.T)
+        # trailing-batch kernels on a transposed view. Matrix stacks are
+        # assembled (and shift-patched) on the host, uploaded per target.
+        work = xp.ascontiguousarray(state.T)
         base_trailing = np.ascontiguousarray(np.moveaxis(base_stack, 0, -1))
+        base_trailing_dev = None
         for t_index, target in enumerate(op.targets):
             shifted = [
                 (column, site, s)
                 for column, site, s in shifts_here
                 if site.target == t_index
             ]
-            matrices = base_trailing
             if shifted:
-                matrices = base_trailing.copy()
+                patched = base_trailing.copy()
                 for column, site, s in shifted:
-                    matrices[:, :, column] = self._chain_matrix(
+                    patched[:, :, column] = self._chain_matrix(
                         op, angle_rows[column], shift_factor=site.factor, shift=s
                     )
-            if len(target) == 1:
-                work = _apply_1q_per_column(work, matrices, target[0])
+                matrices = backend.asarray(patched)
             else:
-                work = _contract_per_column(work, matrices, target, n)
-        return np.ascontiguousarray(work.T)
+                if base_trailing_dev is None:
+                    base_trailing_dev = backend.asarray(base_trailing)
+                matrices = base_trailing_dev
+            if len(target) == 1:
+                work = _apply_1q_per_column(work, matrices, target[0], backend)
+            else:
+                work = _contract_per_column(work, matrices, target, n, backend)
+        return xp.ascontiguousarray(work.T)
 
     def _chain_matrix(
         self,
@@ -761,15 +866,17 @@ class CompiledProgram:
         """``<C>`` for every row of a ``(B, num_parameters)`` batch."""
         return self._cut_energies(self._states_batch(X))
 
-    def _cut_energies(self, states: np.ndarray) -> np.ndarray:
+    def _cut_energies(self, states) -> np.ndarray:
         """Row-wise ``sum_z |amp|^2 cut(z)`` without materializing the
-        probability matrix (two single-pass contractions)."""
-        cut = self._cut_table()
-        return np.einsum(
-            "bz,bz,z->b", states.real, states.real, cut, optimize=False
-        ) + np.einsum(
-            "bz,bz,z->b", states.imag, states.imag, cut, optimize=False
+        probability matrix (two single-pass contractions on the backend;
+        only the ``(B,)`` energy vector crosses back to the host)."""
+        cut = self._dev(self._cut_table())
+        values = self.backend.einsum(
+            "bz,bz,z->b", states.real, states.real, cut
+        ) + self.backend.einsum(
+            "bz,bz,z->b", states.imag, states.imag, cut
         )
+        return self.backend.to_host(values)
 
     # -- gradient ----------------------------------------------------------
 
@@ -842,11 +949,16 @@ def compile_circuit(
     *,
     initial_state: str = "0",
     graph: Graph | None = None,
+    backend: ArrayBackend | str | None = None,
 ) -> CompiledProgram:
     """Lower ``circuit`` over the flat parameter ordering ``parameters``.
 
     ``initial_state`` is ``"0"`` or ``"+"``; pass ``graph`` to enable the
-    max-cut ``energy``/``energies``/``gradient`` entry points.
+    max-cut ``energy``/``energies``/``gradient`` entry points. ``backend``
+    selects the array backend the program evaluates under — a registered
+    name or an :class:`~repro.simulators.backends.ArrayBackend` instance
+    (default ``"numpy"``); the compile pass itself always runs on the
+    host.
     """
     n = circuit.num_qubits
     index = {param: j for j, param in enumerate(parameters)}
@@ -1041,19 +1153,25 @@ def compile_circuit(
         initial_state_label=initial_label,
         graph=graph,
         source_gates=source_gates,
+        backend=backend,
     )
 
 
-def compile_ansatz(ansatz: QAOAAnsatz) -> CompiledProgram:
+def compile_ansatz(
+    ansatz: QAOAAnsatz, *, backend: ArrayBackend | str | None = None
+) -> CompiledProgram:
     """One-time lowering of a QAOA ansatz into its compiled program.
 
     The parameter ordering is the ansatz's flat ``[gammas..., betas...]``
     layout — the same vectors the optimizers drive — and the ansatz's
     graph is attached so the max-cut energy entry points are live.
+    ``backend`` picks the array backend evaluations run under (see
+    :mod:`repro.simulators.backends`; default ``"numpy"``).
     """
     return compile_circuit(
         ansatz.circuit,
         ansatz.parameters,
         initial_state=ansatz.initial_state_label,
         graph=ansatz.graph,
+        backend=backend,
     )

@@ -55,6 +55,7 @@ class TestFingerprints:
             EvaluationConfig(max_steps=10, metric="best_sampled"),
             EvaluationConfig(max_steps=10, init_strategy="ramp"),
             EvaluationConfig(max_steps=10, engine="statevector"),
+            EvaluationConfig(max_steps=10, array_backend="mock_gpu"),
         ]
         for config in changed:
             assert config_fingerprint(config) != config_fingerprint(base)
@@ -65,6 +66,15 @@ class TestFingerprints:
         compiled = config_fingerprint(EvaluationConfig(engine="compiled"))
         dense = config_fingerprint(EvaluationConfig(engine="statevector"))
         assert compiled != dense
+
+    def test_array_backend_is_part_of_the_fingerprint(self):
+        """Like the engine: a result trained on one array backend can
+        never be replayed as another's (results are pinned identical, but
+        timings/accounting are not — and a buggy device backend must not
+        poison numpy-keyed cache entries)."""
+        numpy_fp = config_fingerprint(EvaluationConfig(array_backend="numpy"))
+        mock_fp = config_fingerprint(EvaluationConfig(array_backend="mock_gpu"))
+        assert numpy_fp != mock_fp
 
     def test_candidate_key_invalidation(self, graphs):
         wfp = workload_fingerprint(graphs)

@@ -52,6 +52,26 @@ class TestEvaluateCommand:
         ])
         assert code == 0
 
+    def test_array_backend_option(self, capsys):
+        code = main([
+            "evaluate", "rx", "--graphs", "1", "--steps", "8",
+            "--metric", "energy", "--array-backend", "mock_gpu",
+        ])
+        assert code == 0
+        assert "mean ratio" in capsys.readouterr().out
+
+    def test_unregistered_array_backend_rejected(self, capsys):
+        """argparse choices come from the live registry, so a backend that
+        did not register (e.g. "cupy" without CuPy installed, or a typo)
+        is rejected before any work starts."""
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "evaluate", "rx", "--graphs", "1", "--steps", "8",
+                "--array-backend", "not_a_backend",
+            ])
+        assert excinfo.value.code == 2
+        assert "--array-backend" in capsys.readouterr().err
+
 
 class TestSearchCommand:
     def test_search_and_save(self, tmp_path, capsys):

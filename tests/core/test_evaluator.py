@@ -129,6 +129,28 @@ class TestOptimizerChoices:
         with pytest.raises(ValueError, match="unknown engine"):
             EvaluationConfig(engine="abacus")
 
+    def test_unknown_array_backend_rejected(self):
+        """Only *registered* backends pass config validation — "cupy" on a
+        box without CuPy fails here, at config build time, not mid-sweep
+        inside a worker."""
+        with pytest.raises(ValueError, match="unknown array backend"):
+            EvaluationConfig(array_backend="abacus")
+
+    def test_mock_gpu_backend_trains_identically(self):
+        """The array backend changes where the math runs, never what it
+        computes: an identically seeded training on the mock-GPU backend
+        reproduces the numpy run bit for bit (same engine, same ops)."""
+        g = cycle_graph(5)
+        numpy_run = Evaluator(
+            [g], EvaluationConfig(max_steps=15, seed=6)
+        ).evaluate(("rx",), 1)
+        mock_run = Evaluator(
+            [g], EvaluationConfig(max_steps=15, seed=6, array_backend="mock_gpu")
+        ).evaluate(("rx",), 1)
+        assert mock_run.energy == numpy_run.energy
+        assert mock_run.ratio == numpy_run.ratio
+        assert mock_run.nfev == numpy_run.nfev
+
     def test_qtensor_engine_close_to_statevector(self):
         """The engines agree to ~1e-15 per evaluation; trained results only
         to ~1e-2 because COBYLA's accept/reject path amplifies last-bit
