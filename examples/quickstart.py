@@ -1,36 +1,37 @@
 """Quickstart: search for a QAOA mixer on a small max-cut workload.
 
 Runs Algorithm 1 over all two-gate mixer combinations on three 10-node
-Erdős–Rényi graphs, prints the ranking, and draws the winning circuit.
-Takes under a minute on a laptop.
+Erdős–Rényi graphs via the stable :mod:`repro.api` facade, prints the
+ranking, and draws the winning circuit. Takes under a minute on a laptop.
 
     python examples/quickstart.py
 """
 
-from repro import EvaluationConfig, SearchConfig, paper_er_dataset, search_mixer
+from repro import Config, search
 from repro.experiments.discovery import draw_mixer
 
-# 1. A workload: three 10-node ER graphs from the paper's dataset family.
-graphs = paper_er_dataset(3)
-print(f"workload: {len(graphs)} graphs, "
-      f"{[g.num_edges for g in graphs]} edges each")
-
-# 2. Configure Algorithm 1: depths p=1..2, two-gate mixer combinations,
-#    COBYLA training, reward = expected best cut of 64 measurements.
-config = SearchConfig(
-    p_max=2,
+# 1. Configure the sweep: two-gate mixer combinations, COBYLA training,
+#    reward = expected best cut of 64 measurements. One flat Config covers
+#    candidate space, training, and execution (repro.api documents every
+#    field); the deep SearchConfig/EvaluationConfig route still exists
+#    for code that composes the internals directly.
+config = Config(
     k_min=2,
     k_max=2,
     mode="combinations",
-    evaluation=EvaluationConfig(
-        max_steps=60, restarts=2, seed=0, metric="best_sampled", shots=64
-    ),
+    steps=60,
+    restarts=2,
+    seed=0,
+    metric="best_sampled",
+    shots=64,
 )
 
-# 3. Run the search (serial here; see search_maxcut_mixer.py for parallel).
-result = search_mixer(graphs, config)
+# 2. Run depths p=1..2 on "er:3" — three 10-node ER graphs from the
+#    paper's seeded dataset family (serial here; Config(workers=-1) or
+#    examples/search_maxcut_mixer.py for parallel).
+result = search("er:3", depths=2, config=config)
 
-print(f"\nevaluated {result.num_candidates} candidates "
+print(f"evaluated {result.num_candidates} candidates "
       f"in {result.total_seconds:.1f}s")
 print(f"best mixer: {result.best_tokens} at p={result.best_p} "
       f"(approximation ratio {result.best_ratio:.4f})")

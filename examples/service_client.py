@@ -1,0 +1,57 @@
+"""Submit sweeps to a running search service and share its cache.
+
+The service (``python -m repro serve``) multiplexes many sweeps over one
+worker fleet and one multi-tenant result cache, so two clients sweeping
+the same workload each pay for only part of it. This example starts a
+service in-process (so it is runnable standalone), submits the same
+sweep twice concurrently, and shows the cross-sweep cache accounting.
+
+Against a real deployment you only need the client half:
+
+    from repro import connect, Config
+    client = connect("http://localhost:8787")
+    job_id = client.submit("er:3", depths=2, config=Config(k_max=2))
+    result = client.wait(job_id)
+
+    python examples/service_client.py
+"""
+
+import tempfile
+import threading
+
+from repro import Config, connect
+from repro.service import SearchService, make_http_server
+
+config = Config(k_min=2, k_max=2, steps=20, num_samples=6, seed=0)
+
+with tempfile.TemporaryDirectory() as state_dir:
+    # Stand-in for `python -m repro serve --dir <state_dir>`.
+    service = SearchService(state_dir, max_concurrent=2, workers=2)
+    server = make_http_server(service)  # port 0 = pick a free one
+    host, port = server.server_address[:2]
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+
+    with service:
+        client = connect(f"http://{host}:{port}")
+        print("service:", client.healthz()["executor"], "executor")
+
+        # Two identical sweeps land in the queue together; the multiplexer
+        # runs both at once over the shared fleet. Every candidate is
+        # trained exactly once: whichever sweep claims it first pays, the
+        # other collects a cache hit.
+        first = client.submit("er:2", depths=1, config=config)
+        second = client.submit("er:2", depths=1, config=config)
+
+        results = [client.wait(job_id) for job_id in (first, second)]
+        for job_id, result in zip((first, second), results):
+            print(f"job {job_id}: best {result.best_tokens} "
+                  f"(ratio {result.best_ratio:.4f}; "
+                  f"{result.config['cache_hits']} cache hits, "
+                  f"{result.config['cache_misses']} misses)")
+
+        assert results[0].best_energy == results[1].best_energy
+        shared = sum(r.config["cache_hits"] for r in results)
+        print(f"candidates trained once and shared across sweeps: {shared}")
+
+    server.shutdown()
+    server.server_close()

@@ -1,11 +1,13 @@
 #!/usr/bin/env python
-"""Benchmark-smoke: one tiny end-to-end search, cold then warm.
+"""Benchmark-smoke: tiny end-to-end runs of the search stack and the service.
 
-Runs the full Algorithm 1 stack (enumeration → QBuilder → training →
-selection) at a scale well under examples/quickstart.py, through the
-fault-tolerant runtime with a persistent cache and the compiled fast-path
-engine (requested explicitly, so a broken ``engine="compiled"`` flag fails
-here rather than in a user run), and asserts:
+Two independent checks (select one with ``--only search|service``):
+
+**search** — one tiny cold + warm search through the full Algorithm 1
+stack (enumeration → QBuilder → training → selection), the fault-tolerant
+runtime, a persistent cache, and the compiled fast-path engine (requested
+explicitly, so a broken ``engine="compiled"`` flag fails here rather than
+in a user run). Asserts:
 
 * the search finds a winner with a sane approximation ratio,
 * the compiled engine agrees with the statevector oracle to 1e-10 on the
@@ -13,12 +15,21 @@ here rather than in a user run), and asserts:
 * a repeated run with the warm cache performs zero candidate trainings,
 * the cold run stays inside a generous wall-clock budget, so order-of-
   magnitude runtime regressions fail CI without full-bench cost.
+
+**service** — boots a :class:`~repro.service.server.SearchService`
+in-process (HTTP server on an ephemeral port), submits the *same* sweep
+from two clients concurrently, and asserts the ISSUE-6 acceptance
+property: both sweeps complete with identical results, and the cache-hit
+accounting proves every candidate was trained exactly once across the two
+sweeps (one pays the misses, the fleet shares the hits).
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import tempfile
+import threading
 import time
 
 REPO_SRC = "src"
@@ -33,7 +44,7 @@ from repro.graphs.datasets import paper_er_dataset  # noqa: E402
 COLD_BUDGET_SECONDS = 120.0
 
 
-def main() -> int:
+def smoke_search() -> int:
     graphs = paper_er_dataset(2)
     config = SearchConfig(
         p_max=2,
@@ -91,6 +102,73 @@ def main() -> int:
     assert warm.config["jobs_submitted"] == 0
     assert warm.best_tokens == cold.best_tokens
     print("benchmark smoke OK")
+    return 0
+
+
+def smoke_service() -> int:
+    from repro.api import Config, connect
+    from repro.service.server import SearchService, make_http_server
+
+    config = Config(k_min=2, k_max=2, steps=10, num_samples=6, seed=1)
+
+    with tempfile.TemporaryDirectory() as service_dir:
+        service = SearchService(service_dir, max_concurrent=2, workers=2)
+        server = make_http_server(service)  # ephemeral port
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        host, port = server.server_address[:2]
+
+        with service:
+            client = connect(f"http://{host}:{port}")
+            health = client.healthz()
+            assert health["ok"] and health["executor"] == "async"
+
+            start = time.perf_counter()
+            # Two identical sweeps in flight at once, one fleet, one cache.
+            first = client.submit("er:2:7", depths=1, config=config)
+            second = client.submit("er:2:7", depths=1, config=config)
+            results = [client.wait(j, timeout=300) for j in (first, second)]
+            seconds = time.perf_counter() - start
+
+        server.shutdown()
+        server.server_close()
+
+    hits = [r.config["cache_hits"] for r in results]
+    misses = [r.config["cache_misses"] for r in results]
+    candidates = results[0].num_candidates
+    print(
+        f"service: 2 concurrent sweeps x {candidates} candidates in "
+        f"{seconds:.1f}s; hits per sweep {hits}, misses per sweep {misses}"
+    )
+
+    assert results[0].best_tokens == results[1].best_tokens
+    assert results[0].best_energy == results[1].best_energy, (
+        "concurrent sweeps over one cache must be single-sweep-identical"
+    )
+    assert sum(misses) == candidates, (
+        f"every candidate must be trained exactly once across both sweeps "
+        f"(trained {sum(misses)}, expected {candidates})"
+    )
+    assert sum(hits) == candidates, (
+        f"cross-sweep sharing must serve the other sweep's lookups "
+        f"(shared {sum(hits)}, expected {candidates})"
+    )
+    print("service smoke OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--only",
+        choices=["search", "service"],
+        default=None,
+        help="run just one smoke (default: both)",
+    )
+    args = parser.parse_args()
+    if args.only in (None, "search"):
+        smoke_search()
+    if args.only in (None, "service"):
+        smoke_service()
     return 0
 
 

@@ -5,7 +5,8 @@
 #               ruff is not installed — e.g. offline dev containers)
 #   docs        README/docs link check + smoke-run of the README snippets
 #   tests       CLI smoke + tier-1 pytest
-#   bench-smoke tiny end-to-end search with warm-cache assertions
+#   bench-smoke tiny end-to-end search with warm-cache assertions, plus
+#               the service smoke (two concurrent sweeps sharing a cache)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -30,7 +31,8 @@ echo "=== job: tests (tier-1 pytest) ==="
 python -m pytest -x -q
 
 echo "=== job: bench-smoke ==="
-python scripts/ci_smoke.py
+python scripts/ci_smoke.py --only search
+python scripts/ci_smoke.py --only service
 python scripts/bench_report.py
 python benchmarks/bench_compiled_engine.py
 python benchmarks/bench_batched_optimizers.py

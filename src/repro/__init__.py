@@ -7,16 +7,23 @@ library, a state-vector simulator, a QTensor-style tensor-network
 simulator, the QAOA/max-cut application, classical optimizers, a NumPy RL
 controller, and the two-level parallel execution layer.
 
-Quickstart::
+Quickstart (the stable facade — see :mod:`repro.api`)::
 
-    from repro import search_mixer, SearchConfig, paper_er_dataset
+    from repro import Config, search
 
-    result = search_mixer(paper_er_dataset(3), SearchConfig(p_max=2, k_max=2))
+    result = search("er:3", depths=2, config=Config(k_min=2, k_max=2))
     print(result.best_tokens, result.best_ratio)
+
+The same sweep runs against a long-lived search service (``python -m
+repro serve``) via ``connect(url).submit(...)``. Deep imports
+(``search_mixer``, ``SearchConfig``, …) remain available for code that
+composes the internals directly.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 figure-by-figure reproduction record.
 """
+
+from repro.api import Config, connect, search
 
 from repro.core import (
     ControllerPredictor,
@@ -46,6 +53,9 @@ from repro.qtensor import QTensorSimulator
 __version__ = "1.0.0"
 
 __all__ = [
+    "search",
+    "connect",
+    "Config",
     "search_mixer",
     "search_with_predictor",
     "SearchConfig",

@@ -1,0 +1,360 @@
+"""The blessed public API: ``search`` locally, ``connect`` to a service.
+
+Five PRs of growth left the package with powerful but sprawling internals:
+running a search means composing :class:`~repro.core.search.SearchConfig`
+(candidate space), :class:`~repro.core.evaluator.EvaluationConfig`
+(training), :class:`~repro.core.runtime.RuntimeConfig` (fault tolerance /
+persistence / sharding), and an :class:`~repro.parallel.executor.Executor`
+by hand. This module is the stable facade over all of it — two entry
+points, one flat config:
+
+>>> from repro.api import Config, search
+>>> result = search("er:2", depths=1, config=Config(k_min=2, steps=20))
+
+runs Algorithm 1 in-process, and
+
+>>> client = connect("http://localhost:8787")          # doctest: +SKIP
+>>> job_id = client.submit("er:2", depths=1)           # doctest: +SKIP
+>>> result = client.wait(job_id)                       # doctest: +SKIP
+
+submits the same sweep to a long-running search service (``python -m
+repro serve``), where it shares a worker fleet and a multi-tenant result
+cache with every other live sweep. Both paths return the same
+:class:`~repro.core.results.SearchResult`.
+
+**Stability.** ``search``, ``connect``, :class:`Config`, and the
+:class:`Client` methods are the supported surface: additions land as new
+keyword arguments with defaults, and the wire format they speak is
+versioned (see :mod:`repro.core.results`). The deep imports older code
+uses (``repro.search_mixer``, ``repro.core.*``) keep working — the facade
+delegates to them — but their signatures may grow faster.
+
+**Workloads.** Anywhere a workload is accepted, pass either a sequence of
+:class:`~repro.graphs.generators.Graph` objects or a compact dataset spec
+string ``"family[:count[:seed]]"`` — e.g. ``"er"``, ``"er:3"``,
+``"regular:4:2023"`` — naming the paper's seeded dataset families.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from collections.abc import Sequence
+from contextlib import ExitStack
+from dataclasses import asdict, dataclass, fields
+from typing import Any
+
+from repro.core.cache import ResultCache
+from repro.core.evaluator import EvaluationConfig
+from repro.core.results import SearchResult
+from repro.core.runtime import RuntimeConfig
+from repro.core.search import SearchConfig, search_mixer
+from repro.graphs.datasets import paper_er_dataset, paper_regular_dataset
+from repro.graphs.generators import Graph
+from repro.graphs.io import graph_from_dict, graph_to_dict
+from repro.parallel.executor import (
+    Executor,
+    MultiprocessingExecutor,
+    available_cores,
+)
+
+__all__ = [
+    "Config",
+    "Client",
+    "ServiceError",
+    "search",
+    "connect",
+    "resolve_workload",
+    "workload_to_wire",
+]
+
+
+@dataclass(frozen=True)
+class Config:
+    """Every knob of a search, flattened into one documented surface.
+
+    Groups map one-to-one onto the internal config objects (candidate
+    space → ``SearchConfig``, training → ``EvaluationConfig``, execution →
+    ``RuntimeConfig`` + executor), so anything expressible here behaves
+    identically through the deep API. All fields are JSON-safe scalars:
+    a ``Config`` round-trips through :meth:`to_dict`/:meth:`from_dict`
+    and is the ``config`` object of the service's submit payload.
+    """
+
+    # -- candidate space ---------------------------------------------------
+    #: minimum / maximum gates per mixer combination
+    k_min: int = 1
+    k_max: int = 2
+    #: candidate enumeration convention: combinations / sequences / permutations
+    mode: str = "combinations"
+    #: cap on candidates per depth (None = the whole space)
+    num_samples: int | None = None
+
+    # -- training ----------------------------------------------------------
+    #: classical optimizer: cobyla (paper), nelder_mead, spsa, adam
+    optimizer: str = "cobyla"
+    #: optimizer evaluation budget per candidate
+    steps: int = 60
+    #: independent restarts per graph (batch-native optimizers train them
+    #: as one population)
+    restarts: int = 1
+    #: base seed for all stochastic draws
+    seed: int = 0
+    #: simulation engine: compiled (fast path) / statevector / qtensor
+    engine: str = "compiled"
+    #: array library behind the compiled engine: numpy / mock_gpu / cupy
+    array_backend: str = "numpy"
+    #: reward metric: energy or best_sampled
+    metric: str = "energy"
+    #: measurement budget for best_sampled
+    shots: int = 128
+
+    # -- execution / persistence ------------------------------------------
+    #: worker processes: 0 or 1 = in-process serial, -1 = all cores
+    workers: int = 0
+    #: shards per depth (Fig. 2's outer level); 1 = single-node
+    shards: int = 1
+    #: persist results + checkpoints here (repeat runs become lookups)
+    cache_dir: str | None = None
+    #: LRU bound on the result cache (None = unbounded)
+    cache_max_entries: int | None = None
+    #: restore finished depths from the checkpoint in cache_dir
+    resume: bool = False
+    #: extra attempts per candidate after the first
+    retries: int = 2
+    #: per-candidate wall-clock limit in seconds (None = unlimited)
+    job_timeout: float | None = None
+
+    # -- mapping onto the internal configs ---------------------------------
+
+    def evaluation_config(self) -> EvaluationConfig:
+        return EvaluationConfig(
+            optimizer=self.optimizer,
+            max_steps=self.steps,
+            restarts=self.restarts,
+            seed=self.seed,
+            engine=self.engine,
+            array_backend=self.array_backend,
+            metric=self.metric,
+            shots=self.shots,
+        )
+
+    def search_config(self, depths: int) -> SearchConfig:
+        return SearchConfig(
+            p_max=int(depths),
+            k_min=self.k_min,
+            k_max=self.k_max,
+            mode=self.mode,
+            num_samples=self.num_samples,
+            seed=self.seed,
+            evaluation=self.evaluation_config(),
+        )
+
+    def runtime_config(self) -> RuntimeConfig:
+        return RuntimeConfig(
+            cache_dir=self.cache_dir,
+            resume=self.resume,
+            max_retries=self.retries,
+            job_timeout=self.job_timeout,
+            shards=self.shards,
+            cache_max_entries=self.cache_max_entries,
+        )
+
+    # -- wire format -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> Config:
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown config field(s) {sorted(unknown)}; "
+                f"accepted: {sorted(known)}"
+            )
+        return cls(**data)
+
+
+# -- workloads -------------------------------------------------------------
+
+_DATASETS = {"er": paper_er_dataset, "regular": paper_regular_dataset}
+
+
+def resolve_workload(workload: str | Sequence[Graph] | Sequence[dict]) -> list[Graph]:
+    """Normalize any accepted workload form into a list of graphs.
+
+    Accepts a dataset spec string (``"er"``, ``"er:3"``, ``"er:3:2023"``),
+    a sequence of :class:`Graph` objects, or a sequence of graph wire
+    dicts (what :func:`workload_to_wire` produces — the service's submit
+    payload).
+    """
+    if isinstance(workload, str):
+        parts = workload.split(":")
+        family = parts[0]
+        if family not in _DATASETS or len(parts) > 3:
+            raise ValueError(
+                f"unknown workload spec {workload!r}; expected "
+                f"'family[:count[:seed]]' with family in {sorted(_DATASETS)}"
+            )
+        count = int(parts[1]) if len(parts) > 1 else 3
+        seed = int(parts[2]) if len(parts) > 2 else 2023
+        return list(_DATASETS[family](count, dataset_seed=seed))
+    graphs = list(workload)
+    if not graphs:
+        raise ValueError("workload must contain at least one graph")
+    if isinstance(graphs[0], Graph):
+        return graphs  # type: ignore[return-value]
+    return [graph_from_dict(g) for g in graphs]  # type: ignore[arg-type]
+
+
+def workload_to_wire(workload: str | Sequence[Graph] | Sequence[dict]) -> list[dict]:
+    """The JSON form of a workload: exact graph content, so the service
+    evaluates precisely what the client resolved (specs are expanded
+    client-side; server and client can disagree about nothing)."""
+    return [graph_to_dict(g) for g in resolve_workload(workload)]
+
+
+# -- the two entry points ---------------------------------------------------
+
+
+def search(
+    workload: str | Sequence[Graph],
+    *,
+    depths: int = 2,
+    config: Config | None = None,
+    executor: Executor | None = None,
+    cache: ResultCache | None = None,
+) -> SearchResult:
+    """Run Algorithm 1 in-process and return the full result.
+
+    Parameters
+    ----------
+    workload:
+        Graphs to optimize over, or a dataset spec string (``"er:3"``).
+    depths:
+        QAOA depths swept (``p = 1..depths``).
+    config:
+        Flat :class:`Config`; defaults are a small fast sweep.
+    executor:
+        Override the worker fleet (otherwise ``config.workers`` decides:
+        0/1 serial, N processes, -1 all cores).
+    cache:
+        Externally-owned result store (advanced; the service passes its
+        shared multi-tenant cache here).
+    """
+    config = config or Config()
+    graphs = resolve_workload(workload)
+    search_cfg = config.search_config(depths)
+    runtime_cfg = config.runtime_config()
+    workers = available_cores() if config.workers == -1 else config.workers
+    with ExitStack() as stack:
+        if executor is None and workers and workers > 1:
+            executor = stack.enter_context(MultiprocessingExecutor(workers))
+        return search_mixer(
+            graphs, search_cfg, executor=executor, runtime=runtime_cfg, cache=cache
+        )
+
+
+def connect(url: str, *, timeout: float = 10.0) -> Client:
+    """Open a client for a running search service (``repro serve``)."""
+    return Client(url, timeout=timeout)
+
+
+# -- the service client -----------------------------------------------------
+
+
+class ServiceError(RuntimeError):
+    """The service rejected a request or a submitted sweep failed."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"service returned {status}: {message}")
+        self.status = status
+
+
+class Client:
+    """Thin JSON/HTTP client for the search service — stdlib only.
+
+    One instance per service URL; methods map one-to-one onto endpoints
+    (``submit`` → POST /submit, ``status`` → GET /status/{id}, ``result``
+    → GET /result/{id}, ``healthz`` → GET /healthz). :meth:`wait` polls
+    status until the sweep finishes and returns the parsed result.
+    """
+
+    def __init__(self, url: str, *, timeout: float = 10.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- endpoints ---------------------------------------------------------
+
+    def submit(
+        self,
+        workload: str | Sequence[Graph],
+        *,
+        depths: int = 2,
+        config: Config | None = None,
+    ) -> str:
+        """Queue a sweep; returns its job id immediately."""
+        payload = {
+            "workload": workload_to_wire(workload),
+            "depths": int(depths),
+            "config": (config or Config()).to_dict(),
+        }
+        return str(self._request("POST", "/submit", payload)["id"])
+
+    def status(self, job_id: str) -> dict:
+        """Job lifecycle record: state, timestamps, error if failed."""
+        return self._request("GET", f"/status/{job_id}")
+
+    def result(self, job_id: str) -> SearchResult:
+        """The finished sweep's result (raises unless state is done)."""
+        return SearchResult.from_dict(self._request("GET", f"/result/{job_id}"))
+
+    def healthz(self) -> dict:
+        """Liveness + fleet/cache/queue counters."""
+        return self._request("GET", "/healthz")
+
+    def wait(
+        self, job_id: str, *, timeout: float = 300.0, poll: float = 0.2
+    ) -> SearchResult:
+        """Block until the sweep completes; returns its result.
+
+        Raises :class:`ServiceError` if the sweep failed, ``TimeoutError``
+        if it did not finish within ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            state = self.status(job_id)
+            if state["state"] == "done":
+                return self.result(job_id)
+            if state["state"] == "failed":
+                raise ServiceError(200, state.get("error") or "sweep failed")
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {state['state']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            detail = error.read().decode("utf-8", errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except (json.JSONDecodeError, AttributeError):
+                pass
+            raise ServiceError(error.code, detail) from None

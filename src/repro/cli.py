@@ -1,11 +1,13 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the workflows a user runs repeatedly:
+Four subcommands cover the workflows a user runs repeatedly:
 
 * ``search`` — Algorithm 1 on a seeded dataset, optionally parallel,
   optionally saving the JSON result;
 * ``evaluate`` — score one named mixer on a dataset (quick what-if);
-* ``draw`` — render a mixer circuit as ASCII (Fig. 6 on demand).
+* ``draw`` — render a mixer circuit as ASCII (Fig. 6 on demand);
+* ``serve`` — run the long-lived search service (persistent job queue,
+  shared cache, HTTP API — see ``docs/service.md``).
 
 All stochastic inputs are seeded so runs are reproducible and scriptable.
 """
@@ -115,6 +117,25 @@ def build_parser() -> argparse.ArgumentParser:
     draw = sub.add_parser("draw", help="draw a mixer circuit")
     draw.add_argument("mixer", help="comma-separated tokens, e.g. rx,ry")
     draw.add_argument("--qubits", type=int, default=10)
+
+    serve = sub.add_parser(
+        "serve", help="run the search service (HTTP API over a job queue)"
+    )
+    serve.add_argument("--dir", default=".repro-service", dest="service_dir",
+                       help="service state directory: job queue, shared "
+                            "result cache, checkpoints (default: "
+                            ".repro-service)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="listen port; 0 picks a free one")
+    serve.add_argument("--max-concurrent", type=int, default=2,
+                       help="sweeps multiplexed over the shared fleet")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="worker threads in the shared fleet "
+                            "(0 = all cores)")
+    serve.add_argument("--cache-max-entries", type=int, default=None,
+                       help="LRU-bound the shared result cache; in-flight "
+                            "and pinned entries are never evicted")
 
     return parser
 
@@ -259,9 +280,32 @@ def _cmd_draw(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    # Imported here so the three local subcommands never pay for the
+    # service stack (and its async executor) at import time.
+    from repro.service.server import serve
+
+    if args.max_concurrent < 1:
+        raise SystemExit("--max-concurrent must be >= 1")
+    serve(
+        args.service_dir,
+        host=args.host,
+        port=args.port,
+        max_concurrent=args.max_concurrent,
+        workers=args.workers or None,
+        cache_max_entries=args.cache_max_entries,
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"search": _cmd_search, "evaluate": _cmd_evaluate, "draw": _cmd_draw}
+    handlers = {
+        "search": _cmd_search,
+        "evaluate": _cmd_evaluate,
+        "draw": _cmd_draw,
+        "serve": _cmd_serve,
+    }
     return handlers[args.command](args)
 
 

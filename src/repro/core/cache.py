@@ -21,6 +21,14 @@ pay one fsync per batch instead of per evaluation; the cache is therefore
 also the **partial-depth checkpoint** — after a mid-depth kill, everything
 up to the last flush is recovered by per-candidate lookups on restart.
 
+Since the search service multiplexes N concurrent sweeps over one store,
+:class:`ResultCache` is also **multi-tenant**: thread-safe throughout,
+size-bounded via ``max_entries`` (LRU eviction that never touches
+in-flight keys), and — with ``shared=True`` — coordinating: the first
+sweep to claim a missing key evaluates it, every other sweep on the same
+workload fingerprint waits for that put instead of duplicating the
+training run.
+
 :class:`SweepCheckpoint` lives in the same directory and records finished
 *depths* of a sweep keyed by a fingerprint of everything that defines the
 depth (workload + config + candidate list + p), so a killed search resumes
@@ -33,6 +41,9 @@ from __future__ import annotations
 import hashlib
 import json
 import sqlite3
+import threading
+import time
+from collections import Counter
 from collections.abc import Sequence
 from dataclasses import asdict
 from pathlib import Path
@@ -92,25 +103,18 @@ def depth_fingerprint(
     return _digest([workload_fp, config_fp, [list(c) for c in candidates], int(p)])
 
 
+# The cache's row payload is the same wire object the HTTP API and the
+# result files use — CandidateEvaluation.to_dict/from_dict, one schema.
 def _serialize_evaluation(evaluation: CandidateEvaluation) -> dict:
-    return asdict(evaluation) | {"tokens": list(evaluation.tokens)}
+    return evaluation.to_dict()
 
 
 def _deserialize_evaluation(data: dict) -> CandidateEvaluation:
-    return CandidateEvaluation(
-        tokens=tuple(data["tokens"]),
-        p=int(data["p"]),
-        energy=data["energy"],
-        ratio=data["ratio"],
-        per_graph_energy=tuple(data.get("per_graph_energy", ())),
-        per_graph_ratio=tuple(data.get("per_graph_ratio", ())),
-        nfev=data.get("nfev", 0),
-        seconds=data.get("seconds", 0.0),
-    )
+    return CandidateEvaluation.from_dict(data)
 
 
 class ResultCache:
-    """On-disk candidate-evaluation store with hit/miss accounting.
+    """On-disk candidate-evaluation store with hit/miss/eviction accounting.
 
     One sqlite file per ``cache_dir``; keys are the fingerprints above, so
     any change to the workload, the tokens, the depth, or the evaluation
@@ -122,18 +126,49 @@ class ResultCache:
     default) keeps the historic commit-per-put durability; the search
     runtime raises it to amortize fsyncs across wide depths, bounding the
     work a mid-depth kill can lose to ``flush_every - 1`` evaluations.
+
+    **Multi-tenancy.** All access is thread-safe (one lock guards the
+    buffer, the counters, and the sqlite handle), so one instance can be
+    shared by N concurrent sweeps — the search service's deployment shape.
+    Two knobs turn the single-writer store into a shared one:
+
+    * ``max_entries`` bounds the store with LRU eviction: every put stamps
+      (and, when bounded, every hit refreshes) a ``last_used`` recency
+      column, and each flush deletes the least-recently-used overflow.
+      Keys that are **in flight** — claimed for evaluation, explicitly
+      :meth:`pin`-ned, or still in the write buffer — are never evicted,
+      so a result another tenant is about to read cannot vanish under it.
+    * ``shared=True`` enables cross-tenant coordination: a tenant that
+      misses calls :meth:`claim` before evaluating; the first claimant
+      owns the evaluation and every other tenant :meth:`wait_for`-s the
+      result instead of duplicating the training run. ``put`` resolves
+      the claim and wakes the waiters; a failed owner calls
+      :meth:`unclaim` so waiters fall back to evaluating themselves.
     """
 
     SCHEMA_VERSION = 1
 
-    def __init__(self, cache_dir: str | Path, *, flush_every: int = 1) -> None:
+    def __init__(
+        self,
+        cache_dir: str | Path,
+        *,
+        flush_every: int = 1,
+        max_entries: int | None = None,
+        shared: bool = False,
+    ) -> None:
         if flush_every < 1:
             raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.path = self.cache_dir / "results.sqlite"
         self.flush_every = int(flush_every)
-        self._conn = sqlite3.connect(str(self.path))
+        self.max_entries = max_entries
+        self.shared = bool(shared)
+        # check_same_thread=False + self._lock: concurrent sweeps (service
+        # threads) and the sharded runtime's parent thread share safely.
+        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
         self._conn.execute("PRAGMA journal_mode=WAL")
         # Shard processes (CLI --shard-index) share one results file; the
         # busy timeout serializes their commits instead of erroring out.
@@ -144,63 +179,203 @@ class ResultCache:
             " value TEXT NOT NULL,"
             " schema INTEGER NOT NULL)"
         )
+        # Pre-eviction caches lack the recency column; migrate in place
+        # (existing rows read as last_used=0, i.e. evicted first — correct,
+        # nothing ever recorded using them).
+        columns = {
+            row[1] for row in self._conn.execute("PRAGMA table_info(results)")
+        }
+        if "last_used" not in columns:
+            self._conn.execute(
+                "ALTER TABLE results ADD COLUMN last_used REAL NOT NULL DEFAULT 0"
+            )
         self._conn.commit()
+        self._lock = threading.RLock()
+        self._available = threading.Condition(self._lock)
         self._buffer: dict[str, CandidateEvaluation] = {}
+        self._pins: Counter[str] = Counter()
+        self._claims: set[str] = set()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     # -- mapping interface -------------------------------------------------
 
     def get(self, key: str) -> CandidateEvaluation | None:
-        buffered = self._buffer.get(key)
-        if buffered is not None:
+        with self._lock:
+            buffered = self._buffer.get(key)
+            if buffered is not None:
+                self.hits += 1
+                return buffered
+            row = self._conn.execute(
+                "SELECT value FROM results WHERE key = ? AND schema = ?",
+                (key, self.SCHEMA_VERSION),
+            ).fetchone()
+            if row is None:
+                self.misses += 1
+                return None
             self.hits += 1
-            return buffered
-        row = self._conn.execute(
-            "SELECT value FROM results WHERE key = ? AND schema = ?",
-            (key, self.SCHEMA_VERSION),
-        ).fetchone()
-        if row is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return _deserialize_evaluation(json.loads(row[0]))
+            if self.max_entries is not None:
+                # LRU refresh only matters when eviction is on; unbounded
+                # caches keep reads write-free.
+                self._conn.execute(
+                    "UPDATE results SET last_used = ? WHERE key = ?",
+                    (time.time(), key),
+                )
+                self._conn.commit()
+            return _deserialize_evaluation(json.loads(row[0]))
+
+    def count_hit(self) -> None:
+        """Record a hit served without a lookup (e.g. an in-depth repeat
+        proposal fanned out from one training run)."""
+        with self._lock:
+            self.hits += 1
 
     def put(self, key: str, evaluation: CandidateEvaluation) -> None:
-        self._buffer[key] = evaluation
-        if len(self._buffer) >= self.flush_every:
-            self.flush()
+        with self._lock:
+            self._buffer[key] = evaluation
+            self._resolve_claim(key)
+            if len(self._buffer) >= self.flush_every:
+                self.flush()
 
     def flush(self) -> None:
-        """Commit all buffered puts in one transaction."""
-        if not self._buffer:
+        """Commit all buffered puts in one transaction, then evict LRU
+        overflow (never in-flight/pinned/buffered keys)."""
+        with self._lock:
+            if self._buffer:
+                now = time.time()
+                self._conn.executemany(
+                    "INSERT OR REPLACE INTO results"
+                    " (key, value, schema, last_used) VALUES (?, ?, ?, ?)",
+                    [
+                        (
+                            key,
+                            json.dumps(_serialize_evaluation(evaluation)),
+                            self.SCHEMA_VERSION,
+                            now,
+                        )
+                        for key, evaluation in self._buffer.items()
+                    ],
+                )
+                self._conn.commit()
+                self._buffer.clear()
+            self._evict_overflow()
+
+    # -- multi-tenant coordination -----------------------------------------
+
+    def pin(self, key: str) -> None:
+        """Protect ``key`` from eviction until :meth:`unpin` (refcounted)."""
+        with self._lock:
+            self._pins[key] += 1
+
+    def unpin(self, key: str) -> None:
+        with self._lock:
+            self._pins[key] -= 1
+            if self._pins[key] <= 0:
+                del self._pins[key]
+
+    def claim(self, key: str) -> bool:
+        """Register intent to evaluate ``key``; True = caller owns it.
+
+        In shared mode the first claimant wins and later claimants get
+        False (they should :meth:`wait_for` the owner's put instead of
+        re-evaluating). Claimed keys are pinned against eviction. With
+        ``shared=False`` there are no competing tenants by contract, so
+        every claim trivially succeeds.
+        """
+        if not self.shared:
+            return True
+        with self._lock:
+            if key in self._claims:
+                return False
+            self._claims.add(key)
+            self._pins[key] += 1
+            return True
+
+    def unclaim(self, key: str) -> None:
+        """Drop an unfulfilled claim (evaluation failed or was abandoned),
+        releasing any tenants waiting on it to fend for themselves."""
+        with self._lock:
+            self._resolve_claim(key)
+
+    def wait_for(
+        self, key: str, timeout: float | None = None
+    ) -> CandidateEvaluation | None:
+        """Block until ``key``'s claim resolves, then return its value.
+
+        Returns None when the owner abandoned the claim without a put, or
+        when ``timeout`` (seconds) expires first — the caller should then
+        evaluate the candidate itself.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._available:
+            while key in self._claims:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                self._available.wait(remaining)
+            return self.get(key)
+
+    def _resolve_claim(self, key: str) -> None:
+        # lock held
+        if key in self._claims:
+            self._claims.remove(key)
+            self.unpin(key)
+            self._available.notify_all()
+
+    # -- eviction ----------------------------------------------------------
+
+    def _evict_overflow(self) -> None:
+        # lock held, buffer already committed
+        if self.max_entries is None:
+            return
+        total = int(
+            self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        )
+        excess = total - self.max_entries
+        if excess <= 0:
+            return
+        protected = set(self._buffer) | set(self._pins) | set(self._claims)
+        victims = [
+            key
+            for (key,) in self._conn.execute(
+                "SELECT key FROM results ORDER BY last_used ASC, rowid ASC"
+            )
+            if key not in protected
+        ][:excess]
+        if not victims:
             return
         self._conn.executemany(
-            "INSERT OR REPLACE INTO results (key, value, schema) VALUES (?, ?, ?)",
-            [
-                (key, json.dumps(_serialize_evaluation(evaluation)), self.SCHEMA_VERSION)
-                for key, evaluation in self._buffer.items()
-            ],
+            "DELETE FROM results WHERE key = ?", [(key,) for key in victims]
         )
         self._conn.commit()
-        self._buffer.clear()
+        self.evictions += len(victims)
+
+    # -- sizing / lifecycle ------------------------------------------------
 
     def __len__(self) -> int:
-        self.flush()
-        return int(self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0])
+        with self._lock:
+            self.flush()
+            return int(
+                self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+            )
 
     def __contains__(self, key: str) -> bool:
-        if key in self._buffer:
-            return True
-        row = self._conn.execute(
-            "SELECT 1 FROM results WHERE key = ? AND schema = ?",
-            (key, self.SCHEMA_VERSION),
-        ).fetchone()
-        return row is not None
+        with self._lock:
+            if key in self._buffer:
+                return True
+            row = self._conn.execute(
+                "SELECT 1 FROM results WHERE key = ? AND schema = ?",
+                (key, self.SCHEMA_VERSION),
+            ).fetchone()
+            return row is not None
 
     def close(self) -> None:
-        self.flush()
-        self._conn.close()
+        with self._lock:
+            self.flush()
+            self._conn.close()
 
     def __enter__(self) -> ResultCache:
         return self

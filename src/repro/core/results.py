@@ -3,15 +3,29 @@
 Everything the experiment harness reports is assembled from these records,
 and every figure in EXPERIMENTS.md can be regenerated from a saved JSON
 run without re-simulating.
+
+**Wire format.** Every record has symmetric ``to_dict``/``from_dict``, and
+the dict *is* the wire object: the result cache stores it, ``save``/
+``load`` write it to disk, and the search service's HTTP API returns it
+verbatim from ``/result/{id}`` — one schema, three transports. The current
+format is ``repro-search-result-v2`` (v2 tags every nested record, so a
+``CandidateEvaluation`` extracted from a payload round-trips on its own);
+v1 files written by earlier releases load transparently.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
 
-__all__ = ["CandidateEvaluation", "DepthResult", "SearchResult"]
+__all__ = ["CandidateEvaluation", "DepthResult", "SearchResult", "WIRE_FORMAT_V2"]
+
+#: format tags, newest first; ``from_dict`` accepts any of them
+WIRE_FORMAT_V2 = "repro-search-result-v2"
+_WIRE_FORMAT_V1 = "repro-search-result-v1"
+_ACCEPTED_FORMATS = (WIRE_FORMAT_V2, _WIRE_FORMAT_V1)
 
 
 @dataclass(frozen=True)
@@ -39,6 +53,34 @@ class CandidateEvaluation:
         free across graphs, unlike raw energy)."""
         return self.ratio
 
+    # -- wire format -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation (inverse of :meth:`from_dict`)."""
+        return {
+            "tokens": list(self.tokens),
+            "p": self.p,
+            "energy": self.energy,
+            "ratio": self.ratio,
+            "per_graph_energy": list(self.per_graph_energy),
+            "per_graph_ratio": list(self.per_graph_ratio),
+            "nfev": self.nfev,
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> CandidateEvaluation:
+        return cls(
+            tokens=tuple(data["tokens"]),
+            p=int(data["p"]),
+            energy=data["energy"],
+            ratio=data["ratio"],
+            per_graph_energy=tuple(data.get("per_graph_energy", ())),
+            per_graph_ratio=tuple(data.get("per_graph_ratio", ())),
+            nfev=data.get("nfev", 0),
+            seconds=data.get("seconds", 0.0),
+        )
+
 
 @dataclass(frozen=True)
 class DepthResult:
@@ -57,6 +99,23 @@ class DepthResult:
     def ranked(self) -> list[CandidateEvaluation]:
         return sorted(self.evaluations, key=lambda e: -e.reward)
 
+    # -- wire format -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "p": self.p,
+            "seconds": self.seconds,
+            "evaluations": [e.to_dict() for e in self.evaluations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> DepthResult:
+        return cls(
+            int(data["p"]),
+            tuple(CandidateEvaluation.from_dict(e) for e in data["evaluations"]),
+            data.get("seconds", 0.0),
+        )
+
 
 @dataclass
 class SearchResult:
@@ -74,57 +133,48 @@ class SearchResult:
     def num_candidates(self) -> int:
         return sum(len(d.evaluations) for d in self.depth_results)
 
-    # -- persistence -------------------------------------------------------------
+    # -- wire format / persistence -----------------------------------------
 
     def to_dict(self) -> dict:
+        """The v2 wire object: file payload and HTTP payload alike."""
         return {
-            "format": "repro-search-result-v1",
+            "format": WIRE_FORMAT_V2,
             "best_tokens": list(self.best_tokens),
             "best_p": self.best_p,
             "best_energy": self.best_energy,
             "best_ratio": self.best_ratio,
             "total_seconds": self.total_seconds,
             "config": self.config,
-            "depth_results": [
-                {
-                    "p": d.p,
-                    "seconds": d.seconds,
-                    "evaluations": [asdict(e) | {"tokens": list(e.tokens)} for e in d.evaluations],
-                }
-                for d in self.depth_results
-            ],
+            "depth_results": [d.to_dict() for d in self.depth_results],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> SearchResult:
+        """Inverse of :meth:`to_dict`; accepts v1 and v2 payloads (the
+        nested record shape is shared, v1 merely predates the symmetric
+        per-record methods)."""
+        fmt = data.get("format")
+        if fmt not in _ACCEPTED_FORMATS:
+            raise ValueError(
+                f"unrecognized search result format {fmt!r}; "
+                f"accepted: {', '.join(_ACCEPTED_FORMATS)}"
+            )
+        return cls(
+            best_tokens=tuple(data["best_tokens"]),
+            best_p=data["best_p"],
+            best_energy=data["best_energy"],
+            best_ratio=data["best_ratio"],
+            depth_results=[DepthResult.from_dict(d) for d in data["depth_results"]],
+            total_seconds=data.get("total_seconds", 0.0),
+            config=data.get("config", {}),
+        )
 
     def save(self, path: str | Path) -> None:
         Path(path).write_text(json.dumps(self.to_dict(), indent=2))
 
     @classmethod
     def load(cls, path: str | Path) -> SearchResult:
-        data = json.loads(Path(path).read_text())
-        if data.get("format") != "repro-search-result-v1":
-            raise ValueError(f"unrecognized search result format in {path}")
-        depth_results = []
-        for d in data["depth_results"]:
-            evals = tuple(
-                CandidateEvaluation(
-                    tokens=tuple(e["tokens"]),
-                    p=e["p"],
-                    energy=e["energy"],
-                    ratio=e["ratio"],
-                    per_graph_energy=tuple(e.get("per_graph_energy", ())),
-                    per_graph_ratio=tuple(e.get("per_graph_ratio", ())),
-                    nfev=e.get("nfev", 0),
-                    seconds=e.get("seconds", 0.0),
-                )
-                for e in d["evaluations"]
-            )
-            depth_results.append(DepthResult(d["p"], evals, d.get("seconds", 0.0)))
-        return cls(
-            best_tokens=tuple(data["best_tokens"]),
-            best_p=data["best_p"],
-            best_energy=data["best_energy"],
-            best_ratio=data["best_ratio"],
-            depth_results=depth_results,
-            total_seconds=data.get("total_seconds", 0.0),
-            config=data.get("config", {}),
-        )
+        try:
+            return cls.from_dict(json.loads(Path(path).read_text()))
+        except ValueError as error:
+            raise ValueError(f"{error} (in {path})") from None

@@ -117,6 +117,9 @@ class RuntimeConfig:
     #: evaluations (1 = commit per evaluation; also the most a mid-depth
     #: kill can lose, minus one)
     cache_flush_every: int = 8
+    #: LRU bound on the result cache (None = unbounded, the historical
+    #: behaviour); in-flight keys are never evicted
+    cache_max_entries: int | None = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -130,6 +133,10 @@ class RuntimeConfig:
         if self.cache_flush_every < 1:
             raise ValueError(
                 f"cache_flush_every must be >= 1, got {self.cache_flush_every}"
+            )
+        if self.cache_max_entries is not None and self.cache_max_entries < 1:
+            raise ValueError(
+                f"cache_max_entries must be >= 1, got {self.cache_max_entries}"
             )
 
 
@@ -149,6 +156,7 @@ class SearchRuntime:
         *,
         executor: Executor | None = None,
         runtime: RuntimeConfig = RuntimeConfig(),
+        cache: ResultCache | None = None,
     ) -> None:
         if not graphs:
             raise ValueError("search runtime needs at least one graph")
@@ -168,18 +176,33 @@ class SearchRuntime:
         self._config_fp = config_fingerprint(config.evaluation)
         self.cache: ResultCache | None = None
         self.checkpoint: SweepCheckpoint | None = None
-        if runtime.cache_dir is not None:
+        # An externally-owned cache (the service's shared, multi-tenant
+        # store) outlives this sweep: use it, never close it. A cache_dir
+        # instead makes this runtime the owner of a private store.
+        self._owns_cache = cache is None
+        if cache is not None:
+            self.cache = cache
+        elif runtime.cache_dir is not None:
             self.cache = ResultCache(
-                runtime.cache_dir, flush_every=runtime.cache_flush_every
+                runtime.cache_dir,
+                flush_every=runtime.cache_flush_every,
+                max_entries=runtime.cache_max_entries,
             )
             self.checkpoint = SweepCheckpoint(runtime.cache_dir)
         self.restored_depths = 0
+        # Per-sweep hit/miss accounting: counters on a *shared* cache
+        # aggregate every tenant, so the sweep tracks its own view (for a
+        # privately-owned cache the two are identical).
+        self._sweep_hits = 0
+        self._sweep_misses = 0
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        if self.cache is not None:
+        if self.cache is not None and self._owns_cache:
             self.cache.close()
+        elif self.cache is not None:
+            self.cache.flush()
 
     def __enter__(self) -> SearchRuntime:
         return self
@@ -191,11 +214,16 @@ class SearchRuntime:
 
     @property
     def cache_hits(self) -> int:
-        return self.cache.hits if self.cache is not None else 0
+        return self._sweep_hits
 
     @property
     def cache_misses(self) -> int:
-        return self.cache.misses if self.cache is not None else 0
+        return self._sweep_misses
+
+    @property
+    def cache_evictions(self) -> int:
+        """Store-level evictions (shared across tenants of one cache)."""
+        return self.cache.evictions if self.cache is not None else 0
 
     # -- the sweep ---------------------------------------------------------
 
@@ -309,38 +337,75 @@ class SearchRuntime:
             key = candidate_key(self._workload_fp, tokens, p, self._config_fp)
             if key in miss_positions:
                 miss_positions[key].append(position)
+                self._sweep_hits += 1  # repeat served without retraining
                 if self.cache is not None:
-                    self.cache.hits += 1  # repeat served without retraining
+                    self.cache.count_hit()
                 continue
             cached = self.cache.get(key) if self.cache is not None else None
             if cached is not None:
+                self._sweep_hits += 1
                 evaluations[position] = cached
             else:
+                self._sweep_misses += 1
                 miss_positions[key] = [position]
 
-        if miss_positions:
-            miss_keys = list(miss_positions)
-            jobs = [
-                (
-                    self.graphs,
-                    candidates[miss_positions[key][0]],
-                    p,
-                    self.config.evaluation,
-                    self.classical_values,
-                )
-                for key in miss_keys
-            ]
-            # Every result is persisted as it streams back (the cache
-            # batches commits), so a mid-depth kill only loses work that
-            # had not reached the last flush — that is the partial-depth
-            # checkpoint the restart recovers from, candidate by candidate.
-            for key, result in self._execute(p, miss_keys, jobs):
-                for position in miss_positions[key]:
-                    evaluations[position] = result
+        # Against a shared cache, claim each miss: the first tenant to
+        # claim a key evaluates it, the others collect its put below
+        # instead of duplicating the training run.
+        owned_keys: list[str] = []
+        foreign_keys: list[str] = []
+        for key in miss_positions:
+            if self.cache is None or self.cache.claim(key):
+                owned_keys.append(key)
+            else:
+                foreign_keys.append(key)
+
+        if owned_keys:
+            jobs = [self._job_payload(candidates[miss_positions[key][0]], p)
+                    for key in owned_keys]
+            unresolved = set(owned_keys)
+            try:
+                # Every result is persisted as it streams back (the cache
+                # batches commits), so a mid-depth kill only loses work that
+                # had not reached the last flush — that is the partial-depth
+                # checkpoint the restart recovers from, candidate by
+                # candidate.
+                for key, result in self._execute(p, owned_keys, jobs):
+                    for position in miss_positions[key]:
+                        evaluations[position] = result
+                    if self.cache is not None:
+                        self.cache.put(key, result)
+                    unresolved.discard(key)
+            finally:
+                # A failed/aborted sweep must not strand tenants waiting on
+                # its claims — release whatever it never delivered.
                 if self.cache is not None:
-                    self.cache.put(key, result)
+                    for key in unresolved:
+                        self.cache.unclaim(key)
             if self.cache is not None:
                 self.cache.flush()
+
+        for key in foreign_keys:
+            # Another sweep owns this evaluation; block until its put lands
+            # (bounded by the per-job deadline when one is configured). A
+            # None means the owner failed or timed out — evaluate it
+            # ourselves rather than losing the candidate.
+            result = self.cache.wait_for(key, timeout=self.runtime.job_timeout)
+            if result is None:
+                tokens = candidates[miss_positions[key][0]]
+                for _, result in self._execute(
+                    p, [key], [self._job_payload(tokens, p)]
+                ):
+                    self.cache.put(key, result)
+            else:
+                # Served by a concurrent sweep's work: reclassify the
+                # provisional miss recorded at lookup time as a hit.
+                self._sweep_misses -= 1
+                self._sweep_hits += 1
+            for position in miss_positions[key]:
+                evaluations[position] = result
+        if foreign_keys and self.cache is not None:
+            self.cache.flush()
 
         depth_result = DepthResult(
             p,
@@ -350,6 +415,10 @@ class SearchRuntime:
         if self.checkpoint is not None and self.runtime.shard_index is None:
             self.checkpoint.save_depth(depth_fp, depth_result)
         return depth_result
+
+    def _job_payload(self, tokens: Sequence[str], p: int) -> tuple:
+        """One picklable unit of work for ``evaluate_candidate``."""
+        return (self.graphs, tokens, p, self.config.evaluation, self.classical_values)
 
     def _execute(
         self, p: int, keys: list[str], jobs: list[tuple]
@@ -381,6 +450,7 @@ class SearchRuntime:
             "cache_dir": self.runtime.cache_dir,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
             "restored_depths": self.restored_depths,
             "shards": self.runtime.shards,
             "shard_index": self.runtime.shard_index,

@@ -24,6 +24,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.core.alphabet import GateAlphabet, enumerate_search_space
+from repro.core.cache import ResultCache
 from repro.core.constraints import ConstraintSet
 from repro.core.evaluator import EvaluationConfig
 from repro.core.predictor import Predictor
@@ -68,23 +69,30 @@ def _make_runtime(
     config: SearchConfig,
     executor: Executor | Sequence[Executor] | None,
     runtime: RuntimeConfig | None,
+    cache: ResultCache | None = None,
 ) -> SearchRuntime:
     """Pick the execution substrate from the runtime config.
 
     ``shards > 1`` (without a ``shard_index`` pinning this process to one
     shard) selects :class:`ShardedRuntime`; ``executor`` may then be a
     sequence of per-shard executors. Everything else runs single-node.
+    ``cache`` injects an externally-owned (typically shared, multi-tenant)
+    result store in place of a private ``runtime.cache_dir`` one.
     """
     runtime = runtime or RuntimeConfig()
     sequence_given = executor is not None and not isinstance(executor, Executor)
     if (runtime.shards > 1 or sequence_given) and runtime.shard_index is None:
-        return ShardedRuntime(graphs, config, executors=executor, runtime=runtime)
+        return ShardedRuntime(
+            graphs, config, executors=executor, runtime=runtime, cache=cache
+        )
     if sequence_given:
         raise ValueError(
             "a sequence of executors requires sharded execution "
             "(RuntimeConfig without shard_index)"
         )
-    return SearchRuntime(graphs, config, executor=executor, runtime=runtime)
+    return SearchRuntime(
+        graphs, config, executor=executor, runtime=runtime, cache=cache
+    )
 
 
 def search_mixer(
@@ -93,12 +101,15 @@ def search_mixer(
     *,
     executor: Executor | Sequence[Executor] | None = None,
     runtime: RuntimeConfig | None = None,
+    cache: ResultCache | None = None,
 ) -> SearchResult:
     """Exhaustive Algorithm 1 (the paper's profiled configuration).
 
     Every candidate in the space is trained at every depth; with a parallel
     executor the per-depth candidate bag fans out across workers. Pass
-    ``runtime`` to enable the persistent cache and checkpoint/resume.
+    ``runtime`` to enable the persistent cache and checkpoint/resume, or
+    ``cache`` to run against an externally-owned (shared) result store —
+    the search service passes its multi-tenant cache here.
     """
     candidates = enumerate_search_space(
         config.alphabet, config.k_max, k_min=config.k_min, mode=config.mode
@@ -108,7 +119,12 @@ def search_mixer(
     if config.num_samples is not None:
         candidates = candidates[: config.num_samples]
     return _run_depth_sweep(
-        graphs, config, [list(candidates)] * config.p_max, executor, runtime=runtime
+        graphs,
+        config,
+        [list(candidates)] * config.p_max,
+        executor,
+        runtime=runtime,
+        cache=cache,
     )
 
 
@@ -153,6 +169,7 @@ def _run_depth_sweep(
     *,
     predictor: Predictor | None = None,
     runtime: RuntimeConfig | None = None,
+    cache: ResultCache | None = None,
 ) -> SearchResult:
-    with _make_runtime(graphs, config, executor, runtime) as search_runtime:
+    with _make_runtime(graphs, config, executor, runtime, cache) as search_runtime:
         return search_runtime.run(candidates_per_depth, predictor=predictor)

@@ -61,6 +61,7 @@ import threading
 from collections.abc import Iterator, Sequence
 from typing import TYPE_CHECKING
 
+from repro.core.cache import ResultCache
 from repro.core.evaluator import evaluate_candidate
 from repro.core.results import CandidateEvaluation
 from repro.core.runtime import RuntimeConfig, SearchRuntime, predicted_cost
@@ -121,6 +122,7 @@ class ShardedRuntime(SearchRuntime):
         *,
         executors: Executor | Sequence[Executor] | None = None,
         runtime: RuntimeConfig = RuntimeConfig(shards=2),
+        cache: ResultCache | None = None,
     ) -> None:
         if runtime.shard_index is not None:
             raise ValueError(
@@ -141,7 +143,7 @@ class ShardedRuntime(SearchRuntime):
                     f"{runtime.shards} shards"
                 )
         super().__init__(
-            graphs, config, executor=shard_executors[0], runtime=runtime
+            graphs, config, executor=shard_executors[0], runtime=runtime, cache=cache
         )
         self.shard_states = [
             _Shard(

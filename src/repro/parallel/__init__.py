@@ -1,6 +1,7 @@
 """Parallel execution layer: real executors, measured-replay schedulers,
 and the two-level cluster model (Fig. 2 / Fig. 3 / Fig. 5 substrate)."""
 
+from repro.parallel.async_executor import AsyncExecutor
 from repro.parallel.cluster import (
     ClusterModel,
     NodeSpec,
@@ -26,6 +27,7 @@ from repro.parallel.scheduler import (
 from repro.parallel.timing import Timer, TimingLog, time_call
 
 __all__ = [
+    "AsyncExecutor",
     "Executor",
     "SerialExecutor",
     "MultiprocessingExecutor",

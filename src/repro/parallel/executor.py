@@ -194,11 +194,18 @@ class ThreadExecutor(Executor):
 
 
 def make_executor(name: str, num_workers: int | None = None, **kwargs) -> Executor:
-    """Factory for experiment configs: ``serial`` / ``processes`` / ``threads``."""
+    """Factory for experiment configs: ``serial`` / ``processes`` /
+    ``threads`` / ``async`` (the service fleet's asyncio/thread hybrid)."""
     if name == "serial":
         return SerialExecutor()
     if name in ("processes", "multiprocessing"):
         return MultiprocessingExecutor(num_workers, **kwargs)
     if name == "threads":
         return ThreadExecutor(num_workers)
-    raise ValueError(f"unknown executor {name!r}; options: serial, processes, threads")
+    if name == "async":
+        from repro.parallel.async_executor import AsyncExecutor
+
+        return AsyncExecutor(num_workers)
+    raise ValueError(
+        f"unknown executor {name!r}; options: serial, processes, threads, async"
+    )

@@ -1,0 +1,201 @@
+"""Persistent job queue: submitted sweeps survive service restarts.
+
+One sqlite file per service directory, in WAL mode like the result cache,
+so the queue tolerates a killed service: jobs that were ``running`` when
+the process died are re-queued on the next open (their partial work is
+already in the shared result cache, so the re-run costs only the
+unfinished tail). State transitions are atomic single statements —
+``claim_next`` flips exactly one ``queued`` row to ``running`` under the
+connection lock, which is what lets several multiplexer worker threads
+drain one queue without double-claiming.
+
+States: ``queued`` → ``running`` → ``done`` | ``failed``.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+__all__ = ["JOB_STATES", "JobQueue", "JobRecord"]
+
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One submitted sweep's lifecycle snapshot."""
+
+    id: str
+    state: str
+    #: the submit payload: workload wire graphs + depths + flat config
+    spec: dict
+    #: the finished sweep's ``SearchResult.to_dict()`` (done only)
+    result: dict | None
+    #: terminal error message (failed only)
+    error: str | None
+    submitted_at: float
+    started_at: float | None
+    finished_at: float | None
+
+    def to_status(self) -> dict[str, Any]:
+        """The ``/status/{id}`` payload: lifecycle without the big blobs."""
+        return {
+            "id": self.id,
+            "state": self.state,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "depths": self.spec.get("depths"),
+            "num_graphs": self.spec.get("num_graphs"),
+        }
+
+
+class JobQueue:
+    """Crash-safe sqlite-backed queue of sweep jobs (thread-safe)."""
+
+    def __init__(self, service_dir: str | Path) -> None:
+        self.service_dir = Path(service_dir)
+        self.service_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.service_dir / "jobs.sqlite"
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA busy_timeout=30000")
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS jobs ("
+            " id TEXT PRIMARY KEY,"
+            " state TEXT NOT NULL,"
+            " spec TEXT NOT NULL,"
+            " result TEXT,"
+            " error TEXT,"
+            " submitted_at REAL NOT NULL,"
+            " started_at REAL,"
+            " finished_at REAL)"
+        )
+        # Crash recovery: a job that was mid-run when the previous service
+        # process died goes back to the queue. Its completed candidate
+        # evaluations are in the shared result cache, so the re-run pays
+        # only for the tail that never got cached.
+        self._conn.execute(
+            "UPDATE jobs SET state = 'queued', started_at = NULL"
+            " WHERE state = 'running'"
+        )
+        self._conn.commit()
+
+    # -- producer side -----------------------------------------------------
+
+    def submit(self, spec: dict) -> str:
+        """Enqueue one sweep spec; returns its job id."""
+        job_id = uuid.uuid4().hex[:12]
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO jobs (id, state, spec, submitted_at)"
+                " VALUES (?, 'queued', ?, ?)",
+                (job_id, json.dumps(spec), time.time()),
+            )
+            self._conn.commit()
+        return job_id
+
+    # -- consumer side -----------------------------------------------------
+
+    def claim_next(self) -> JobRecord | None:
+        """Atomically move the oldest queued job to running and return it."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT id FROM jobs WHERE state = 'queued'"
+                " ORDER BY submitted_at ASC, rowid ASC LIMIT 1"
+            ).fetchone()
+            if row is None:
+                return None
+            self._conn.execute(
+                "UPDATE jobs SET state = 'running', started_at = ? WHERE id = ?",
+                (time.time(), row[0]),
+            )
+            self._conn.commit()
+            return self.get(row[0])
+
+    def mark_done(self, job_id: str, result: dict) -> None:
+        self._finish(job_id, "done", result=result)
+
+    def mark_failed(self, job_id: str, error: str) -> None:
+        self._finish(job_id, "failed", error=error)
+
+    def _finish(
+        self,
+        job_id: str,
+        state: str,
+        *,
+        result: dict | None = None,
+        error: str | None = None,
+    ) -> None:
+        with self._lock:
+            updated = self._conn.execute(
+                "UPDATE jobs SET state = ?, result = ?, error = ?,"
+                " finished_at = ? WHERE id = ?",
+                (
+                    state,
+                    None if result is None else json.dumps(result),
+                    error,
+                    time.time(),
+                    job_id,
+                ),
+            )
+            self._conn.commit()
+            if updated.rowcount == 0:
+                raise KeyError(f"unknown job id {job_id!r}")
+
+    # -- inspection --------------------------------------------------------
+
+    def get(self, job_id: str) -> JobRecord | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT id, state, spec, result, error,"
+                " submitted_at, started_at, finished_at"
+                " FROM jobs WHERE id = ?",
+                (job_id,),
+            ).fetchone()
+        if row is None:
+            return None
+        return JobRecord(
+            id=row[0],
+            state=row[1],
+            spec=json.loads(row[2]),
+            result=None if row[3] is None else json.loads(row[3]),
+            error=row[4],
+            submitted_at=row[5],
+            started_at=row[6],
+            finished_at=row[7],
+        )
+
+    def counts(self) -> dict[str, int]:
+        """Jobs per state (zero-filled), the queue-depth health signal."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+            ).fetchall()
+        out = dict.fromkeys(JOB_STATES, 0)
+        out.update({state: int(n) for state, n in rows})
+        return out
+
+    def __len__(self) -> int:
+        return sum(self.counts().values())
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> JobQueue:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,153 @@
+"""Sweep multiplexer: N concurrent sweeps, one fleet, one cache.
+
+A sweep used to own the whole process; here each is just a job. The
+multiplexer runs ``max_concurrent`` sweep slots (threads), each draining
+the persistent :class:`~repro.service.jobs.JobQueue`. Every slot drives
+the *same* :class:`~repro.parallel.async_executor.AsyncExecutor` — the
+asyncio dispatch plane admits all sweeps' jobs and its semaphore meters
+them onto one bounded worker fleet, so a wide sweep cannot starve the
+service and an idle one costs nothing.
+
+All slots also share one multi-tenant :class:`~repro.core.cache.
+ResultCache` in ``shared`` mode: when two live sweeps propose the same
+(workload, tokens, p, config) candidate, the first to claim it trains it
+and the second collects the cached result (or blocks briefly on the
+in-flight claim) — cross-sweep deduplication measured by the cache-hit
+accounting each ``SearchResult.config`` carries.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+
+from repro.api import Config, resolve_workload
+from repro.core.cache import ResultCache
+from repro.core.runtime import RuntimeConfig
+from repro.core.search import search_mixer
+from repro.parallel.async_executor import AsyncExecutor
+from repro.parallel.executor import Executor
+from repro.service.jobs import JobQueue, JobRecord
+
+__all__ = ["SweepMultiplexer"]
+
+
+class SweepMultiplexer:
+    """Drains the job queue with ``max_concurrent`` sweeps at a time.
+
+    Parameters
+    ----------
+    queue:
+        The persistent job queue to drain.
+    executor:
+        Shared worker fleet; defaults to a fresh :class:`AsyncExecutor`
+        (owned, closed on :meth:`stop`). A passed-in executor is borrowed.
+    cache:
+        Shared result store, normally constructed with ``shared=True``;
+        optional — without it sweeps just lose cross-sweep reuse.
+    max_concurrent:
+        Sweep slots (worker threads draining the queue).
+    poll_interval:
+        Idle-slot sleep between queue polls, in seconds.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        *,
+        executor: Executor | None = None,
+        cache: ResultCache | None = None,
+        max_concurrent: int = 2,
+        poll_interval: float = 0.05,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        self.queue = queue
+        self._owns_executor = executor is None
+        self.executor = executor or AsyncExecutor()
+        self.cache = cache
+        self.max_concurrent = int(max_concurrent)
+        self.poll_interval = float(poll_interval)
+        self.sweeps_completed = 0
+        self.sweeps_failed = 0
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._threads:
+            raise RuntimeError("multiplexer already started")
+        self._stop.clear()
+        self._threads = [
+            threading.Thread(
+                target=self._slot, name=f"sweep-slot-{i}", daemon=True
+            )
+            for i in range(self.max_concurrent)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def stop(self) -> None:
+        """Stop claiming new jobs, finish in-flight sweeps, release fleet."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+        if self._owns_executor:
+            self.executor.close()
+        if self.cache is not None:
+            self.cache.flush()
+
+    def __enter__(self) -> SweepMultiplexer:
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- the sweep slots ---------------------------------------------------
+
+    def _slot(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.claim_next()
+            if job is None:
+                self._stop.wait(self.poll_interval)
+                continue
+            self._run_job(job)
+
+    def _run_job(self, job: JobRecord) -> None:
+        try:
+            result = self.run_spec(job.spec)
+        except Exception as error:  # noqa: BLE001 - a bad sweep must not kill the slot
+            self.sweeps_failed += 1
+            self.queue.mark_failed(
+                job.id, f"{type(error).__name__}: {error}\n{traceback.format_exc()}"
+            )
+        else:
+            self.sweeps_completed += 1
+            self.queue.mark_done(job.id, result.to_dict())
+
+    def run_spec(self, spec: dict):
+        """Execute one submit payload on the shared fleet + cache.
+
+        Exposed for the smoke path (run a spec without queue round-trip);
+        the result's ``config`` carries per-sweep cache-hit accounting.
+        """
+        graphs = resolve_workload(spec["workload"])
+        config = Config.from_dict(spec.get("config", {}))
+        depths = int(spec.get("depths", 1))
+        search_cfg = config.search_config(depths)
+        # The service owns persistence: sweeps get the shared cache object,
+        # never a private cache_dir (and checkpoints stay per-service too).
+        runtime_cfg = RuntimeConfig(
+            max_retries=config.retries,
+            job_timeout=config.job_timeout,
+        )
+        return search_mixer(
+            graphs,
+            search_cfg,
+            executor=self.executor,
+            runtime=runtime_cfg,
+            cache=self.cache,
+        )

@@ -1,0 +1,256 @@
+"""The service front door: one object tying queue + fleet + cache, and a
+stdlib HTTP/JSON API over it.
+
+:class:`SearchService` is the deployable unit — everything lives under one
+``service_dir`` (queue sqlite, shared result cache, checkpoints), so a
+restart resumes where the last process stopped: queued jobs are still
+queued, running jobs re-queue, and finished candidate evaluations are
+cache hits. The HTTP layer is deliberately small (``http.server`` +
+JSON — no framework, nothing to install):
+
+====================  =====================================================
+``POST /submit``      body ``{"workload": [...], "depths": p, "config": {}}``
+                      → ``{"id": "..."}`` (202)
+``GET /status/{id}``  job lifecycle record (state, timestamps, error)
+``GET /result/{id}``  the finished sweep's versioned ``SearchResult`` wire
+                      object (409 until done)
+``GET /healthz``      liveness + queue depth + cache and fleet counters
+====================  =====================================================
+
+Run it with ``python -m repro serve`` (see ``docs/service.md`` for the
+deploy recipe, including sharded workers attached to the same cache).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.api import Config, resolve_workload
+from repro.core.cache import ResultCache
+from repro.parallel.async_executor import AsyncExecutor
+from repro.service.jobs import JobQueue
+from repro.service.multiplexer import SweepMultiplexer
+
+__all__ = ["SearchService", "make_http_server", "serve"]
+
+
+class ServiceRequestError(ValueError):
+    """A client error with the HTTP status it should map to."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class SearchService:
+    """Queue + shared cache + multiplexed sweep fleet under one directory."""
+
+    def __init__(
+        self,
+        service_dir: str | Path,
+        *,
+        max_concurrent: int = 2,
+        workers: int | None = None,
+        cache_max_entries: int | None = None,
+        cache_flush_every: int = 4,
+    ) -> None:
+        self.service_dir = Path(service_dir)
+        self.service_dir.mkdir(parents=True, exist_ok=True)
+        self.queue = JobQueue(self.service_dir)
+        # shared=True: concurrent sweeps coordinate on in-flight keys; the
+        # cache dir is also where --shard-index worker processes attach.
+        self.cache = ResultCache(
+            self.service_dir / "cache",
+            flush_every=cache_flush_every,
+            max_entries=cache_max_entries,
+            shared=True,
+        )
+        self.multiplexer = SweepMultiplexer(
+            self.queue,
+            executor=AsyncExecutor(workers),
+            cache=self.cache,
+            max_concurrent=max_concurrent,
+        )
+        # The multiplexer borrows the executor, so the service must close
+        # it; track it for stop().
+        self._executor = self.multiplexer.executor
+        self.started_at = time.time()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self.multiplexer.start()
+
+    def stop(self) -> None:
+        self.multiplexer.stop()
+        self._executor.close()
+        self.cache.close()
+        self.queue.close()
+
+    def __enter__(self) -> SearchService:
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- the API surface (transport-independent) ---------------------------
+
+    def submit(self, payload: dict) -> dict:
+        """Validate a submit payload, enqueue it, return ``{"id": ...}``.
+
+        Validation happens here — workload resolves, config constructs,
+        depths is a positive int — so a bad sweep fails at submit time
+        with a 400, not minutes later in a worker.
+        """
+        if not isinstance(payload, dict):
+            raise ServiceRequestError(400, "submit body must be a JSON object")
+        try:
+            graphs = resolve_workload(payload.get("workload", ()))
+            config = Config.from_dict(payload.get("config", {}))
+            depths = int(payload.get("depths", 1))
+            if depths < 1:
+                raise ValueError(f"depths must be >= 1, got {depths}")
+            config.search_config(depths)  # constructs → validates every knob
+        except (ValueError, TypeError, KeyError) as error:
+            raise ServiceRequestError(400, f"invalid sweep spec: {error}") from None
+        spec = {
+            "workload": payload.get("workload"),
+            "depths": depths,
+            "config": config.to_dict(),
+            "num_graphs": len(graphs),
+        }
+        return {"id": self.queue.submit(spec)}
+
+    def status(self, job_id: str) -> dict:
+        record = self.queue.get(job_id)
+        if record is None:
+            raise ServiceRequestError(404, f"unknown job id {job_id!r}")
+        return record.to_status() | {"queue": self.queue.counts()}
+
+    def result(self, job_id: str) -> dict:
+        record = self.queue.get(job_id)
+        if record is None:
+            raise ServiceRequestError(404, f"unknown job id {job_id!r}")
+        if record.state == "failed":
+            raise ServiceRequestError(410, record.error or "sweep failed")
+        if record.state != "done" or record.result is None:
+            raise ServiceRequestError(
+                409, f"job {job_id} is {record.state}; result not ready"
+            )
+        return record.result
+
+    def healthz(self) -> dict:
+        return {
+            "ok": True,
+            "uptime_seconds": time.time() - self.started_at,
+            "queue": self.queue.counts(),
+            "sweeps_completed": self.multiplexer.sweeps_completed,
+            "sweeps_failed": self.multiplexer.sweeps_failed,
+            "workers": self._executor.num_workers,
+            "executor": self._executor.name,
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+                "max_entries": self.cache.max_entries,
+            },
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the four endpoints onto the service object."""
+
+    service: SearchService  # set by make_http_server
+
+    # Silence per-request stderr lines; the service is often a test/CI
+    # subprocess and request logs are noise there.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    def _respond(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, handler) -> None:
+        try:
+            status, payload = handler()
+        except ServiceRequestError as error:
+            self._respond(error.status, {"error": str(error)})
+        except Exception as error:  # noqa: BLE001 - a handler bug must return 500
+            self._respond(500, {"error": f"{type(error).__name__}: {error}"})
+        else:
+            self._respond(status, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        def handle() -> tuple[int, dict]:
+            if self.path == "/healthz":
+                return 200, self.service.healthz()
+            if self.path.startswith("/status/"):
+                return 200, self.service.status(self.path[len("/status/"):])
+            if self.path.startswith("/result/"):
+                return 200, self.service.result(self.path[len("/result/"):])
+            raise ServiceRequestError(404, f"no route for GET {self.path}")
+
+        self._dispatch(handle)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        def handle() -> tuple[int, dict]:
+            if self.path != "/submit":
+                raise ServiceRequestError(404, f"no route for POST {self.path}")
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b""
+            try:
+                payload = json.loads(raw.decode("utf-8") or "null")
+            except json.JSONDecodeError as error:
+                raise ServiceRequestError(400, f"invalid JSON body: {error}") from None
+            return 202, self.service.submit(payload)
+
+        self._dispatch(handle)
+
+
+def make_http_server(
+    service: SearchService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Bind (but do not start) the HTTP front end; port 0 picks a free one."""
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve(
+    service_dir: str | Path,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    max_concurrent: int = 2,
+    workers: int | None = None,
+    cache_max_entries: int | None = None,
+) -> None:
+    """Run the service until interrupted (the ``repro serve`` entrypoint)."""
+    with SearchService(
+        service_dir,
+        max_concurrent=max_concurrent,
+        workers=workers,
+        cache_max_entries=cache_max_entries,
+    ) as service:
+        server = make_http_server(service, host, port)
+        bound_host, bound_port = server.server_address[:2]
+        print(
+            f"search service on http://{bound_host}:{bound_port} "
+            f"(dir {service.service_dir}, {max_concurrent} concurrent sweeps, "
+            f"{service.multiplexer.executor.num_workers} workers)"
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down")
+        finally:
+            server.shutdown()
+            server.server_close()

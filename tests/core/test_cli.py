@@ -83,7 +83,7 @@ class TestSearchCommand:
         assert code == 0
         assert "winner" in capsys.readouterr().out
         saved = json.loads(out_path.read_text())
-        assert saved["format"] == "repro-search-result-v1"
+        assert saved["format"] == "repro-search-result-v2"
 
     def test_cache_dir_makes_rerun_all_hits(self, tmp_path, capsys):
         args = [

@@ -72,3 +72,52 @@ class TestSearchResultPersistence:
         path.write_text('{"format": "other"}')
         with pytest.raises(ValueError, match="format"):
             SearchResult.load(path)
+
+
+class TestWireFormat:
+    """v2 is symmetric and versioned; v1 files are still accepted."""
+
+    def _result(self):
+        return TestSearchResultPersistence._result(self)
+
+    def test_to_dict_tags_v2(self):
+        assert self._result().to_dict()["format"] == "repro-search-result-v2"
+
+    def test_dict_roundtrip_is_lossless(self):
+        original = self._result()
+        restored = SearchResult.from_dict(original.to_dict())
+        assert restored.to_dict() == original.to_dict()
+        assert restored.best_tokens == original.best_tokens
+        assert restored.depth_results[0].evaluations == (
+            original.depth_results[0].evaluations
+        )
+
+    def test_candidate_evaluation_roundtrip(self):
+        e = _eval(("rx", "ry"), 2, 0.88, 5.5)
+        assert CandidateEvaluation.from_dict(e.to_dict()) == e
+
+    def test_depth_result_roundtrip(self):
+        d = DepthResult(2, (_eval(("rx",), 2, 0.9),), seconds=1.5)
+        restored = DepthResult.from_dict(d.to_dict())
+        assert restored.p == 2
+        assert restored.seconds == 1.5
+        assert restored.evaluations == d.evaluations
+
+    def test_v1_payloads_still_load(self, tmp_path):
+        """Files written before the v2 tag keep loading (the nested record
+        shape is unchanged; only the format string advanced)."""
+        payload = self._result().to_dict()
+        payload["format"] = "repro-search-result-v1"
+        path = tmp_path / "v1.json"
+        import json
+
+        path.write_text(json.dumps(payload))
+        loaded = SearchResult.load(path)
+        assert loaded.best_tokens == ("rx", "ry")
+        assert loaded.num_candidates == 3
+
+    def test_load_error_names_the_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "other"}')
+        with pytest.raises(ValueError, match="bad.json"):
+            SearchResult.load(path)

@@ -1,0 +1,123 @@
+"""JobQueue: persistence, atomic claims, crash recovery."""
+
+import threading
+
+import pytest
+
+from repro.service.jobs import JOB_STATES, JobQueue
+
+SPEC = {"workload": "er:2", "depths": 1, "config": {}}
+
+
+class TestLifecycle:
+    def test_submit_claim_done_roundtrip(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            job_id = queue.submit(SPEC)
+            record = queue.get(job_id)
+            assert record.state == "queued"
+            assert record.spec == SPEC
+
+            claimed = queue.claim_next()
+            assert claimed.id == job_id
+            assert claimed.state == "running"
+            assert claimed.started_at is not None
+
+            queue.mark_done(job_id, {"best": 1.0})
+            finished = queue.get(job_id)
+            assert finished.state == "done"
+            assert finished.result == {"best": 1.0}
+            assert finished.finished_at is not None
+
+    def test_mark_failed_keeps_error(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            job_id = queue.submit(SPEC)
+            queue.claim_next()
+            queue.mark_failed(job_id, "ValueError: boom")
+            record = queue.get(job_id)
+            assert record.state == "failed"
+            assert "boom" in record.error
+            assert record.result is None
+
+    def test_finish_unknown_id_raises(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            with pytest.raises(KeyError):
+                queue.mark_done("nope", {})
+
+    def test_get_unknown_id_returns_none(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            assert queue.get("nope") is None
+
+
+class TestOrderingAndCounts:
+    def test_claims_come_out_oldest_first(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            ids = [queue.submit({**SPEC, "n": i}) for i in range(3)]
+            claimed = [queue.claim_next().id for _ in range(3)]
+            assert claimed == ids
+            assert queue.claim_next() is None
+
+    def test_counts_zero_filled(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            assert queue.counts() == dict.fromkeys(JOB_STATES, 0)
+            queue.submit(SPEC)
+            queue.submit(SPEC)
+            queue.claim_next()
+            counts = queue.counts()
+            assert counts["queued"] == 1
+            assert counts["running"] == 1
+            assert len(queue) == 2
+
+    def test_concurrent_claims_never_double_claim(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            for i in range(20):
+                queue.submit({**SPEC, "n": i})
+            claimed = []
+            lock = threading.Lock()
+
+            def worker():
+                while True:
+                    job = queue.claim_next()
+                    if job is None:
+                        return
+                    with lock:
+                        claimed.append(job.id)
+
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert len(claimed) == 20
+            assert len(set(claimed)) == 20
+
+
+class TestPersistence:
+    def test_queue_survives_reopen(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            job_id = queue.submit(SPEC)
+        with JobQueue(tmp_path) as queue:
+            record = queue.get(job_id)
+            assert record.state == "queued"
+            assert record.spec == SPEC
+
+    def test_running_jobs_requeue_after_crash(self, tmp_path):
+        """A job mid-run when the service died goes back to the queue on
+        the next open; its partial work lives in the shared result cache."""
+        with JobQueue(tmp_path) as queue:
+            job_id = queue.submit(SPEC)
+            queue.claim_next()
+            # no mark_done — simulate the process dying here
+        with JobQueue(tmp_path) as queue:
+            record = queue.get(job_id)
+            assert record.state == "queued"
+            assert record.started_at is None
+            assert queue.claim_next().id == job_id
+
+    def test_finished_jobs_stay_finished_across_reopen(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            done_id = queue.submit(SPEC)
+            queue.claim_next()
+            queue.mark_done(done_id, {"ok": True})
+        with JobQueue(tmp_path) as queue:
+            assert queue.get(done_id).state == "done"
+            assert queue.claim_next() is None

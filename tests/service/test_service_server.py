@@ -1,0 +1,153 @@
+"""SearchService + HTTP API: endpoint round-trips on an ephemeral port."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import Config, ServiceError, connect
+from repro.service.server import SearchService, make_http_server
+
+SPEC = {
+    "workload": "er:2:7",
+    "depths": 1,
+    "config": Config(k_min=2, k_max=2, steps=5, num_samples=6, seed=1).to_dict(),
+}
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A running service + HTTP front end on an ephemeral port."""
+    svc = SearchService(tmp_path, max_concurrent=2, workers=2)
+    server = make_http_server(svc)  # port 0 → a free ephemeral port
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    with svc:
+        yield svc, f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+
+
+def http(method, url, body=None):
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(
+        url, data=data, method=method, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestEndpoints:
+    def test_submit_status_result_roundtrip(self, service):
+        _, base = service
+        status, body = http("POST", base + "/submit", SPEC)
+        assert status == 202
+        job_id = body["id"]
+
+        client = connect(base)
+        result = client.wait(job_id, timeout=120)
+        assert result.num_candidates == 6
+        assert result.best_tokens  # a real winner came back
+
+        status_body = client.status(job_id)
+        assert status_body["state"] == "done"
+        assert status_body["num_graphs"] == 2
+        assert status_body["depths"] == 1
+
+    def test_healthz_reports_fleet_and_cache(self, service):
+        _, base = service
+        status, body = http("GET", base + "/healthz")
+        assert status == 200
+        assert body["ok"] is True
+        assert body["executor"] == "async"
+        assert body["workers"] == 2
+        assert set(body["queue"]) == {"queued", "running", "done", "failed"}
+        assert {"hits", "misses", "evictions"} <= set(body["cache"])
+
+    def test_result_before_done_is_409(self, service):
+        svc, base = service
+        # submit against a stopped multiplexer so the job stays queued
+        job_id = svc.submit(SPEC)["id"]
+        status, body = http("GET", base + f"/result/{job_id}")
+        if status != 409:  # the sweep may already have finished — then 200
+            assert status == 200
+        else:
+            assert "not ready" in body["error"]
+
+    def test_unknown_job_is_404(self, service):
+        _, base = service
+        assert http("GET", base + "/status/nope")[0] == 404
+        assert http("GET", base + "/result/nope")[0] == 404
+
+    def test_unknown_route_is_404(self, service):
+        _, base = service
+        assert http("GET", base + "/bogus")[0] == 404
+        assert http("POST", base + "/bogus")[0] == 404
+
+
+class TestValidation:
+    def test_bad_workload_rejected_at_submit(self, service):
+        _, base = service
+        status, body = http("POST", base + "/submit", {"workload": "bogus:1"})
+        assert status == 400
+        assert "workload" in body["error"]
+
+    def test_unknown_config_field_rejected_at_submit(self, service):
+        _, base = service
+        status, body = http(
+            "POST", base + "/submit", {"workload": "er:1", "config": {"nope": 1}}
+        )
+        assert status == 400
+        assert "nope" in body["error"]
+
+    def test_bad_depths_rejected_at_submit(self, service):
+        _, base = service
+        status, _ = http("POST", base + "/submit", {"workload": "er:1", "depths": 0})
+        assert status == 400
+
+    def test_invalid_json_body_is_400(self, service):
+        _, base = service
+        request = urllib.request.Request(
+            base + "/submit", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 400
+
+
+class TestClient:
+    def test_client_submit_and_wait(self, service):
+        _, base = service
+        client = connect(base)
+        config = Config(**{**Config().to_dict(), **SPEC["config"]})
+        job_id = client.submit("er:2:7", depths=1, config=config)
+        result = client.wait(job_id, timeout=120)
+        assert result.num_candidates == 6
+
+    def test_client_surfaces_service_errors(self, service):
+        _, base = service
+        client = connect(base)
+        with pytest.raises(ServiceError) as info:
+            client.status("nope")
+        assert info.value.status == 404
+
+    def test_two_clients_share_the_cache(self, service):
+        """The end-to-end acceptance path over HTTP: identical sweeps from
+        two clients are answered once from the fleet, once from sharing."""
+        _, base = service
+        one, two = connect(base), connect(base)
+        config = Config(**SPEC["config"])
+        first = one.submit("er:2:7", depths=1, config=config)
+        second = two.submit("er:2:7", depths=1, config=config)
+        results = [c.wait(j, timeout=120) for c, j in ((one, first), (two, second))]
+        assert results[0].best_energy == results[1].best_energy
+        total_hits = sum(r.config["cache_hits"] for r in results)
+        total_misses = sum(r.config["cache_misses"] for r in results)
+        assert total_misses == 6
+        assert total_hits == 6
