@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark-smoke: tiny end-to-end runs of the search stack and the service.
 
-Two independent checks (select one with ``--only search|service``):
+Three independent checks (select one with ``--only search|service|chaos``):
 
 **search** — one tiny cold + warm search through the full Algorithm 1
 stack (enumeration → QBuilder → training → selection), the fault-tolerant
@@ -22,6 +22,13 @@ from two clients concurrently, and asserts the ISSUE-6 acceptance
 property: both sweeps complete with identical results, and the cache-hit
 accounting proves every candidate was trained exactly once across the two
 sweeps (one pays the misses, the fleet shares the hits).
+
+**chaos** — the ISSUE-7 hardening gate: runs the same two-sweep workload
+through a deterministically fault-injected queue + worker fleet (seeded
+worker raises, hangs, and sqlite lock errors — see
+:mod:`repro.parallel.faults`) and asserts every job reaches a terminal
+state, no candidate is trained twice, and the results match a fault-free
+run exactly.
 """
 
 from __future__ import annotations
@@ -156,19 +163,128 @@ def smoke_service() -> int:
     return 0
 
 
+def smoke_chaos() -> int:
+    import sqlite3
+    from pathlib import Path
+
+    from repro.api import Config, workload_to_wire
+    from repro.core.cache import ResultCache
+    from repro.core.results import SearchResult
+    from repro.parallel.async_executor import AsyncExecutor
+    from repro.parallel.faults import (
+        FaultInjectingExecutor,
+        FaultInjectingJobQueue,
+        FaultPlan,
+    )
+    from repro.service.jobs import TERMINAL_STATES, JobQueue
+    from repro.service.multiplexer import SweepMultiplexer
+
+    spec = {
+        "workload": workload_to_wire("er:2:7"),
+        "depths": 1,
+        "config": Config(
+            k_min=2, k_max=2, steps=10, num_samples=6, seed=1, retries=3
+        ).to_dict(),
+    }
+
+    def run(root: Path, plan: FaultPlan | None):
+        queue_args = dict(
+            lease_seconds=1.0, max_attempts=5, backoff_base=0.02, backoff_cap=0.1
+        )
+        if plan is None:
+            queue = JobQueue(root, **queue_args)
+            executor = AsyncExecutor(2)
+        else:
+            queue = FaultInjectingJobQueue(root, plan, **queue_args)
+            executor = FaultInjectingExecutor(AsyncExecutor(2), plan)
+        cache = ResultCache(root / "cache", flush_every=4, shared=True)
+
+        def patient(fn, *args):
+            for _ in range(60):
+                try:
+                    return fn(*args)
+                except sqlite3.OperationalError:
+                    time.sleep(0.02)
+            return fn(*args)
+
+        job_ids = [patient(queue.submit, spec) for _ in range(2)]
+        multiplexer = SweepMultiplexer(
+            queue, executor=executor, cache=cache, max_concurrent=2
+        )
+        multiplexer.start()
+        deadline = time.monotonic() + 300
+        try:
+            while time.monotonic() < deadline:
+                records = [patient(queue.get, job_id) for job_id in job_ids]
+                if all(r.state in TERMINAL_STATES for r in records):
+                    break
+                time.sleep(0.05)
+        finally:
+            multiplexer.stop()
+            executor.close()
+            cache.close()
+            if plan is not None:
+                queue._plan = None
+            records = [queue.get(job_id) for job_id in job_ids]
+            queue.close()
+        return records, executor
+
+    plan = FaultPlan(
+        11,
+        worker_raises=0.15,
+        worker_hangs=0.1,
+        queue_locks=0.1,
+        hang_seconds=0.02,
+        max_faults_per_kind=12,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        start = time.perf_counter()
+        chaotic, executor = run(Path(tmp) / "chaos", plan)
+        calm, _ = run(Path(tmp) / "calm", None)
+        seconds = time.perf_counter() - start
+
+    injected = plan.injected
+    print(
+        f"chaos: 2 sweeps under {sum(injected.values())} injected faults "
+        f"{injected} in {seconds:.1f}s; states "
+        f"{[record.state for record in chaotic]}"
+    )
+    assert sum(injected.values()) > 0, "the chaos run must inject something"
+    assert all(record.state in TERMINAL_STATES for record in chaotic), (
+        f"every job must terminate, got {[r.state for r in chaotic]}"
+    )
+    assert [record.state for record in chaotic] == ["done", "done"], (
+        "this retry budget must absorb the injected faults cleanly"
+    )
+    assert executor.completed == 6, (
+        f"candidates trained {executor.completed}, expected 6 (no double work)"
+    )
+    for noisy, quiet in zip(chaotic, calm):
+        a = SearchResult.from_dict(noisy.result)
+        b = SearchResult.from_dict(quiet.result)
+        assert a.best_tokens == b.best_tokens
+        assert a.best_energy == b.best_energy, (
+            "faults must not change the science"
+        )
+    print("chaos smoke OK")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--only",
-        choices=["search", "service"],
+        choices=["search", "service", "chaos"],
         default=None,
-        help="run just one smoke (default: both)",
+        help="run just one smoke (default: all)",
     )
     args = parser.parse_args()
     if args.only in (None, "search"):
         smoke_search()
     if args.only in (None, "service"):
         smoke_service()
+    if args.only in (None, "chaos"):
+        smoke_chaos()
     return 0
 
 

@@ -5,8 +5,9 @@
 #               ruff is not installed — e.g. offline dev containers)
 #   docs        README/docs link check + smoke-run of the README snippets
 #   tests       CLI smoke + tier-1 pytest
-#   bench-smoke tiny end-to-end search with warm-cache assertions, plus
-#               the service smoke (two concurrent sweeps sharing a cache)
+#   bench-smoke tiny end-to-end search with warm-cache assertions, the
+#               service smoke (two concurrent sweeps sharing a cache), and
+#               the chaos smoke (fault-injected service invariants)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -33,6 +34,7 @@ python -m pytest -x -q
 echo "=== job: bench-smoke ==="
 python scripts/ci_smoke.py --only search
 python scripts/ci_smoke.py --only service
+python scripts/ci_smoke.py --only chaos
 python scripts/bench_report.py
 python benchmarks/bench_compiled_engine.py
 python benchmarks/bench_batched_optimizers.py

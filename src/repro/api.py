@@ -38,6 +38,7 @@ string ``"family[:count[:seed]]"`` — e.g. ``"er"``, ``"er:3"``,
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -126,6 +127,12 @@ class Config:
     retries: int = 2
     #: per-candidate wall-clock limit in seconds (None = unlimited)
     job_timeout: float | None = None
+
+    # -- service-side scheduling (ignored by local ``search``) -------------
+    #: fairness / quota bucket this sweep is accounted to on a service
+    tenant: str = "default"
+    #: queue priority (higher claims first within the tenant's share)
+    priority: int = 0
 
     # -- mapping onto the internal configs ---------------------------------
 
@@ -296,14 +303,30 @@ class Client:
         *,
         depths: int = 2,
         config: Config | None = None,
+        tenant: str | None = None,
+        priority: int | None = None,
     ) -> str:
-        """Queue a sweep; returns its job id immediately."""
+        """Queue a sweep; returns its job id immediately.
+
+        ``tenant`` and ``priority`` override the config's values; a full
+        queue surfaces as :class:`ServiceError` with ``status == 429``
+        (back off for the response's ``Retry-After`` and resubmit).
+        """
+        config = config or Config()
         payload = {
             "workload": workload_to_wire(workload),
             "depths": int(depths),
-            "config": (config or Config()).to_dict(),
+            "config": config.to_dict(),
+            "tenant": config.tenant if tenant is None else str(tenant),
+            "priority": config.priority if priority is None else int(priority),
         }
         return str(self._request("POST", "/submit", payload)["id"])
+
+    def cancel(self, job_id: str) -> str:
+        """Cancel a job; returns its disposition (``"cancelled"`` for a
+        queued job, ``"cancelling"`` while a running sweep stops
+        cooperatively, or the unchanged terminal state)."""
+        return str(self._request("POST", f"/cancel/{job_id}")["state"])
 
     def status(self, job_id: str) -> dict:
         """Job lifecycle record: state, timestamps, error if failed."""
@@ -318,25 +341,42 @@ class Client:
         return self._request("GET", "/healthz")
 
     def wait(
-        self, job_id: str, *, timeout: float = 300.0, poll: float = 0.2
+        self,
+        job_id: str,
+        *,
+        timeout: float = 300.0,
+        poll: float = 0.2,
+        poll_cap: float = 5.0,
     ) -> SearchResult:
         """Block until the sweep completes; returns its result.
 
-        Raises :class:`ServiceError` if the sweep failed, ``TimeoutError``
-        if it did not finish within ``timeout`` seconds.
+        Polls with exponential backoff from ``poll`` up to ``poll_cap``
+        seconds, jittered ±25% so a herd of waiting clients spreads out
+        instead of thundering the service in lockstep. Raises
+        :class:`ServiceError` if the sweep failed (including the job's
+        recorded error text) or was cancelled, ``TimeoutError`` if it did
+        not finish within ``timeout`` seconds.
         """
         deadline = time.monotonic() + timeout
+        delay = max(poll, 0.001)
         while True:
             state = self.status(job_id)
             if state["state"] == "done":
                 return self.result(job_id)
             if state["state"] == "failed":
-                raise ServiceError(200, state.get("error") or "sweep failed")
-            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    200, f"job {job_id} failed: {state.get('error') or 'sweep failed'}"
+                )
+            if state["state"] == "cancelled":
+                raise ServiceError(200, f"job {job_id} was cancelled")
+            now = time.monotonic()
+            if now >= deadline:
                 raise TimeoutError(
                     f"job {job_id} still {state['state']} after {timeout}s"
                 )
-            time.sleep(poll)
+            jittered = delay * random.uniform(0.75, 1.25)
+            time.sleep(min(jittered, deadline - now))
+            delay = min(delay * 2.0, poll_cap)
 
     # -- transport ---------------------------------------------------------
 

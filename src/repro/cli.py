@@ -136,6 +136,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-max-entries", type=int, default=None,
                        help="LRU-bound the shared result cache; in-flight "
                             "and pinned entries are never evicted")
+    serve.add_argument("--lease-seconds", type=float, default=30.0,
+                       help="claim lease: a wedged or killed slot's job is "
+                            "reclaimed this long after its last heartbeat")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="claims a job may burn before it dead-letters "
+                            "(terminal failed state)")
+    serve.add_argument("--max-queue-depth", type=int, default=None,
+                       help="admission control: reject submits with 429 "
+                            "once this many jobs are queued or running")
+    serve.add_argument("--max-queued-per-tenant", type=int, default=None,
+                       help="per-tenant backlog cap (429 past it)")
+    serve.add_argument("--max-running-per-tenant", type=int, default=None,
+                       help="cap on one tenant's concurrently running sweeps")
+    serve.add_argument("--drain-timeout", type=float, default=None,
+                       help="graceful-shutdown grace period before running "
+                            "sweeps are cancelled and requeued (default: "
+                            "wait for them)")
+    serve.add_argument("--tenant-weight", action="append", default=[],
+                       metavar="NAME=W", dest="tenant_weights",
+                       help="fairness weight for a tenant (repeatable); "
+                            "unlisted tenants weigh 1.0")
 
     return parser
 
@@ -287,6 +308,17 @@ def _cmd_serve(args) -> int:
 
     if args.max_concurrent < 1:
         raise SystemExit("--max-concurrent must be >= 1")
+    weights: dict[str, float] = {}
+    for item in args.tenant_weights:
+        name, sep, value = item.partition("=")
+        try:
+            if not sep or not name:
+                raise ValueError
+            weights[name] = float(value)
+        except ValueError:
+            raise SystemExit(
+                f"--tenant-weight expects NAME=W (a float), got {item!r}"
+            ) from None
     serve(
         args.service_dir,
         host=args.host,
@@ -294,6 +326,13 @@ def _cmd_serve(args) -> int:
         max_concurrent=args.max_concurrent,
         workers=args.workers or None,
         cache_max_entries=args.cache_max_entries,
+        lease_seconds=args.lease_seconds,
+        max_attempts=args.max_attempts,
+        max_queue_depth=args.max_queue_depth,
+        max_queued_per_tenant=args.max_queued_per_tenant,
+        max_running_per_tenant=args.max_running_per_tenant,
+        tenant_weights=weights or None,
+        drain_timeout=args.drain_timeout,
     )
     return 0
 

@@ -59,6 +59,7 @@ predictor to feed rewards back to.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass
@@ -83,7 +84,48 @@ from repro.parallel.jobs import JobScheduler
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (search imports us)
     from repro.core.search import SearchConfig
 
-__all__ = ["RuntimeConfig", "SearchRuntime", "predicted_cost"]
+__all__ = [
+    "CancellationToken",
+    "RuntimeConfig",
+    "SearchRuntime",
+    "SweepCancelled",
+    "predicted_cost",
+]
+
+
+class SweepCancelled(RuntimeError):
+    """The sweep's :class:`CancellationToken` fired; work stopped early."""
+
+
+class CancellationToken:
+    """Cooperative cancellation signal threaded through a sweep.
+
+    The runtime never interrupts a candidate mid-training; it checks the
+    token between units of work (each depth batch, and between streamed
+    evaluations inside a depth) and raises :class:`SweepCancelled` at the
+    first checkpoint after :meth:`cancel` — so cancellation lands within
+    one depth batch, with every already-finished evaluation persisted.
+    ``cancel()`` is thread-safe and idempotent; any thread (an HTTP
+    handler, a lease heartbeat that learned the job was cancelled) may
+    fire it while the sweep runs on another.
+    """
+
+    def __init__(self, reason: str = "cancelled") -> None:
+        self._event = threading.Event()
+        self.reason = reason
+
+    def cancel(self, reason: str | None = None) -> None:
+        if reason is not None:
+            self.reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def raise_if_cancelled(self) -> None:
+        if self._event.is_set():
+            raise SweepCancelled(self.reason)
 
 
 def predicted_cost(tokens: Sequence[str], p: int) -> float:
@@ -157,12 +199,14 @@ class SearchRuntime:
         executor: Executor | None = None,
         runtime: RuntimeConfig = RuntimeConfig(),
         cache: ResultCache | None = None,
+        cancel: CancellationToken | None = None,
     ) -> None:
         if not graphs:
             raise ValueError("search runtime needs at least one graph")
         self.graphs = list(graphs)
         self.config = config
         self.runtime = runtime
+        self.cancel = cancel
         self.executor = executor or SerialExecutor()
         self.scheduler = JobScheduler(
             self.executor,
@@ -271,6 +315,11 @@ class SearchRuntime:
         total_start = time.perf_counter()
 
         for depth_index in range(depth_count):
+            # Cancellation checkpoint: a cancelled sweep stops before
+            # starting the next depth batch; finished depths (and every
+            # evaluation already streamed into the cache) are kept.
+            if self.cancel is not None:
+                self.cancel.raise_if_cancelled()
             p = depth_index + 1
             depth_result = self._run_depth(p, list(provider(depth_index)))
             depth_results.append(depth_result)
@@ -376,6 +425,11 @@ class SearchRuntime:
                     if self.cache is not None:
                         self.cache.put(key, result)
                     unresolved.discard(key)
+                    # Mid-depth cancellation checkpoint: every streamed
+                    # result above is already persisted, and the finally
+                    # below releases the claims we never delivered.
+                    if self.cancel is not None:
+                        self.cancel.raise_if_cancelled()
             finally:
                 # A failed/aborted sweep must not strand tenants waiting on
                 # its claims — release whatever it never delivered.

@@ -29,7 +29,7 @@ from repro.core.constraints import ConstraintSet
 from repro.core.evaluator import EvaluationConfig
 from repro.core.predictor import Predictor
 from repro.core.results import SearchResult
-from repro.core.runtime import RuntimeConfig, SearchRuntime
+from repro.core.runtime import CancellationToken, RuntimeConfig, SearchRuntime
 from repro.core.sharded import ShardedRuntime
 from repro.graphs.generators import Graph
 from repro.parallel.executor import Executor
@@ -70,6 +70,7 @@ def _make_runtime(
     executor: Executor | Sequence[Executor] | None,
     runtime: RuntimeConfig | None,
     cache: ResultCache | None = None,
+    cancel: CancellationToken | None = None,
 ) -> SearchRuntime:
     """Pick the execution substrate from the runtime config.
 
@@ -83,7 +84,8 @@ def _make_runtime(
     sequence_given = executor is not None and not isinstance(executor, Executor)
     if (runtime.shards > 1 or sequence_given) and runtime.shard_index is None:
         return ShardedRuntime(
-            graphs, config, executors=executor, runtime=runtime, cache=cache
+            graphs, config, executors=executor, runtime=runtime, cache=cache,
+            cancel=cancel,
         )
     if sequence_given:
         raise ValueError(
@@ -91,7 +93,8 @@ def _make_runtime(
             "(RuntimeConfig without shard_index)"
         )
     return SearchRuntime(
-        graphs, config, executor=executor, runtime=runtime, cache=cache
+        graphs, config, executor=executor, runtime=runtime, cache=cache,
+        cancel=cancel,
     )
 
 
@@ -102,6 +105,7 @@ def search_mixer(
     executor: Executor | Sequence[Executor] | None = None,
     runtime: RuntimeConfig | None = None,
     cache: ResultCache | None = None,
+    cancel: CancellationToken | None = None,
 ) -> SearchResult:
     """Exhaustive Algorithm 1 (the paper's profiled configuration).
 
@@ -125,6 +129,7 @@ def search_mixer(
         executor,
         runtime=runtime,
         cache=cache,
+        cancel=cancel,
     )
 
 
@@ -170,6 +175,9 @@ def _run_depth_sweep(
     predictor: Predictor | None = None,
     runtime: RuntimeConfig | None = None,
     cache: ResultCache | None = None,
+    cancel: CancellationToken | None = None,
 ) -> SearchResult:
-    with _make_runtime(graphs, config, executor, runtime, cache) as search_runtime:
+    with _make_runtime(
+        graphs, config, executor, runtime, cache, cancel
+    ) as search_runtime:
         return search_runtime.run(candidates_per_depth, predictor=predictor)

@@ -64,7 +64,12 @@ from typing import TYPE_CHECKING
 from repro.core.cache import ResultCache
 from repro.core.evaluator import evaluate_candidate
 from repro.core.results import CandidateEvaluation
-from repro.core.runtime import RuntimeConfig, SearchRuntime, predicted_cost
+from repro.core.runtime import (
+    CancellationToken,
+    RuntimeConfig,
+    SearchRuntime,
+    predicted_cost,
+)
 from repro.graphs.generators import Graph
 from repro.parallel.cluster import least_loaded_partition
 from repro.parallel.executor import Executor, SerialExecutor
@@ -123,6 +128,7 @@ class ShardedRuntime(SearchRuntime):
         executors: Executor | Sequence[Executor] | None = None,
         runtime: RuntimeConfig = RuntimeConfig(shards=2),
         cache: ResultCache | None = None,
+        cancel: CancellationToken | None = None,
     ) -> None:
         if runtime.shard_index is not None:
             raise ValueError(
@@ -143,7 +149,8 @@ class ShardedRuntime(SearchRuntime):
                     f"{runtime.shards} shards"
                 )
         super().__init__(
-            graphs, config, executor=shard_executors[0], runtime=runtime, cache=cache
+            graphs, config, executor=shard_executors[0], runtime=runtime,
+            cache=cache, cancel=cancel,
         )
         self.shard_states = [
             _Shard(

@@ -1,5 +1,11 @@
 """Parallel execution layer: real executors, measured-replay schedulers,
-and the two-level cluster model (Fig. 2 / Fig. 3 / Fig. 5 substrate)."""
+and the two-level cluster model (Fig. 2 / Fig. 3 / Fig. 5 substrate).
+
+:mod:`repro.parallel.faults` (the deterministic chaos harness) is *not*
+re-exported here: it subclasses the service-layer job queue, and eagerly
+importing it would cycle this package through :mod:`repro.service`.
+Import it directly: ``from repro.parallel.faults import FaultPlan``.
+"""
 
 from repro.parallel.async_executor import AsyncExecutor
 from repro.parallel.cluster import (

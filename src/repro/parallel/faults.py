@@ -1,0 +1,214 @@
+"""Deterministic, seed-driven fault injection for the service plane.
+
+Hardening claims are only worth what their tests can prove, and real
+faults (wedged workers, killed processes, sqlite lock storms) are neither
+repeatable nor cheap to stage. This module makes them both: a
+:class:`FaultPlan` derives, from one seed, an independent deterministic
+decision stream per fault kind, and two injectors consume it at the two
+seams the service runs through —
+
+* :class:`FaultInjectingExecutor` wraps any thread-backed
+  :class:`~repro.parallel.executor.Executor` and makes scheduled worker
+  attempts **raise** (:class:`InjectedFault`) or **hang** (sleep, then
+  raise — the attempt burns wall-clock and produces nothing, like a
+  worker that wedged and was abandoned). Both are *attempt* faults: the
+  retrying :class:`~repro.parallel.jobs.JobScheduler` above is what must
+  absorb them.
+* :class:`FaultInjectingJobQueue` overrides the
+  :class:`~repro.service.jobs.JobQueue` sqlite seam and makes scheduled
+  statements raise ``sqlite3.OperationalError("database is locked")`` —
+  the contention error a busy shared WAL store really produces — which
+  the multiplexer's bounded queue-op retry must absorb.
+
+Determinism: each stream is a seeded ``random.Random`` consumed one draw
+per call under a lock, so a given (seed, rate) pair always faults the
+same *call indices* of each kind. Which logical operation lands on a
+faulting index still depends on thread interleaving — the invariants the
+chaos suite asserts (every job terminal, no candidate trained twice,
+results identical to a fault-free run) are exactly the ones that must
+hold for **every** interleaving.
+
+The executor wrapper also counts ``completed`` — real, non-faulted
+executions of the wrapped function — which is the ground truth behind
+"no candidate was trained twice": under a correct cache/claim plane,
+``completed`` equals the number of unique candidates no matter how many
+faults were absorbed along the way.
+"""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+import threading
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import Future
+from pathlib import Path
+from typing import Any
+
+from repro.parallel.executor import Executor
+from repro.service.jobs import JobQueue
+
+__all__ = [
+    "FaultInjectingExecutor",
+    "FaultInjectingJobQueue",
+    "FaultPlan",
+    "InjectedFault",
+]
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected failure (never raised by real code paths)."""
+
+
+class _Stream:
+    """One fault kind's deterministic decision stream."""
+
+    def __init__(self, seed: int, rate: float, max_faults: int | None) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {rate}")
+        self._rng = random.Random(seed)
+        self._rate = rate
+        self._max = max_faults
+        self.calls = 0
+        self.fired = 0
+
+    def next(self) -> bool:
+        # caller holds the plan lock
+        self.calls += 1
+        if self._rate == 0.0 or (self._max is not None and self.fired >= self._max):
+            return False
+        if self._rng.random() < self._rate:
+            self.fired += 1
+            return True
+        return False
+
+
+class FaultPlan:
+    """Seeded schedule of faults, one independent stream per kind.
+
+    Parameters
+    ----------
+    seed:
+        Master seed; each kind derives its own ``random.Random`` from it,
+        so raising one rate never shifts another kind's schedule.
+    worker_raises / worker_hangs / queue_locks:
+        Per-call fault probabilities for the three kinds.
+    hang_seconds:
+        How long a hanging attempt occupies its worker thread before it
+        gives up (it then raises, producing nothing).
+    max_faults_per_kind:
+        Optional cap per stream — lets a chaos run guarantee forward
+        progress under aggressive rates.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        worker_raises: float = 0.0,
+        worker_hangs: float = 0.0,
+        queue_locks: float = 0.0,
+        hang_seconds: float = 0.2,
+        max_faults_per_kind: int | None = None,
+    ) -> None:
+        if hang_seconds < 0:
+            raise ValueError(f"hang_seconds must be >= 0, got {hang_seconds}")
+        self.seed = int(seed)
+        self.hang_seconds = float(hang_seconds)
+        self._lock = threading.Lock()
+        self._streams = {
+            "raise": _Stream(self.seed * 7919 + 1, worker_raises, max_faults_per_kind),
+            "hang": _Stream(self.seed * 7919 + 2, worker_hangs, max_faults_per_kind),
+            "lock": _Stream(self.seed * 7919 + 3, queue_locks, max_faults_per_kind),
+        }
+
+    def should_raise(self) -> bool:
+        with self._lock:
+            return self._streams["raise"].next()
+
+    def should_hang(self) -> bool:
+        with self._lock:
+            return self._streams["hang"].next()
+
+    def should_lock(self) -> bool:
+        with self._lock:
+            return self._streams["lock"].next()
+
+    @property
+    def injected(self) -> dict[str, int]:
+        """Faults fired so far, per kind — the chaos run's evidence that
+        it actually exercised something."""
+        with self._lock:
+            return {kind: stream.fired for kind, stream in self._streams.items()}
+
+    @property
+    def calls(self) -> dict[str, int]:
+        with self._lock:
+            return {kind: stream.calls for kind, stream in self._streams.items()}
+
+
+class FaultInjectingExecutor(Executor):
+    """Wraps an executor so scheduled worker attempts raise or hang.
+
+    Thread-backed inner executors only (the wrapper ships a bound method
+    as the job callable, which a process pool could not pickle) — which
+    matches the service fleet, the injection target. The wrapper borrows
+    the inner executor: closing it propagates ``tainted`` and closes the
+    inner pool.
+    """
+
+    name = "fault-injecting"
+
+    def __init__(self, inner: Executor, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.num_workers = inner.num_workers
+        self._lock = threading.Lock()
+        #: real (non-faulted) completed executions of the wrapped function
+        self.completed = 0
+
+    def _wrapped(self, fn: Callable, *args) -> Any:
+        if self.plan.should_raise():
+            raise InjectedFault("injected worker raise")
+        if self.plan.should_hang():
+            time.sleep(self.plan.hang_seconds)
+            raise InjectedFault(
+                f"injected worker hang ({self.plan.hang_seconds}s, then gave up)"
+            )
+        result = fn(*args)
+        with self._lock:
+            self.completed += 1
+        return result
+
+    def submit(self, fn: Callable, *args) -> Future:
+        return self.inner.submit(self._wrapped, fn, *args)
+
+    def starmap(self, fn: Callable, jobs: Sequence[tuple]) -> list[Any]:
+        return self.inner.starmap(self._wrapped, [(fn, *job) for job in jobs])
+
+    def close(self) -> None:
+        self.inner.tainted = self.inner.tainted or self.tainted
+        self.inner.close()
+
+
+class FaultInjectingJobQueue(JobQueue):
+    """A :class:`JobQueue` whose sqlite statements fail on schedule.
+
+    Scheduled calls raise ``sqlite3.OperationalError: database is
+    locked`` *before* touching the database (the statement genuinely does
+    not run — exactly the all-or-nothing failure a busy_timeout expiry
+    produces), so a retry by the caller observes consistent state.
+    Statements issued during ``__init__`` (schema creation, migration,
+    crash recovery) are never faulted.
+    """
+
+    def __init__(self, service_dir: str | Path, plan: FaultPlan, **kwargs) -> None:
+        super().__init__(service_dir, **kwargs)
+        self._plan = plan  # set last: init-time statements run clean
+
+    def _execute(self, sql: str, params: tuple = ()) -> sqlite3.Cursor:
+        plan: FaultPlan | None = getattr(self, "_plan", None)
+        if plan is not None and plan.should_lock():
+            raise sqlite3.OperationalError("database is locked")
+        return super()._execute(sql, params)

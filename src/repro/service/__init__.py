@@ -18,11 +18,13 @@ attaching ``--shard-index`` worker processes to a service's cache) is in
 ``docs/service.md``.
 """
 
-from repro.service.jobs import JobQueue, JobRecord
+from repro.service.jobs import JOB_STATES, TERMINAL_STATES, JobQueue, JobRecord
 from repro.service.multiplexer import SweepMultiplexer
 from repro.service.server import SearchService, make_http_server, serve
 
 __all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
     "JobQueue",
     "JobRecord",
     "SweepMultiplexer",

@@ -14,22 +14,94 @@ ResultCache` in ``shared`` mode: when two live sweeps propose the same
 and the second collects the cached result (or blocks briefly on the
 in-flight claim) — cross-sweep deduplication measured by the cache-hit
 accounting each ``SearchResult.config`` carries.
+
+Hardened claiming and execution (PR 7):
+
+* **Per-tenant fairness** — instead of strict oldest-first, each claim
+  picks a tenant by weighted stride scheduling (tenants with claimable
+  work are served proportionally to ``tenant_weights``, default weight
+  1), then claims that tenant's best job. One tenant flooding the queue
+  delays only itself. ``max_running_per_tenant`` additionally caps how
+  many slots one tenant may occupy at once.
+* **Leases + heartbeats** — every running job's lease is renewed from a
+  per-job heartbeat thread; the heartbeat is also the cancellation
+  channel (a ``cancel`` request flips the job's
+  :class:`~repro.core.runtime.CancellationToken`, and a ``lost`` lease —
+  this slot wedged long enough to be reclaimed — aborts the local run
+  without recording an outcome).
+* **Bounded retry / dead-letter** — a sweep that raises goes back
+  through :meth:`JobQueue.record_failure` (requeue with exponential
+  backoff until the attempt budget dead-letters it), so a poison spec
+  fails permanently instead of crash-looping a slot.
+* **Transient queue faults** — every queue operation in the slot loop is
+  retried with short backoff on ``sqlite3.OperationalError`` (a busy
+  shared store), so a lock storm costs latency, not a dead slot.
+* **Graceful drain** — :meth:`stop` stops claiming, then waits up to
+  ``drain_timeout`` for running sweeps to finish; past the deadline they
+  are cancelled cooperatively and their jobs requeued (attempt refunded)
+  for the next process to resume from cache.
+* **Slot liveness** — a slot thread that somehow dies records itself in
+  :meth:`slot_health`, which ``/healthz`` surfaces instead of silently
+  shrinking capacity.
 """
 
 from __future__ import annotations
 
+import sqlite3
 import threading
+import time
 import traceback
+from dataclasses import dataclass, field
 
 from repro.api import Config, resolve_workload
 from repro.core.cache import ResultCache
-from repro.core.runtime import RuntimeConfig
+from repro.core.runtime import CancellationToken, RuntimeConfig, SweepCancelled
 from repro.core.search import search_mixer
 from repro.parallel.async_executor import AsyncExecutor
 from repro.parallel.executor import Executor
 from repro.service.jobs import JobQueue, JobRecord
 
 __all__ = ["SweepMultiplexer"]
+
+#: transient-queue-error retry schedule (seconds between attempts)
+_QUEUE_RETRY_DELAYS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0)
+
+
+@dataclass
+class _Slot:
+    """One sweep slot's live bookkeeping."""
+
+    name: str
+    thread: threading.Thread | None = None
+    #: job currently running here (None = idle)
+    job_id: str | None = None
+    token: CancellationToken | None = None
+    #: the traceback that killed the slot thread, if it died
+    died: str | None = None
+
+    @property
+    def alive(self) -> bool:
+        return self.thread is not None and self.thread.is_alive()
+
+
+@dataclass
+class _TenantStride:
+    """Weighted stride scheduling state: pick the eligible tenant with the
+    lowest virtual finishing time ``(served + 1) / weight``."""
+
+    weights: dict[str, float] = field(default_factory=dict)
+    served: dict[str, int] = field(default_factory=dict)
+
+    def weight(self, tenant: str) -> float:
+        return max(float(self.weights.get(tenant, 1.0)), 1e-9)
+
+    def pick(self, eligible: list[str]) -> str:
+        choice = min(
+            eligible,
+            key=lambda t: ((self.served.get(t, 0) + 1) / self.weight(t), t),
+        )
+        self.served[choice] = self.served.get(choice, 0) + 1
+        return choice
 
 
 class SweepMultiplexer:
@@ -38,7 +110,8 @@ class SweepMultiplexer:
     Parameters
     ----------
     queue:
-        The persistent job queue to drain.
+        The persistent job queue to drain (its ``lease_seconds`` also
+        sets the heartbeat cadence: one renewal per third of a lease).
     executor:
         Shared worker fleet; defaults to a fresh :class:`AsyncExecutor`
         (owned, closed on :meth:`stop`). A passed-in executor is borrowed.
@@ -49,6 +122,16 @@ class SweepMultiplexer:
         Sweep slots (worker threads draining the queue).
     poll_interval:
         Idle-slot sleep between queue polls, in seconds.
+    tenant_weights:
+        Fairness weights per tenant (missing tenants weigh 1.0); a tenant
+        with weight 2 gets twice the claim share of a weight-1 tenant
+        while both have work queued.
+    max_running_per_tenant:
+        Cap on jobs of one tenant running at once across the whole queue
+        (None = no cap).
+    drain_timeout:
+        Default grace period :meth:`stop` gives running sweeps before
+        cancelling them and requeueing their jobs (None = wait forever).
     """
 
     def __init__(
@@ -59,41 +142,77 @@ class SweepMultiplexer:
         cache: ResultCache | None = None,
         max_concurrent: int = 2,
         poll_interval: float = 0.05,
+        tenant_weights: dict[str, float] | None = None,
+        max_running_per_tenant: int | None = None,
+        drain_timeout: float | None = None,
     ) -> None:
         if max_concurrent < 1:
             raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        if max_running_per_tenant is not None and max_running_per_tenant < 1:
+            raise ValueError(
+                f"max_running_per_tenant must be >= 1, got {max_running_per_tenant}"
+            )
         self.queue = queue
         self._owns_executor = executor is None
         self.executor = executor or AsyncExecutor()
         self.cache = cache
         self.max_concurrent = int(max_concurrent)
         self.poll_interval = float(poll_interval)
+        self.max_running_per_tenant = max_running_per_tenant
+        self.drain_timeout = drain_timeout
         self.sweeps_completed = 0
         self.sweeps_failed = 0
+        self.sweeps_cancelled = 0
+        self.sweeps_requeued = 0
+        self.queue_retries = 0
+        self._stride = _TenantStride(dict(tenant_weights or {}))
         self._stop = threading.Event()
-        self._threads: list[threading.Thread] = []
+        self._state_lock = threading.Lock()
+        self._slots: list[_Slot] = []
 
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> None:
-        if self._threads:
+        if any(slot.alive for slot in self._slots):
             raise RuntimeError("multiplexer already started")
         self._stop.clear()
-        self._threads = [
-            threading.Thread(
-                target=self._slot, name=f"sweep-slot-{i}", daemon=True
-            )
-            for i in range(self.max_concurrent)
+        self._slots = [
+            _Slot(name=f"sweep-slot-{i}") for i in range(self.max_concurrent)
         ]
-        for thread in self._threads:
-            thread.start()
+        for slot in self._slots:
+            slot.thread = threading.Thread(
+                target=self._slot_loop, args=(slot,), name=slot.name, daemon=True
+            )
+            slot.thread.start()
 
-    def stop(self) -> None:
-        """Stop claiming new jobs, finish in-flight sweeps, release fleet."""
+    def stop(self, drain_timeout: float | None = None) -> None:
+        """Stop claiming, drain running sweeps, then release the fleet.
+
+        Waits up to ``drain_timeout`` (default: the constructor's) for
+        in-flight sweeps to finish; past the deadline they are cancelled
+        at their next checkpoint and their jobs requeued with the attempt
+        refunded, so a restart resumes them from cache.
+        """
         self._stop.set()
-        for thread in self._threads:
-            thread.join()
-        self._threads = []
+        deadline = drain_timeout if drain_timeout is not None else self.drain_timeout
+        expires = None if deadline is None else time.monotonic() + deadline
+        for slot in self._slots:
+            if slot.thread is None:
+                continue
+            remaining = None if expires is None else max(0.0, expires - time.monotonic())
+            slot.thread.join(timeout=remaining)
+        # Past the drain deadline: abort the stragglers cooperatively.
+        aborted = False
+        with self._state_lock:
+            for slot in self._slots:
+                if slot.alive and slot.token is not None:
+                    slot.token.cancel("service shutdown (drain deadline)")
+                    aborted = True
+        if aborted:
+            for slot in self._slots:
+                if slot.thread is not None:
+                    slot.thread.join()
+        self._slots = []
         if self._owns_executor:
             self.executor.close()
         if self.cache is not None:
@@ -106,29 +225,160 @@ class SweepMultiplexer:
     def __exit__(self, *exc) -> None:
         self.stop()
 
+    # -- health ------------------------------------------------------------
+
+    def slot_health(self) -> dict:
+        """Liveness of every slot thread — a crashed slot must be visible
+        in ``/healthz``, not a silent capacity shrink."""
+        with self._state_lock:
+            dead = [
+                {"slot": slot.name, "error": slot.died or "thread died"}
+                for slot in self._slots
+                if slot.died is not None or (slot.thread is not None and not slot.alive)
+            ] if not self._stop.is_set() else [
+                {"slot": slot.name, "error": slot.died}
+                for slot in self._slots
+                if slot.died is not None
+            ]
+            return {
+                "configured": self.max_concurrent,
+                "alive": sum(1 for slot in self._slots if slot.alive),
+                "dead": dead,
+            }
+
+    # -- transient queue faults --------------------------------------------
+
+    def _queue_op(self, fn, *args, **kwargs):
+        """Run one queue operation, absorbing transient sqlite contention.
+
+        A shared WAL store under load surfaces as ``OperationalError:
+        database is locked``; bounded backoff-retry turns that into
+        latency. The last attempt re-raises — a persistently broken store
+        is a real outage the slot's catch-all then records.
+        """
+        for delay in _QUEUE_RETRY_DELAYS:
+            try:
+                return fn(*args, **kwargs)
+            except sqlite3.OperationalError:
+                self.queue_retries += 1
+                time.sleep(delay)
+        return fn(*args, **kwargs)
+
     # -- the sweep slots ---------------------------------------------------
 
-    def _slot(self) -> None:
-        while not self._stop.is_set():
-            job = self.queue.claim_next()
-            if job is None:
-                self._stop.wait(self.poll_interval)
-                continue
-            self._run_job(job)
-
-    def _run_job(self, job: JobRecord) -> None:
+    def _slot_loop(self, slot: _Slot) -> None:
         try:
-            result = self.run_spec(job.spec)
-        except Exception as error:  # noqa: BLE001 - a bad sweep must not kill the slot
-            self.sweeps_failed += 1
-            self.queue.mark_failed(
-                job.id, f"{type(error).__name__}: {error}\n{traceback.format_exc()}"
-            )
-        else:
-            self.sweeps_completed += 1
-            self.queue.mark_done(job.id, result.to_dict())
+            while not self._stop.is_set():
+                job = self._claim(slot)
+                if job is None:
+                    self._stop.wait(self.poll_interval)
+                    continue
+                self._run_job(slot, job)
+        except BaseException:  # noqa: BLE001 - a dying slot must leave a trace
+            # Recorded, not re-raised: there is nobody above a slot thread
+            # to catch it, and /healthz (via slot_health) is the channel
+            # that surfaces the death.
+            with self._state_lock:
+                slot.died = traceback.format_exc()
 
-    def run_spec(self, spec: dict):
+    def _claim(self, slot: _Slot) -> JobRecord | None:
+        """One fair claim attempt: pick a tenant by weighted stride over
+        those with claimable work (quota-eligible), then claim its best
+        job."""
+        tenants = self._queue_op(self.queue.claimable_tenants)
+        if not tenants:
+            return None
+        if self.max_running_per_tenant is not None:
+            by_tenant = self._queue_op(self.queue.counts_by_tenant)
+            tenants = [
+                t
+                for t in tenants
+                if by_tenant.get(t, {}).get("running", 0) < self.max_running_per_tenant
+            ]
+            if not tenants:
+                return None
+        with self._state_lock:
+            tenant = self._stride.pick(tenants)
+        # The claim can still miss (a sibling slot won the race, or the
+        # tenant's only job was backing off); the loop just polls again.
+        return self._queue_op(self.queue.claim_next, owner=slot.name, tenant=tenant)
+
+    def _run_job(self, slot: _Slot, job: JobRecord) -> None:
+        token = CancellationToken()
+        lost = threading.Event()
+        with self._state_lock:
+            slot.job_id, slot.token = job.id, token
+        beat_stop = threading.Event()
+        beat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(job.id, slot.name, token, lost, beat_stop),
+            name=f"{slot.name}-heartbeat",
+            daemon=True,
+        )
+        beat.start()
+        try:
+            try:
+                result = self.run_spec(job.spec, cancel=token)
+            finally:
+                beat_stop.set()
+                beat.join()
+            if lost.is_set():
+                return  # reclaimed elsewhere; the new owner records the outcome
+            if self._queue_op(
+                self.queue.mark_done, job.id, result.to_dict(), owner=slot.name
+            ):
+                self.sweeps_completed += 1
+        except SweepCancelled:
+            if lost.is_set():
+                return
+            if self._stop.is_set() and not job.cancel_requested and not self._queue_op(
+                self.queue.get, job.id
+            ).cancel_requested:
+                # Shutdown abort, not a user cancel: hand the job back for
+                # the next process, attempt refunded.
+                if self._queue_op(self.queue.requeue, job.id, owner=slot.name):
+                    self.sweeps_requeued += 1
+            elif self._queue_op(self.queue.mark_cancelled, job.id, owner=slot.name):
+                self.sweeps_cancelled += 1
+        except Exception as error:  # noqa: BLE001 - a bad sweep must not kill the slot
+            if lost.is_set():
+                return
+            outcome = self._queue_op(
+                self.queue.record_failure,
+                job.id,
+                f"{type(error).__name__}: {error}\n{traceback.format_exc()}",
+                owner=slot.name,
+            )
+            if outcome == "failed":
+                self.sweeps_failed += 1
+        finally:
+            with self._state_lock:
+                slot.job_id, slot.token = None, None
+
+    def _heartbeat_loop(
+        self,
+        job_id: str,
+        owner: str,
+        token: CancellationToken,
+        lost: threading.Event,
+        stop: threading.Event,
+    ) -> None:
+        """Renew the job's lease until the run ends; doubles as the
+        cancellation channel and the lost-lease detector."""
+        interval = max(self.queue.lease_seconds / 3.0, 0.01)
+        while not stop.wait(interval):
+            try:
+                status = self._queue_op(self.queue.heartbeat, job_id, owner)
+            except sqlite3.OperationalError:
+                continue  # exhausted retries; the lease survives one miss
+            if status == "cancel":
+                token.cancel("cancellation requested")
+            elif status == "lost":
+                lost.set()
+                token.cancel("lease lost (job reclaimed)")
+                return
+
+    def run_spec(self, spec: dict, *, cancel: CancellationToken | None = None):
         """Execute one submit payload on the shared fleet + cache.
 
         Exposed for the smoke path (run a spec without queue round-trip);
@@ -150,4 +400,5 @@ class SweepMultiplexer:
             executor=self.executor,
             runtime=runtime_cfg,
             cache=self.cache,
+            cancel=cancel,
         )

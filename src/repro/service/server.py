@@ -4,21 +4,31 @@ stdlib HTTP/JSON API over it.
 :class:`SearchService` is the deployable unit — everything lives under one
 ``service_dir`` (queue sqlite, shared result cache, checkpoints), so a
 restart resumes where the last process stopped: queued jobs are still
-queued, running jobs re-queue, and finished candidate evaluations are
-cache hits. The HTTP layer is deliberately small (``http.server`` +
-JSON — no framework, nothing to install):
+queued, running jobs come back via lease expiry, and finished candidate
+evaluations are cache hits. The HTTP layer is deliberately small
+(``http.server`` + JSON — no framework, nothing to install):
 
-====================  =====================================================
-``POST /submit``      body ``{"workload": [...], "depths": p, "config": {}}``
-                      → ``{"id": "..."}`` (202)
-``GET /status/{id}``  job lifecycle record (state, timestamps, error)
-``GET /result/{id}``  the finished sweep's versioned ``SearchResult`` wire
-                      object (409 until done)
-``GET /healthz``      liveness + queue depth + cache and fleet counters
-====================  =====================================================
+=====================  ====================================================
+``POST /submit``       body ``{"workload": [...], "depths": p, "config":
+                       {}, "tenant": "...", "priority": n}`` →
+                       ``{"id": "..."}`` (202); 429 + ``Retry-After`` when
+                       the queue or the tenant's quota is full
+``POST /cancel/{id}``  cancel a queued job immediately, or request
+                       cooperative cancellation of a running one →
+                       ``{"id": ..., "state": "cancelled"|"cancelling"}``
+``GET /status/{id}``   job lifecycle record (state, tenant, attempts,
+                       timestamps, error)
+``GET /result/{id}``   the finished sweep's versioned ``SearchResult``
+                       wire object (409 until done, 410 if failed or
+                       cancelled)
+``GET /healthz``       liveness + queue depth (per tenant) + cache, fleet,
+                       and slot-health counters; ``ok`` is false when a
+                       sweep slot thread has died
+=====================  ====================================================
 
 Run it with ``python -m repro serve`` (see ``docs/service.md`` for the
-deploy recipe, including sharded workers attached to the same cache).
+deploy recipe and the operations runbook — cancellation, priorities,
+tenant quotas, lease/backoff knobs, and what a 429 means).
 """
 
 from __future__ import annotations
@@ -38,15 +48,34 @@ __all__ = ["SearchService", "make_http_server", "serve"]
 
 
 class ServiceRequestError(ValueError):
-    """A client error with the HTTP status it should map to."""
+    """A client error with the HTTP status (and headers) it maps to."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self, status: int, message: str, *, retry_after: float | None = None
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.headers: dict[str, str] = {}
+        if retry_after is not None:
+            self.headers["Retry-After"] = str(max(1, round(retry_after)))
 
 
 class SearchService:
-    """Queue + shared cache + multiplexed sweep fleet under one directory."""
+    """Queue + shared cache + multiplexed sweep fleet under one directory.
+
+    Hardening knobs (all optional; defaults keep the PR-6 behaviour):
+
+    * ``max_queue_depth`` / ``max_queued_per_tenant`` — admission control:
+      a submit that would exceed either cap is rejected with 429 +
+      ``Retry-After`` instead of letting the backlog grow without bound.
+    * ``max_running_per_tenant`` / ``tenant_weights`` — fairness: caps one
+      tenant's share of the sweep slots, and weights the round-robin
+      between tenants with queued work.
+    * ``lease_seconds`` / ``max_attempts`` — the queue's crash-recovery
+      lease and retry budget (see :class:`~repro.service.jobs.JobQueue`).
+    * ``drain_timeout`` — how long :meth:`stop` lets running sweeps finish
+      before cancelling them and requeueing their jobs.
+    """
 
     def __init__(
         self,
@@ -56,10 +85,29 @@ class SearchService:
         workers: int | None = None,
         cache_max_entries: int | None = None,
         cache_flush_every: int = 4,
+        max_queue_depth: int | None = None,
+        max_queued_per_tenant: int | None = None,
+        max_running_per_tenant: int | None = None,
+        tenant_weights: dict[str, float] | None = None,
+        lease_seconds: float = 30.0,
+        max_attempts: int = 3,
+        drain_timeout: float | None = None,
     ) -> None:
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        if max_queued_per_tenant is not None and max_queued_per_tenant < 1:
+            raise ValueError(
+                f"max_queued_per_tenant must be >= 1, got {max_queued_per_tenant}"
+            )
         self.service_dir = Path(service_dir)
         self.service_dir.mkdir(parents=True, exist_ok=True)
-        self.queue = JobQueue(self.service_dir)
+        self.max_queue_depth = max_queue_depth
+        self.max_queued_per_tenant = max_queued_per_tenant
+        self.queue = JobQueue(
+            self.service_dir,
+            lease_seconds=lease_seconds,
+            max_attempts=max_attempts,
+        )
         # shared=True: concurrent sweeps coordinate on in-flight keys; the
         # cache dir is also where --shard-index worker processes attach.
         self.cache = ResultCache(
@@ -73,6 +121,9 @@ class SearchService:
             executor=AsyncExecutor(workers),
             cache=self.cache,
             max_concurrent=max_concurrent,
+            tenant_weights=tenant_weights,
+            max_running_per_tenant=max_running_per_tenant,
+            drain_timeout=drain_timeout,
         )
         # The multiplexer borrows the executor, so the service must close
         # it; track it for stop().
@@ -84,8 +135,11 @@ class SearchService:
     def start(self) -> None:
         self.multiplexer.start()
 
-    def stop(self) -> None:
-        self.multiplexer.stop()
+    def stop(self, drain_timeout: float | None = None) -> None:
+        """Drain running sweeps (bounded by ``drain_timeout``), then
+        release the fleet, cache, and queue. Jobs still running past the
+        deadline are cancelled cooperatively and requeued unharmed."""
+        self.multiplexer.stop(drain_timeout)
         self._executor.close()
         self.cache.close()
         self.queue.close()
@@ -104,7 +158,9 @@ class SearchService:
 
         Validation happens here — workload resolves, config constructs,
         depths is a positive int — so a bad sweep fails at submit time
-        with a 400, not minutes later in a worker.
+        with a 400, not minutes later in a worker. Admission control also
+        happens here: a full queue (global or per-tenant) is a 429 with
+        ``Retry-After``, the client's signal to back off and retry.
         """
         if not isinstance(payload, dict):
             raise ServiceRequestError(400, "submit body must be a JSON object")
@@ -115,15 +171,55 @@ class SearchService:
             if depths < 1:
                 raise ValueError(f"depths must be >= 1, got {depths}")
             config.search_config(depths)  # constructs → validates every knob
+            tenant = str(payload.get("tenant", config.tenant) or "default")
+            priority = int(payload.get("priority", config.priority))
         except (ValueError, TypeError, KeyError) as error:
             raise ServiceRequestError(400, f"invalid sweep spec: {error}") from None
+        self._admit(tenant)
         spec = {
             "workload": payload.get("workload"),
             "depths": depths,
             "config": config.to_dict(),
             "num_graphs": len(graphs),
         }
-        return {"id": self.queue.submit(spec)}
+        return {"id": self.queue.submit(spec, tenant=tenant, priority=priority)}
+
+    def _admit(self, tenant: str) -> None:
+        """Reject the submit if the backlog (global or tenant) is full."""
+        retry_after = max(self.queue.lease_seconds / 2.0, 1.0)
+        if self.max_queue_depth is not None:
+            backlog = self.queue.counts()
+            pending = backlog["queued"] + backlog["running"]
+            if pending >= self.max_queue_depth:
+                raise ServiceRequestError(
+                    429,
+                    f"queue full: {pending} pending jobs >= "
+                    f"max_queue_depth={self.max_queue_depth}; retry later",
+                    retry_after=retry_after,
+                )
+        if self.max_queued_per_tenant is not None:
+            queued = (
+                self.queue.counts_by_tenant()
+                .get(tenant, {})
+                .get("queued", 0)
+            )
+            if queued >= self.max_queued_per_tenant:
+                raise ServiceRequestError(
+                    429,
+                    f"tenant {tenant!r} has {queued} queued jobs >= "
+                    f"max_queued_per_tenant={self.max_queued_per_tenant}; "
+                    "retry later",
+                    retry_after=retry_after,
+                )
+
+    def cancel(self, job_id: str) -> dict:
+        """Cancel a job: queued → cancelled now; running → cooperative
+        stop at the sweep's next checkpoint (state ``cancelling``)."""
+        try:
+            state = self.queue.cancel(job_id)
+        except KeyError:
+            raise ServiceRequestError(404, f"unknown job id {job_id!r}") from None
+        return {"id": job_id, "state": state}
 
     def status(self, job_id: str) -> dict:
         record = self.queue.get(job_id)
@@ -137,6 +233,8 @@ class SearchService:
             raise ServiceRequestError(404, f"unknown job id {job_id!r}")
         if record.state == "failed":
             raise ServiceRequestError(410, record.error or "sweep failed")
+        if record.state == "cancelled":
+            raise ServiceRequestError(410, f"job {job_id} was cancelled")
         if record.state != "done" or record.result is None:
             raise ServiceRequestError(
                 409, f"job {job_id} is {record.state}; result not ready"
@@ -144,12 +242,20 @@ class SearchService:
         return record.result
 
     def healthz(self) -> dict:
+        slots = self.multiplexer.slot_health()
         return {
-            "ok": True,
+            # A dead slot thread is silently lost capacity — exactly what a
+            # liveness probe exists to catch, so it flips ok to false.
+            "ok": not slots["dead"],
             "uptime_seconds": time.time() - self.started_at,
             "queue": self.queue.counts(),
+            "tenants": self.queue.counts_by_tenant(),
+            "slots": slots,
             "sweeps_completed": self.multiplexer.sweeps_completed,
             "sweeps_failed": self.multiplexer.sweeps_failed,
+            "sweeps_cancelled": self.multiplexer.sweeps_cancelled,
+            "sweeps_requeued": self.multiplexer.sweeps_requeued,
+            "queue_retries": self.multiplexer.queue_retries,
             "workers": self._executor.num_workers,
             "executor": self._executor.name,
             "cache": {
@@ -162,7 +268,7 @@ class SearchService:
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Routes the four endpoints onto the service object."""
+    """Routes the five endpoints onto the service object."""
 
     service: SearchService  # set by make_http_server
 
@@ -171,11 +277,15 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass
 
-    def _respond(self, status: int, payload: dict) -> None:
+    def _respond(
+        self, status: int, payload: dict, headers: dict[str, str] | None = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -183,7 +293,7 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             status, payload = handler()
         except ServiceRequestError as error:
-            self._respond(error.status, {"error": str(error)})
+            self._respond(error.status, {"error": str(error)}, error.headers)
         except Exception as error:  # noqa: BLE001 - a handler bug must return 500
             self._respond(500, {"error": f"{type(error).__name__}: {error}"})
         else:
@@ -203,15 +313,19 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server contract
         def handle() -> tuple[int, dict]:
-            if self.path != "/submit":
-                raise ServiceRequestError(404, f"no route for POST {self.path}")
-            length = int(self.headers.get("Content-Length") or 0)
-            raw = self.rfile.read(length) if length else b""
-            try:
-                payload = json.loads(raw.decode("utf-8") or "null")
-            except json.JSONDecodeError as error:
-                raise ServiceRequestError(400, f"invalid JSON body: {error}") from None
-            return 202, self.service.submit(payload)
+            if self.path == "/submit":
+                length = int(self.headers.get("Content-Length") or 0)
+                raw = self.rfile.read(length) if length else b""
+                try:
+                    payload = json.loads(raw.decode("utf-8") or "null")
+                except json.JSONDecodeError as error:
+                    raise ServiceRequestError(
+                        400, f"invalid JSON body: {error}"
+                    ) from None
+                return 202, self.service.submit(payload)
+            if self.path.startswith("/cancel/"):
+                return 200, self.service.cancel(self.path[len("/cancel/"):])
+            raise ServiceRequestError(404, f"no route for POST {self.path}")
 
         self._dispatch(handle)
 
@@ -232,25 +346,47 @@ def serve(
     max_concurrent: int = 2,
     workers: int | None = None,
     cache_max_entries: int | None = None,
+    max_queue_depth: int | None = None,
+    max_queued_per_tenant: int | None = None,
+    max_running_per_tenant: int | None = None,
+    tenant_weights: dict[str, float] | None = None,
+    lease_seconds: float = 30.0,
+    max_attempts: int = 3,
+    drain_timeout: float | None = None,
 ) -> None:
-    """Run the service until interrupted (the ``repro serve`` entrypoint)."""
-    with SearchService(
+    """Run the service until interrupted (the ``repro serve`` entrypoint).
+
+    Shutdown is graceful: running sweeps get ``drain_timeout`` seconds to
+    finish; past that they are cancelled at their next checkpoint and
+    their jobs requeued (attempt refunded) for the next process.
+    """
+    service = SearchService(
         service_dir,
         max_concurrent=max_concurrent,
         workers=workers,
         cache_max_entries=cache_max_entries,
-    ) as service:
-        server = make_http_server(service, host, port)
-        bound_host, bound_port = server.server_address[:2]
-        print(
-            f"search service on http://{bound_host}:{bound_port} "
-            f"(dir {service.service_dir}, {max_concurrent} concurrent sweeps, "
-            f"{service.multiplexer.executor.num_workers} workers)"
-        )
-        try:
-            server.serve_forever()
-        except KeyboardInterrupt:
-            print("shutting down")
-        finally:
-            server.shutdown()
-            server.server_close()
+        max_queue_depth=max_queue_depth,
+        max_queued_per_tenant=max_queued_per_tenant,
+        max_running_per_tenant=max_running_per_tenant,
+        tenant_weights=tenant_weights,
+        lease_seconds=lease_seconds,
+        max_attempts=max_attempts,
+        drain_timeout=drain_timeout,
+    )
+    service.start()
+    server = make_http_server(service, host, port)
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"search service on http://{bound_host}:{bound_port} "
+        f"(dir {service.service_dir}, {max_concurrent} concurrent sweeps, "
+        f"{service.multiplexer.executor.num_workers} workers)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down (draining running sweeps)", flush=True)
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()

@@ -1,0 +1,133 @@
+"""SIGKILL a live service mid-sweep; a restart must finish the job.
+
+The satellite acceptance path for the lease layer: no clean shutdown, no
+requeue-on-close — the process is gone with the lease still held. The
+restarted service reclaims the job when the lease expires, and the first
+process's flushed candidate evaluations come back as cache hits, so the
+re-run pays only for the unfinished tail.
+"""
+
+import json
+import os
+import re
+import signal
+import sqlite3
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import Config, connect
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+SPEC_CONFIG = Config(k_min=1, k_max=2, steps=400, num_samples=8, seed=1)
+
+
+def spawn_serve(service_dir):
+    """Start ``repro serve`` on an ephemeral port; returns (proc, url)."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--dir", str(service_dir),
+            "--port", "0",
+            "--max-concurrent", "1",
+            "--workers", "2",
+            "--lease-seconds", "2",
+        ],
+        env={**os.environ, "PYTHONPATH": str(SRC)},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"http://[\d.]+:\d+", line)
+    if match is None:
+        proc.kill()
+        pytest.fail(f"serve did not announce its URL: {line!r}")
+    return proc, match.group(0)
+
+
+def flushed_rows(service_dir) -> int:
+    path = Path(service_dir) / "cache" / "results.sqlite"
+    if not path.exists():
+        return 0
+    with sqlite3.connect(str(path)) as conn:
+        try:
+            return conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        except sqlite3.OperationalError:
+            return 0  # schema not committed yet
+
+
+def test_sigkilled_service_job_recovers_via_lease_expiry(tmp_path):
+    first, url = spawn_serve(tmp_path)
+    try:
+        client = connect(url)
+        job_id = client.submit("er:2:7", depths=2, config=SPEC_CONFIG)
+
+        # Wait for real progress: at least one flushed batch of candidate
+        # results in the shared cache, with the sweep still running.
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if flushed_rows(tmp_path) >= 1:
+                break
+            time.sleep(0.1)
+        else:
+            pytest.fail("no candidate results flushed within 60s")
+        state = client.status(job_id)["state"]
+        if state != "running":
+            pytest.skip(f"sweep already {state}; no mid-flight window to kill")
+        recovered_rows = flushed_rows(tmp_path)
+    finally:
+        first.kill()  # SIGKILL: no drain, no requeue, lease left dangling
+        first.wait(timeout=30)
+
+    second, url = spawn_serve(tmp_path)
+    try:
+        client = connect(url)
+        # Still leased by the dead process until the 2s lease expires; the
+        # restarted multiplexer then reclaims it and runs it to completion.
+        result = client.wait(job_id, timeout=180)
+        status = client.status(job_id)
+        assert status["state"] == "done"
+        assert status["attempts"] == 2  # first claim + the reclaim
+        assert result.num_candidates == 16
+        # the first process's flushed work was reused, not re-trained
+        assert result.config["cache_hits"] >= recovered_rows
+        assert result.config["cache_hits"] > 0
+    finally:
+        second.send_signal(signal.SIGINT)
+        try:
+            second.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            second.kill()
+            second.wait(timeout=30)
+
+
+def test_serve_announces_hardening_knobs_in_help():
+    """The runbook's knobs must exist on the CLI (cheap drift guard)."""
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", "--help"],
+        env={**os.environ, "PYTHONPATH": str(SRC)},
+        capture_output=True,
+        text=True,
+        timeout=60,
+    ).stdout
+    for flag in (
+        "--lease-seconds", "--max-attempts", "--max-queue-depth",
+        "--max-queued-per-tenant", "--max-running-per-tenant",
+        "--drain-timeout", "--tenant-weight",
+    ):
+        assert flag in out
+
+
+def test_submit_payload_shape_is_stable(tmp_path):
+    """The wire contract documented in docs/service.md: tenant/priority are
+    top-level submit fields, also derivable from Config."""
+    config = Config(tenant="alice", priority=3)
+    payload = config.to_dict()
+    assert payload["tenant"] == "alice"
+    assert payload["priority"] == 3
+    assert json.loads(json.dumps(payload)) == payload  # JSON-safe

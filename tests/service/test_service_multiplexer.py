@@ -104,6 +104,69 @@ class TestSharedCache:
             assert rec2.result["config"]["cache_misses"] == 0
 
 
+class TestFairness:
+    def test_tenants_interleave_instead_of_fifo(self, tmp_path):
+        """4 jobs from tenant a submitted before 2 from tenant b: strict
+        oldest-first would run all of a's first; weighted round-robin puts
+        both of b's jobs in the first four claims."""
+        with (
+            JobQueue(tmp_path) as queue,
+            ResultCache(tmp_path / "cache", shared=True) as cache,
+        ):
+            ids = [queue.submit(SPEC, tenant="a") for _ in range(4)]
+            ids += [queue.submit(SPEC, tenant="b") for _ in range(2)]
+            with SweepMultiplexer(queue, cache=cache, max_concurrent=1):
+                records = wait_until(queue, ids)
+            assert all(r.state == "done" for r in records), [
+                r.error for r in records
+            ]
+            started = sorted(records, key=lambda r: r.started_at)
+            first_four = [r.tenant for r in started[:4]]
+            assert first_four.count("b") == 2
+
+    def test_max_running_per_tenant_caps_slot_share(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            ids = [queue.submit(SPEC, tenant="hog") for _ in range(3)]
+            with SweepMultiplexer(
+                queue, max_concurrent=2, max_running_per_tenant=1
+            ):
+                deadline = time.monotonic() + 120
+                peak = 0
+                while time.monotonic() < deadline:
+                    counts = queue.counts_by_tenant().get("hog", {})
+                    peak = max(peak, counts.get("running", 0))
+                    if counts.get("done", 0) == 3:
+                        break
+                    time.sleep(0.02)
+            assert peak == 1  # never two slots on one tenant
+            assert [queue.get(i).state for i in ids] == ["done"] * 3
+
+
+class TestGracefulDrain:
+    def test_drain_deadline_requeues_the_job_unharmed(self, tmp_path):
+        slow = {
+            "workload": "er:2:7",
+            "depths": 3,
+            "config": Config(
+                k_min=1, k_max=2, steps=150, num_samples=8, seed=1
+            ).to_dict(),
+        }
+        with JobQueue(tmp_path) as queue:
+            job_id = queue.submit(slow)
+            mux = SweepMultiplexer(queue, max_concurrent=1, drain_timeout=0.2)
+            mux.start()
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if queue.get(job_id).state == "running":
+                    break
+                time.sleep(0.02)
+            mux.stop()  # drain expires long before the 24-candidate sweep
+            record = queue.get(job_id)
+            assert record.state == "queued"
+            assert record.attempts == 0  # the aborted attempt was refunded
+            assert mux.sweeps_requeued == 1
+
+
 class TestLifecycle:
     def test_stop_is_clean_with_empty_queue(self, tmp_path):
         with JobQueue(tmp_path) as queue:

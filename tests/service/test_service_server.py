@@ -2,6 +2,7 @@
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -67,8 +68,35 @@ class TestEndpoints:
         assert body["ok"] is True
         assert body["executor"] == "async"
         assert body["workers"] == 2
-        assert set(body["queue"]) == {"queued", "running", "done", "failed"}
+        assert set(body["queue"]) == {
+            "queued", "running", "done", "failed", "cancelled"
+        }
         assert {"hits", "misses", "evictions"} <= set(body["cache"])
+        assert body["slots"] == {"configured": 2, "alive": 2, "dead": []}
+
+    def test_healthz_flags_a_dead_slot_thread(self, tmp_path):
+        svc = SearchService(tmp_path, max_concurrent=1, workers=1)
+        svc.queue.submit({"workload": "er:1", "depths": 1, "config": {}})
+        # A slot loop that dies of anything but transient sqlite contention
+        # is a real bug; it must surface in /healthz, not vanish silently.
+        def explode(*args, **kwargs):
+            raise RuntimeError("claim machinery broke")
+
+        svc.queue.claimable_tenants = explode
+        svc.start()
+        try:
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                health = svc.healthz()
+                if not health["ok"]:
+                    break
+                time.sleep(0.05)
+            assert health["ok"] is False
+            assert health["slots"]["alive"] == 0
+            assert "claim machinery broke" in health["slots"]["dead"][0]["error"]
+        finally:
+            del svc.queue.claimable_tenants
+            svc.stop()
 
     def test_result_before_done_is_409(self, service):
         svc, base = service
@@ -119,6 +147,98 @@ class TestValidation:
         with pytest.raises(urllib.error.HTTPError) as info:
             urllib.request.urlopen(request, timeout=10)
         assert info.value.code == 400
+
+
+class TestHardening:
+    @pytest.fixture
+    def cold_service(self, tmp_path):
+        """A bound HTTP front end whose multiplexer never starts: submitted
+        jobs stay queued, so admission and cancellation are deterministic."""
+        svc = SearchService(
+            tmp_path,
+            max_concurrent=1,
+            workers=1,
+            max_queue_depth=2,
+            max_queued_per_tenant=1,
+        )
+        server = make_http_server(svc)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield svc, f"http://{host}:{port}"
+        server.shutdown()
+        server.server_close()
+        svc.multiplexer._slots = []  # never started; stop() would object
+        svc._executor.close()
+        svc.cache.close()
+        svc.queue.close()
+
+    def test_full_queue_is_429_with_retry_after(self, cold_service):
+        _, base = cold_service
+        assert http("POST", base + "/submit", {**SPEC, "tenant": "a"})[0] == 202
+        assert http("POST", base + "/submit", {**SPEC, "tenant": "b"})[0] == 202
+        request = urllib.request.Request(
+            base + "/submit",
+            data=json.dumps({**SPEC, "tenant": "c"}).encode(),
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 429
+        assert int(info.value.headers["Retry-After"]) >= 1
+        assert "queue full" in json.loads(info.value.read())["error"]
+
+    def test_tenant_backlog_quota_is_429(self, cold_service):
+        _, base = cold_service
+        assert http("POST", base + "/submit", {**SPEC, "tenant": "alice"})[0] == 202
+        status, body = http("POST", base + "/submit", {**SPEC, "tenant": "alice"})
+        assert status == 429
+        assert "alice" in body["error"]
+        # another tenant still gets in: the quota is per tenant, not global
+        assert http("POST", base + "/submit", {**SPEC, "tenant": "bob"})[0] == 202
+
+    def test_cancel_queued_job_via_http(self, cold_service):
+        svc, base = cold_service
+        job_id = http("POST", base + "/submit", SPEC)[1]["id"]
+        status, body = http("POST", base + f"/cancel/{job_id}")
+        assert status == 200
+        assert body == {"id": job_id, "state": "cancelled"}
+        assert svc.queue.get(job_id).state == "cancelled"
+        # a cancelled job's result is gone for good, like a failed one
+        assert http("GET", base + f"/result/{job_id}")[0] == 410
+
+    def test_cancel_unknown_job_is_404(self, cold_service):
+        _, base = cold_service
+        assert http("POST", base + "/cancel/nope")[0] == 404
+
+    def test_client_wait_surfaces_the_failure_text(self, cold_service):
+        svc, base = cold_service
+        client = connect(base)
+        job_id = client.submit("er:1", depths=1, tenant="failer")
+        svc.queue.claim_next(owner="test", tenant="failer")
+        svc.queue.mark_failed(job_id, "ValueError: kaboom", owner="test")
+        with pytest.raises(ServiceError) as info:
+            client.wait(job_id, timeout=5)
+        assert "kaboom" in str(info.value)
+
+    def test_client_cancel_and_wait_on_cancelled(self, cold_service):
+        _, base = cold_service
+        client = connect(base)
+        job_id = client.submit("er:1", depths=1, tenant="canceller")
+        assert client.cancel(job_id) == "cancelled"
+        with pytest.raises(ServiceError) as info:
+            client.wait(job_id, timeout=5)
+        assert "cancelled" in str(info.value)
+
+    def test_submit_carries_tenant_and_priority(self, cold_service):
+        svc, base = cold_service
+        _, body = http(
+            "POST", base + "/submit", {**SPEC, "tenant": "alice", "priority": 7}
+        )
+        record = svc.queue.get(body["id"])
+        assert record.tenant == "alice"
+        assert record.priority == 7
 
 
 class TestClient:
