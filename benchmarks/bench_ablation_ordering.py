@@ -83,7 +83,10 @@ def bench_ablation_ordering(once):
 
     ExperimentRecord(
         experiment="ablation_ordering",
-        paper_claim="heuristic contraction orders substantially reduce contraction width vs naive orders",
+        paper_claim=(
+            "heuristic contraction orders substantially reduce contraction "
+            "width vs naive orders"
+        ),
         parameters={"cases": [f"n={n},p={p}" for n, p in CASES]},
         measured={"rows": rows},
         verdict="min-fill <= best-of-5 random on every case; restarts <= greedy",

@@ -55,7 +55,10 @@ def bench_fig8_er_comparison(once):
 
     ExperimentRecord(
         experiment="fig8",
-        paper_claim="qnas mixer achieves higher mean r than baseline on ER graphs (~0.986-1.0 band)",
+        paper_claim=(
+            "qnas mixer achieves higher mean r than baseline on ER graphs "
+            "(~0.986-1.0 band)"
+        ),
         parameters={
             "scale": scale.name,
             "num_graphs": len(er_graphs),

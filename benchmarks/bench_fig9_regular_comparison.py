@@ -42,6 +42,10 @@ def bench_fig9_regular_comparison(once):
         assert series[-1] >= series[0] - 0.02, "ratio should not degrade with depth"
         assert min(series) > 0.8
 
+    max_gap = max(
+        abs(result.per_p["qnas"][i] - result.per_p["baseline"][i])
+        for i in range(len(p_values))
+    )
     ExperimentRecord(
         experiment="fig9",
         paper_claim="baseline and qnas comparable at all p on 4-regular graphs (aggregate ~1.0)",
@@ -52,8 +56,5 @@ def bench_fig9_regular_comparison(once):
             "max_steps": config.max_steps,
         },
         measured={"per_p": result.per_p, "aggregated": result.aggregated},
-        verdict=(
-            "comparable: max per-p gap "
-            f"{max(abs(result.per_p['qnas'][i] - result.per_p['baseline'][i]) for i in range(len(p_values))):.4f}"
-        ),
+        verdict=f"comparable: max per-p gap {max_gap:.4f}",
     ).save()

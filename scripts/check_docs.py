@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs gate: project documentation must stay runnable and unbroken.
 
-Two checks, run by CI's docs job (and ``scripts/run_ci_locally.sh``):
+Three checks, run by CI's docs job (and ``scripts/run_ci_locally.sh``):
 
 * **Links** — every intra-repo markdown link in ``README.md`` and
   ``docs/*.md`` must resolve to an existing file or directory (relative
@@ -16,6 +16,11 @@ Two checks, run by CI's docs job (and ``scripts/run_ci_locally.sh``):
   (Blocks in ``docs/`` are shell/reference material and are not
   executed; executable doc snippets belong in the README or
   ``examples/``.)
+* **Flags** — every ``--flag`` mentioned anywhere in the checked docs
+  must be an option the CLI actually accepts (collected from
+  ``repro.cli.build_parser()``, subcommands included). A flag renamed in
+  ``cli.py`` — or a table row documenting a flag that never shipped —
+  fails here instead of misleading a reader.
 
 Run from the repo root::
 
@@ -24,6 +29,7 @@ Run from the repo root::
 
 from __future__ import annotations
 
+import argparse
 import re
 import sys
 import time
@@ -38,6 +44,15 @@ _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _FENCE = re.compile(r"^```(\w+)\n(.*?)^```", re.MULTILINE | re.DOTALL)
 #: link schemes that are not filesystem paths
 _EXTERNAL = ("http://", "https://", "mailto:")
+#: a long option mentioned in prose, a table, or a shell block; the
+#: lookbehind keeps it from matching the tail of a longer flag or word
+_FLAG = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
+#: documented flags owned by repo scripts rather than ``python -m repro``
+#: (scripts build their parsers inline in main(), so they can't be
+#: introspected the way build_parser() can)
+_SCRIPT_FLAGS = {
+    "--only",  # scripts/ci_smoke.py
+}
 
 
 def doc_files() -> list[Path]:
@@ -62,6 +77,35 @@ def check_links(files: list[Path]) -> list[str]:
             if not resolved.exists():
                 errors.append(
                     f"{doc.relative_to(REPO)}: broken link -> {target}"
+                )
+    return errors
+
+
+def cli_option_strings() -> set[str]:
+    """Every long option the CLI accepts, across all subcommands."""
+    from repro.cli import build_parser
+
+    flags: set[str] = set()
+    parsers = [build_parser()]
+    while parsers:
+        parser = parsers.pop()
+        for action in parser._actions:
+            flags.update(s for s in action.option_strings if s.startswith("--"))
+            if isinstance(action, argparse._SubParsersAction):
+                parsers.extend(action.choices.values())
+    return flags
+
+
+def check_flags(files: list[Path]) -> list[str]:
+    """Return errors for documented ``--flags`` the CLI does not accept."""
+    known = cli_option_strings() | _SCRIPT_FLAGS
+    errors = []
+    for doc in files:
+        text = doc.read_text(encoding="utf-8")
+        for flag in sorted(set(_FLAG.findall(text))):
+            if flag not in known:
+                errors.append(
+                    f"{doc.relative_to(REPO)}: documents unknown flag {flag}"
                 )
     return errors
 
@@ -96,6 +140,8 @@ def main() -> int:
         return 1
     print(f"checking links in {len(files)} docs...")
     errors = check_links(files)
+    print("checking documented CLI flags against build_parser()...")
+    errors += check_flags(files)
     print("running README python snippets...")
     errors += run_snippets(REPO / "README.md")
     if errors:

@@ -133,11 +133,30 @@ def smoke_service() -> int:
             # Two identical sweeps in flight at once, one fleet, one cache.
             first = client.submit("er:2:7", depths=1, config=config)
             second = client.submit("er:2:7", depths=1, config=config)
+            # /metrics must answer while sweeps are in flight
+            midsweep = client.metrics()
+            assert "repro_service_uptime_seconds" in midsweep
+            assert "# TYPE repro_queue_jobs gauge" in midsweep
             results = [client.wait(j, timeout=300) for j in (first, second)]
             seconds = time.perf_counter() - start
+            metrics_text = client.metrics()
 
         server.shutdown()
         server.server_close()
+
+    def series_value(name: str) -> float:
+        for line in metrics_text.splitlines():
+            if line.startswith(name + " ") or line.startswith(name + "{"):
+                return float(line.rsplit(" ", 1)[1])
+        return 0.0
+
+    # every instrumented layer must have reported: scheduler histogram +
+    # counters, cache hit/miss, sweep outcomes
+    assert series_value("repro_job_run_seconds_count") > 0
+    assert series_value("repro_jobs_completed_total") > 0
+    assert series_value("repro_cache_misses_total") > 0
+    assert series_value("repro_cache_hits_total") > 0
+    assert 'repro_sweeps_total{outcome="completed"} 2' in metrics_text
 
     hits = [r.config["cache_hits"] for r in results]
     misses = [r.config["cache_misses"] for r in results]

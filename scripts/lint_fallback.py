@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Offline approximation of the CI ruff job (F/E7/E9 + I + UP subsets).
+"""Offline approximation of the CI ruff job (F/E5/E7/E9 + I + UP subsets).
 
 CI runs real ruff (see .github/workflows/ci.yml). This script exists so
 `scripts/run_ci_locally.sh` can gate the same rule families on machines
@@ -8,8 +8,9 @@ definitions from imports, comparisons to None/True/False with ==, bare
 excepts, syntax errors, plus — since ruff.toml adopted ``I`` and ``UP`` —
 unsorted import sections (module order, section grouping, member order)
 and the unambiguous pyupgrade cases (PEP 585 builtin generics and
-collections.abc names imported from typing). It intentionally implements
-a *subset* — a clean ruff run implies a clean run here, not vice versa.
+collections.abc names imported from typing), plus line length (E501 at
+ruff.toml's 100-column limit). It intentionally implements a *subset* —
+a clean ruff run implies a clean run here, not vice versa.
 """
 
 from __future__ import annotations
@@ -19,6 +20,9 @@ import sys
 from pathlib import Path
 
 ROOTS = ("src", "tests", "benchmarks", "examples", "scripts")
+
+#: E501 limit; keep in sync with ``line-length`` in ruff.toml
+MAX_LINE_LENGTH = 100
 
 #: typing names PEP 585 replaced with builtins (UP006/UP035)
 TYPING_BUILTINS = {"List", "Dict", "Tuple", "Set", "FrozenSet", "Type"}
@@ -165,6 +169,13 @@ def check_file(path: Path) -> list[str]:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as error:  # E9
         return [f"{path}:{error.lineno}: E999 syntax error: {error.msg}"]
+
+    for number, line in enumerate(lines, 1):  # E501
+        if len(line) > MAX_LINE_LENGTH:
+            report(
+                number,
+                f"E501 line too long ({len(line)} > {MAX_LINE_LENGTH})",
+            )
 
     usage = ImportUsage()
     usage.visit(tree)

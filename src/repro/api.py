@@ -340,6 +340,21 @@ class Client:
         """Liveness + fleet/cache/queue counters."""
         return self._request("GET", "/healthz")
 
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition of ``GET /metrics``.
+
+        Returned as text, not JSON — feed it to a scraper or grep it for
+        a series; the catalog is in ``docs/observability.md``.
+        """
+        return self._request_text("GET", "/metrics")
+
+    def progress(self, job_id: str) -> dict | None:
+        """The ``progress`` field of ``GET /status/{id}``: candidates
+        done/total per depth, percent, live throughput. ``None`` until
+        the serving process has started running the job (or when another
+        process on a shared service directory ran it)."""
+        return self.status(job_id).get("progress")
+
     def wait(
         self,
         job_id: str,
@@ -381,6 +396,11 @@ class Client:
     # -- transport ---------------------------------------------------------
 
     def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        return json.loads(self._request_text(method, path, payload))
+
+    def _request_text(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> str:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
         request = urllib.request.Request(
             self.url + path,
@@ -390,7 +410,7 @@ class Client:
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
+                return response.read().decode("utf-8")
         except urllib.error.HTTPError as error:
             detail = error.read().decode("utf-8", errors="replace")
             try:

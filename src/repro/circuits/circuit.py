@@ -66,7 +66,9 @@ class QuantumCircuit:
         self._instructions.append(Instruction(gate, qubits))
         return self
 
-    def append_named(self, name: str, qubits: Sequence[int], *params: ParameterValue) -> QuantumCircuit:
+    def append_named(
+        self, name: str, qubits: Sequence[int], *params: ParameterValue
+    ) -> QuantumCircuit:
         """Append a registry gate by name — used by the QBuilder."""
         return self.append(make_gate(name, *params), qubits)
 
@@ -111,7 +113,9 @@ class QuantumCircuit:
     def p(self, lam: ParameterValue, q: int) -> QuantumCircuit:
         return self.append_named("p", [q], lam)
 
-    def u3(self, theta: ParameterValue, phi: ParameterValue, lam: ParameterValue, q: int) -> QuantumCircuit:
+    def u3(
+        self, theta: ParameterValue, phi: ParameterValue, lam: ParameterValue, q: int
+    ) -> QuantumCircuit:
         return self.append_named("u3", [q], theta, phi, lam)
 
     def cx(self, control: int, target: int) -> QuantumCircuit:

@@ -157,6 +157,10 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="NAME=W", dest="tenant_weights",
                        help="fairness weight for a tenant (repeatable); "
                             "unlisted tenants weigh 1.0")
+    serve.add_argument("--trace-log", default=None, metavar="PATH",
+                       help="append structured span events (JSONL) to this "
+                            "file; off by default (metrics at /metrics need "
+                            "no flag — see docs/observability.md)")
 
     return parser
 
@@ -333,6 +337,7 @@ def _cmd_serve(args) -> int:
         max_running_per_tenant=args.max_running_per_tenant,
         tenant_weights=weights or None,
         drain_timeout=args.drain_timeout,
+        trace_log=args.trace_log,
     )
     return 0
 

@@ -51,6 +51,7 @@ from pathlib import Path
 from repro.core.evaluator import EvaluationConfig
 from repro.core.results import CandidateEvaluation, DepthResult
 from repro.graphs.generators import Graph
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "ResultCache",
@@ -155,6 +156,7 @@ class ResultCache:
         flush_every: int = 1,
         max_entries: int | None = None,
         shared: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if flush_every < 1:
             raise ValueError(f"flush_every must be >= 1, got {flush_every}")
@@ -198,6 +200,38 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.metrics = metrics
+        self._m: dict[str, object] | None = None
+        if metrics is not None:
+            self._m = {
+                "hits": metrics.counter(
+                    "repro_cache_hits_total",
+                    "Candidate lookups served from the cache",
+                ),
+                "misses": metrics.counter(
+                    "repro_cache_misses_total",
+                    "Candidate lookups that required an evaluation",
+                ),
+                "evictions": metrics.counter(
+                    "repro_cache_evictions_total",
+                    "Entries removed by LRU overflow eviction",
+                ),
+                "flush": metrics.histogram(
+                    "repro_cache_flush_seconds",
+                    "Commit latency of one buffered write batch",
+                ),
+                "claim_wait": metrics.histogram(
+                    "repro_cache_claim_wait_seconds",
+                    "Time a tenant waited on another tenant's claimed key",
+                ),
+            }
+
+    def _count(self, name: str, n: int = 1) -> None:
+        """Bump a lifetime counter and, when wired, its metric mirror.
+        Callers hold ``self._lock``."""
+        setattr(self, name, getattr(self, name) + n)
+        if self._m is not None:
+            self._m[name].inc(n)
 
     # -- mapping interface -------------------------------------------------
 
@@ -205,16 +239,16 @@ class ResultCache:
         with self._lock:
             buffered = self._buffer.get(key)
             if buffered is not None:
-                self.hits += 1
+                self._count("hits")
                 return buffered
             row = self._conn.execute(
                 "SELECT value FROM results WHERE key = ? AND schema = ?",
                 (key, self.SCHEMA_VERSION),
             ).fetchone()
             if row is None:
-                self.misses += 1
+                self._count("misses")
                 return None
-            self.hits += 1
+            self._count("hits")
             if self.max_entries is not None:
                 # LRU refresh only matters when eviction is on; unbounded
                 # caches keep reads write-free.
@@ -229,7 +263,7 @@ class ResultCache:
         """Record a hit served without a lookup (e.g. an in-depth repeat
         proposal fanned out from one training run)."""
         with self._lock:
-            self.hits += 1
+            self._count("hits")
 
     def put(self, key: str, evaluation: CandidateEvaluation) -> None:
         with self._lock:
@@ -243,6 +277,7 @@ class ResultCache:
         overflow (never in-flight/pinned/buffered keys)."""
         with self._lock:
             if self._buffer:
+                t0 = time.perf_counter() if self._m is not None else 0.0
                 now = time.time()
                 self._conn.executemany(
                     "INSERT OR REPLACE INTO results"
@@ -257,8 +292,15 @@ class ResultCache:
                         for key, evaluation in self._buffer.items()
                     ],
                 )
+                written = len(self._buffer)
                 self._conn.commit()
                 self._buffer.clear()
+                if self._m is not None:
+                    elapsed = time.perf_counter() - t0
+                    self._m["flush"].observe(elapsed)
+                    self.metrics.trace_event(
+                        "cache_flush", elapsed, entries=written
+                    )
             self._evict_overflow()
 
     # -- multi-tenant coordination -----------------------------------------
@@ -307,7 +349,8 @@ class ResultCache:
         when ``timeout`` (seconds) expires first — the caller should then
         evaluate the candidate itself.
         """
-        deadline = None if timeout is None else time.monotonic() + timeout
+        t0 = time.monotonic()
+        deadline = None if timeout is None else t0 + timeout
         with self._available:
             while key in self._claims:
                 remaining = None
@@ -316,6 +359,10 @@ class ResultCache:
                     if remaining <= 0:
                         break
                 self._available.wait(remaining)
+            if self._m is not None:
+                elapsed = time.monotonic() - t0
+                self._m["claim_wait"].observe(elapsed)
+                self.metrics.trace_event("cache_claim_wait", elapsed, key=key)
             return self.get(key)
 
     def _resolve_claim(self, key: str) -> None:
@@ -351,7 +398,7 @@ class ResultCache:
             "DELETE FROM results WHERE key = ?", [(key,) for key in victims]
         )
         self._conn.commit()
-        self.evictions += len(victims)
+        self._count("evictions", len(victims))
 
     # -- sizing / lifecycle ------------------------------------------------
 

@@ -77,6 +77,8 @@ from repro.core.evaluator import classical_optima, evaluate_candidate
 from repro.core.predictor import Predictor
 from repro.core.results import CandidateEvaluation, DepthResult, SearchResult
 from repro.graphs.generators import Graph
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import SweepProgress
 from repro.parallel.cluster import least_loaded_partition
 from repro.parallel.executor import Executor, SerialExecutor
 from repro.parallel.jobs import JobScheduler
@@ -200,6 +202,8 @@ class SearchRuntime:
         runtime: RuntimeConfig = RuntimeConfig(),
         cache: ResultCache | None = None,
         cancel: CancellationToken | None = None,
+        metrics: MetricsRegistry | None = None,
+        progress: SweepProgress | None = None,
     ) -> None:
         if not graphs:
             raise ValueError("search runtime needs at least one graph")
@@ -207,11 +211,14 @@ class SearchRuntime:
         self.config = config
         self.runtime = runtime
         self.cancel = cancel
+        self.metrics = metrics
+        self.progress = progress
         self.executor = executor or SerialExecutor()
         self.scheduler = JobScheduler(
             self.executor,
             max_retries=runtime.max_retries,
             timeout=runtime.job_timeout,
+            metrics=metrics,
         )
         # Hot-path fix: the candidate-independent brute-force solve happens
         # here, once, and rides along in every job payload.
@@ -231,6 +238,7 @@ class SearchRuntime:
                 runtime.cache_dir,
                 flush_every=runtime.cache_flush_every,
                 max_entries=runtime.cache_max_entries,
+                metrics=metrics,
             )
             self.checkpoint = SweepCheckpoint(runtime.cache_dir)
         self.restored_depths = 0
@@ -313,6 +321,8 @@ class SearchRuntime:
         best: CandidateEvaluation | None = None
         depth_results: list[DepthResult] = []
         total_start = time.perf_counter()
+        if self.progress is not None:
+            self.progress.begin_sweep(depth_count)
 
         for depth_index in range(depth_count):
             # Cancellation checkpoint: a cancelled sweep stops before
@@ -343,6 +353,8 @@ class SearchRuntime:
                     "candidates?)"
                 )
             raise ValueError("search produced no evaluations (empty candidate sets)")
+        if self.progress is not None:
+            self.progress.finish_sweep()
         return SearchResult(
             best_tokens=best.tokens,
             best_p=best.p,
@@ -363,6 +375,10 @@ class SearchRuntime:
             restored = self.checkpoint.load_depth(depth_fp)
             if restored is not None:
                 self.restored_depths += 1
+                if self.progress is not None:
+                    done = len(restored.evaluations)
+                    self.progress.begin_depth(p, total=done, cached=done)
+                    self.progress.finish_depth(p)
                 return restored
         if self.runtime.shard_index is not None:
             # This process is one node of a multi-process deployment: it
@@ -398,6 +414,15 @@ class SearchRuntime:
                 self._sweep_misses += 1
                 miss_positions[key] = [position]
 
+        if self.progress is not None:
+            # Positions already filled by lookups count as done from the
+            # start; repeats awaiting a miss land with that miss below.
+            self.progress.begin_depth(
+                p,
+                total=len(candidates),
+                cached=sum(1 for e in evaluations if e is not None),
+            )
+
         # Against a shared cache, claim each miss: the first tenant to
         # claim a key evaluates it, the others collect its put below
         # instead of duplicating the training run.
@@ -425,6 +450,8 @@ class SearchRuntime:
                     if self.cache is not None:
                         self.cache.put(key, result)
                     unresolved.discard(key)
+                    if self.progress is not None:
+                        self.progress.record(p, len(miss_positions[key]))
                     # Mid-depth cancellation checkpoint: every streamed
                     # result above is already persisted, and the finally
                     # below releases the claims we never delivered.
@@ -458,9 +485,13 @@ class SearchRuntime:
                 self._sweep_hits += 1
             for position in miss_positions[key]:
                 evaluations[position] = result
+            if self.progress is not None:
+                self.progress.record(p, len(miss_positions[key]))
         if foreign_keys and self.cache is not None:
             self.cache.flush()
 
+        if self.progress is not None:
+            self.progress.finish_depth(p)
         depth_result = DepthResult(
             p,
             tuple(e for e in evaluations if e is not None),

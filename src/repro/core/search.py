@@ -32,6 +32,8 @@ from repro.core.results import SearchResult
 from repro.core.runtime import CancellationToken, RuntimeConfig, SearchRuntime
 from repro.core.sharded import ShardedRuntime
 from repro.graphs.generators import Graph
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import SweepProgress
 from repro.parallel.executor import Executor
 from repro.utils.validation import check_positive
 
@@ -71,6 +73,8 @@ def _make_runtime(
     runtime: RuntimeConfig | None,
     cache: ResultCache | None = None,
     cancel: CancellationToken | None = None,
+    metrics: MetricsRegistry | None = None,
+    progress: SweepProgress | None = None,
 ) -> SearchRuntime:
     """Pick the execution substrate from the runtime config.
 
@@ -78,14 +82,15 @@ def _make_runtime(
     shard) selects :class:`ShardedRuntime`; ``executor`` may then be a
     sequence of per-shard executors. Everything else runs single-node.
     ``cache`` injects an externally-owned (typically shared, multi-tenant)
-    result store in place of a private ``runtime.cache_dir`` one.
+    result store in place of a private ``runtime.cache_dir`` one;
+    ``metrics``/``progress`` opt the run into the observability layer.
     """
     runtime = runtime or RuntimeConfig()
     sequence_given = executor is not None and not isinstance(executor, Executor)
     if (runtime.shards > 1 or sequence_given) and runtime.shard_index is None:
         return ShardedRuntime(
             graphs, config, executors=executor, runtime=runtime, cache=cache,
-            cancel=cancel,
+            cancel=cancel, metrics=metrics, progress=progress,
         )
     if sequence_given:
         raise ValueError(
@@ -94,7 +99,7 @@ def _make_runtime(
         )
     return SearchRuntime(
         graphs, config, executor=executor, runtime=runtime, cache=cache,
-        cancel=cancel,
+        cancel=cancel, metrics=metrics, progress=progress,
     )
 
 
@@ -106,6 +111,8 @@ def search_mixer(
     runtime: RuntimeConfig | None = None,
     cache: ResultCache | None = None,
     cancel: CancellationToken | None = None,
+    metrics: MetricsRegistry | None = None,
+    progress: SweepProgress | None = None,
 ) -> SearchResult:
     """Exhaustive Algorithm 1 (the paper's profiled configuration).
 
@@ -130,6 +137,8 @@ def search_mixer(
         runtime=runtime,
         cache=cache,
         cancel=cancel,
+        metrics=metrics,
+        progress=progress,
     )
 
 
@@ -176,8 +185,11 @@ def _run_depth_sweep(
     runtime: RuntimeConfig | None = None,
     cache: ResultCache | None = None,
     cancel: CancellationToken | None = None,
+    metrics: MetricsRegistry | None = None,
+    progress: SweepProgress | None = None,
 ) -> SearchResult:
     with _make_runtime(
-        graphs, config, executor, runtime, cache, cancel
+        graphs, config, executor, runtime, cache, cancel,
+        metrics=metrics, progress=progress,
     ) as search_runtime:
         return search_runtime.run(candidates_per_depth, predictor=predictor)

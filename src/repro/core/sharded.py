@@ -71,6 +71,8 @@ from repro.core.runtime import (
     predicted_cost,
 )
 from repro.graphs.generators import Graph
+from repro.obs.metrics import Counter, MetricsRegistry
+from repro.obs.progress import SweepProgress
 from repro.parallel.cluster import least_loaded_partition
 from repro.parallel.executor import Executor, SerialExecutor
 from repro.parallel.jobs import JobFailedError, JobScheduler
@@ -129,6 +131,8 @@ class ShardedRuntime(SearchRuntime):
         runtime: RuntimeConfig = RuntimeConfig(shards=2),
         cache: ResultCache | None = None,
         cancel: CancellationToken | None = None,
+        metrics: MetricsRegistry | None = None,
+        progress: SweepProgress | None = None,
     ) -> None:
         if runtime.shard_index is not None:
             raise ValueError(
@@ -150,7 +154,7 @@ class ShardedRuntime(SearchRuntime):
                 )
         super().__init__(
             graphs, config, executor=shard_executors[0], runtime=runtime,
-            cache=cache, cancel=cancel,
+            cache=cache, cancel=cancel, metrics=metrics, progress=progress,
         )
         self.shard_states = [
             _Shard(
@@ -160,6 +164,7 @@ class ShardedRuntime(SearchRuntime):
                     executor,
                     max_retries=runtime.max_retries,
                     timeout=runtime.job_timeout,
+                    metrics=metrics,
                 ),
             )
             for index, executor in enumerate(shard_executors)
@@ -167,6 +172,13 @@ class ShardedRuntime(SearchRuntime):
         self.dead_shards: list[int] = []
         self.jobs_migrated = 0
         self._last_cause: BaseException | None = None
+        self._m_shard: Counter | None = None
+        if metrics is not None:
+            self._m_shard = metrics.counter(
+                "repro_shard_candidates_total",
+                "Candidate evaluations completed, by shard",
+                labels=("shard",),
+            )
 
     # -- the sharded outer level -------------------------------------------
 
@@ -217,6 +229,10 @@ class ShardedRuntime(SearchRuntime):
                 if kind == "result":
                     key, result = payload
                     del remaining[key]
+                    if self.progress is not None:
+                        self.progress.record_shard(shard.index)
+                    if self._m_shard is not None:
+                        self._m_shard.labels(shard=str(shard.index)).inc()
                     yield key, result
                 elif kind == "fatal":
                     # Candidate-level terminal failure: the node is fine,

@@ -33,10 +33,12 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
 from typing import Any
 
+from repro.obs.metrics import MetricsRegistry
 from repro.parallel.executor import Executor, available_cores
 
 __all__ = ["AsyncExecutor"]
@@ -52,12 +54,40 @@ class AsyncExecutor(Executor):
         defaults to the usable core count. Like :class:`ThreadExecutor`,
         best suited to NumPy-bound work that releases the GIL — which is
         exactly what candidate training is under the compiled engine.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`. When given,
+        the executor tracks admission depth (``repro_executor_admitted``,
+        jobs accepted but not yet settled), occupancy
+        (``repro_executor_running``), and how long admitted jobs queued
+        behind the semaphore (``repro_executor_semaphore_wait_seconds``).
     """
 
     name = "async"
 
-    def __init__(self, num_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        num_workers: int | None = None,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.num_workers = num_workers or available_cores()
+        self.metrics = metrics
+        self._m: dict[str, Any] | None = None
+        if metrics is not None:
+            self._m = {
+                "admitted": metrics.gauge(
+                    "repro_executor_admitted",
+                    "Jobs accepted by the dispatch plane and not yet settled",
+                ),
+                "running": metrics.gauge(
+                    "repro_executor_running",
+                    "Jobs currently occupying a worker thread",
+                ),
+                "wait": metrics.histogram(
+                    "repro_executor_semaphore_wait_seconds",
+                    "Time an admitted job queued behind the worker semaphore",
+                ),
+            }
         self._pool = ThreadPoolExecutor(
             max_workers=self.num_workers, thread_name_prefix="async-exec"
         )
@@ -97,22 +127,40 @@ class AsyncExecutor(Executor):
         if self._closed:
             raise RuntimeError("AsyncExecutor is closed")
         future: Future = Future()
+        if self._m is not None:
+            self._m["admitted"].inc()
         asyncio.run_coroutine_threadsafe(self._dispatch(future, fn, args), self._loop)
         return future
 
     async def _dispatch(self, future: Future, fn: Callable, args: tuple) -> None:
         assert self._semaphore is not None
-        async with self._semaphore:
-            # Claim the future for execution; a False return means the
-            # caller cancelled it while it was queued — nothing to run.
-            if not future.set_running_or_notify_cancel():
-                return
-            try:
-                result = await self._loop.run_in_executor(self._pool, fn, *args)
-            except BaseException as exc:  # noqa: BLE001 - routed into the future
-                self._settle(future.set_exception, exc)
-            else:
-                self._settle(future.set_result, result)
+        t0 = time.perf_counter() if self._m is not None else 0.0
+        try:
+            async with self._semaphore:
+                if self._m is not None:
+                    elapsed = time.perf_counter() - t0
+                    self._m["wait"].observe(elapsed)
+                    self.metrics.trace_event("executor_semaphore_wait", elapsed)
+                # Claim the future for execution; a False return means the
+                # caller cancelled it while it was queued — nothing to run.
+                if not future.set_running_or_notify_cancel():
+                    return
+                if self._m is not None:
+                    self._m["running"].inc()
+                try:
+                    result = await self._loop.run_in_executor(
+                        self._pool, fn, *args
+                    )
+                except BaseException as exc:  # noqa: BLE001 - routed into the future
+                    self._settle(future.set_exception, exc)
+                else:
+                    self._settle(future.set_result, result)
+                finally:
+                    if self._m is not None:
+                        self._m["running"].dec()
+        finally:
+            if self._m is not None:
+                self._m["admitted"].dec()
 
     @staticmethod
     def _settle(setter: Callable, value: Any) -> None:

@@ -31,6 +31,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, wait
 from dataclasses import dataclass, fields, replace
 from typing import Any
 
+from repro.obs.metrics import MetricsRegistry
 from repro.parallel.executor import Executor, SerialExecutor
 
 __all__ = ["JobFailedError", "JobStats", "JobScheduler"]
@@ -79,6 +80,7 @@ class _Pending:
     index: int
     attempt: int
     deadline: float | None
+    submitted_at: float
 
 
 class JobScheduler:
@@ -100,6 +102,12 @@ class JobScheduler:
         Bounding keeps deadlines honest (an attempt's clock starts when it
         is submitted) and lets inline executors stream results between
         submissions.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`. When given,
+        the scheduler mirrors its counters into ``repro_jobs_*_total``
+        and observes per-attempt run latency (``repro_job_run_seconds``)
+        and backlog wait before a job's first attempt
+        (``repro_job_queue_wait_seconds``).
     """
 
     def __init__(
@@ -109,6 +117,7 @@ class JobScheduler:
         max_retries: int = 2,
         timeout: float | None = None,
         max_inflight: int | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
@@ -122,6 +131,40 @@ class JobScheduler:
         self.max_inflight = max_inflight
         self.stats = JobStats()
         self._pass_start = JobStats()
+        self._pass_t0 = time.monotonic()
+        self.metrics = metrics
+        self._m: dict[str, Any] | None = None
+        if metrics is not None:
+            self._m = {
+                "submitted": metrics.counter(
+                    "repro_jobs_submitted_total",
+                    "Job attempts handed to the executor",
+                ),
+                "completed": metrics.counter(
+                    "repro_jobs_completed_total",
+                    "Job attempts that returned a result",
+                ),
+                "retried": metrics.counter(
+                    "repro_jobs_retried_total",
+                    "Failed or expired attempts that were resubmitted",
+                ),
+                "timed_out": metrics.counter(
+                    "repro_jobs_timed_out_total",
+                    "Attempts abandoned at their per-attempt deadline",
+                ),
+                "failed": metrics.counter(
+                    "repro_jobs_failed_total",
+                    "Jobs that exhausted their retry budget",
+                ),
+                "run": metrics.histogram(
+                    "repro_job_run_seconds",
+                    "Submit-to-completion latency of one job attempt",
+                ),
+                "wait": metrics.histogram(
+                    "repro_job_queue_wait_seconds",
+                    "Backlog wait before a job's first attempt is submitted",
+                ),
+            }
 
     # -- accounting --------------------------------------------------------
 
@@ -138,6 +181,7 @@ class JobScheduler:
         """Yield ``(job_index, result)`` pairs in completion order."""
         jobs = list(jobs)
         self._pass_start = replace(self.stats)
+        self._pass_t0 = time.monotonic()
         limit = self.max_inflight or 4 * max(1, self.executor.num_workers)
         backlog = deque(range(len(jobs)))
         pending: dict[Future, _Pending] = {}
@@ -158,6 +202,16 @@ class JobScheduler:
                 error = future.exception()
                 if error is None:
                     self.stats.completed += 1
+                    if self._m is not None:
+                        elapsed = time.monotonic() - entry.submitted_at
+                        self._m["completed"].inc()
+                        self._m["run"].observe(elapsed)
+                        self.metrics.trace_event(
+                            "job_run",
+                            elapsed,
+                            index=entry.index,
+                            attempt=entry.attempt,
+                        )
                     yield entry.index, future.result()
                 else:
                     failure = failure or self._retry_or_fail(
@@ -184,10 +238,15 @@ class JobScheduler:
         index: int,
         attempt: int,
     ) -> None:
-        deadline = None if self.timeout is None else time.monotonic() + self.timeout
+        now = time.monotonic()
+        deadline = None if self.timeout is None else now + self.timeout
         future = self.executor.submit(fn, *jobs[index])
-        pending[future] = _Pending(index, attempt, deadline)
+        pending[future] = _Pending(index, attempt, deadline, now)
         self.stats.submitted += 1
+        if self._m is not None:
+            self._m["submitted"].inc()
+            if attempt == 1:
+                self._m["wait"].observe(now - self._pass_t0)
 
     def _retry_or_fail(
         self,
@@ -201,9 +260,13 @@ class JobScheduler:
         error so the caller can finish draining its completion batch."""
         if entry.attempt <= self.max_retries:
             self.stats.retried += 1
+            if self._m is not None:
+                self._m["retried"].inc()
             self._submit(pending, fn, jobs, entry.index, attempt=entry.attempt + 1)
             return None
         self.stats.failed += 1
+        if self._m is not None:
+            self._m["failed"].inc()
         error = JobFailedError(entry.index, entry.attempt, cause)
         error.__cause__ = cause
         return error
@@ -227,6 +290,8 @@ class JobScheduler:
                 # the pool is still clean.
                 self.executor.tainted = True
             self.stats.timed_out += 1
+            if self._m is not None:
+                self._m["timed_out"].inc()
             failure = failure or self._retry_or_fail(
                 pending,
                 fn,

@@ -49,6 +49,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from repro.obs.metrics import MetricsRegistry
+
 __all__ = ["JOB_STATES", "TERMINAL_STATES", "JobQueue", "JobRecord"]
 
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
@@ -131,6 +133,10 @@ class JobQueue:
         Transient-failure requeue backoff: attempt ``n`` waits
         ``min(backoff_base * 2**(n-1), backoff_cap)`` seconds before the
         job is claimable again.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`. When given,
+        the queue records submissions and claim wait per tenant, lease
+        renewals, lease-expiry reclaims, and dead-letter transitions.
     """
 
     def __init__(
@@ -141,6 +147,7 @@ class JobQueue:
         max_attempts: int = 3,
         backoff_base: float = 0.5,
         backoff_cap: float = 30.0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if lease_seconds <= 0:
             raise ValueError(f"lease_seconds must be positive, got {lease_seconds}")
@@ -155,6 +162,34 @@ class JobQueue:
         self.max_attempts = int(max_attempts)
         self.backoff_base = float(backoff_base)
         self.backoff_cap = float(backoff_cap)
+        self.metrics = metrics
+        self._m: dict[str, Any] | None = None
+        if metrics is not None:
+            self._m = {
+                "submitted": metrics.counter(
+                    "repro_queue_submitted_total",
+                    "Sweep jobs enqueued, by tenant",
+                    labels=("tenant",),
+                ),
+                "claim_wait": metrics.histogram(
+                    "repro_queue_claim_wait_seconds",
+                    "Time a claimable job waited in the queue before a "
+                    "slot claimed it, by tenant",
+                    labels=("tenant",),
+                ),
+                "renewals": metrics.counter(
+                    "repro_lease_renewals_total",
+                    "Successful heartbeat lease renewals",
+                ),
+                "reclaims": metrics.counter(
+                    "repro_queue_reclaims_total",
+                    "Jobs reclaimed after their holder's lease expired",
+                ),
+                "dead_letters": metrics.counter(
+                    "repro_queue_dead_letters_total",
+                    "Jobs failed permanently after exhausting max_attempts",
+                ),
+            }
         self._lock = threading.RLock()
         self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
         self._execute("PRAGMA journal_mode=WAL")
@@ -208,6 +243,8 @@ class JobQueue:
                 (job_id, json.dumps(spec), str(tenant), int(priority), time.time()),
             )
             self._conn.commit()
+        if self._m is not None:
+            self._m["submitted"].labels(tenant=str(tenant)).inc()
         return job_id
 
     # -- consumer side -----------------------------------------------------
@@ -238,7 +275,8 @@ class JobQueue:
                     clause += " AND tenant = ?"
                     params.append(tenant)
                 row = self._execute(
-                    "SELECT id, state, attempts, cancel_requested FROM jobs"
+                    "SELECT id, state, attempts, cancel_requested, tenant,"
+                    " submitted_at, not_before FROM jobs"
                     f" WHERE {clause}"
                     " ORDER BY priority DESC, submitted_at ASC, rowid ASC"
                     " LIMIT 1",
@@ -246,7 +284,15 @@ class JobQueue:
                 ).fetchone()
                 if row is None:
                     return None
-                job_id, state, attempts, cancel_requested = row
+                (
+                    job_id,
+                    state,
+                    attempts,
+                    cancel_requested,
+                    job_tenant,
+                    submitted_at,
+                    not_before,
+                ) = row
                 if cancel_requested:
                     # Cancelled while queued-for-retry or while its dead
                     # holder ran: no live owner will ever acknowledge, so
@@ -262,6 +308,8 @@ class JobQueue:
                             f"attempt(s) (max_attempts={self.max_attempts})"
                         ),
                     )
+                    if self._m is not None:
+                        self._m["dead_letters"].inc()
                     continue
                 # Conditional claim: the observed state must still hold, so
                 # concurrent claimants (threads or sibling processes) race
@@ -275,6 +323,23 @@ class JobQueue:
                 )
                 self._conn.commit()
                 if claimed.rowcount == 1:
+                    if self._m is not None:
+                        if state == "running":
+                            # The previous holder's lease expired.
+                            self._m["reclaims"].inc()
+                        else:
+                            waited = max(
+                                0.0, now - max(submitted_at, not_before)
+                            )
+                            self._m["claim_wait"].labels(
+                                tenant=str(job_tenant)
+                            ).observe(waited)
+                            self.metrics.trace_event(
+                                "queue_claim_wait",
+                                waited,
+                                tenant=str(job_tenant),
+                                job=job_id,
+                            )
                     return self.get(job_id)
 
     def heartbeat(self, job_id: str, owner: str) -> str:
@@ -299,6 +364,8 @@ class JobQueue:
                 (time.time() + self.lease_seconds, job_id, owner),
             )
             self._conn.commit()
+            if self._m is not None:
+                self._m["renewals"].inc()
             return "cancel" if row[2] else "ok"
 
     def cancel(self, job_id: str) -> str:
@@ -361,6 +428,8 @@ class JobQueue:
                         f"attempt(s); last error: {error}"
                     ),
                 )
+                if self._m is not None:
+                    self._m["dead_letters"].inc()
                 return "failed"
             delay = min(
                 self.backoff_base * (2 ** max(0, record.attempts - 1)),

@@ -57,6 +57,8 @@ from repro.api import Config, resolve_workload
 from repro.core.cache import ResultCache
 from repro.core.runtime import CancellationToken, RuntimeConfig, SweepCancelled
 from repro.core.search import search_mixer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import SweepProgress
 from repro.parallel.async_executor import AsyncExecutor
 from repro.parallel.executor import Executor
 from repro.service.jobs import JobQueue, JobRecord
@@ -132,7 +134,15 @@ class SweepMultiplexer:
     drain_timeout:
         Default grace period :meth:`stop` gives running sweeps before
         cancelling them and requeueing their jobs (None = wait forever).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`, threaded
+        into every sweep it runs (scheduler/cache/progress
+        instrumentation) and fed outcome counters
+        (``repro_sweeps_total{outcome=...}``).
     """
+
+    #: finished-sweep progress snapshots kept for late ``/status`` polls
+    PROGRESS_KEEP = 256
 
     def __init__(
         self,
@@ -145,6 +155,7 @@ class SweepMultiplexer:
         tenant_weights: dict[str, float] | None = None,
         max_running_per_tenant: int | None = None,
         drain_timeout: float | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if max_concurrent < 1:
             raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
@@ -165,10 +176,26 @@ class SweepMultiplexer:
         self.sweeps_cancelled = 0
         self.sweeps_requeued = 0
         self.queue_retries = 0
+        self.metrics = metrics
+        self._m_sweeps = None
+        self._m_queue_retries = None
+        if metrics is not None:
+            self._m_sweeps = metrics.counter(
+                "repro_sweeps_total",
+                "Sweeps that reached a local outcome, by outcome",
+                labels=("outcome",),
+            )
+            self._m_queue_retries = metrics.counter(
+                "repro_queue_retries_total",
+                "Queue operations retried on transient sqlite contention",
+            )
         self._stride = _TenantStride(dict(tenant_weights or {}))
         self._stop = threading.Event()
         self._state_lock = threading.Lock()
         self._slots: list[_Slot] = []
+        #: job id -> its sweep's progress tracker (kept after the job
+        #: leaves this process, bounded by PROGRESS_KEEP)
+        self._progress: dict[str, SweepProgress] = {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -246,6 +273,13 @@ class SweepMultiplexer:
                 "dead": dead,
             }
 
+    def progress_for(self, job_id: str) -> dict | None:
+        """Live (or recently finished) progress snapshot of a job that ran
+        in this process; None for jobs this process never executed."""
+        with self._state_lock:
+            progress = self._progress.get(job_id)
+        return None if progress is None else progress.to_dict()
+
     # -- transient queue faults --------------------------------------------
 
     def _queue_op(self, fn, *args, **kwargs):
@@ -261,8 +295,15 @@ class SweepMultiplexer:
                 return fn(*args, **kwargs)
             except sqlite3.OperationalError:
                 self.queue_retries += 1
+                if self._m_queue_retries is not None:
+                    self._m_queue_retries.inc()
                 time.sleep(delay)
         return fn(*args, **kwargs)
+
+    def _count_sweep(self, outcome: str) -> None:
+        setattr(self, f"sweeps_{outcome}", getattr(self, f"sweeps_{outcome}") + 1)
+        if self._m_sweeps is not None:
+            self._m_sweeps.labels(outcome=outcome).inc()
 
     # -- the sweep slots ---------------------------------------------------
 
@@ -306,8 +347,13 @@ class SweepMultiplexer:
     def _run_job(self, slot: _Slot, job: JobRecord) -> None:
         token = CancellationToken()
         lost = threading.Event()
+        progress = SweepProgress(metrics=self.metrics, labels={"job": job.id})
         with self._state_lock:
             slot.job_id, slot.token = job.id, token
+            self._progress[job.id] = progress
+            while len(self._progress) > self.PROGRESS_KEEP:
+                # dicts iterate in insertion order: drop the oldest entry
+                self._progress.pop(next(iter(self._progress)))
         beat_stop = threading.Event()
         beat = threading.Thread(
             target=self._heartbeat_loop,
@@ -318,7 +364,7 @@ class SweepMultiplexer:
         beat.start()
         try:
             try:
-                result = self.run_spec(job.spec, cancel=token)
+                result = self.run_spec(job.spec, cancel=token, progress=progress)
             finally:
                 beat_stop.set()
                 beat.join()
@@ -327,7 +373,7 @@ class SweepMultiplexer:
             if self._queue_op(
                 self.queue.mark_done, job.id, result.to_dict(), owner=slot.name
             ):
-                self.sweeps_completed += 1
+                self._count_sweep("completed")
         except SweepCancelled:
             if lost.is_set():
                 return
@@ -337,9 +383,9 @@ class SweepMultiplexer:
                 # Shutdown abort, not a user cancel: hand the job back for
                 # the next process, attempt refunded.
                 if self._queue_op(self.queue.requeue, job.id, owner=slot.name):
-                    self.sweeps_requeued += 1
+                    self._count_sweep("requeued")
             elif self._queue_op(self.queue.mark_cancelled, job.id, owner=slot.name):
-                self.sweeps_cancelled += 1
+                self._count_sweep("cancelled")
         except Exception as error:  # noqa: BLE001 - a bad sweep must not kill the slot
             if lost.is_set():
                 return
@@ -350,8 +396,13 @@ class SweepMultiplexer:
                 owner=slot.name,
             )
             if outcome == "failed":
-                self.sweeps_failed += 1
+                self._count_sweep("failed")
         finally:
+            # Label hygiene: a job leaving this process must not leave its
+            # gauge children in /metrics forever (the snapshot stays
+            # readable via progress_for for late /status polls).
+            progress.finish_sweep()
+            progress.unregister()
             with self._state_lock:
                 slot.job_id, slot.token = None, None
 
@@ -378,7 +429,13 @@ class SweepMultiplexer:
                 token.cancel("lease lost (job reclaimed)")
                 return
 
-    def run_spec(self, spec: dict, *, cancel: CancellationToken | None = None):
+    def run_spec(
+        self,
+        spec: dict,
+        *,
+        cancel: CancellationToken | None = None,
+        progress: SweepProgress | None = None,
+    ):
         """Execute one submit payload on the shared fleet + cache.
 
         Exposed for the smoke path (run a spec without queue round-trip);
@@ -401,4 +458,6 @@ class SweepMultiplexer:
             runtime=runtime_cfg,
             cache=self.cache,
             cancel=cancel,
+            metrics=self.metrics,
+            progress=progress,
         )

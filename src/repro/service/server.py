@@ -24,11 +24,20 @@ evaluations are cache hits. The HTTP layer is deliberately small
 ``GET /healthz``       liveness + queue depth (per tenant) + cache, fleet,
                        and slot-health counters; ``ok`` is false when a
                        sweep slot thread has died
+``GET /metrics``       Prometheus text exposition of the service's
+                       :class:`~repro.obs.metrics.MetricsRegistry` —
+                       latency histograms, cache/scheduler counters,
+                       per-sweep progress gauges (``text/plain``, not
+                       JSON; see ``docs/observability.md``)
 =====================  ====================================================
+
+``GET /status/{id}`` additionally carries a ``progress`` field (candidates
+done/total per depth, live throughput) while the job runs in this process.
 
 Run it with ``python -m repro serve`` (see ``docs/service.md`` for the
 deploy recipe and the operations runbook — cancellation, priorities,
-tenant quotas, lease/backoff knobs, and what a 429 means).
+tenant quotas, lease/backoff knobs, and what a 429 means;
+``docs/observability.md`` for the metric catalog and scrape recipe).
 """
 
 from __future__ import annotations
@@ -40,6 +49,7 @@ from pathlib import Path
 
 from repro.api import Config, resolve_workload
 from repro.core.cache import ResultCache
+from repro.obs.metrics import MetricsRegistry
 from repro.parallel.async_executor import AsyncExecutor
 from repro.service.jobs import JobQueue
 from repro.service.multiplexer import SweepMultiplexer
@@ -92,6 +102,7 @@ class SearchService:
         lease_seconds: float = 30.0,
         max_attempts: int = 3,
         drain_timeout: float | None = None,
+        trace_log: str | Path | None = None,
     ) -> None:
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ValueError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
@@ -103,10 +114,16 @@ class SearchService:
         self.service_dir.mkdir(parents=True, exist_ok=True)
         self.max_queue_depth = max_queue_depth
         self.max_queued_per_tenant = max_queued_per_tenant
+        # One registry for the whole deployment: every layer below reports
+        # into it, GET /metrics renders it.
+        self.metrics = MetricsRegistry()
+        if trace_log is not None:
+            self.metrics.enable_trace(trace_log)
         self.queue = JobQueue(
             self.service_dir,
             lease_seconds=lease_seconds,
             max_attempts=max_attempts,
+            metrics=self.metrics,
         )
         # shared=True: concurrent sweeps coordinate on in-flight keys; the
         # cache dir is also where --shard-index worker processes attach.
@@ -115,20 +132,50 @@ class SearchService:
             flush_every=cache_flush_every,
             max_entries=cache_max_entries,
             shared=True,
+            metrics=self.metrics,
         )
         self.multiplexer = SweepMultiplexer(
             self.queue,
-            executor=AsyncExecutor(workers),
+            executor=AsyncExecutor(workers, metrics=self.metrics),
             cache=self.cache,
             max_concurrent=max_concurrent,
             tenant_weights=tenant_weights,
             max_running_per_tenant=max_running_per_tenant,
             drain_timeout=drain_timeout,
+            metrics=self.metrics,
         )
         # The multiplexer borrows the executor, so the service must close
         # it; track it for stop().
         self._executor = self.multiplexer.executor
         self.started_at = time.time()
+        self._register_collectors()
+
+    def _register_collectors(self) -> None:
+        """Point-in-time gauges sampled at scrape time — no background
+        thread, no cost between scrapes."""
+        uptime = self.metrics.gauge(
+            "repro_service_uptime_seconds", "Seconds since the service started"
+        )
+        queue_jobs = self.metrics.gauge(
+            "repro_queue_jobs", "Jobs currently in each queue state",
+            labels=("state",),
+        )
+        slots_alive = self.metrics.gauge(
+            "repro_slots_alive", "Sweep slot threads currently alive"
+        )
+        slots_configured = self.metrics.gauge(
+            "repro_slots_configured", "Sweep slots the service was started with"
+        )
+
+        def collect() -> None:
+            uptime.set(time.time() - self.started_at)
+            for state, n in self.queue.counts().items():
+                queue_jobs.labels(state=state).set(n)
+            slots = self.multiplexer.slot_health()
+            slots_alive.set(slots["alive"])
+            slots_configured.set(slots["configured"])
+
+        self.metrics.add_collector(collect)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -143,6 +190,7 @@ class SearchService:
         self._executor.close()
         self.cache.close()
         self.queue.close()
+        self.metrics.disable_trace()
 
     def __enter__(self) -> SearchService:
         self.start()
@@ -225,7 +273,18 @@ class SearchService:
         record = self.queue.get(job_id)
         if record is None:
             raise ServiceRequestError(404, f"unknown job id {job_id!r}")
-        return record.to_status() | {"queue": self.queue.counts()}
+        status = record.to_status() | {"queue": self.queue.counts()}
+        # Live per-sweep progress (candidates done/total per depth) for
+        # jobs running — or recently finished — in this process; absent
+        # when another process on the shared directory ran the job.
+        progress = self.multiplexer.progress_for(job_id)
+        if progress is not None:
+            status["progress"] = progress
+        return status
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition ``GET /metrics`` serves."""
+        return self.metrics.render()
 
     def result(self, job_id: str) -> dict:
         record = self.queue.get(job_id)
@@ -299,7 +358,27 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._respond(status, payload)
 
+    def _respond_text(self, status: int, body: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        # Prometheus text exposition format 0.0.4 content type.
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        if self.path == "/metrics":
+            try:
+                body = self.service.metrics_text()
+            except Exception as error:  # noqa: BLE001 - must return 500
+                self._respond(500, {"error": f"{type(error).__name__}: {error}"})
+            else:
+                self._respond_text(200, body)
+            return
+
         def handle() -> tuple[int, dict]:
             if self.path == "/healthz":
                 return 200, self.service.healthz()
@@ -353,12 +432,15 @@ def serve(
     lease_seconds: float = 30.0,
     max_attempts: int = 3,
     drain_timeout: float | None = None,
+    trace_log: str | Path | None = None,
 ) -> None:
     """Run the service until interrupted (the ``repro serve`` entrypoint).
 
     Shutdown is graceful: running sweeps get ``drain_timeout`` seconds to
     finish; past that they are cancelled at their next checkpoint and
     their jobs requeued (attempt refunded) for the next process.
+    ``trace_log`` additionally streams span events (JSONL) to a file —
+    see ``docs/observability.md`` for the format.
     """
     service = SearchService(
         service_dir,
@@ -372,6 +454,7 @@ def serve(
         lease_seconds=lease_seconds,
         max_attempts=max_attempts,
         drain_timeout=drain_timeout,
+        trace_log=trace_log,
     )
     service.start()
     server = make_http_server(service, host, port)
@@ -379,7 +462,8 @@ def serve(
     print(
         f"search service on http://{bound_host}:{bound_port} "
         f"(dir {service.service_dir}, {max_concurrent} concurrent sweeps, "
-        f"{service.multiplexer.executor.num_workers} workers)",
+        f"{service.multiplexer.executor.num_workers} workers; "
+        f"metrics at /metrics)",
         flush=True,
     )
     try:

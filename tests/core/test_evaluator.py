@@ -66,8 +66,10 @@ class TestEvaluate:
         # (not asserted to avoid flakiness)
 
     def test_restarts_never_hurt(self, graphs):
-        one = Evaluator(graphs, EvaluationConfig(max_steps=10, restarts=1, seed=3)).evaluate(("rx",), 1)
-        three = Evaluator(graphs, EvaluationConfig(max_steps=10, restarts=3, seed=3)).evaluate(("rx",), 1)
+        config_one = EvaluationConfig(max_steps=10, restarts=1, seed=3)
+        one = Evaluator(graphs, config_one).evaluate(("rx",), 1)
+        config_three = EvaluationConfig(max_steps=10, restarts=3, seed=3)
+        three = Evaluator(graphs, config_three).evaluate(("rx",), 1)
         assert three.energy >= one.energy - 1e-12
 
     def test_empty_graphs_rejected(self, config):
@@ -157,7 +159,8 @@ class TestOptimizerChoices:
         differences across iterations."""
         g = cycle_graph(5)
         sv = Evaluator([g], EvaluationConfig(max_steps=15, seed=6)).evaluate(("rx",), 1)
-        tn = Evaluator([g], EvaluationConfig(max_steps=15, seed=6, engine="qtensor")).evaluate(("rx",), 1)
+        config = EvaluationConfig(max_steps=15, seed=6, engine="qtensor")
+        tn = Evaluator([g], config).evaluate(("rx",), 1)
         assert tn.energy == pytest.approx(sv.energy, abs=0.05)
 
 

@@ -48,8 +48,12 @@ class TestDense:
         y, cache = layer.forward(x)
         layer.zero_grad()
         dx = layer.backward(weights, cache)
-        np.testing.assert_allclose(layer.grads["W"], numerical_grad(loss, layer.params["W"]), atol=1e-6)
-        np.testing.assert_allclose(layer.grads["b"], numerical_grad(loss, layer.params["b"]), atol=1e-6)
+        np.testing.assert_allclose(
+            layer.grads["W"], numerical_grad(loss, layer.params["W"]), atol=1e-6
+        )
+        np.testing.assert_allclose(
+            layer.grads["b"], numerical_grad(loss, layer.params["b"]), atol=1e-6
+        )
         # input gradient
         def loss_x():
             y, _ = layer.forward(x)

@@ -87,7 +87,8 @@ class TestGradient:
         grad = energy.gradient(x)
         eps = 1e-6
         fd = np.array([
-            (energy.value(x + eps * np.eye(4)[j]) - energy.value(x - eps * np.eye(4)[j])) / (2 * eps)
+            (energy.value(x + eps * np.eye(4)[j]) - energy.value(x - eps * np.eye(4)[j]))
+            / (2 * eps)
             for j in range(4)
         ])
         np.testing.assert_allclose(grad, fd, atol=1e-5)

@@ -271,3 +271,82 @@ class TestClient:
         total_misses = sum(r.config["cache_misses"] for r in results)
         assert total_misses == 6
         assert total_hits == 6
+
+
+class TestObservability:
+    """GET /metrics exposition and the status progress field."""
+
+    def test_metrics_endpoint_round_trip(self, service):
+        _, base = service
+        client = connect(base)
+        job_id = client.submit("er:2:7", depths=1, config=Config(**SPEC["config"]))
+        client.wait(job_id, timeout=120)
+
+        request = urllib.request.Request(base + "/metrics")
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4"
+            )
+            text = response.read().decode()
+        # one exemplar per instrumented layer, scheduler histogram included
+        assert "# TYPE repro_job_run_seconds histogram" in text
+        assert 'repro_job_run_seconds_bucket{le="+Inf"} 6' in text
+        assert "repro_jobs_completed_total 6" in text
+        assert "repro_cache_misses_total 6" in text
+        assert 'repro_queue_submitted_total{tenant="default"} 1' in text
+        assert 'repro_sweeps_total{outcome="completed"} 1' in text
+        assert "repro_executor_semaphore_wait_seconds_count" in text
+        assert "repro_service_uptime_seconds" in text
+        assert "repro_slots_configured 2" in text
+        # Client.metrics() returns the same exposition text
+        assert "repro_jobs_completed_total" in client.metrics()
+
+    def test_progress_is_monotone_through_a_live_sweep(self, service):
+        _, base = service
+        client = connect(base)
+        job_id = client.submit(
+            "er:2:7",
+            depths=2,
+            config=Config(**{**SPEC["config"], "steps": 15}),
+        )
+        observed = []
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            status = client.status(job_id)
+            progress = status.get("progress")
+            if progress is not None:
+                observed.append(
+                    (progress["candidates_done"], progress["candidates_total"])
+                )
+            if status["state"] in ("done", "failed", "cancelled"):
+                break
+            time.sleep(0.05)
+        assert status["state"] == "done"
+        done_values = [done for done, _ in observed]
+        assert done_values == sorted(done_values)
+        totals = [total for _, total in observed]
+        assert totals == sorted(totals)  # denominator grows per depth
+        # the terminal snapshot is complete and kept after the sweep ends
+        final = client.progress(job_id)
+        assert final["candidates_done"] == final["candidates_total"] == 12
+        assert final["percent"] == 100.0
+        assert final["finished_at"] is not None
+        assert len(final["per_depth"]) == 2
+
+    def test_finished_sweep_gauges_are_unregistered(self, service):
+        svc, base = service
+        client = connect(base)
+        job_id = client.submit("er:2:7", depths=1, config=Config(**SPEC["config"]))
+        client.wait(job_id, timeout=120)
+        text = svc.metrics_text()
+        assert f'job="{job_id}"' not in text  # label hygiene
+        assert client.progress(job_id) is not None  # snapshot survives
+
+    def test_queued_job_has_no_progress(self, tmp_path):
+        svc = SearchService(tmp_path, max_concurrent=1, workers=1)
+        try:
+            job_id = svc.submit(SPEC)["id"]  # service never started
+            assert "progress" not in svc.status(job_id)
+        finally:
+            svc.stop()
