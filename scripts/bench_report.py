@@ -5,11 +5,15 @@ Measures per-engine energy-evaluation throughput (evals/sec) on the paper
 workload — a 10-qubit ER graph at p=4 with the winning ``('rx', 'ry')``
 mixer — the compiled engine's throughput per registered *array backend*
 (numpy / mock_gpu / cupy-when-installed, so GPU trajectories accrue in
-the same artifact), plus the batched-optimizer path (one vectorized
-``energies`` call over a restart population's probes), and writes
+the same artifact), per registered *workload* (maxcut / wmaxcut / maxsat /
+ising — each problem's phase diagonal costs differently), plus the
+batched-optimizer path (one vectorized ``energies`` call over a restart
+population's probes), and writes
 ``benchmarks/results/BENCH_evaluator.json`` so the perf trajectory is
 tracked as a committed artifact, run by run, instead of living in bench
-stdout.
+stdout. Each passing run also appends a compact per-commit row under
+``benchmarks/results/history/`` (keyed by ``git rev-parse --short HEAD``)
+so the trajectory survives artifact rewrites.
 
 Run from the repo root (CI's bench-smoke job does)::
 
@@ -33,6 +37,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -48,9 +53,17 @@ from repro.experiments.scale import (  # noqa: E402
     seconds_per_eval,
 )
 from repro.optimizers import SPSA  # noqa: E402
+from repro.qaoa.ansatz import build_qaoa_ansatz  # noqa: E402
 from repro.qaoa.energy import ENGINES, AnsatzEnergy  # noqa: E402
+from repro.workloads import available_workloads, get_workload  # noqa: E402
 
 OUTPUT = Path("benchmarks/results/BENCH_evaluator.json")
+HISTORY_DIR = Path("benchmarks/results/history")
+
+#: per-workload throughput probe: smaller than the engine probe (p=2, and
+#: one sample per registered problem) so the report stays CI-cheap
+WORKLOAD_TIMED_EVALS = 60
+WORKLOAD_P = 2
 
 TIMED_EVALS = 150
 #: qtensor is contraction-per-edge and orders of magnitude slower here;
@@ -75,6 +88,76 @@ def measure(engine: str, ansatz, x: np.ndarray) -> dict:
         "timed_evals": rounds,
         "energy_at_probe": value,
     }
+
+
+def measure_workloads() -> dict:
+    """Compiled-engine throughput per registered workload.
+
+    Each problem contributes one 10-node instance from its own dataset
+    family at p=WORKLOAD_P with the winning mixer; the phase diagonal is
+    the only thing that differs, so these rows track the per-workload
+    cost of the table builders (weighted cuts, clause tables, couplings)
+    relative to the paper's MaxCut.
+    """
+    rows = {}
+    for key in available_workloads():
+        problem = get_workload(key)
+        graph = problem.dataset(1, num_nodes=10, dataset_seed=7)[0]
+        ansatz = build_qaoa_ansatz(graph, WORKLOAD_P, ("rx", "ry"), workload=key)
+        energy = AnsatzEnergy(ansatz, engine="compiled")
+        x = np.random.default_rng(0).uniform(-1.0, 1.0, ansatz.num_parameters)
+        seconds = seconds_per_eval(energy, x, WORKLOAD_TIMED_EVALS)
+        rows[key] = {
+            "seconds_per_eval": seconds,
+            "evals_per_sec": 1.0 / seconds,
+            "timed_evals": WORKLOAD_TIMED_EVALS,
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "p": WORKLOAD_P,
+            "energy_at_probe": energy.value(x),
+        }
+    return rows
+
+
+def append_history(report: dict) -> Path:
+    """Write the compact per-commit row under ``benchmarks/results/history/``.
+
+    One small JSON file per commit (short hash in the name, rewritten on
+    re-runs of the same commit) holding just the headline numbers, so the
+    throughput trajectory accrues across commits even though the main
+    artifact is rewritten in place each run.
+    """
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        commit = "uncommitted"
+    row = {
+        "commit": commit,
+        "generated_unix": report["generated_unix"],
+        "compiled_vs_statevector_speedup": report[
+            "compiled_vs_statevector_speedup"
+        ],
+        "compiled_evals_per_sec": report["engines"]["compiled"]["evals_per_sec"],
+        "statevector_evals_per_sec": report["engines"]["statevector"][
+            "evals_per_sec"
+        ],
+        "batched_vs_serial_speedup": report["batched_optimizer"][
+            "batched_vs_serial_speedup"
+        ],
+        "workload_evals_per_sec": {
+            key: entry["evals_per_sec"]
+            for key, entry in report["workloads"].items()
+        },
+        "machine": report["machine"],
+        "python": report["python"],
+    }
+    HISTORY_DIR.mkdir(parents=True, exist_ok=True)
+    path = HISTORY_DIR / f"{commit}.json"
+    path.write_text(json.dumps(row, indent=2) + "\n")
+    return path
 
 
 def measure_batched_optimizer(ansatz) -> dict:
@@ -172,6 +255,10 @@ def main() -> int:
             f"probe energy ({backend_drift:.3g})"
         )
 
+    workloads = measure_workloads()
+    for key, row in workloads.items():
+        print(f"{'workload[' + key + ']':>22}: {row['evals_per_sec']:10.1f} evals/s")
+
     batched = measure_batched_optimizer(ansatz)
     print(
         f"batched multi-restart SPSA: "
@@ -202,6 +289,7 @@ def main() -> int:
         },
         "engines": engines,
         "array_backends": array_backends,
+        "workloads": workloads,
         "compiled_vs_statevector_speedup": speedup,
         "batched_optimizer": batched,
         "python": platform.python_version(),
@@ -210,7 +298,9 @@ def main() -> int:
     }
     OUTPUT.parent.mkdir(parents=True, exist_ok=True)
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    history_path = append_history(report)
     print(f"compiled vs statevector: {speedup:.1f}x  ->  {OUTPUT}")
+    print(f"history row -> {history_path}")
     print("bench report OK")
     return 0
 

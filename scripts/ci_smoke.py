@@ -1,7 +1,8 @@
 #!/usr/bin/env python
 """Benchmark-smoke: tiny end-to-end runs of the search stack and the service.
 
-Three independent checks (select one with ``--only search|service|chaos``):
+Four independent checks (select one with ``--only
+search|service|chaos|workloads``):
 
 **search** — one tiny cold + warm search through the full Algorithm 1
 stack (enumeration → QBuilder → training → selection), the fault-tolerant
@@ -29,6 +30,12 @@ worker raises, hangs, and sqlite lock errors — see
 :mod:`repro.parallel.faults`) and asserts every job reaches a terminal
 state, no candidate is trained twice, and the results match a fault-free
 run exactly.
+
+**workloads** — the workload-registry gate: for every registered problem
+(maxcut, wmaxcut, maxsat, ising) it runs one tiny sweep through the CLI
+entry point *and* one through the service's HTTP submit path, asserting
+each finds a winner with a defined ratio, records its workload key in the
+result config, and exports the winning circuit as OpenQASM.
 """
 
 from __future__ import annotations
@@ -289,11 +296,71 @@ def smoke_chaos() -> int:
     return 0
 
 
+def smoke_workloads() -> int:
+    import json
+    from pathlib import Path
+
+    from repro.api import Config, connect
+    from repro.cli import main as cli_main
+    from repro.service.server import SearchService, make_http_server
+    from repro.workloads import available_workloads, get_workload
+
+    keys = available_workloads()
+    config = Config(k_min=1, k_max=1, steps=10, seed=1)
+
+    # -- CLI path: one tiny sweep per problem family ------------------------
+    with tempfile.TemporaryDirectory() as out_dir:
+        for key in keys:
+            out = Path(out_dir) / f"{key}.json"
+            code = cli_main([
+                "search", "--dataset", get_workload(key).family,
+                "--graphs", "1", "--dataset-seed", "5", "--steps", "10",
+                "--p-max", "1", "--k-min", "1", "--k-max", "1",
+                "--out", str(out),
+            ])
+            assert code == 0, f"CLI sweep failed for workload {key!r}"
+            saved = json.loads(out.read_text())
+            assert saved["config"]["workload"] == key
+            assert 0.0 < saved["best_ratio"] <= 1.0 + 1e-9, (
+                f"{key}: ratio {saved['best_ratio']} out of range"
+            )
+            assert saved["depth_results"][0]["best_qasm"].startswith("OPENQASM 2.0;")
+            print(f"cli[{key}]: winner {tuple(saved['best_tokens'])} "
+                  f"ratio {saved['best_ratio']:.4f}")
+
+    # -- service path: submit the same families over HTTP -------------------
+    with tempfile.TemporaryDirectory() as service_dir:
+        service = SearchService(service_dir, max_concurrent=2, workers=2)
+        server = make_http_server(service)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        host, port = server.server_address[:2]
+        with service:
+            client = connect(f"http://{host}:{port}")
+            jobs = {
+                key: client.submit(
+                    f"{get_workload(key).family}:1:5", depths=1, config=config
+                )
+                for key in keys
+            }
+            for key, job_id in jobs.items():
+                result = client.wait(job_id, timeout=300)
+                assert result.config["workload"] == key
+                assert 0.0 < result.best_ratio <= 1.0 + 1e-9
+                assert result.depth_results[0].best_qasm
+                print(f"service[{key}]: winner {result.best_tokens} "
+                      f"ratio {result.best_ratio:.4f}")
+        server.shutdown()
+        server.server_close()
+
+    print(f"workloads smoke OK ({len(keys)} problems x 2 entry points)")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--only",
-        choices=["search", "service", "chaos"],
+        choices=["search", "service", "chaos", "workloads"],
         default=None,
         help="run just one smoke (default: all)",
     )
@@ -304,6 +371,8 @@ def main() -> int:
         smoke_service()
     if args.only in (None, "chaos"):
         smoke_chaos()
+    if args.only in (None, "workloads"):
+        smoke_workloads()
     return 0
 
 

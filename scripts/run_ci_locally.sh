@@ -35,6 +35,7 @@ echo "=== job: bench-smoke ==="
 python scripts/ci_smoke.py --only search
 python scripts/ci_smoke.py --only service
 python scripts/ci_smoke.py --only chaos
+python scripts/ci_smoke.py --only workloads
 python scripts/bench_report.py
 python benchmarks/bench_compiled_engine.py
 python benchmarks/bench_batched_optimizers.py

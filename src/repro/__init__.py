@@ -49,6 +49,12 @@ from repro.graphs import (
 )
 from repro.qaoa import AnsatzEnergy, approximation_ratio, build_qaoa_ansatz
 from repro.qtensor import QTensorSimulator
+from repro.workloads import (
+    Workload,
+    available_workloads,
+    get_workload,
+    register_workload,
+)
 
 __version__ = "1.0.0"
 
@@ -78,5 +84,9 @@ __all__ = [
     "AnsatzEnergy",
     "approximation_ratio",
     "QTensorSimulator",
+    "Workload",
+    "get_workload",
+    "register_workload",
+    "available_workloads",
     "__version__",
 ]

@@ -32,7 +32,11 @@ delegates to them — but their signatures may grow faster.
 **Workloads.** Anywhere a workload is accepted, pass either a sequence of
 :class:`~repro.graphs.generators.Graph` objects or a compact dataset spec
 string ``"family[:count[:seed]]"`` — e.g. ``"er"``, ``"er:3"``,
-``"regular:4:2023"`` — naming the paper's seeded dataset families.
+``"regular:4:2023"``, ``"wmaxcut:2"``, ``"maxsat:3"``, ``"ising:2"`` —
+naming a seeded dataset family. Each family implies a problem from the
+:mod:`repro.workloads` registry (``er``/``regular`` → MaxCut, the others
+their namesakes); the implied key is threaded into the config
+automatically, or validated against an explicitly-set ``Config.workload``.
 """
 
 from __future__ import annotations
@@ -44,7 +48,7 @@ import urllib.error
 import urllib.request
 from collections.abc import Sequence
 from contextlib import ExitStack
-from dataclasses import asdict, dataclass, fields
+from dataclasses import asdict, dataclass, fields, replace
 from typing import Any
 
 from repro.core.cache import ResultCache
@@ -52,7 +56,7 @@ from repro.core.evaluator import EvaluationConfig
 from repro.core.results import SearchResult
 from repro.core.runtime import RuntimeConfig
 from repro.core.search import SearchConfig, search_mixer
-from repro.graphs.datasets import paper_er_dataset, paper_regular_dataset
+from repro.graphs.datasets import DATASET_FAMILIES
 from repro.graphs.generators import Graph
 from repro.graphs.io import graph_from_dict, graph_to_dict
 from repro.parallel.executor import (
@@ -68,6 +72,8 @@ __all__ = [
     "search",
     "connect",
     "resolve_workload",
+    "resolve_workload_spec",
+    "reconcile_workload",
     "workload_to_wire",
 ]
 
@@ -111,6 +117,12 @@ class Config:
     metric: str = "energy"
     #: measurement budget for best_sampled
     shots: int = 128
+    #: problem from the workloads registry: maxcut (paper), wmaxcut,
+    #: maxsat, ising — dataset-family specs imply it automatically
+    workload: str = "maxcut"
+    #: optimizer initialization: uniform (paper), ramp, interp (warm-start
+    #: each depth from the previous depth's trained parameters)
+    init_strategy: str = "uniform"
 
     # -- execution / persistence ------------------------------------------
     #: worker processes: 0 or 1 = in-process serial, -1 = all cores
@@ -146,6 +158,8 @@ class Config:
             array_backend=self.array_backend,
             metric=self.metric,
             shots=self.shots,
+            workload=self.workload,
+            init_strategy=self.init_strategy,
         )
 
     def search_config(self, depths: int) -> SearchConfig:
@@ -188,34 +202,63 @@ class Config:
 
 # -- workloads -------------------------------------------------------------
 
-_DATASETS = {"er": paper_er_dataset, "regular": paper_regular_dataset}
+#: dataset family -> (implied workload registry key, instance factory)
+_FAMILIES = DATASET_FAMILIES
 
 
-def resolve_workload(workload: str | Sequence[Graph] | Sequence[dict]) -> list[Graph]:
-    """Normalize any accepted workload form into a list of graphs.
+def resolve_workload_spec(
+    workload: str | Sequence[Graph] | Sequence[dict],
+) -> tuple[str | None, list[Graph]]:
+    """Resolve a workload into ``(implied problem key, graphs)``.
 
-    Accepts a dataset spec string (``"er"``, ``"er:3"``, ``"er:3:2023"``),
-    a sequence of :class:`Graph` objects, or a sequence of graph wire
-    dicts (what :func:`workload_to_wire` produces — the service's submit
-    payload).
+    Accepts a dataset spec string (``"er"``, ``"er:3"``, ``"maxsat:3:2023"``),
+    a sequence of :class:`Graph` objects, or a sequence of graph wire dicts
+    (what :func:`workload_to_wire` produces — the service's submit payload).
+    Spec strings imply a problem key from their family; raw graphs and wire
+    dicts imply nothing (key ``None``) — ``Config.workload`` governs them.
     """
     if isinstance(workload, str):
         parts = workload.split(":")
         family = parts[0]
-        if family not in _DATASETS or len(parts) > 3:
+        if family not in _FAMILIES or len(parts) > 3:
             raise ValueError(
                 f"unknown workload spec {workload!r}; expected "
-                f"'family[:count[:seed]]' with family in {sorted(_DATASETS)}"
+                f"'family[:count[:seed]]' with family in {sorted(_FAMILIES)}"
             )
+        key, factory = _FAMILIES[family]
         count = int(parts[1]) if len(parts) > 1 else 3
         seed = int(parts[2]) if len(parts) > 2 else 2023
-        return list(_DATASETS[family](count, dataset_seed=seed))
+        return key, list(factory(count, dataset_seed=seed))
     graphs = list(workload)
     if not graphs:
         raise ValueError("workload must contain at least one graph")
     if isinstance(graphs[0], Graph):
-        return graphs  # type: ignore[return-value]
-    return [graph_from_dict(g) for g in graphs]  # type: ignore[arg-type]
+        return None, graphs  # type: ignore[return-value]
+    return None, [graph_from_dict(g) for g in graphs]  # type: ignore[arg-type]
+
+
+def resolve_workload(workload: str | Sequence[Graph] | Sequence[dict]) -> list[Graph]:
+    """Normalize any accepted workload form into a list of graphs
+    (the graphs half of :func:`resolve_workload_spec`)."""
+    return resolve_workload_spec(workload)[1]
+
+
+def reconcile_workload(config: Config, implied: str | None) -> Config:
+    """Fold a family-implied problem key into the config.
+
+    An implied key fills in the default ``workload="maxcut"`` silently and
+    is a no-op when it matches an explicit setting; a *conflicting*
+    explicit setting is an error — evaluating, say, the Ising oracle over
+    a Max-k-SAT dataset would produce meaningless ratios.
+    """
+    if implied is None or implied == config.workload:
+        return config
+    if config.workload == "maxcut":
+        return replace(config, workload=implied)
+    raise ValueError(
+        f"workload spec implies problem {implied!r} but the config "
+        f"explicitly sets workload={config.workload!r}; drop one of the two"
+    )
 
 
 def workload_to_wire(workload: str | Sequence[Graph] | Sequence[dict]) -> list[dict]:
@@ -254,7 +297,8 @@ def search(
         shared multi-tenant cache here).
     """
     config = config or Config()
-    graphs = resolve_workload(workload)
+    implied, graphs = resolve_workload_spec(workload)
+    config = reconcile_workload(config, implied)
     search_cfg = config.search_config(depths)
     runtime_cfg = config.runtime_config()
     workers = available_cores() if config.workers == -1 else config.workers
@@ -313,8 +357,13 @@ class Client:
         (back off for the response's ``Retry-After`` and resubmit).
         """
         config = config or Config()
+        # Specs are expanded client-side into graph dicts, so the family
+        # string (and the problem it implies) would be lost on the wire —
+        # fold the implied workload key into the config before serializing.
+        implied, graphs = resolve_workload_spec(workload)
+        config = reconcile_workload(config, implied)
         payload = {
-            "workload": workload_to_wire(workload),
+            "workload": [graph_to_dict(g) for g in graphs],
             "depths": int(depths),
             "config": config.to_dict(),
             "tenant": config.tenant if tenant is None else str(tenant),

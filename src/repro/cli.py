@@ -19,30 +19,55 @@ import sys
 from collections.abc import Sequence
 from contextlib import ExitStack
 
-from repro.core.evaluator import ENGINES, EvaluationConfig, Evaluator
+from repro.core.evaluator import ENGINES, INIT_STRATEGIES, EvaluationConfig, Evaluator
 from repro.core.runtime import RuntimeConfig
 from repro.core.search import SearchConfig, search_mixer
 from repro.experiments.discovery import draw_mixer
 from repro.experiments.figures import render_table
-from repro.graphs.datasets import paper_er_dataset, paper_regular_dataset
+from repro.graphs.datasets import DATASET_FAMILIES
 from repro.optimizers import BATCH_MODES
 from repro.parallel.executor import MultiprocessingExecutor, available_cores
 from repro.simulators.backends import available_array_backends
+from repro.workloads import available_workloads
 
 __all__ = ["main", "build_parser"]
 
 
 def _dataset(name: str, count: int, seed: int):
-    if name == "er":
-        return paper_er_dataset(count, dataset_seed=seed)
-    if name == "regular":
-        return paper_regular_dataset(count, dataset_seed=seed)
-    raise ValueError(f"unknown dataset {name!r}; options: er, regular")
+    if name not in DATASET_FAMILIES:
+        raise ValueError(
+            f"unknown dataset {name!r}; options: {', '.join(sorted(DATASET_FAMILIES))}"
+        )
+    return DATASET_FAMILIES[name][1](count, dataset_seed=seed)
+
+
+def _workload(args) -> str:
+    """The problem key governing this run: explicit ``--workload`` when
+    given (must agree with the dataset family), else the family's."""
+    implied = DATASET_FAMILIES[args.dataset][0]
+    if args.workload is None or args.workload == implied:
+        return implied
+    raise SystemExit(
+        f"--dataset {args.dataset} implies --workload {implied}, "
+        f"got --workload {args.workload}; drop one of the two"
+    )
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--dataset", default="er", choices=["er", "regular"],
-                        help="seeded dataset family (default: er)")
+    parser.add_argument("--dataset", default="er",
+                        choices=sorted(DATASET_FAMILIES),
+                        help="seeded dataset family (default: er); each "
+                             "family implies its problem's workload")
+    parser.add_argument("--workload", default=None,
+                        choices=list(available_workloads()),
+                        help="problem from the workloads registry; defaults "
+                             "to the one the dataset family implies "
+                             "(er/regular -> maxcut)")
+    parser.add_argument("--init-strategy", default="uniform",
+                        choices=list(INIT_STRATEGIES),
+                        help="optimizer initialization: uniform (the "
+                             "paper's), ramp, or interp (warm-start each "
+                             "depth from the previous depth's parameters)")
     parser.add_argument("--graphs", type=int, default=3, help="graphs in the workload")
     parser.add_argument("--dataset-seed", type=int, default=2023)
     parser.add_argument("--steps", type=int, default=60, help="optimizer budget")
@@ -176,6 +201,8 @@ def _eval_config(args) -> EvaluationConfig:
         shots=args.shots,
         engine=args.engine,
         array_backend=args.array_backend,
+        workload=_workload(args),
+        init_strategy=args.init_strategy,
     )
 
 

@@ -25,27 +25,39 @@ from repro.core.results import CandidateEvaluation
 from repro.graphs.generators import Graph
 from repro.optimizers import BATCH_MODES, MultiRestart, Optimizer, training_optimizer
 from repro.qaoa.energy import ENGINES, AnsatzEnergy
-from repro.qaoa.maxcut import approximation_ratio, brute_force_maxcut
+from repro.qaoa.maxcut import approximation_ratio
 from repro.simulators.backends import available_array_backends
 from repro.utils.rng import as_rng, stable_seed
 from repro.utils.validation import check_positive
+from repro.workloads import available_workloads, get_workload
 
 __all__ = [
     "EvaluationConfig",
     "Evaluator",
+    "INIT_STRATEGIES",
     "classical_optima",
     "evaluate_candidate",
 ]
 
+#: initial-parameter strategies the evaluator accepts; "interp" seeds
+#: restart 0 from the INTERP lift of the previous depth's optimum when the
+#: runtime threads one through (repro.qaoa.initialization.interp_init) and
+#: falls back to ramp draws otherwise
+INIT_STRATEGIES = ("uniform", "ramp", "interp")
 
-def classical_optima(graphs: Sequence[Graph]) -> tuple[float, ...]:
-    """Brute-force max-cut value of every workload graph.
+
+def classical_optima(
+    graphs: Sequence[Graph], workload: str = "maxcut"
+) -> tuple[float, ...]:
+    """The workload's exact classical optimum of every instance.
 
     This is the expensive, candidate-independent part of scoring (``2^n``
     per graph): compute it once per search and ship the values to workers
-    instead of paying it inside every candidate evaluation.
+    instead of paying it inside every candidate evaluation. The oracle is
+    per-workload (brute force over the objective table by default).
     """
-    return tuple(brute_force_maxcut(g).value for g in graphs)
+    oracle = get_workload(workload)
+    return tuple(oracle.classical_optimum(g) for g in graphs)
 
 
 @dataclass(frozen=True)
@@ -78,14 +90,21 @@ class EvaluationConfig:
     metric: str = "energy"
     #: measurement budget for the best_sampled metric
     shots: int = 128
-    #: initial-parameter strategy: "uniform" (paper) or "ramp" (annealing
-    #: schedule; better conditioned at depth, see repro.qaoa.initialization)
+    #: initial-parameter strategy: "uniform" (paper), "ramp" (annealing
+    #: schedule; better conditioned at depth, see repro.qaoa.initialization),
+    #: or "interp" (warm-start each depth from the INTERP lift of the
+    #: previous depth's optimum when the runtime provides one, ramp draws
+    #: for the remaining restarts)
     init_strategy: str = "uniform"
     #: how restart populations train: "auto" batches all restarts' per-step
     #: proposals into single vectorized energy calls whenever the optimizer
     #: is batch-native (spsa, nelder_mead, adam), "batched" forces the
     #: population path, "serial" forces one optimizer run per restart
     batch_mode: str = "auto"
+    #: which problem the candidates optimize — a repro.workloads registry
+    #: key. Part of the cache fingerprint (like engine/array_backend), so
+    #: two workloads can never share cached candidate results.
+    workload: str = "maxcut"
 
     def __post_init__(self) -> None:
         check_positive(self.max_steps, "max_steps")
@@ -109,10 +128,20 @@ class EvaluationConfig:
             raise ValueError(
                 f"unknown metric {self.metric!r}; options: energy, best_sampled"
             )
-        if self.init_strategy not in ("uniform", "ramp"):
+        if self.init_strategy not in INIT_STRATEGIES:
             raise ValueError(
                 f"unknown init strategy {self.init_strategy!r}; "
-                "options: uniform, ramp"
+                f"options: {', '.join(INIT_STRATEGIES)}"
+            )
+        if self.workload not in available_workloads():
+            raise ValueError(
+                f"unknown workload {self.workload!r}; "
+                f"options: {available_workloads()}"
+            )
+        if self.engine == "qtensor" and self.workload != "maxcut":
+            raise ValueError(
+                "the qtensor engine only evaluates the maxcut workload; "
+                f"got workload={self.workload!r}"
             )
 
 
@@ -147,6 +176,7 @@ class Evaluator:
         self.graphs = list(graphs)
         self.config = config
         self.builder = builder or QBuilder()
+        self._workload = get_workload(config.workload)
         if classical_values is not None:
             if len(classical_values) != len(self.graphs):
                 raise ValueError(
@@ -155,15 +185,28 @@ class Evaluator:
                 )
             self._classical = [float(v) for v in classical_values]
         else:
-            self._classical = list(classical_optima(self.graphs))
-        self._cache: dict[tuple[tuple[str, ...], int], CandidateEvaluation] = {}
+            self._classical = list(classical_optima(self.graphs, config.workload))
+        self._cache: dict[tuple, CandidateEvaluation] = {}
         self.cache_hits = 0
 
     # -- public API ---------------------------------------------------------------
 
-    def evaluate(self, tokens: Sequence[str], p: int) -> CandidateEvaluation:
-        """Train the candidate on every graph; return aggregate record."""
-        key = (tuple(tokens), int(p))
+    def evaluate(
+        self,
+        tokens: Sequence[str],
+        p: int,
+        warm_start: Sequence[Sequence[float]] | None = None,
+    ) -> CandidateEvaluation:
+        """Train the candidate on every graph; return aggregate record.
+
+        ``warm_start`` optionally carries one per-graph parameter vector
+        from depth ``p - 1`` (the runtime's INTERP hand-off): with
+        ``init_strategy="interp"`` each graph's restart 0 starts from the
+        :func:`~repro.qaoa.initialization.interp_init` lift of its vector.
+        """
+        tokens = tuple(tokens)
+        warm = self._check_warm_start(warm_start, p)
+        key = (tokens, int(p), warm)
         cached = self._cache.get(key)
         if cached is not None:
             self.cache_hits += 1
@@ -171,21 +214,33 @@ class Evaluator:
         start = time.perf_counter()
         energies: list[float] = []
         ratios: list[float] = []
+        best_params: list[tuple[float, ...]] = []
         nfev = 0
         for graph_index, graph in enumerate(self.graphs):
             # One ansatz (and one compiled program) per graph evaluation:
             # training and best_sampled scoring share it instead of each
             # rebuilding the identical circuit for (graph, tokens, p).
             ansatz = self.builder.build_qaoa(
-                graph, key[0], p, initial_hadamard=self.config.initial_hadamard
+                graph,
+                tokens,
+                p,
+                initial_hadamard=self.config.initial_hadamard,
+                workload=self.config.workload,
             )
             objective = AnsatzEnergy(
                 ansatz,
                 engine=self.config.engine,
                 array_backend=self.config.array_backend,
             )
-            energy, best_x, evals = self._train_one(objective, graph_index, p, key[0])
+            energy, best_x, evals = self._train_one(
+                objective,
+                graph_index,
+                p,
+                tokens,
+                warm[graph_index] if warm is not None else None,
+            )
             energies.append(energy)
+            best_params.append(tuple(float(v) for v in best_x))
             if self.config.metric == "best_sampled":
                 numerator = self._best_sampled_value(objective, best_x)
             else:
@@ -197,7 +252,7 @@ class Evaluator:
             )
             nfev += evals
         result = CandidateEvaluation(
-            tokens=key[0],
+            tokens=tokens,
             p=int(p),
             energy=float(np.mean(energies)),
             ratio=float(np.mean(ratios)),
@@ -205,9 +260,24 @@ class Evaluator:
             per_graph_ratio=tuple(ratios),
             nfev=nfev,
             seconds=time.perf_counter() - start,
+            best_params=tuple(best_params),
         )
         self._cache[key] = result
         return result
+
+    def _check_warm_start(
+        self, warm_start: Sequence[Sequence[float]] | None, p: int
+    ) -> tuple[tuple[float, ...], ...] | None:
+        """Normalize the INTERP hand-off; discard shapes that cannot seed
+        depth ``p`` (wrong graph count or not a depth ``p - 1`` vector)."""
+        if warm_start is None or self.config.init_strategy != "interp":
+            return None
+        if len(warm_start) != len(self.graphs) or p < 2:
+            return None
+        rows = tuple(tuple(float(v) for v in row) for row in warm_start)
+        if any(len(row) != 2 * (p - 1) for row in rows):
+            return None
+        return rows
 
     def reward(self, tokens: Sequence[str], p: int) -> float:
         """Scalar reward for predictor feedback (mean approximation ratio)."""
@@ -216,18 +286,28 @@ class Evaluator:
     # -- internals ------------------------------------------------------------------
 
     def _initial_points(
-        self, num_parameters: int, graph_index: int, p: int, tokens: tuple[str, ...]
+        self,
+        num_parameters: int,
+        graph_index: int,
+        p: int,
+        tokens: tuple[str, ...],
+        warm_row: tuple[float, ...] | None = None,
     ) -> np.ndarray:
         """The restart population's start points, one seeded row per
-        restart (the same draws the serial path has always used)."""
+        restart (the same draws the serial path has always used). Under
+        ``init_strategy="interp"`` a validated ``warm_row`` (the previous
+        depth's optimum) replaces restart 0 with its INTERP lift; fresh
+        rows fall back to ramp draws, which condition well at depth."""
+        from repro.qaoa.initialization import interp_init, ramp_init
+
         rows = []
         for restart in range(self.config.restarts):
             rng = as_rng(
                 stable_seed(self.config.seed, "init", graph_index, p, restart, *tokens)
             )
-            if self.config.init_strategy == "ramp":
-                from repro.qaoa.initialization import ramp_init
-
+            if restart == 0 and warm_row is not None:
+                rows.append(np.asarray(interp_init(np.asarray(warm_row)), dtype=float))
+            elif self.config.init_strategy in ("ramp", "interp"):
                 rows.append(ramp_init(p, rng=rng, jitter=0.05))
             else:
                 rows.append(
@@ -240,7 +320,12 @@ class Evaluator:
         return np.stack(rows)
 
     def _train_one(
-        self, objective: AnsatzEnergy, graph_index: int, p: int, tokens: tuple[str, ...]
+        self,
+        objective: AnsatzEnergy,
+        graph_index: int,
+        p: int,
+        tokens: tuple[str, ...],
+        warm_row: tuple[float, ...] | None = None,
     ) -> tuple[float, np.ndarray, int]:
         """Best trained energy over the restart population for one graph.
 
@@ -251,7 +336,7 @@ class Evaluator:
         optimizer run per restart — identical results, point for point.
         """
         X0 = self._initial_points(
-            objective.ansatz.num_parameters, graph_index, p, tokens
+            objective.ansatz.num_parameters, graph_index, p, tokens, warm_row
         )
         optimizer = MultiRestart(
             _make_optimizer(self.config, objective),
@@ -266,14 +351,17 @@ class Evaluator:
     def _best_sampled_value(
         self, objective: AnsatzEnergy, params: np.ndarray
     ) -> float:
-        """Eq. (3) numerator: exact E[best cut over `shots` measurements]
-        of the trained circuit's output distribution. Reuses the objective
-        (and its compiled program) that training just used."""
-        from repro.qaoa.maxcut import expected_best_cut
+        """Eq. (3) numerator: exact E[best objective value over `shots`
+        measurements] of the trained circuit's output distribution, against
+        the workload's table. Reuses the objective (and its compiled
+        program) that training just used."""
+        from repro.qaoa.maxcut import expected_best_value
 
         state = objective.final_state(params)
-        return expected_best_cut(
-            np.abs(state) ** 2, objective.ansatz.graph, self.config.shots
+        return expected_best_value(
+            np.abs(state) ** 2,
+            self._workload.objective_values(objective.ansatz.graph),
+            self.config.shots,
         )
 
 
@@ -283,14 +371,16 @@ def evaluate_candidate(
     p: int,
     config: EvaluationConfig,
     classical_values: Sequence[float] | None = None,
+    warm_start: Sequence[Sequence[float]] | None = None,
 ) -> CandidateEvaluation:
     """Stateless worker entry point for process pools (Fig. 3's unit of
     parallel work): builds a fresh Evaluator and scores one candidate.
 
     Pass ``classical_values`` (from :func:`classical_optima`, computed once
     in the parent) to spare every worker the per-candidate brute-force
-    max-cut solve.
+    solve, and optionally ``warm_start`` — per-graph depth ``p - 1``
+    optima the runtime threads through for ``init_strategy="interp"``.
     """
     return Evaluator(graphs, config, classical_values=classical_values).evaluate(
-        tokens, p
+        tokens, p, warm_start=warm_start
     )

@@ -60,11 +60,16 @@ class QBuilder:
         p: int,
         *,
         initial_hadamard: bool = True,
+        workload: str = "maxcut",
     ) -> QAOAAnsatz:
-        """``BUILD_QAOA_CKT``: the full Eq. (2) ansatz around the mixer."""
+        """``BUILD_QAOA_CKT``: the full Eq. (2) ansatz around the mixer.
+
+        ``workload`` selects the phase separator from the
+        :mod:`repro.workloads` registry (default: the paper's MaxCut).
+        """
         tokens = self.validate_tokens(tokens)
         return build_qaoa_ansatz(
-            graph, p, tokens, initial_hadamard=initial_hadamard
+            graph, p, tokens, initial_hadamard=initial_hadamard, workload=workload
         )
 
     # -- tensor interchange -------------------------------------------------------
@@ -76,7 +81,10 @@ class QBuilder:
         p: int,
         *,
         initial_hadamard: bool = True,
+        workload: str = "maxcut",
     ) -> QAOAAnsatz:
         """Decode a predictor tensor and build the ansatz in one step."""
         tokens = decode_encoding(encoding, self.alphabet)
-        return self.build_qaoa(graph, tokens, p, initial_hadamard=initial_hadamard)
+        return self.build_qaoa(
+            graph, tokens, p, initial_hadamard=initial_hadamard, workload=workload
+        )

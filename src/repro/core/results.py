@@ -8,9 +8,11 @@ run without re-simulating.
 the dict *is* the wire object: the result cache stores it, ``save``/
 ``load`` write it to disk, and the search service's HTTP API returns it
 verbatim from ``/result/{id}`` — one schema, three transports. The current
-format is ``repro-search-result-v2`` (v2 tags every nested record, so a
-``CandidateEvaluation`` extracted from a payload round-trips on its own);
-v1 files written by earlier releases load transparently.
+format is ``repro-search-result-v3``: v3 adds the per-evaluation trained
+parameters (``best_params``), the per-depth OpenQASM export of the winning
+candidate (``best_qasm``), and the workload key inside ``config``. v1 and
+v2 files written by earlier releases load transparently — every v3 field
+defaults when absent.
 """
 
 from __future__ import annotations
@@ -20,12 +22,19 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-__all__ = ["CandidateEvaluation", "DepthResult", "SearchResult", "WIRE_FORMAT_V2"]
+__all__ = [
+    "CandidateEvaluation",
+    "DepthResult",
+    "SearchResult",
+    "WIRE_FORMAT_V2",
+    "WIRE_FORMAT_V3",
+]
 
 #: format tags, newest first; ``from_dict`` accepts any of them
+WIRE_FORMAT_V3 = "repro-search-result-v3"
 WIRE_FORMAT_V2 = "repro-search-result-v2"
 _WIRE_FORMAT_V1 = "repro-search-result-v1"
-_ACCEPTED_FORMATS = (WIRE_FORMAT_V2, _WIRE_FORMAT_V1)
+_ACCEPTED_FORMATS = (WIRE_FORMAT_V3, WIRE_FORMAT_V2, _WIRE_FORMAT_V1)
 
 
 @dataclass(frozen=True)
@@ -46,6 +55,9 @@ class CandidateEvaluation:
     nfev: int = 0
     #: wall-clock seconds spent training this candidate
     seconds: float = 0.0
+    #: per-graph trained parameter vectors ``[gammas..., betas...]`` (v3) —
+    #: feeds the INTERP depth hand-off and the per-depth QASM export
+    best_params: tuple[tuple[float, ...], ...] = ()
 
     @property
     def reward(self) -> float:
@@ -66,6 +78,7 @@ class CandidateEvaluation:
             "per_graph_ratio": list(self.per_graph_ratio),
             "nfev": self.nfev,
             "seconds": self.seconds,
+            "best_params": [list(row) for row in self.best_params],
         }
 
     @classmethod
@@ -79,6 +92,10 @@ class CandidateEvaluation:
             per_graph_ratio=tuple(data.get("per_graph_ratio", ())),
             nfev=data.get("nfev", 0),
             seconds=data.get("seconds", 0.0),
+            best_params=tuple(
+                tuple(float(v) for v in row)
+                for row in data.get("best_params", ())
+            ),
         )
 
 
@@ -89,6 +106,10 @@ class DepthResult:
     p: int
     evaluations: tuple[CandidateEvaluation, ...]
     seconds: float = 0.0
+    #: OpenQASM 2.0 export of this depth's winning candidate, bound with
+    #: its trained parameters on the first workload graph (v3) — the exit
+    #: path to downstream toolchains; None when export is unavailable
+    best_qasm: str | None = None
 
     @property
     def best(self) -> CandidateEvaluation:
@@ -106,6 +127,7 @@ class DepthResult:
             "p": self.p,
             "seconds": self.seconds,
             "evaluations": [e.to_dict() for e in self.evaluations],
+            "best_qasm": self.best_qasm,
         }
 
     @classmethod
@@ -114,6 +136,7 @@ class DepthResult:
             int(data["p"]),
             tuple(CandidateEvaluation.from_dict(e) for e in data["evaluations"]),
             data.get("seconds", 0.0),
+            data.get("best_qasm"),
         )
 
 
@@ -136,9 +159,9 @@ class SearchResult:
     # -- wire format / persistence -----------------------------------------
 
     def to_dict(self) -> dict:
-        """The v2 wire object: file payload and HTTP payload alike."""
+        """The v3 wire object: file payload and HTTP payload alike."""
         return {
-            "format": WIRE_FORMAT_V2,
+            "format": WIRE_FORMAT_V3,
             "best_tokens": list(self.best_tokens),
             "best_p": self.best_p,
             "best_energy": self.best_energy,
@@ -150,9 +173,9 @@ class SearchResult:
 
     @classmethod
     def from_dict(cls, data: dict) -> SearchResult:
-        """Inverse of :meth:`to_dict`; accepts v1 and v2 payloads (the
-        nested record shape is shared, v1 merely predates the symmetric
-        per-record methods)."""
+        """Inverse of :meth:`to_dict`; accepts v1, v2, and v3 payloads
+        (the nested record shape is shared — older versions merely lack
+        the fields newer ones added, all of which default)."""
         fmt = data.get("format")
         if fmt not in _ACCEPTED_FORMATS:
             raise ValueError(

@@ -30,9 +30,15 @@ the replacement substrate:
   ``RuntimeConfig(shards=K, shard_index=i)`` instead makes *this* process
   node ``i`` of a multi-process deployment: it evaluates only its shard
   of every depth into the shared cache (see the CLI's ``--shard-index``).
-* **Hoisted classical optima** — the brute-force max-cut solve (the
-  candidate-independent ``2^n`` part of scoring) runs once per search and
-  ships to workers in the job payload instead of once per candidate.
+* **Hoisted classical optima** — the workload's brute-force oracle (the
+  candidate-independent ``2^n`` part of scoring, per-problem via
+  :mod:`repro.workloads`) runs once per search and ships to workers in
+  the job payload instead of once per candidate.
+* **INTERP warm starts** — with ``EvaluationConfig(init_strategy=
+  "interp")`` the runtime threads each candidate's previous-depth optimum
+  through the job payload, so depth ``p`` trains from the INTERP lift of
+  depth ``p - 1`` (Zhou et al. 2020) instead of cold draws. Warm-started
+  evaluations get warm-aware cache keys, so they never alias cold ones.
 * **Compiled fast path** — job payloads carry the full
   :class:`~repro.core.evaluator.EvaluationConfig`, so workers train on
   whatever ``config.engine`` selects (default: the compiled engine) under
@@ -59,12 +65,15 @@ predictor to feed rewards back to.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import threading
 import time
 from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.circuits.qasm import QasmError, to_qasm
 from repro.core.cache import (
     ResultCache,
     SweepCheckpoint,
@@ -82,6 +91,7 @@ from repro.obs.progress import SweepProgress
 from repro.parallel.cluster import least_loaded_partition
 from repro.parallel.executor import Executor, SerialExecutor
 from repro.parallel.jobs import JobScheduler
+from repro.qaoa.ansatz import build_qaoa_ansatz
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (search imports us)
     from repro.core.search import SearchConfig
@@ -221,10 +231,27 @@ class SearchRuntime:
             metrics=metrics,
         )
         # Hot-path fix: the candidate-independent brute-force solve happens
-        # here, once, and rides along in every job payload.
-        self.classical_values = classical_optima(self.graphs)
+        # here, once, per the configured workload's oracle, and rides along
+        # in every job payload.
+        self.classical_values = classical_optima(
+            self.graphs, config.evaluation.workload
+        )
         self._workload_fp = workload_fingerprint(self.graphs)
         self._config_fp = config_fingerprint(config.evaluation)
+        # INTERP depth hand-off state: tokens -> (p, per-graph best params)
+        # harvested from each assembled depth (cache hits included, so the
+        # chain is deterministic for a given sweep).
+        self._interp = config.evaluation.init_strategy == "interp"
+        self._warm: dict[tuple[str, ...], tuple[int, tuple]] = {}
+        if self._interp and runtime.shard_index is not None:
+            # A shard process only sees its slice of depth p-1, so sibling
+            # processes would train the same depth-p key from different
+            # (or missing) warm starts and poison the shared cache.
+            raise ValueError(
+                "init_strategy='interp' cannot run under shard_index: the "
+                "INTERP hand-off needs every previous-depth result in one "
+                "process"
+            )
         self.cache: ResultCache | None = None
         self.checkpoint: SweepCheckpoint | None = None
         # An externally-owned cache (the service's shared, multi-tenant
@@ -333,6 +360,16 @@ class SearchRuntime:
             p = depth_index + 1
             depth_result = self._run_depth(p, list(provider(depth_index)))
             depth_results.append(depth_result)
+            if self._interp:
+                # Harvest the depth's trained optima (cache hits included,
+                # keeping the hand-off chain deterministic) so depth p+1
+                # can warm-start from them.
+                for evaluation in depth_result.evaluations:
+                    if evaluation.best_params:
+                        self._warm[evaluation.tokens] = (
+                            evaluation.p,
+                            evaluation.best_params,
+                        )
             if predictor is not None:
                 # Checkpointed/cached evaluations feed the predictor too:
                 # after a kill its in-memory state is gone, so replaying
@@ -399,7 +436,7 @@ class SearchRuntime:
         # trained once and fanned out. Insertion order doubles as job order.
         miss_positions: dict[str, list[int]] = {}
         for position, tokens in enumerate(candidates):
-            key = candidate_key(self._workload_fp, tokens, p, self._config_fp)
+            key = self._candidate_key(tokens, p)
             if key in miss_positions:
                 miss_positions[key].append(position)
                 self._sweep_hits += 1  # repeat served without retraining
@@ -492,18 +529,80 @@ class SearchRuntime:
 
         if self.progress is not None:
             self.progress.finish_depth(p)
+        completed = tuple(e for e in evaluations if e is not None)
         depth_result = DepthResult(
             p,
-            tuple(e for e in evaluations if e is not None),
+            completed,
             time.perf_counter() - depth_start,
+            self._depth_qasm(p, completed),
         )
         if self.checkpoint is not None and self.runtime.shard_index is None:
             self.checkpoint.save_depth(depth_fp, depth_result)
         return depth_result
 
+    def _warm_start_for(self, tokens: Sequence[str], p: int) -> tuple | None:
+        """The per-graph depth ``p - 1`` optima for ``tokens``, when the
+        INTERP hand-off is active and the previous depth recorded them."""
+        if not self._interp:
+            return None
+        entry = self._warm.get(tuple(tokens))
+        if entry is None or entry[0] != p - 1:
+            return None
+        rows = entry[1]
+        if len(rows) != len(self.graphs) or any(
+            len(row) != 2 * (p - 1) for row in rows
+        ):
+            return None
+        return rows
+
+    def _candidate_key(self, tokens: Sequence[str], p: int) -> str:
+        """The candidate's cache key; warm-started evaluations fold the
+        warm start into the key so they never alias cold-started ones."""
+        config_fp = self._config_fp
+        warm = self._warm_start_for(tokens, p)
+        if warm is not None:
+            blob = json.dumps(warm, sort_keys=True, separators=(",", ":"))
+            digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+            config_fp = f"{config_fp}:warm-{digest}"
+        return candidate_key(self._workload_fp, tokens, p, config_fp)
+
+    def _depth_qasm(
+        self, p: int, evaluations: tuple[CandidateEvaluation, ...]
+    ) -> str | None:
+        """OpenQASM 2.0 of the depth winner, bound with its trained
+        parameters on the first workload graph — the downstream-toolchain
+        exit path every result payload now carries. ``None`` when the
+        winner has no recorded parameters (pre-v3 cache entries) or uses a
+        gate QASM cannot express."""
+        if not evaluations:
+            return None
+        best = max(evaluations, key=lambda e: e.reward)
+        if not best.best_params:
+            return None
+        try:
+            ansatz = build_qaoa_ansatz(
+                self.graphs[0],
+                p,
+                best.tokens,
+                initial_hadamard=self.config.evaluation.initial_hadamard,
+                workload=self.config.evaluation.workload,
+            )
+            return to_qasm(ansatz.bind(list(best.best_params[0])))
+        except (QasmError, ValueError):
+            return None
+
     def _job_payload(self, tokens: Sequence[str], p: int) -> tuple:
-        """One picklable unit of work for ``evaluate_candidate``."""
-        return (self.graphs, tokens, p, self.config.evaluation, self.classical_values)
+        """One picklable unit of work for ``evaluate_candidate``. Element 1
+        must stay the token tuple — the sharded runtime's cost partitioner
+        indexes it."""
+        return (
+            self.graphs,
+            tokens,
+            p,
+            self.config.evaluation,
+            self.classical_values,
+            self._warm_start_for(tokens, p),
+        )
 
     def _execute(
         self, p: int, keys: list[str], jobs: list[tuple]
@@ -526,6 +625,8 @@ class SearchRuntime:
             "k_max": self.config.k_max,
             "mode": self.config.mode,
             "num_samples": self.config.num_samples,
+            "workload": self.config.evaluation.workload,
+            "init_strategy": self.config.evaluation.init_strategy,
             "optimizer": self.config.evaluation.optimizer,
             "max_steps": self.config.evaluation.max_steps,
             "engine": self.config.evaluation.engine,

@@ -13,7 +13,15 @@ networkx used only in tests as a cross-check), and
 experiment harness.
 """
 
-from repro.graphs.datasets import paper_er_dataset, paper_regular_dataset, profiling_graph
+from repro.graphs.datasets import (
+    DATASET_FAMILIES,
+    paper_er_dataset,
+    paper_maxsat_dataset,
+    paper_regular_dataset,
+    paper_spin_glass_dataset,
+    paper_weighted_dataset,
+    profiling_graph,
+)
 from repro.graphs.generators import (
     Graph,
     complete_graph,
@@ -33,8 +41,12 @@ __all__ = [
     "cycle_graph",
     "path_graph",
     "star_graph",
+    "DATASET_FAMILIES",
     "paper_er_dataset",
     "paper_regular_dataset",
+    "paper_weighted_dataset",
+    "paper_maxsat_dataset",
+    "paper_spin_glass_dataset",
     "profiling_graph",
     "graph_from_dict",
     "graph_to_dict",

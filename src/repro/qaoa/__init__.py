@@ -18,6 +18,7 @@ from repro.qaoa.maxcut import (
     brute_force_maxcut,
     cut_value,
     expected_best_cut,
+    expected_best_value,
     greedy_maxcut,
     local_search_maxcut,
     random_cut_expectation,
@@ -63,6 +64,7 @@ __all__ = [
     "local_search_maxcut",
     "random_cut_expectation",
     "expected_best_cut",
+    "expected_best_value",
     "approximation_ratio",
     "edge_energy_p1",
     "maxcut_energy_p1",

@@ -14,7 +14,6 @@ from dataclasses import dataclass
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.parameters import Parameter
 from repro.graphs.generators import Graph
-from repro.qaoa.cost_operator import append_cost_layer
 from repro.qaoa.mixers import append_mixer_layer, mixer_label
 from repro.utils.validation import check_positive
 
@@ -37,6 +36,9 @@ class QAOAAnsatz:
     graph: Graph
     mixer_tokens: tuple[str, ...]
     initial_hadamard: bool
+    #: registry key of the problem this ansatz optimizes (the phase
+    #: separators baked into ``circuit`` came from this workload)
+    workload: str = "maxcut"
 
     @property
     def p(self) -> int:
@@ -87,15 +89,23 @@ def build_qaoa_ansatz(
     mixer_tokens: Sequence[str] = ("rx",),
     *,
     initial_hadamard: bool = True,
+    workload: str = "maxcut",
 ) -> QAOAAnsatz:
     """Construct the Eq. (2) ansatz for ``graph`` at depth ``p``.
 
     One ``gamma_k``/``beta_k`` pair per layer; within a layer every
     parameterized mixer gate shares ``beta_k`` (the paper's weight-sharing
     choice, which keeps the parameter count at ``2p`` regardless of mixer
-    length).
+    length). ``workload`` selects the phase separator ``e^{-i gamma C}``
+    from the :mod:`repro.workloads` registry (default: the paper's MaxCut).
     """
+    # imported lazily: repro.workloads pulls in repro.qaoa.cost_operator,
+    # so a module-level import here would be circular
+    from repro.workloads import get_workload
+
     check_positive(p, "p")
+    problem = get_workload(workload)
+    problem.validate_instance(graph)
     tokens = tuple(mixer_tokens)
     n = graph.num_nodes
     circuit = QuantumCircuit(n, name=f"qaoa_p{p}_{mixer_label(tokens)}")
@@ -105,6 +115,8 @@ def build_qaoa_ansatz(
     gammas = tuple(Parameter(f"gamma_{k}") for k in range(p))
     betas = tuple(Parameter(f"beta_{k}") for k in range(p))
     for k in range(p):
-        append_cost_layer(circuit, graph, gammas[k])
+        problem.append_cost_layer(circuit, graph, gammas[k])
         append_mixer_layer(circuit, tokens, betas[k])
-    return QAOAAnsatz(circuit, gammas, betas, graph, tokens, initial_hadamard)
+    return QAOAAnsatz(
+        circuit, gammas, betas, graph, tokens, initial_hadamard, workload
+    )

@@ -45,7 +45,6 @@ from repro.qaoa.ansatz import QAOAAnsatz
 from repro.qtensor.simulator import QTensorSimulator
 from repro.simulators.backends import ArrayBackend, get_array_backend
 from repro.simulators.compiled import SHIFT_RULE_GATES, CompiledProgram
-from repro.simulators.expectation import maxcut_expectation
 from repro.simulators.statevector import plus_state, simulate, zero_state
 
 __all__ = ["AnsatzEnergy", "ENGINES", "NegatedEnergy"]
@@ -141,12 +140,26 @@ class AnsatzEnergy:
             return self.program.state(x)
         return simulate(self.ansatz.bind(list(x)), self._dense_initial_state())
 
+    def _objective_table(self) -> np.ndarray:
+        """The workload's ``(2^n,)`` objective diagonal for this graph."""
+        from repro.workloads import get_workload
+
+        workload = getattr(self.ansatz, "workload", "maxcut") or "maxcut"
+        return get_workload(workload).objective_values(self.ansatz.graph)
+
     def _energy_of_circuit(self, bound: QuantumCircuit) -> float:
         self.num_evaluations += 1
         graph = self.ansatz.graph
         if self.engine == "statevector":
-            return maxcut_expectation(
-                simulate(bound, self._dense_initial_state()), graph
+            state = simulate(bound, self._dense_initial_state())
+            probs = np.abs(state) ** 2
+            return float(probs @ self._objective_table())
+        workload = getattr(self.ansatz, "workload", "maxcut") or "maxcut"
+        if workload != "maxcut":
+            raise ValueError(
+                "the qtensor engine contracts the MaxCut observable edge by "
+                f"edge and cannot evaluate workload {workload!r}; use "
+                "engine='compiled' or 'statevector'"
             )
         return self._qtensor.maxcut_energy(
             bound, graph, initial_state=self.ansatz.initial_state_label

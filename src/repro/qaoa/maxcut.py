@@ -28,6 +28,7 @@ __all__ = [
     "greedy_maxcut",
     "local_search_maxcut",
     "random_cut_expectation",
+    "expected_best_value",
     "expected_best_cut",
     "approximation_ratio",
 ]
@@ -115,6 +116,41 @@ def random_cut_expectation(graph: Graph) -> float:
     return graph.total_weight() / 2.0
 
 
+def expected_best_value(
+    probabilities: np.ndarray,
+    values: np.ndarray,
+    shots: int,
+) -> float:
+    """Exact ``E[max objective among N measurement samples]`` for an
+    arbitrary ``(2^n,)`` objective diagonal ``values``.
+
+    Computed in closed form from the output distribution instead of by
+    Monte Carlo: with ``F(c) = P(value <= c)`` for one sample, the maximum
+    of ``N`` iid samples has CDF ``F(c)^N``, so
+    ``E[max] = sum_c c * (F(c)^N - F(c-)^N)``. Deterministic, vectorized,
+    and free of sampling noise. Workload-agnostic: any problem in the
+    :mod:`repro.workloads` registry supplies its table here.
+    """
+    from repro.utils.validation import check_positive
+
+    check_positive(shots, "shots")
+    values = np.asarray(values)
+    if probabilities.shape != values.shape:
+        raise ValueError(
+            f"distribution over {probabilities.shape[0]} outcomes does not "
+            f"match {values.shape[0]} bitstrings"
+        )
+    order = np.argsort(values)
+    sorted_values = values[order]
+    sorted_probs = probabilities[order]
+    unique_values, first_index = np.unique(sorted_values, return_index=True)
+    cdf = np.add.reduceat(sorted_probs, first_index).cumsum()
+    cdf = np.clip(cdf / cdf[-1], 0.0, 1.0)  # renormalize away float drift
+    cdf_pow = cdf**shots
+    prev = np.concatenate([[0.0], cdf_pow[:-1]])
+    return float((unique_values * (cdf_pow - prev)).sum())
+
+
 def expected_best_cut(
     probabilities: np.ndarray,
     graph: Graph,
@@ -122,33 +158,11 @@ def expected_best_cut(
 ) -> float:
     """Exact ``E[max cut among N measurement samples]`` — Eq. (3)'s
     ``<C_max>``, "the expected energy of the largest cut discovered by the
-    given quantum circuit".
-
-    Computed in closed form from the output distribution instead of by
-    Monte Carlo: with ``F(c) = P(cut <= c)`` for one sample, the maximum of
-    ``N`` iid samples has CDF ``F(c)^N``, so
-    ``E[max] = sum_c c * (F(c)^N - F(c-)^N)``. Deterministic, vectorized,
-    and free of sampling noise — the quantity the paper's 0.98..1.0
+    given quantum circuit". The MaxCut view of
+    :func:`expected_best_value`, the quantity the paper's 0.98..1.0
     approximation-ratio band reports.
     """
-    from repro.utils.validation import check_positive
-
-    check_positive(shots, "shots")
-    cuts = cut_values(graph)
-    if probabilities.shape != cuts.shape:
-        raise ValueError(
-            f"distribution over {probabilities.shape[0]} outcomes does not "
-            f"match {cuts.shape[0]} bitstrings"
-        )
-    order = np.argsort(cuts)
-    sorted_cuts = cuts[order]
-    sorted_probs = probabilities[order]
-    unique_cuts, first_index = np.unique(sorted_cuts, return_index=True)
-    cdf = np.add.reduceat(sorted_probs, first_index).cumsum()
-    cdf = np.clip(cdf / cdf[-1], 0.0, 1.0)  # renormalize away float drift
-    cdf_pow = cdf**shots
-    prev = np.concatenate([[0.0], cdf_pow[:-1]])
-    return float((unique_cuts * (cdf_pow - prev)).sum())
+    return expected_best_value(probabilities, cut_values(graph), shots)
 
 
 def approximation_ratio(

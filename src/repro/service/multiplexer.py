@@ -53,7 +53,7 @@ import time
 import traceback
 from dataclasses import dataclass, field
 
-from repro.api import Config, resolve_workload
+from repro.api import Config, reconcile_workload, resolve_workload_spec
 from repro.core.cache import ResultCache
 from repro.core.runtime import CancellationToken, RuntimeConfig, SweepCancelled
 from repro.core.search import search_mixer
@@ -441,8 +441,8 @@ class SweepMultiplexer:
         Exposed for the smoke path (run a spec without queue round-trip);
         the result's ``config`` carries per-sweep cache-hit accounting.
         """
-        graphs = resolve_workload(spec["workload"])
-        config = Config.from_dict(spec.get("config", {}))
+        implied, graphs = resolve_workload_spec(spec["workload"])
+        config = reconcile_workload(Config.from_dict(spec.get("config", {})), implied)
         depths = int(spec.get("depths", 1))
         search_cfg = config.search_config(depths)
         # The service owns persistence: sweeps get the shared cache object,

@@ -47,7 +47,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
-from repro.api import Config, resolve_workload
+from repro.api import Config, reconcile_workload, resolve_workload_spec
 from repro.core.cache import ResultCache
 from repro.obs.metrics import MetricsRegistry
 from repro.parallel.async_executor import AsyncExecutor
@@ -213,8 +213,10 @@ class SearchService:
         if not isinstance(payload, dict):
             raise ServiceRequestError(400, "submit body must be a JSON object")
         try:
-            graphs = resolve_workload(payload.get("workload", ()))
-            config = Config.from_dict(payload.get("config", {}))
+            implied, graphs = resolve_workload_spec(payload.get("workload", ()))
+            config = reconcile_workload(
+                Config.from_dict(payload.get("config", {})), implied
+            )
             depths = int(payload.get("depths", 1))
             if depths < 1:
                 raise ValueError(f"depths must be >= 1, got {depths}")

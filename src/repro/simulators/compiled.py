@@ -339,6 +339,7 @@ class CompiledProgram:
         graph: Graph | None,
         source_gates: int,
         backend: ArrayBackend | str | None = None,
+        cost_values: np.ndarray | None = None,
     ) -> None:
         self.num_qubits = num_qubits
         self.num_parameters = num_parameters
@@ -353,7 +354,19 @@ class CompiledProgram:
         #: uploaded to it lazily, once, via :meth:`_dev`
         self.backend = get_array_backend(backend if backend is not None else "numpy")
         self._device: dict[int, object] = {}
-        self._cut = None if graph is None else cut_values(graph)
+        # the objective diagonal `energy`/`energies` contract against: an
+        # explicit workload table when given, else the graph's MaxCut cuts
+        # (the seed behavior — the maxcut workload passes the identical
+        # memoized cut_values array, so this path stays bit-for-bit)
+        if cost_values is not None:
+            self._cut = np.asarray(cost_values, dtype=float)
+            if self._cut.shape != (2**num_qubits,):
+                raise ValueError(
+                    f"cost_values has shape {self._cut.shape}; expected "
+                    f"({2**num_qubits},) for {num_qubits} qubits"
+                )
+        else:
+            self._cut = None if graph is None else cut_values(graph)
         # Atom generators expanded to the full basis, memoized per distinct
         # (h_small, qubits): a cost-layer edge appears once per QAOA layer,
         # so this caches p-fold fewer vectors than storing one per atom
@@ -950,15 +963,18 @@ def compile_circuit(
     initial_state: str = "0",
     graph: Graph | None = None,
     backend: ArrayBackend | str | None = None,
+    cost_values: np.ndarray | None = None,
 ) -> CompiledProgram:
     """Lower ``circuit`` over the flat parameter ordering ``parameters``.
 
     ``initial_state`` is ``"0"`` or ``"+"``; pass ``graph`` to enable the
-    max-cut ``energy``/``energies``/``gradient`` entry points. ``backend``
-    selects the array backend the program evaluates under — a registered
-    name or an :class:`~repro.simulators.backends.ArrayBackend` instance
-    (default ``"numpy"``); the compile pass itself always runs on the
-    host.
+    ``energy``/``energies``/``gradient`` entry points, and optionally
+    ``cost_values`` (a ``(2^n,)`` objective diagonal from a
+    :mod:`repro.workloads` workload) to contract against something other
+    than the graph's MaxCut table. ``backend`` selects the array backend
+    the program evaluates under — a registered name or an
+    :class:`~repro.simulators.backends.ArrayBackend` instance (default
+    ``"numpy"``); the compile pass itself always runs on the host.
     """
     n = circuit.num_qubits
     index = {param: j for j, param in enumerate(parameters)}
@@ -1154,6 +1170,7 @@ def compile_circuit(
         graph=graph,
         source_gates=source_gates,
         backend=backend,
+        cost_values=cost_values,
     )
 
 
@@ -1164,14 +1181,24 @@ def compile_ansatz(
 
     The parameter ordering is the ansatz's flat ``[gammas..., betas...]``
     layout — the same vectors the optimizers drive — and the ansatz's
-    graph is attached so the max-cut energy entry points are live.
+    graph plus its workload's objective diagonal are attached so the
+    energy entry points are live for whichever problem built the ansatz.
     ``backend`` picks the array backend evaluations run under (see
     :mod:`repro.simulators.backends`; default ``"numpy"``).
     """
+    from repro.workloads import get_workload
+
+    workload = getattr(ansatz, "workload", "maxcut") or "maxcut"
+    cost = (
+        None
+        if ansatz.graph is None
+        else get_workload(workload).objective_values(ansatz.graph)
+    )
     return compile_circuit(
         ansatz.circuit,
         ansatz.parameters,
         initial_state=ansatz.initial_state_label,
         graph=ansatz.graph,
         backend=backend,
+        cost_values=cost,
     )

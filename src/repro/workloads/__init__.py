@@ -1,0 +1,34 @@
+"""Problem workloads: the registry that lifts MaxCut into one of many.
+
+Importing this package registers the built-in workloads (MaxCut, weighted
+MaxCut, Max-2-SAT, spin-glass Ising). See :mod:`repro.workloads.base` for
+the abstraction and docs/workloads.md for the encoding recipe.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.builtin import (
+    IsingWorkload,
+    MaxCutWorkload,
+    MaxSatWorkload,
+    WeightedMaxCutWorkload,
+    clause_signs,
+)
+from repro.workloads.registry import (
+    available_workloads,
+    get_workload,
+    register_workload,
+    workload_summaries,
+)
+
+__all__ = [
+    "Workload",
+    "available_workloads",
+    "get_workload",
+    "register_workload",
+    "workload_summaries",
+    "MaxCutWorkload",
+    "WeightedMaxCutWorkload",
+    "MaxSatWorkload",
+    "IsingWorkload",
+    "clause_signs",
+]

@@ -1,0 +1,55 @@
+"""Workload registry: name -> :class:`~repro.workloads.base.Workload`.
+
+Mirrors the :mod:`repro.simulators.array_backend` registry idiom — a flat
+module-level dict, eager validation at registration, sorted listing for CLI
+``choices=``. Built-in workloads register at import time via
+:mod:`repro.workloads.builtin`.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+__all__ = [
+    "register_workload",
+    "get_workload",
+    "available_workloads",
+    "workload_summaries",
+]
+
+_REGISTRY: dict[str, Workload] = {}
+
+
+def register_workload(workload: Workload, *, replace: bool = False) -> Workload:
+    """Add ``workload`` under its ``name``; duplicate names are an error
+    unless ``replace=True`` (tests swap in instrumented doubles)."""
+    name = workload.name
+    if not name:
+        raise ValueError("workload must define a non-empty name")
+    if not workload.family:
+        raise ValueError(f"workload {name!r} must define a dataset family")
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"workload {name!r} is already registered")
+    _REGISTRY[name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a registered workload by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        options = ", ".join(available_workloads())
+        raise ValueError(
+            f"unknown workload {name!r}; options: {options}"
+        ) from None
+
+
+def available_workloads() -> tuple[str, ...]:
+    """Registered workload names, sorted (CLI ``choices=`` source)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def workload_summaries() -> dict[str, str]:
+    """``{name: one-line summary}`` for docs and ``--help`` epilogs."""
+    return {name: _REGISTRY[name].summary for name in available_workloads()}

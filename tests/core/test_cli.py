@@ -83,7 +83,7 @@ class TestSearchCommand:
         assert code == 0
         assert "winner" in capsys.readouterr().out
         saved = json.loads(out_path.read_text())
-        assert saved["format"] == "repro-search-result-v2"
+        assert saved["format"] == "repro-search-result-v3"
 
     def test_cache_dir_makes_rerun_all_hits(self, tmp_path, capsys):
         args = [
@@ -164,3 +164,71 @@ class TestSearchCommand:
         capsys.readouterr()
         assert main(args + ["--resume"]) == 0
         assert "1 depths restored" in capsys.readouterr().out
+
+
+class TestWorkloadOptions:
+    """--dataset families, --workload, --init-strategy."""
+
+    def test_workload_choices_come_from_the_live_registry(self):
+        from repro.workloads import available_workloads
+
+        parser = build_parser()
+        action = next(
+            a
+            for a in parser._subparsers._group_actions[0].choices["search"]._actions
+            if a.dest == "workload"
+        )
+        assert tuple(action.choices) == available_workloads()
+
+    @pytest.mark.parametrize("dataset", ["wmaxcut", "maxsat", "ising"])
+    def test_search_runs_every_dataset_family(self, dataset, capsys):
+        code = main([
+            "search", "--dataset", dataset, "--graphs", "1", "--steps", "8",
+            "--p-max", "1", "--k-min", "1", "--k-max", "1",
+        ])
+        assert code == 0
+        assert "winner" in capsys.readouterr().out
+
+    def test_explicit_matching_workload_accepted(self, capsys):
+        code = main([
+            "search", "--dataset", "ising", "--workload", "ising",
+            "--graphs", "1", "--steps", "8", "--p-max", "1",
+            "--k-min", "1", "--k-max", "1",
+        ])
+        assert code == 0
+
+    def test_conflicting_workload_rejected(self):
+        with pytest.raises(SystemExit, match="implies"):
+            main([
+                "search", "--dataset", "er", "--workload", "ising",
+                "--graphs", "1", "--steps", "8", "--p-max", "1",
+                "--k-min", "1", "--k-max", "1",
+            ])
+
+    def test_saved_result_records_the_workload(self, tmp_path, capsys):
+        out_path = tmp_path / "result.json"
+        code = main([
+            "search", "--dataset", "maxsat", "--graphs", "1", "--steps", "8",
+            "--p-max", "1", "--k-min", "1", "--k-max", "1",
+            "--out", str(out_path),
+        ])
+        assert code == 0
+        saved = json.loads(out_path.read_text())
+        assert saved["config"]["workload"] == "maxsat"
+        assert saved["depth_results"][0]["best_qasm"].startswith("OPENQASM 2.0;")
+
+    def test_interp_init_strategy_runs(self, capsys):
+        code = main([
+            "search", "--graphs", "1", "--steps", "8", "--p-max", "2",
+            "--k-min", "1", "--k-max", "1", "--init-strategy", "interp",
+        ])
+        assert code == 0
+        assert "winner" in capsys.readouterr().out
+
+    def test_evaluate_on_a_workload_dataset(self, capsys):
+        code = main([
+            "evaluate", "rx", "--dataset", "wmaxcut", "--graphs", "1",
+            "--steps", "8", "--metric", "energy",
+        ])
+        assert code == 0
+        assert "mean ratio" in capsys.readouterr().out

@@ -75,13 +75,13 @@ class TestSearchResultPersistence:
 
 
 class TestWireFormat:
-    """v2 is symmetric and versioned; v1 files are still accepted."""
+    """v3 is symmetric and versioned; v1/v2 files are still accepted."""
 
     def _result(self):
         return TestSearchResultPersistence._result(self)
 
-    def test_to_dict_tags_v2(self):
-        assert self._result().to_dict()["format"] == "repro-search-result-v2"
+    def test_to_dict_tags_v3(self):
+        assert self._result().to_dict()["format"] == "repro-search-result-v3"
 
     def test_dict_roundtrip_is_lossless(self):
         original = self._result()
@@ -103,18 +103,28 @@ class TestWireFormat:
         assert restored.seconds == 1.5
         assert restored.evaluations == d.evaluations
 
-    def test_v1_payloads_still_load(self, tmp_path):
-        """Files written before the v2 tag keep loading (the nested record
-        shape is unchanged; only the format string advanced)."""
+    @pytest.mark.parametrize(
+        "tag", ["repro-search-result-v1", "repro-search-result-v2"]
+    )
+    def test_older_payloads_still_load(self, tmp_path, tag):
+        """Files written before the v3 tag keep loading (the v3 fields —
+        best_params, best_qasm, workload in config — all default when
+        absent)."""
         payload = self._result().to_dict()
-        payload["format"] = "repro-search-result-v1"
-        path = tmp_path / "v1.json"
+        payload["format"] = tag
+        for depth in payload["depth_results"]:
+            depth.pop("best_qasm", None)
+            for evaluation in depth["evaluations"]:
+                evaluation.pop("best_params", None)
+        path = tmp_path / "old.json"
         import json
 
         path.write_text(json.dumps(payload))
         loaded = SearchResult.load(path)
         assert loaded.best_tokens == ("rx", "ry")
         assert loaded.num_candidates == 3
+        assert loaded.depth_results[0].best_qasm is None
+        assert loaded.depth_results[0].evaluations[0].best_params == ()
 
     def test_load_error_names_the_file(self, tmp_path):
         path = tmp_path / "bad.json"

@@ -66,3 +66,75 @@ class TestRegularDataset:
 class TestProfilingGraph:
     def test_is_first_er_instance(self):
         assert profiling_graph() == paper_er_dataset(1)[0]
+
+
+class TestWorkloadDatasets:
+    """The per-workload dataset factories added with the workload registry."""
+
+    def _is_connected(self, graph):
+        import numpy as np
+
+        adj = graph.adjacency_matrix() > 0
+        reach = np.linalg.matrix_power(
+            adj + np.eye(graph.num_nodes, dtype=bool), graph.num_nodes
+        )
+        return bool(reach[0].all())
+
+    def test_weighted_shares_er_topology(self):
+        from repro.graphs.datasets import paper_weighted_dataset
+
+        plain = paper_er_dataset(4, dataset_seed=9)
+        weighted = paper_weighted_dataset(4, dataset_seed=9)
+        assert [g.edges for g in plain] == [g.edges for g in weighted]
+        assert all(
+            0.25 <= w <= 1.75 for g in weighted for w in g.weights
+        )
+
+    def test_weighted_deterministic_and_seed_sensitive(self):
+        from repro.graphs.datasets import paper_weighted_dataset
+
+        assert (
+            paper_weighted_dataset(2, dataset_seed=9)[0].weights
+            == paper_weighted_dataset(2, dataset_seed=9)[0].weights
+        )
+        assert (
+            paper_weighted_dataset(2, dataset_seed=9)[0].weights
+            != paper_weighted_dataset(2, dataset_seed=10)[0].weights
+        )
+
+    def test_maxsat_instances_connected_positive_weights(self):
+        from repro.graphs.datasets import paper_maxsat_dataset
+
+        for graph in paper_maxsat_dataset(5, dataset_seed=9):
+            assert self._is_connected(graph)
+            assert all(0.5 <= w <= 1.5 for w in graph.weights)
+
+    def test_spin_glass_couplings_signed_and_bounded(self):
+        from repro.graphs.datasets import paper_spin_glass_dataset
+
+        weights = [
+            w for g in paper_spin_glass_dataset(5, dataset_seed=9) for w in g.weights
+        ]
+        assert all(-1.0 <= w <= 1.0 for w in weights)
+        assert min(weights) < 0 < max(weights)
+
+    def test_family_table_keys_and_implications(self):
+        from repro.graphs.datasets import DATASET_FAMILIES
+        from repro.workloads import available_workloads
+
+        assert set(DATASET_FAMILIES) == {"er", "regular", "wmaxcut", "maxsat", "ising"}
+        implied = {key for key, _ in DATASET_FAMILIES.values()}
+        assert implied == set(available_workloads())
+
+    def test_families_are_mutually_disjoint(self):
+        from repro.graphs.datasets import DATASET_FAMILIES
+
+        first_instances = {
+            family: factory(1, dataset_seed=9)[0]
+            for family, (_, factory) in DATASET_FAMILIES.items()
+        }
+        # er/wmaxcut intentionally share topology; all other pairs differ
+        assert first_instances["er"].edges != first_instances["maxsat"].edges or (
+            first_instances["er"].weights != first_instances["maxsat"].weights
+        )
+        assert first_instances["maxsat"].weights != first_instances["ising"].weights

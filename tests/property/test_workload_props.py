@@ -1,0 +1,130 @@
+"""Property-based tests: workload objective tables on random weighted graphs.
+
+Every workload's ``objective_values`` is a claim about all ``2^n``
+bitstrings at once; these properties pin the invariants that must hold for
+*any* weighted instance, not just the pinned paper datasets — the piece of
+satellite coverage that seeded example tests cannot give.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import Graph
+from repro.simulators.expectation import bit_table
+from repro.workloads import clause_signs, get_workload
+
+
+@st.composite
+def weighted_graphs(draw, min_weight=0.1, max_weight=2.0, allow_negative=False):
+    n = draw(st.integers(2, 6))
+    all_pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    chosen = draw(
+        st.lists(st.sampled_from(all_pairs), min_size=1, max_size=len(all_pairs), unique=True)
+    )
+    low = -max_weight if allow_negative else min_weight
+    weights = draw(
+        st.lists(
+            st.floats(low, max_weight, allow_nan=False, allow_infinity=False),
+            min_size=len(chosen),
+            max_size=len(chosen),
+        )
+    )
+    return Graph(n, tuple(sorted(chosen)), tuple(weights))
+
+
+class TestWeightedMaxCutProperties:
+    @given(weighted_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_table_matches_naive_cut(self, graph):
+        table = get_workload("wmaxcut").objective_values(graph)
+        bits = bit_table(graph.num_nodes)
+        idx = len(table) // 3
+        naive = sum(
+            w
+            for (u, v), w in zip(graph.edges, graph.weights)
+            if bits[idx, u] != bits[idx, v]
+        )
+        assert table[idx] == np.float64(naive) or abs(table[idx] - naive) < 1e-9
+
+    @given(weighted_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_cut_bounds_and_empty_cut(self, graph):
+        table = get_workload("wmaxcut").objective_values(graph)
+        assert table[0] == 0.0  # all nodes on one side cuts nothing
+        assert table.max() <= sum(graph.weights) + 1e-9
+        assert table.min() >= -1e-9
+
+    @given(weighted_graphs(), st.floats(0.1, 3.0, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_objective_is_linear_in_the_weights(self, graph, scale):
+        problem = get_workload("wmaxcut")
+        base = problem.objective_values(graph)
+        scaled_graph = Graph(
+            graph.num_nodes, graph.edges, tuple(scale * w for w in graph.weights)
+        )
+        np.testing.assert_allclose(
+            problem.objective_values(scaled_graph), scale * base, atol=1e-9
+        )
+
+    @given(weighted_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_optimum_is_the_table_max(self, graph):
+        problem = get_workload("wmaxcut")
+        assert problem.classical_optimum(graph) == float(
+            np.max(problem.objective_values(graph))
+        )
+
+
+class TestMaxSatProperties:
+    @given(weighted_graphs(min_weight=0.1))
+    @settings(max_examples=40, deadline=None)
+    def test_satisfied_weight_bounds(self, graph):
+        table = get_workload("maxsat").objective_values(graph)
+        total = sum(graph.weights)
+        assert table.min() >= -1e-9
+        assert table.max() <= total + 1e-9
+        # each 2-clause is satisfied by 3 of 4 assignments, so the mean
+        # satisfied weight over all bitstrings is exactly 3/4 of the total
+        assert abs(table.mean() - 0.75 * total) < 1e-9
+
+    @given(weighted_graphs(min_weight=0.1))
+    @settings(max_examples=40, deadline=None)
+    def test_table_agrees_with_clause_semantics(self, graph):
+        table = get_workload("maxsat").objective_values(graph)
+        bits = bit_table(graph.num_nodes)
+        idx = len(table) - 1
+        naive = 0.0
+        for (u, v), w in zip(graph.edges, graph.weights):
+            s_u, s_v = clause_signs(u, v)
+            lit_u = bool(bits[idx, u]) if s_u > 0 else not bits[idx, u]
+            lit_v = bool(bits[idx, v]) if s_v > 0 else not bits[idx, v]
+            if lit_u or lit_v:
+                naive += w
+        assert abs(table[idx] - naive) < 1e-9
+
+
+class TestIsingProperties:
+    @given(weighted_graphs(allow_negative=True))
+    @settings(max_examples=40, deadline=None)
+    def test_global_spin_flip_symmetry(self, graph):
+        table = get_workload("ising").objective_values(graph)
+        flipped = 2**graph.num_nodes - 1 - np.arange(2**graph.num_nodes)
+        np.testing.assert_allclose(table, table[flipped], atol=1e-9)
+
+    @given(weighted_graphs(allow_negative=True))
+    @settings(max_examples=40, deadline=None)
+    def test_energy_bounded_by_total_coupling(self, graph):
+        table = get_workload("ising").objective_values(graph)
+        bound = sum(abs(w) for w in graph.weights)
+        assert np.all(np.abs(table) <= bound + 1e-9)
+
+    @given(weighted_graphs(allow_negative=True))
+    @settings(max_examples=25, deadline=None)
+    def test_ground_state_energy_nonnegative(self, graph):
+        # sum over the pair (x, ~x) is constant, and each term's sign flips
+        # with any single coupling's dominant spin choice: max(-H) >= 0
+        # because table mean is 0 (every z_u z_v averages to 0)
+        table = get_workload("ising").objective_values(graph)
+        assert abs(table.mean()) < 1e-9
+        assert table.max() >= -1e-9

@@ -33,7 +33,7 @@ class TestExecution:
             with SweepMultiplexer(queue, max_concurrent=1):
                 (record,) = wait_until(queue, [job_id])
             assert record.state == "done", record.error
-            assert record.result["format"] == "repro-search-result-v2"
+            assert record.result["format"] == "repro-search-result-v3"
             evaluated = sum(
                 len(d["evaluations"]) for d in record.result["depth_results"]
             )

@@ -1,0 +1,126 @@
+"""Workload specs through the service: submit validation, per-problem runs.
+
+The service accepts both forms a client can send — a family spec string
+(``"maxsat:1:5"``) or the expanded graph dicts with the workload key folded
+into the config (what ``Client.submit`` produces). Either way the executed
+sweep must train the right problem and say so in its result config.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import Config, connect
+from repro.service.server import SearchService, ServiceRequestError, make_http_server
+from repro.workloads import available_workloads
+
+FAST = dict(k_min=1, k_max=1, steps=8, seed=1)
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = SearchService(tmp_path, max_concurrent=2, workers=2)
+    server = make_http_server(svc)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    with svc:
+        yield svc, f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+
+
+def http(method, url, body=None):
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(
+        url, data=data, method=method, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestSubmitValidation:
+    def test_spec_string_fills_the_config_workload(self, tmp_path):
+        with SearchService(tmp_path) as svc:
+            response = svc.submit(
+                {"workload": "ising:1:5", "depths": 1, "config": Config(**FAST).to_dict()}
+            )
+            record = svc.queue.get(response["id"])
+            assert record.spec["config"]["workload"] == "ising"
+
+    def test_conflicting_workload_is_a_400(self, tmp_path):
+        with SearchService(tmp_path) as svc:
+            with pytest.raises(ServiceRequestError) as excinfo:
+                svc.submit(
+                    {
+                        "workload": "ising:1:5",
+                        "depths": 1,
+                        "config": Config(workload="maxsat", **FAST).to_dict(),
+                    }
+                )
+            assert excinfo.value.status == 400
+            assert "ising" in str(excinfo.value)
+
+    def test_unknown_config_workload_is_a_400(self, tmp_path):
+        with SearchService(tmp_path) as svc:
+            with pytest.raises(ServiceRequestError) as excinfo:
+                svc.submit(
+                    {
+                        "workload": "er:1:5",
+                        "depths": 1,
+                        "config": {"workload": "knapsack"},
+                    }
+                )
+            assert excinfo.value.status == 400
+
+
+class TestWorkloadSweeps:
+    def test_every_workload_runs_end_to_end(self, service):
+        """One tiny sweep per registered workload through HTTP submit; the
+        finished result carries the problem key and the QASM export."""
+        svc, base = service
+        client = connect(base)
+        from repro.workloads import get_workload
+
+        job_ids = {
+            key: client.submit(
+                f"{get_workload(key).family}:1:5", depths=1, config=Config(**FAST)
+            )
+            for key in available_workloads()
+        }
+        for key, job_id in job_ids.items():
+            result = client.wait(job_id, timeout=120)
+            assert result.config["workload"] == key
+            assert result.depth_results[0].best_qasm.startswith("OPENQASM 2.0;")
+
+    def test_http_submit_accepts_a_family_spec_directly(self, service):
+        _, base = service
+        status, body = http(
+            "POST",
+            base + "/submit",
+            {"workload": "maxsat:1:5", "depths": 1, "config": Config(**FAST).to_dict()},
+        )
+        assert status == 202
+        result = connect(base).wait(body["id"], timeout=120)
+        assert result.config["workload"] == "maxsat"
+
+    def test_distinct_workloads_do_not_share_cache_entries(self, service):
+        """Same topology family sizes, different problems: the second sweep
+        must be all cache misses, not hits from the first."""
+        svc, base = service
+        client = connect(base)
+        first = client.wait(
+            client.submit("er:1:5", depths=1, config=Config(**FAST)), timeout=120
+        )
+        second = client.wait(
+            client.submit("wmaxcut:1:5", depths=1, config=Config(**FAST)), timeout=120
+        )
+        assert first.config["workload"] == "maxcut"
+        assert second.config["workload"] == "wmaxcut"
+        assert second.config["cache_hits"] == 0

@@ -1,0 +1,100 @@
+"""MaxCut through the registry is bit-identical to the pre-registry paths.
+
+The workload refactor's prime directive: ``workload="maxcut"`` (the default
+everywhere) must reproduce the seed behavior exactly — same gates, same
+statevectors, same energies, same ratios — not merely to within optimizer
+noise. These tests pin that equivalence at 1e-10 or exact equality.
+"""
+
+import pytest
+
+from repro.core.evaluator import EvaluationConfig, Evaluator
+from repro.graphs.generators import erdos_renyi_graph
+from repro.qaoa.ansatz import build_qaoa_ansatz
+from repro.qaoa.cost_operator import append_cost_layer
+from repro.simulators.compiled import compile_ansatz
+from repro.simulators.expectation import cut_values, maxcut_expectation
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return [erdos_renyi_graph(6, 0.5, seed=s, require_connected=True) for s in (1, 2)]
+
+
+class TestCircuitEquivalence:
+    def test_default_ansatz_is_the_maxcut_ansatz(self, small_er_graph):
+        implicit = build_qaoa_ansatz(small_er_graph, 2, ("rx", "ry"))
+        explicit = build_qaoa_ansatz(
+            small_er_graph, 2, ("rx", "ry"), workload="maxcut"
+        )
+        assert implicit.workload == explicit.workload == "maxcut"
+        def ops(a):
+            return [(i.gate.name, tuple(i.qubits)) for i in a.circuit.instructions]
+
+        assert ops(implicit) == ops(explicit)
+
+    def test_workload_cost_layer_emits_the_seed_gates(self, small_er_graph):
+        from repro.circuits.circuit import QuantumCircuit
+
+        seed_circuit = append_cost_layer(
+            QuantumCircuit(small_er_graph.num_nodes), small_er_graph, 0.37
+        )
+        registry_circuit = get_workload("maxcut").append_cost_layer(
+            QuantumCircuit(small_er_graph.num_nodes), small_er_graph, 0.37
+        )
+        assert [
+            (i.gate.name, tuple(i.qubits), i.gate.matrix({}).tolist())
+            for i in seed_circuit.instructions
+        ] == [
+            (i.gate.name, tuple(i.qubits), i.gate.matrix({}).tolist())
+            for i in registry_circuit.instructions
+        ]
+
+
+class TestCompiledEquivalence:
+    def test_compiled_energy_equals_maxcut_expectation(self, small_er_graph):
+        ansatz = build_qaoa_ansatz(small_er_graph, 2, ("rx",))
+        program = compile_ansatz(ansatz)
+        x = [0.3, -0.8, 0.5, 1.1]
+        state = program.state(x)
+        assert program.energy(x) == pytest.approx(
+            maxcut_expectation(state, small_er_graph), abs=1e-10
+        )
+
+    def test_compiled_table_is_the_shared_memo(self, small_er_graph):
+        program = compile_ansatz(build_qaoa_ansatz(small_er_graph, 1, ("rx",)))
+        assert program._cut is cut_values(small_er_graph)
+
+
+class TestEvaluationEquivalence:
+    def test_default_config_evaluates_identically_to_explicit_maxcut(self, graphs):
+        default = Evaluator(graphs, EvaluationConfig(max_steps=20, seed=5))
+        explicit = Evaluator(
+            graphs, EvaluationConfig(max_steps=20, seed=5, workload="maxcut")
+        )
+        a = default.evaluate(("rx", "ry"), 2)
+        b = explicit.evaluate(("rx", "ry"), 2)
+        assert a.energy == b.energy
+        assert a.ratio == b.ratio
+        assert a.per_graph_energy == b.per_graph_energy
+        assert a.per_graph_ratio == b.per_graph_ratio
+        assert a.best_params == b.best_params
+
+    def test_best_sampled_metric_is_equivalent_too(self, graphs):
+        kwargs = dict(max_steps=15, seed=7, metric="best_sampled", shots=32)
+        a = Evaluator(graphs, EvaluationConfig(**kwargs)).evaluate(("rx",), 1)
+        b = Evaluator(
+            graphs, EvaluationConfig(workload="maxcut", **kwargs)
+        ).evaluate(("rx",), 1)
+        assert abs(a.energy - b.energy) < 1e-10
+        assert abs(a.ratio - b.ratio) < 1e-10
+
+    def test_classical_optima_match_brute_force(self, graphs):
+        from repro.core.evaluator import classical_optima
+        from repro.qaoa.maxcut import brute_force_maxcut
+
+        assert classical_optima(graphs) == tuple(
+            brute_force_maxcut(g).value for g in graphs
+        )
+        assert classical_optima(graphs, "maxcut") == classical_optima(graphs)
