@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Surrogate-assisted search vs the full sweep: fewer evals, same winner.
+
+One seeded benchmark sweep run twice — unfiltered, then with the
+surrogate ranker pruning each depth's candidate pool — gated on the two
+properties that justify the surrogate layer existing at all:
+
+* the assisted sweep performs at least ``MIN_EVAL_REDUCTION`` fewer real
+  simulator evaluations (``jobs_submitted``, the only place training
+  actually happens) than the full sweep, and
+* its final best energy matches the full sweep's within
+  ``ENERGY_TOLERANCE`` — pruning must not lose the winner.
+
+Set ``QARCH_BENCH_TREND=off`` to report without gating (the same escape
+hatch the throughput trend gate honors). The measured numbers land in
+``benchmarks/results/surrogate_search.json`` either way.
+
+Run from the repo root (CI's bench-smoke job does)::
+
+    python benchmarks/bench_surrogate.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, "src")
+
+from repro.api import Config, search  # noqa: E402
+
+OUTPUT = Path("benchmarks/results/surrogate_search.json")
+
+#: the assisted sweep must cut real evaluations by at least this fraction
+MIN_EVAL_REDUCTION = 0.40
+#: and still land on the same best energy to this tolerance
+ENERGY_TOLERANCE = 1e-6
+
+#: the seeded benchmark sweep: enough depths that the depth-1 training
+#: round is amortized by three pruned depths
+WORKLOAD = "er:2:7"
+DEPTHS = 4
+BASE = dict(k_min=1, k_max=2, mode="combinations", steps=12, seed=7)
+SURROGATE = dict(surrogate=True, surrogate_keep=0.3, explore_floor=0.1)
+
+
+def run(**overrides) -> tuple[dict, float]:
+    start = time.perf_counter()
+    result = search(WORKLOAD, depths=DEPTHS, config=Config(**BASE, **overrides))
+    return result, time.perf_counter() - start
+
+
+def main() -> int:
+    full, full_seconds = run()
+    assisted, assisted_seconds = run(**SURROGATE)
+
+    full_evals = full.config["jobs_submitted"]
+    assisted_evals = assisted.config["jobs_submitted"]
+    reduction = 1.0 - assisted_evals / full_evals
+    energy_delta = abs(assisted.best_energy - full.best_energy)
+
+    print(f"full sweep:     {full_evals} evaluations in {full_seconds:.1f}s; "
+          f"winner {full.best_tokens} at p={full.best_p} "
+          f"(energy {full.best_energy:.6f})")
+    print(f"assisted sweep: {assisted_evals} evaluations in "
+          f"{assisted_seconds:.1f}s; winner {assisted.best_tokens} at "
+          f"p={assisted.best_p} (energy {assisted.best_energy:.6f})")
+    print(f"reduction: {reduction:.1%} "
+          f"({assisted.config['surrogate_skipped']} candidates skipped); "
+          f"|best energy delta| = {energy_delta:.2e}")
+
+    report = {
+        "benchmark": "surrogate_search",
+        "workload": WORKLOAD,
+        "depths": DEPTHS,
+        "config": dict(BASE),
+        "surrogate": dict(SURROGATE),
+        "full_evaluations": full_evals,
+        "assisted_evaluations": assisted_evals,
+        "eval_reduction": reduction,
+        "full_best_energy": full.best_energy,
+        "assisted_best_energy": assisted.best_energy,
+        "best_energy_delta": energy_delta,
+        "full_seconds": full_seconds,
+        "assisted_seconds": assisted_seconds,
+        "surrogate_kept": assisted.config["surrogate_kept"],
+        "surrogate_skipped": assisted.config["surrogate_skipped"],
+        "generated_unix": time.time(),
+    }
+    OUTPUT.parent.mkdir(parents=True, exist_ok=True)
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report -> {OUTPUT}")
+
+    if os.environ.get("QARCH_BENCH_TREND", "enforce") == "off":
+        print("surrogate gates skipped (QARCH_BENCH_TREND=off)")
+        return 0
+    assert reduction >= MIN_EVAL_REDUCTION, (
+        f"assisted sweep cut only {reduction:.1%} of real evaluations — "
+        f"the surrogate gate requires >= {MIN_EVAL_REDUCTION:.0%}"
+    )
+    assert energy_delta <= ENERGY_TOLERANCE, (
+        f"assisted sweep's best energy drifted {energy_delta:.3g} from the "
+        f"full sweep's — pruning lost the winner "
+        f"(tolerance {ENERGY_TOLERANCE:g})"
+    )
+    print("surrogate bench OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,9 +27,13 @@ Exits non-zero if
 * compiled per-eval throughput (normalized by the same run's statevector
   oracle, so machine speed cancels) regressed more than
   ``MAX_REGRESSION_FRACTION`` against the *committed* report — the
-  perf-trend gate. Set ``QARCH_BENCH_TREND=off`` to skip the trend
-  comparison; the committed artifact is only rewritten when the gate
-  passes.
+  perf-trend gate, or
+* any workload's throughput trajectory fitted across the accrued
+  ``history/`` rows (normalized per row by its statevector oracle)
+  declines more than ``MAX_SLOPE_DECLINE_FRACTION`` end to end — the
+  slope gate, which catches slow bleeds the single-baseline cliff gate
+  cannot. Set ``QARCH_BENCH_TREND=off`` to skip both trend gates; the
+  committed artifact is only rewritten when the gates pass.
 """
 
 from __future__ import annotations
@@ -75,6 +79,15 @@ BATCH_ITERS = 40
 #: trend gate: fail when fresh compiled per-eval throughput drops more
 #: than this fraction below the committed baseline
 MAX_REGRESSION_FRACTION = 0.30
+#: slope gate: fail when a workload's fitted throughput trajectory across
+#: the history rows declines more than this fraction end to end
+MAX_SLOPE_DECLINE_FRACTION = 0.30
+#: slope gate activates once this many history rows carry a workload's
+#: series (a line through two points is noise, not a trend)
+MIN_TREND_ROWS = 3
+#: slope gate window: only the most recent rows count, so one ancient
+#: outlier can't dominate the fit forever
+TREND_WINDOW = 10
 
 
 def measure(engine: str, ansatz, x: np.ndarray) -> dict:
@@ -231,6 +244,77 @@ def check_trend(engines: dict) -> str:
     return message
 
 
+def check_history_trend(report: dict) -> str:
+    """Fit per-workload throughput slopes across the history rows.
+
+    The cliff gate (``check_trend``) only sees the committed artifact —
+    one sample — so a sequence of small regressions, each inside the 30%
+    tolerance, can compound unchecked as the artifact ratchets downward.
+    This gate reads the accrued per-commit rows under ``history/``, fits
+    a least-squares line through each workload's normalized throughput
+    (workload evals/sec divided by the same row's statevector evals/sec,
+    so machine speed cancels row by row), and fails when the fitted line
+    declines more than ``MAX_SLOPE_DECLINE_FRACTION`` end to end across
+    the window — a slow bleed the cliff gate cannot see.
+    """
+    if os.environ.get("QARCH_BENCH_TREND", "enforce") == "off":
+        return "history slope gate skipped (QARCH_BENCH_TREND=off)"
+    rows = []
+    for path in sorted(HISTORY_DIR.glob("*.json")):
+        try:
+            row = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if "workload_evals_per_sec" in row and row.get(
+            "statevector_evals_per_sec"
+        ):
+            rows.append(row)
+    rows.sort(key=lambda row: row.get("generated_unix", 0.0))
+    # the fresh (not-yet-committed) run is the newest point on every line
+    fresh = {
+        "generated_unix": report["generated_unix"],
+        "statevector_evals_per_sec": report["engines"]["statevector"][
+            "evals_per_sec"
+        ],
+        "workload_evals_per_sec": {
+            key: entry["evals_per_sec"]
+            for key, entry in report["workloads"].items()
+        },
+    }
+    rows = rows[-(TREND_WINDOW - 1):] + [fresh]
+    if len(rows) < MIN_TREND_ROWS:
+        return (
+            f"history slope gate inactive ({len(rows)} rows, "
+            f"needs {MIN_TREND_ROWS})"
+        )
+    lines = []
+    for key in sorted(fresh["workload_evals_per_sec"]):
+        series = [
+            (
+                row["generated_unix"],
+                row["workload_evals_per_sec"][key]
+                / row["statevector_evals_per_sec"],
+            )
+            for row in rows
+            if key in row.get("workload_evals_per_sec", {})
+        ]
+        if len(series) < MIN_TREND_ROWS:
+            continue
+        xs = np.array([point[0] for point in series])
+        ys = np.array([point[1] for point in series])
+        slope, intercept = np.polyfit(xs - xs[0], ys, 1)
+        start = intercept
+        end = intercept + slope * (xs[-1] - xs[0])
+        decline = (start - end) / start if start > 0 else 0.0
+        lines.append(f"{key}: fitted {start:.2f} -> {end:.2f} ({-decline:+.1%})")
+        assert decline <= MAX_SLOPE_DECLINE_FRACTION, (
+            f"workload {key!r} throughput trend declined {decline:.1%} "
+            f"across {len(series)} history rows — exceeds the "
+            f"{MAX_SLOPE_DECLINE_FRACTION:.0%} slope gate"
+        )
+    return "history slope gate: " + "; ".join(lines)
+
+
 def main() -> int:
     graph, ansatz, x = paper_probe_workload()
 
@@ -296,6 +380,7 @@ def main() -> int:
         "machine": platform.machine(),
         "generated_unix": time.time(),
     }
+    print(check_history_trend(report))
     OUTPUT.parent.mkdir(parents=True, exist_ok=True)
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
     history_path = append_history(report)

@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """Benchmark-smoke: tiny end-to-end runs of the search stack and the service.
 
-Four independent checks (select one with ``--only
-search|service|chaos|workloads``):
+Five independent checks (select one with ``--only
+search|service|chaos|workloads|surrogate``):
 
 **search** — one tiny cold + warm search through the full Algorithm 1
 stack (enumeration → QBuilder → training → selection), the fault-tolerant
@@ -36,6 +36,12 @@ run exactly.
 entry point *and* one through the service's HTTP submit path, asserting
 each finds a winner with a defined ratio, records its workload key in the
 result config, and exports the winning circuit as OpenQASM.
+
+**surrogate** — the surrogate-assisted-search gate: runs one sweep with
+``--surrogate`` through the CLI and one through the service's HTTP
+submit, asserting the trained ranker actually pruned candidates (the
+skipped counter is nonzero in the result config and in the service's
+``repro_surrogate_*`` metric families).
 """
 
 from __future__ import annotations
@@ -356,11 +362,83 @@ def smoke_workloads() -> int:
     return 0
 
 
+def smoke_surrogate() -> int:
+    import json
+    from pathlib import Path
+
+    from repro.api import Config, connect
+    from repro.cli import main as cli_main
+    from repro.service.server import SearchService, make_http_server
+
+    # -- CLI path: a surrogate-assisted sweep must actually prune ----------
+    with tempfile.TemporaryDirectory() as out_dir:
+        out = Path(out_dir) / "surrogate.json"
+        code = cli_main([
+            "search", "--dataset", "er", "--graphs", "2", "--dataset-seed",
+            "7", "--steps", "10", "--p-max", "3", "--k-min", "1", "--k-max",
+            "2", "--mode", "combinations", "--surrogate", "--surrogate-keep",
+            "0.4", "--explore-floor", "0.1", "--out", str(out),
+        ])
+        assert code == 0, "surrogate CLI sweep failed"
+        saved = json.loads(out.read_text())
+        assert saved["config"]["surrogate"] is True
+        assert saved["config"]["surrogate_skipped"] > 0, (
+            "the trained ranker must skip candidates at the later depths"
+        )
+        assert saved["config"]["surrogate_kept"] > 0
+        assert 0.0 < saved["best_ratio"] <= 1.0 + 1e-9
+        print(
+            f"cli[surrogate]: winner {tuple(saved['best_tokens'])} "
+            f"ratio {saved['best_ratio']:.4f}; "
+            f"{saved['config']['surrogate_kept']} kept / "
+            f"{saved['config']['surrogate_skipped']} skipped"
+        )
+
+    # -- service path: same sweep over HTTP submit -------------------------
+    config = Config(
+        k_min=1, k_max=2, mode="combinations", steps=10, seed=7,
+        surrogate=True, surrogate_keep=0.4, explore_floor=0.1,
+    )
+    with tempfile.TemporaryDirectory() as service_dir:
+        service = SearchService(service_dir, max_concurrent=2, workers=2)
+        server = make_http_server(service)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        host, port = server.server_address[:2]
+        with service:
+            client = connect(f"http://{host}:{port}")
+            job_id = client.submit("er:2:7", depths=3, config=config)
+            result = client.wait(job_id, timeout=300)
+            metrics_text = client.metrics()
+        server.shutdown()
+        server.server_close()
+
+    assert result.config["surrogate"] is True
+    assert result.config["surrogate_skipped"] > 0
+    print(
+        f"service[surrogate]: winner {result.best_tokens} "
+        f"ratio {result.best_ratio:.4f}; "
+        f"{result.config['surrogate_kept']} kept / "
+        f"{result.config['surrogate_skipped']} skipped"
+    )
+
+    def series_value(name: str) -> float:
+        for line in metrics_text.splitlines():
+            if line.startswith(name + " ") or line.startswith(name + "{"):
+                return float(line.rsplit(" ", 1)[1])
+        return 0.0
+
+    assert series_value("repro_surrogate_candidates_kept_total") > 0
+    assert series_value("repro_surrogate_candidates_skipped_total") > 0
+    assert series_value("repro_surrogate_ranking_seconds_count") > 0
+    print("surrogate smoke OK")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--only",
-        choices=["search", "service", "chaos", "workloads"],
+        choices=["search", "service", "chaos", "workloads", "surrogate"],
         default=None,
         help="run just one smoke (default: all)",
     )
@@ -373,6 +451,8 @@ def main() -> int:
         smoke_chaos()
     if args.only in (None, "workloads"):
         smoke_workloads()
+    if args.only in (None, "surrogate"):
+        smoke_surrogate()
     return 0
 
 

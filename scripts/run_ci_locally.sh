@@ -6,8 +6,9 @@
 #   docs        README/docs link check + smoke-run of the README snippets
 #   tests       CLI smoke + tier-1 pytest
 #   bench-smoke tiny end-to-end search with warm-cache assertions, the
-#               service smoke (two concurrent sweeps sharing a cache), and
-#               the chaos smoke (fault-injected service invariants)
+#               service smoke (two concurrent sweeps sharing a cache), the
+#               chaos smoke (fault-injected service invariants), and the
+#               surrogate smoke + eval-reduction gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -36,9 +37,11 @@ python scripts/ci_smoke.py --only search
 python scripts/ci_smoke.py --only service
 python scripts/ci_smoke.py --only chaos
 python scripts/ci_smoke.py --only workloads
+python scripts/ci_smoke.py --only surrogate
 python scripts/bench_report.py
 python benchmarks/bench_compiled_engine.py
 python benchmarks/bench_batched_optimizers.py
 python benchmarks/bench_sharded_runtime.py
+python benchmarks/bench_surrogate.py
 
 echo "=== all CI jobs green ==="

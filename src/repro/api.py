@@ -64,6 +64,7 @@ from repro.parallel.executor import (
     MultiprocessingExecutor,
     available_cores,
 )
+from repro.surrogate.config import SurrogateConfig
 
 __all__ = [
     "Config",
@@ -140,6 +141,17 @@ class Config:
     #: per-candidate wall-clock limit in seconds (None = unlimited)
     job_timeout: float | None = None
 
+    # -- surrogate-assisted ranking ----------------------------------------
+    #: learn a ranker from completed evaluations and evaluate only the
+    #: predicted-top slice of each depth's candidates (off = evaluate all)
+    surrogate: bool = False
+    #: fraction of each depth's pool forwarded to real evaluation once
+    #: the ranker is trained
+    surrogate_keep: float = 0.5
+    #: fraction of the pool evaluated regardless of predicted rank
+    #: (seeded uniform sample; 1.0 degenerates to the unfiltered search)
+    explore_floor: float = 0.1
+
     # -- service-side scheduling (ignored by local ``search``) -------------
     #: fairness / quota bucket this sweep is accounted to on a service
     tenant: str = "default"
@@ -171,6 +183,12 @@ class Config:
             num_samples=self.num_samples,
             seed=self.seed,
             evaluation=self.evaluation_config(),
+            surrogate=SurrogateConfig(
+                enabled=self.surrogate,
+                keep_fraction=self.surrogate_keep,
+                explore_floor=self.explore_floor,
+                seed=self.seed,
+            ),
         )
 
     def runtime_config(self) -> RuntimeConfig:

@@ -28,6 +28,7 @@ from repro.graphs.datasets import DATASET_FAMILIES
 from repro.optimizers import BATCH_MODES
 from repro.parallel.executor import MultiprocessingExecutor, available_cores
 from repro.simulators.backends import available_array_backends
+from repro.surrogate.config import SurrogateConfig
 from repro.workloads import available_workloads
 
 __all__ = ["main", "build_parser"]
@@ -122,6 +123,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "per index with the same --shards and a "
                              "shared --cache-dir, then merge with a "
                              "final run (all cache hits)")
+    search.add_argument("--surrogate", action="store_true",
+                        help="surrogate-assisted search: learn a ranker "
+                             "from completed evaluations and evaluate only "
+                             "the predicted-top slice of each depth's "
+                             "candidates (incompatible with --shard-index)")
+    search.add_argument("--surrogate-keep", type=float, default=0.5,
+                        help="fraction of each depth's candidate pool "
+                             "forwarded to real evaluation once the ranker "
+                             "is trained (default: 0.5)")
+    search.add_argument("--explore-floor", type=float, default=0.1,
+                        help="fraction of the pool evaluated regardless of "
+                             "predicted rank — a seeded uniform sample; "
+                             "1.0 degenerates to the unfiltered search "
+                             "(default: 0.1)")
     search.add_argument("--out", default=None, help="save SearchResult JSON")
     search.add_argument("--cache-dir", default=None,
                         help="persist candidate results + checkpoints here; "
@@ -208,9 +223,24 @@ def _eval_config(args) -> EvaluationConfig:
 
 def _cmd_search(args) -> int:
     graphs = _dataset(args.dataset, args.graphs, args.dataset_seed)
+    if args.surrogate and args.shard_index is not None:
+        raise SystemExit(
+            "--surrogate cannot run with --shard-index: the ranker trains "
+            "on every previous-depth result in one process"
+        )
+    try:
+        surrogate = SurrogateConfig(
+            enabled=args.surrogate,
+            keep_fraction=args.surrogate_keep,
+            explore_floor=args.explore_floor,
+            seed=args.seed,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
     config = SearchConfig(
         p_max=args.p_max, k_min=args.k_min, k_max=args.k_max,
         mode=args.mode, evaluation=_eval_config(args),
+        surrogate=surrogate,
     )
     if args.resume and not args.cache_dir:
         raise SystemExit("--resume requires --cache-dir")
@@ -288,6 +318,10 @@ def _cmd_search(args) -> int:
               f"{result.config['cache_misses']} misses, "
               f"{result.config['restored_depths']} depths restored "
               f"({args.cache_dir})")
+    if args.surrogate:
+        print(f"surrogate: {result.config['surrogate_kept']} candidates "
+              f"evaluated, {result.config['surrogate_skipped']} skipped by "
+              f"the ranker")
     if args.shard_index is not None:
         print(f"shard {args.shard_index}/{args.shards}: partial sweep; "
               f"results persisted to the shared cache — merge with a run "

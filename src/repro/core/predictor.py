@@ -22,10 +22,12 @@ from repro.utils.rng import as_rng
 from repro.utils.validation import check_positive
 
 __all__ = [
+    "PREDICTORS",
     "Predictor",
     "RandomPredictor",
     "ExhaustivePredictor",
     "EpsilonGreedyPredictor",
+    "make_predictor",
 ]
 
 
@@ -166,3 +168,57 @@ class EpsilonGreedyPredictor(Predictor):
             idx = self.alphabet.index(token)
             self._sum[position, idx] += reward
             self._count[position, idx] += 1
+
+
+# -- registry ---------------------------------------------------------------
+
+
+def _make_random(alphabet: GateAlphabet, k_max: int, *, seed=None) -> Predictor:
+    return RandomPredictor(alphabet, k_max, seed=seed)
+
+
+def _make_exhaustive(alphabet: GateAlphabet, k_max: int, *, seed=None) -> Predictor:
+    return ExhaustivePredictor(alphabet, k_max)
+
+
+def _make_epsilon_greedy(
+    alphabet: GateAlphabet, k_max: int, *, seed=None
+) -> Predictor:
+    return EpsilonGreedyPredictor(alphabet, k_max, seed=seed)
+
+
+def _make_surrogate_ranked(
+    alphabet: GateAlphabet, k_max: int, *, seed=None
+) -> Predictor:
+    # Imported lazily: repro.surrogate depends on this module for the
+    # Predictor base class.
+    from repro.surrogate.config import SurrogateConfig
+    from repro.surrogate.ranking import SurrogateRankedPredictor
+
+    return SurrogateRankedPredictor(
+        RandomPredictor(alphabet, k_max, seed=seed),
+        config=SurrogateConfig(enabled=True, seed=int(seed or 0)),
+    )
+
+
+#: every registered proposal strategy, by :attr:`Predictor.name` — the
+#: contract test suite runs each factory against the protocol invariants
+PREDICTORS = {
+    "random": _make_random,
+    "exhaustive": _make_exhaustive,
+    "epsilon_greedy": _make_epsilon_greedy,
+    "surrogate_ranked": _make_surrogate_ranked,
+}
+
+
+def make_predictor(
+    name: str, alphabet: GateAlphabet, k_max: int, *, seed=None
+) -> Predictor:
+    """Instantiate a registered predictor by name (seeded when it samples)."""
+    try:
+        factory = PREDICTORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown predictor {name!r}; registered: {sorted(PREDICTORS)}"
+        ) from None
+    return factory(alphabet, k_max, seed=seed)

@@ -252,6 +252,34 @@ class SearchRuntime:
                 "INTERP hand-off needs every previous-depth result in one "
                 "process"
             )
+        # Surrogate-assisted ranking: train on each finished depth's
+        # results, pre-rank the next depth's pool, evaluate only the
+        # predicted-top slice (plus the exploration floor). Candidate cache
+        # keys stay surrogate-independent — an evaluation is a pure
+        # function of the evaluation config — but depth *checkpoints*
+        # record which candidates a depth ran, so their fingerprint folds
+        # the surrogate settings in: a surrogate-assisted sweep never
+        # restores (or is restored by) a plain sweep's checkpoints.
+        self.surrogate = None
+        self._depth_config_fp = self._config_fp
+        if config.surrogate.enabled:
+            if runtime.shard_index is not None:
+                # Same failure mode as INTERP: ranking needs the full
+                # result stream of depth p-1 in one process, and sibling
+                # shard processes would prune different slices of the bag.
+                raise ValueError(
+                    "surrogate ranking cannot run under shard_index: the "
+                    "ranker trains on every previous-depth result, and "
+                    "sibling shard processes would prune divergent slices"
+                )
+            from repro.surrogate.ranking import SurrogateAssistant
+
+            self.surrogate = SurrogateAssistant(
+                config.alphabet, config.surrogate, metrics=metrics
+            )
+            self._depth_config_fp = (
+                f"{self._config_fp}:surrogate-{config.surrogate.fingerprint()}"
+            )
         self.cache: ResultCache | None = None
         self.checkpoint: SweepCheckpoint | None = None
         # An externally-owned cache (the service's shared, multi-tenant
@@ -358,8 +386,19 @@ class SearchRuntime:
             if self.cancel is not None:
                 self.cancel.raise_if_cancelled()
             p = depth_index + 1
-            depth_result = self._run_depth(p, list(provider(depth_index)))
+            candidates = list(provider(depth_index))
+            if self.surrogate is not None:
+                # Rank this depth's pool with everything completed so far
+                # (the assistant trains lazily at the top of select) and
+                # forward only the predicted-top slice + exploration floor.
+                candidates = self.surrogate.select(candidates, p)
+            depth_result = self._run_depth(p, candidates)
             depth_results.append(depth_result)
+            if self.surrogate is not None:
+                # Train-before-next-rank: the finished depth's evaluations
+                # (cache hits included, keeping the stream deterministic)
+                # reach the models before depth p+1 is ranked.
+                self.surrogate.observe(depth_result.evaluations)
             if self._interp:
                 # Harvest the depth's trained optima (cache hits included,
                 # keeping the hand-off chain deterministic) so depth p+1
@@ -406,7 +445,7 @@ class SearchRuntime:
 
     def _run_depth(self, p: int, candidates: list[tuple[str, ...]]) -> DepthResult:
         depth_fp = depth_fingerprint(
-            self._workload_fp, self._config_fp, candidates, p
+            self._workload_fp, self._depth_config_fp, candidates, p
         )
         if self.runtime.resume and self.checkpoint is not None:
             restored = self.checkpoint.load_depth(depth_fp)
@@ -604,6 +643,16 @@ class SearchRuntime:
             self._warm_start_for(tokens, p),
         )
 
+    def _predicted_cost(self, tokens: Sequence[str], p: int) -> float:
+        """Placement cost of one candidate: the surrogate's fitted cost
+        model (measured seconds) when one is active, the static
+        :func:`predicted_cost` heuristic otherwise. ``shard_index``
+        slicing deliberately bypasses this — sibling processes must
+        compute identical partitions from the static formula alone."""
+        if self.surrogate is not None:
+            return self.surrogate.predicted_cost(tokens, p)
+        return predicted_cost(tokens, p)
+
     def _execute(
         self, p: int, keys: list[str], jobs: list[tuple]
     ) -> Iterator[tuple[str, CandidateEvaluation]]:
@@ -642,4 +691,11 @@ class SearchRuntime:
             "shard_index": self.runtime.shard_index,
             "jobs_submitted": stats.submitted,
             "jobs_retried": stats.retried,
+            "surrogate": self.config.surrogate.enabled,
+            "surrogate_kept": (
+                self.surrogate.kept if self.surrogate is not None else 0
+            ),
+            "surrogate_skipped": (
+                self.surrogate.skipped if self.surrogate is not None else 0
+            ),
         }

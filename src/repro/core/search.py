@@ -35,6 +35,7 @@ from repro.graphs.generators import Graph
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.progress import SweepProgress
 from repro.parallel.executor import Executor
+from repro.surrogate.config import SurrogateConfig
 from repro.utils.validation import check_positive
 
 __all__ = ["SearchConfig", "search_mixer", "search_with_predictor"]
@@ -60,6 +61,9 @@ class SearchConfig:
     evaluation: EvaluationConfig = field(default_factory=EvaluationConfig)
     #: optional admissibility constraints (§6's "arbitrary constraints")
     constraints: ConstraintSet | None = None
+    #: surrogate-assisted ranking (off by default: every candidate is
+    #: evaluated, the exact pre-surrogate behaviour)
+    surrogate: SurrogateConfig = field(default_factory=SurrogateConfig)
 
     def __post_init__(self) -> None:
         check_positive(self.p_max, "p_max")

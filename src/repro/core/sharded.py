@@ -68,7 +68,6 @@ from repro.core.runtime import (
     CancellationToken,
     RuntimeConfig,
     SearchRuntime,
-    predicted_cost,
 )
 from repro.graphs.generators import Graph
 from repro.obs.metrics import Counter, MetricsRegistry
@@ -204,8 +203,12 @@ class ShardedRuntime(SearchRuntime):
             if not first_round:
                 self.jobs_migrated += len(remaining)
             round_keys = list(remaining)
+            # _predicted_cost: the surrogate's fitted cost model (measured
+            # seconds) when active, the static heuristic otherwise — all
+            # shards are placed by this parent process, so a learned model
+            # cannot desynchronise siblings the way shard_index would.
             bins = least_loaded_partition(
-                [predicted_cost(remaining[key][1], p) for key in round_keys],
+                [self._predicted_cost(remaining[key][1], p) for key in round_keys],
                 len(alive),
             )
             events: queue.Queue = queue.Queue()

@@ -1,0 +1,38 @@
+"""Surrogate-assisted evaluation: learn from the result stream, rank
+candidate pools, and spend real simulator time on the predicted-top
+slice (plus a seeded exploration floor).
+
+Public surface:
+
+* :class:`~repro.surrogate.config.SurrogateConfig` — one frozen
+  dataclass of knobs, carried on ``SearchConfig.surrogate`` and folded
+  into depth-checkpoint fingerprints.
+* :class:`~repro.surrogate.model.SurrogateModel` — the tiny
+  Embedding→LSTM→Dense regressor (on :mod:`repro.ml` layers) trained
+  online from completed evaluations.
+* :class:`~repro.surrogate.cost.CostModel` — measured-seconds
+  regression that replaces the static shard-placement heuristic.
+* :class:`~repro.surrogate.ranking.SurrogateAssistant` — the runtime
+  integration (train → rank → account).
+* :class:`~repro.surrogate.ranking.SurrogateRankedPredictor` — the same
+  ranking as a wrapper around any base
+  :class:`~repro.core.predictor.Predictor`.
+"""
+
+from repro.surrogate.config import SurrogateConfig
+from repro.surrogate.cost import CostModel
+from repro.surrogate.model import SurrogateModel
+from repro.surrogate.ranking import (
+    SurrogateAssistant,
+    SurrogateRankedPredictor,
+    rank_and_select,
+)
+
+__all__ = [
+    "CostModel",
+    "SurrogateAssistant",
+    "SurrogateConfig",
+    "SurrogateModel",
+    "SurrogateRankedPredictor",
+    "rank_and_select",
+]

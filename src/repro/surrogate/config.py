@@ -1,0 +1,80 @@
+"""Configuration of the surrogate-assisted evaluation layer.
+
+One frozen dataclass fixes everything about how a sweep's surrogate
+behaves: whether it runs at all, how aggressively it prunes
+(``keep_fraction``), how much unconditional exploration survives the
+pruning (``explore_floor``), when the ranker is trusted enough to start
+filtering (``min_observations``), and the model hyperparameters. The
+settings are part of the sweep's *checkpoint* fingerprint (see
+:class:`~repro.core.runtime.SearchRuntime`) so a surrogate-assisted
+sweep can never restore — or be restored by — a plain sweep's depth
+checkpoints, while individual candidate evaluations (pure functions of
+the :class:`~repro.core.evaluator.EvaluationConfig`) stay shared across
+both.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+__all__ = ["SurrogateConfig"]
+
+
+@dataclass(frozen=True)
+class SurrogateConfig:
+    """Knobs of surrogate-assisted candidate ranking for one sweep."""
+
+    #: master switch; off keeps the exact pre-surrogate behaviour
+    enabled: bool = False
+    #: fraction of each depth's candidate pool forwarded to real
+    #: evaluation once the ranker is trained (the predicted-top slice)
+    keep_fraction: float = 0.5
+    #: fraction of the pool evaluated *regardless* of predicted rank —
+    #: a seeded uniform sample that keeps the surrogate from locking in
+    #: a bad prior; 1.0 degenerates to the unfiltered search
+    explore_floor: float = 0.1
+    #: completed evaluations the model must have seen before it is
+    #: allowed to filter anything (until then every candidate passes)
+    min_observations: int = 8
+    #: token-embedding width of the sequence encoder
+    embedding_dim: int = 16
+    #: LSTM hidden width of the sequence encoder
+    hidden_dim: int = 32
+    #: Adam learning rate of the online training loop
+    learning_rate: float = 0.05
+    #: full-batch epochs per training round (one round per finished depth)
+    train_epochs: int = 60
+    #: seed for model init and the exploration-floor draws
+    seed: int = 0
+    #: also fit the evaluation-cost model (measured ``seconds`` →
+    #: shard placement) from the same result stream
+    cost_model: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.keep_fraction <= 1.0:
+            raise ValueError(
+                f"keep_fraction must be in (0, 1], got {self.keep_fraction}"
+            )
+        if not 0.0 <= self.explore_floor <= 1.0:
+            raise ValueError(
+                f"explore_floor must be in [0, 1], got {self.explore_floor}"
+            )
+        if self.min_observations < 1:
+            raise ValueError(
+                f"min_observations must be >= 1, got {self.min_observations}"
+            )
+        for name in ("embedding_dim", "hidden_dim", "train_epochs"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+        if self.learning_rate <= 0.0:
+            raise ValueError(
+                f"learning_rate must be > 0, got {self.learning_rate}"
+            )
+
+    def fingerprint(self) -> str:
+        """Stable hash of every setting — folded into the sweep's depth
+        checkpoint fingerprints so surrogate and plain runs never alias."""
+        blob = json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]

@@ -139,6 +139,38 @@ class TestValidation:
         status, _ = http("POST", base + "/submit", {"workload": "er:1", "depths": 0})
         assert status == 400
 
+    def test_bad_surrogate_knobs_rejected_at_submit(self, service):
+        _, base = service
+        status, body = http(
+            "POST",
+            base + "/submit",
+            {
+                "workload": "er:1",
+                "config": {"surrogate": True, "surrogate_keep": 0.0},
+            },
+        )
+        assert status == 400
+        assert "keep_fraction" in body["error"]
+        status, body = http(
+            "POST",
+            base + "/submit",
+            {
+                "workload": "er:1",
+                "config": {"surrogate": True, "explore_floor": 2.0},
+            },
+        )
+        assert status == 400
+        assert "explore_floor" in body["error"]
+
+    def test_surrogate_config_accepted_at_submit(self, service):
+        _, base = service
+        spec = dict(SPEC)
+        spec["config"] = Config(
+            k_min=2, k_max=2, steps=5, num_samples=6, seed=1, surrogate=True
+        ).to_dict()
+        status, _ = http("POST", base + "/submit", spec)
+        assert status == 202
+
     def test_invalid_json_body_is_400(self, service):
         _, base = service
         request = urllib.request.Request(
